@@ -1,0 +1,14 @@
+"""Benchmark-suite configuration.
+
+Each bench regenerates one paper figure/claim via the corresponding
+``repro.experiments.run_*`` function under pytest-benchmark, then
+asserts the experiment's shape checks — so `pytest benchmarks/
+--benchmark-only` both times the reproduction and verifies it.
+
+Experiments are stochastic-but-seeded and moderately heavy, so benches
+use ``benchmark.pedantic`` with a single round by default; the
+*throughput* benches (vectorised injector, Fep evaluation) use normal
+auto-calibrated rounds since they are microbenchmarks.
+"""
+
+ROUNDS = dict(rounds=1, iterations=1, warmup_rounds=0)

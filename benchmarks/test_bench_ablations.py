@@ -1,0 +1,103 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* **Chunk size** in campaigns: memory/throughput trade-off of the
+  vectorised path (peak working set ~ chunk x batch x width).
+* **Greedy vs exact** tolerance solving: the greedy allocator is the
+  default because the exact frontier enumerates ``prod N_l`` points;
+  the bench quantifies both cost and the quality gap.
+* **Replication factor**: cost of Corollary-1 over-provisioning
+  (forward pass scales ~r^2 in the dense stages) vs tolerance gained.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.tolerance import greedy_max_total_failures, tolerated_distributions
+from repro.core.overprovision import replicate_network
+from repro.faults.campaign import run_campaign
+from repro.faults.injector import FaultInjector
+from repro.faults.scenarios import random_failure_scenario
+from repro.network import build_mlp
+
+
+@pytest.fixture(scope="module")
+def setup():
+    net = build_mlp(
+        3, [12, 10],
+        activation={"name": "sigmoid", "k": 0.5},
+        init={"name": "uniform", "scale": 0.1},
+        output_scale=0.08,
+        seed=33,
+    )
+    rng = np.random.default_rng(33)
+    x = rng.random((48, 3))
+    scenarios = [
+        random_failure_scenario(net, (2, 2), rng=rng, name=f"s{i}")
+        for i in range(512)
+    ]
+    return net, x, scenarios
+
+
+@pytest.mark.parametrize("chunk", [32, 128, 512])
+def test_bench_campaign_chunk_size(benchmark, setup, chunk):
+    net, x, scenarios = setup
+    injector = FaultInjector(net, capacity=1.0)
+    result = benchmark.pedantic(
+        run_campaign,
+        args=(injector, x, scenarios),
+        kwargs=dict(chunk_size=chunk, keep_names=False),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert result.num_scenarios == 512
+
+
+def test_bench_tolerance_greedy(benchmark, setup):
+    net, _, _ = setup
+    dist = benchmark(greedy_max_total_failures, net, 0.5, 0.1)
+    assert sum(dist) > 0
+
+
+def test_bench_tolerance_exact_frontier(benchmark, setup):
+    net, _, _ = setup
+    frontier = benchmark.pedantic(
+        tolerated_distributions,
+        args=(net, 0.5, 0.1),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    # Quality check: greedy is dominated by some frontier point.
+    greedy = greedy_max_total_failures(net, 0.5, 0.1)
+    assert any(all(g <= f for g, f in zip(greedy, p)) for p in frontier)
+
+
+@pytest.mark.parametrize("r", [1, 4, 16])
+def test_bench_replication_forward_cost(benchmark, setup, r):
+    net, x, _ = setup
+    rep = replicate_network(net, r)
+    out = benchmark(rep.forward, x)
+    np.testing.assert_allclose(out, net.forward(x), atol=1e-9)
+
+
+def test_bench_heterogeneous_fep_refinement(benchmark):
+    """Quantify the per-layer-K refinement on a mixed-activation net."""
+    from repro.core.fep import network_fep, network_heterogeneous_fep
+    from repro.network import FeedForwardNetwork, Sigmoid
+    from repro.network.layers import DenseLayer
+
+    rng = np.random.default_rng(35)
+    layers = [
+        DenseLayer(3, 12, Sigmoid(2.0),
+                   weights=rng.uniform(-0.4, 0.4, (12, 3)), use_bias=False),
+        DenseLayer(12, 10, Sigmoid(0.25),
+                   weights=rng.uniform(-0.4, 0.4, (10, 12)), use_bias=False),
+    ]
+    net = FeedForwardNetwork(layers, rng.uniform(-0.4, 0.4, (1, 10)))
+
+    het = benchmark(network_heterogeneous_fep, net, (2, 1), capacity=1.0)
+    hom = network_fep(net, (2, 1), capacity=1.0)
+    # The refinement buys a large factor when the deep layer is shallow.
+    assert het < hom
+    assert hom / het > 3.0

@@ -1,0 +1,90 @@
+"""Benches for the Section V applications and Section VI extension.
+
+* Corollary 1 — over-provisioning via replication;
+* Corollary 2 — boosting (fire after N-f signals);
+* Section V-C — robustness vs ease-of-learning trade-offs (K, weights);
+* Section VI — convolutional refinement.
+"""
+
+from repro.experiments import (
+    run_boosting,
+    run_conv,
+    run_overprovision,
+    run_tradeoff_k,
+    run_tradeoff_weights,
+)
+
+from conftest import ROUNDS
+
+
+def test_bench_corollary1_overprovision(benchmark):
+    result = benchmark.pedantic(
+        run_overprovision, kwargs=dict(factors=(1, 2, 4, 8)), **ROUNDS
+    )
+    result.assert_passed()
+
+
+def test_bench_corollary2_boosting(benchmark):
+    result = benchmark.pedantic(
+        run_boosting, kwargs=dict(n_trials=10), **ROUNDS
+    )
+    result.assert_passed()
+    assert result.metrics["mean_speedup"] > 2.0
+
+
+def test_bench_tradeoff_k(benchmark):
+    result = benchmark.pedantic(
+        run_tradeoff_k, kwargs=dict(k_grid=(0.25, 0.5, 1.0, 2.0), epochs=40),
+        **ROUNDS,
+    )
+    result.assert_passed()
+
+
+def test_bench_tradeoff_weights(benchmark):
+    result = benchmark.pedantic(
+        run_tradeoff_weights, kwargs=dict(caps=(0.1, 0.2, 0.4, 0.8), epochs=40),
+        **ROUNDS,
+    )
+    result.assert_passed()
+
+
+def test_bench_section6_conv(benchmark):
+    result = benchmark.pedantic(
+        run_conv, kwargs=dict(n_scenarios=60, n_draws=150), **ROUNDS
+    )
+    result.assert_passed()
+
+
+def test_bench_extension_reliability(benchmark):
+    from repro.experiments import run_reliability
+
+    result = benchmark.pedantic(
+        run_reliability, kwargs=dict(n_trials=150), **ROUNDS
+    )
+    result.assert_passed()
+
+
+def test_bench_intro_pruning(benchmark):
+    from repro.experiments import run_pruning
+
+    result = benchmark.pedantic(run_pruning, **ROUNDS)
+    result.assert_passed()
+
+
+def test_bench_baseline_smr(benchmark):
+    from repro.experiments import run_smr_baseline
+
+    result = benchmark.pedantic(
+        run_smr_baseline, kwargs=dict(n_scenarios=80), **ROUNDS
+    )
+    result.assert_passed()
+
+
+def test_bench_extension_fep_learning(benchmark):
+    from repro.experiments import run_fep_learning
+
+    result = benchmark.pedantic(
+        run_fep_learning, kwargs=dict(epochs=60, n_scenarios=80), **ROUNDS
+    )
+    result.assert_passed()
+    assert result.metrics["fep_reduction_vs_plain"] > 2.0

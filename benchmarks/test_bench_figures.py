@@ -1,0 +1,37 @@
+"""Benches regenerating the paper's three figures.
+
+* Figure 1 — the example topology (illustrative; structural checks);
+* Figure 2 — K-tuned sigmoid profiles;
+* Figure 3 — the paper's measured plot: output error vs Lipschitz
+  constant for eight networks under a fixed failure load.
+"""
+
+from repro.experiments import run_figure1, run_figure2, run_figure3
+
+from conftest import ROUNDS
+
+
+def test_bench_fig1_topology(benchmark):
+    result = benchmark.pedantic(run_figure1, **ROUNDS)
+    result.assert_passed()
+
+
+def test_bench_fig2_sigmoid(benchmark):
+    result = benchmark.pedantic(run_figure2, **ROUNDS)
+    result.assert_passed()
+
+
+def test_bench_fig3_error_vs_k(benchmark):
+    result = benchmark.pedantic(
+        run_figure3,
+        kwargs=dict(
+            k_grid=(0.25, 0.5, 1.0, 2.0, 4.0),
+            n_scenarios=40,
+            n_inputs=48,
+        ),
+        **ROUNDS,
+    )
+    result.assert_passed()
+    # Print the regenerated series (the figure's content) on -s runs.
+    print()
+    print(result.report())

@@ -1,0 +1,60 @@
+"""Benches validating each theorem/lemma (the paper's actual results).
+
+Every bench regenerates the validation table for one result and
+asserts its shape checks: bounds dominate injected errors, tightness
+constructions attain them, limits behave as proved.
+"""
+
+from repro.experiments import (
+    run_lemma1,
+    run_theorem1,
+    run_theorem2,
+    run_theorem3,
+    run_theorem4,
+    run_theorem5,
+)
+
+from conftest import ROUNDS
+
+
+def test_bench_theorem1_single_layer_crashes(benchmark):
+    result = benchmark.pedantic(
+        run_theorem1, kwargs=dict(n_neurons=10, max_fail=4, n_inputs=48), **ROUNDS
+    )
+    result.assert_passed()
+
+
+def test_bench_theorem2_forward_error_propagation(benchmark):
+    result = benchmark.pedantic(
+        run_theorem2, kwargs=dict(n_networks=12), **ROUNDS
+    )
+    result.assert_passed()
+    assert result.metrics["tightness_min"] > 0.999999
+
+
+def test_bench_theorem3_byzantine_distributions(benchmark):
+    result = benchmark.pedantic(
+        run_theorem3, kwargs=dict(n_scenarios=200), **ROUNDS
+    )
+    result.assert_passed()
+
+
+def test_bench_theorem4_byzantine_synapses(benchmark):
+    result = benchmark.pedantic(
+        run_theorem4, kwargs=dict(n_networks=10), **ROUNDS
+    )
+    result.assert_passed()
+
+
+def test_bench_theorem5_quantization(benchmark):
+    result = benchmark.pedantic(
+        run_theorem5,
+        kwargs=dict(bits_grid=(2, 3, 4, 5, 6, 8, 10, 12), n_inputs=192),
+        **ROUNDS,
+    )
+    result.assert_passed()
+
+
+def test_bench_lemma1_unbounded_transmission(benchmark):
+    result = benchmark.pedantic(run_lemma1, **ROUNDS)
+    result.assert_passed()

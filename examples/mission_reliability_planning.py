@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Mission reliability planning: how much redundancy does a lifetime buy?
+
+The deployment question behind the paper's motivation (flight control,
+radar, electric cars): components age and die during a mission, and
+there is no stopping for retraining.  Two redundancy architectures
+compete:
+
+* **neuron-grained over-provisioning** (the paper): replicate neurons
+  inside the network (Corollary 1); Theorem 3 + a binomial argument
+  give an *exact certified* survival probability under iid failures;
+* **machine-grained SMR** (the classical baseline): replicate the
+  whole network and vote; survives while a majority of machines lives.
+
+This example sizes both for a target mission: per-neuron failure
+probability grows as ``1 - exp(-rate * t)``, machines fail as a whole
+with the probability that *any* internal damage exceeds what a single
+unprotected network absorbs.
+
+Run:  python examples/mission_reliability_planning.py
+"""
+
+import numpy as np
+
+from repro import build_mlp
+from repro.core import replicate_network
+from repro.distributed import ReplicatedEnsemble, smr_neuron_cost, smr_tolerance
+from repro.faults import (
+    certified_survival_probability,
+    mission_survival_curve,
+    monte_carlo_survival,
+)
+
+
+def main() -> None:
+    epsilon, eps_prime = 0.5, 0.1
+    rate = 0.02  # per-neuron failure rate (1/hours)
+    horizon = [0.0, 5.0, 10.0, 20.0, 40.0]
+
+    base = build_mlp(
+        2,
+        [12, 10],
+        activation={"name": "sigmoid", "k": 0.5},
+        init={"name": "uniform", "scale": 0.1},
+        output_scale=0.06,
+        seed=9,
+    )
+    print(base.summary())
+    print(f"\nbudget eps - eps' = {epsilon - eps_prime}; "
+          f"per-neuron failure rate {rate}/h")
+
+    # ---- certified mission curves, several provisioning levels ---------
+    print("\ncertified P[eps-guarantee survives] over mission time:")
+    header = "  t(h)  " + "".join(f"r={r:<9d}" for r in (1, 2, 4))
+    print(header)
+    curves = {
+        r: dict(mission_survival_curve(
+            replicate_network(base, r), rate, horizon, epsilon, eps_prime
+        ))
+        for r in (1, 2, 4)
+    }
+    for t in horizon:
+        row = f"  {t:5.1f} " + "".join(f"{curves[r][t]:<10.5f}" for r in (1, 2, 4))
+        print(row)
+
+    # ---- pick the cheapest r meeting a reliability target ---------------
+    target_p, target_t = 0.999, 20.0
+    chosen = None
+    for r in (1, 2, 3, 4, 6, 8):
+        net = replicate_network(base, r)
+        p_fail = 1.0 - float(np.exp(-rate * target_t))
+        p = certified_survival_probability(net, p_fail, epsilon, eps_prime)
+        if p >= target_p:
+            chosen = (r, net, p)
+            break
+    assert chosen is not None, "raise max r"
+    r, net, p = chosen
+    print(f"\ntarget: P >= {target_p} at t = {target_t}h "
+          f"-> smallest replication r = {r} "
+          f"({net.num_neurons} neurons, certified P = {p:.6f})")
+
+    # Cross-check with Monte-Carlo injection (counts lucky placements too).
+    rng = np.random.default_rng(1)
+    est = monte_carlo_survival(
+        net, 1.0 - float(np.exp(-rate * target_t)), epsilon, eps_prime,
+        rng.random((24, 2)), n_trials=300, seed=2,
+    )
+    print(f"Monte-Carlo check: {est}")
+    assert est.survival >= p - 0.05
+
+    # ---- the SMR alternative at comparable cost -------------------------
+    print("\nclassical SMR at comparable neuron budgets:")
+    for n_replicas in (3, 5):
+        cost = smr_neuron_cost(base, n_replicas)
+        tol = smr_tolerance(n_replicas)
+        ensemble = ReplicatedEnsemble.of_copies(base, n_replicas)
+        for i in range(tol):
+            ensemble.crash_replica(i)
+        x = rng.random((16, 2))
+        err = ensemble.vote_error(x, base)
+        print(f"  r={n_replicas}: {cost} neurons, masks {tol} whole-machine "
+              f"failures exactly (residual error {err:.2e}); "
+              "but a single neuron death inside every replica is outside "
+              "its failure model")
+    print(f"\nthe paper's scheme at r={r}: {net.num_neurons} neurons, "
+          f"certified against scattered neuron deaths with P >= {p:.4f}.")
+    print("\nOK: redundancy sized analytically, confirmed by injection.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Regenerate every figure and theorem validation of the paper.
+
+Runs the full experiment registry (Figures 1-3, Theorems 1-5, Lemma 1,
+Corollaries 1-2, the Section V-C trade-offs and the Section VI
+convolutional refinement) and prints each regenerated table with its
+shape checks — the same artifacts EXPERIMENTS.md records.
+
+Run:  python examples/reproduce_paper.py            # everything (~1 min)
+      python examples/reproduce_paper.py figure3    # one experiment
+"""
+
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def main(argv: list[str]) -> int:
+    wanted = argv[1:] or list(ALL_EXPERIMENTS)
+    unknown = [w for w in wanted if w not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}")
+        print(f"available: {', '.join(ALL_EXPERIMENTS)}")
+        return 2
+
+    failures = []
+    for name in wanted:
+        start = time.perf_counter()
+        result = ALL_EXPERIMENTS[name]()
+        elapsed = time.perf_counter() - start
+        print(result.report())
+        print(f"  ({elapsed:.1f}s)\n")
+        if not result.passed:
+            failures.append(name)
+
+    if failures:
+        print(f"FAILED shape checks: {failures}")
+        return 1
+    print(f"all {len(wanted)} experiments reproduced the paper's shapes.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

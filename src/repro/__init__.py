@@ -1,0 +1,99 @@
+"""repro — a reproduction of *When Neurons Fail* (El Mhamdi &
+Guerraoui, IPDPS 2017).
+
+The paper views a feed-forward neural network as a distributed system
+whose neurons and synapses fail independently, and derives tight
+bounds — via the *Forward Error Propagation* quantity ``Fep`` — on the
+failure distributions a network tolerates without any recovery
+learning.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import build_mlp, certify, FaultInjector, random_failure_scenario
+>>> net = build_mlp(2, [16, 8], activation={"name": "sigmoid", "k": 0.5}, seed=0)
+>>> cert = certify(net, epsilon=0.3, epsilon_prime=0.1, mode="crash")
+>>> inj = FaultInjector(net, capacity=1.0)
+>>> sc = random_failure_scenario(net, cert.maximal_distribution)
+
+Subpackages
+-----------
+- :mod:`repro.core` — Fep and Theorems 1-5 (the contribution);
+- :mod:`repro.network` — the from-scratch network substrate;
+- :mod:`repro.training` — backprop trainer (incl. Fep regulariser);
+- :mod:`repro.faults` — fault models, injection, campaigns;
+- :mod:`repro.distributed` — process-per-neuron simulator, boosting;
+- :mod:`repro.quantization` — Theorem-5 precision reduction;
+- :mod:`repro.analysis` — Lipschitz/topology/statistics utilities;
+- :mod:`repro.experiments` — one module per paper figure/claim.
+"""
+
+from .core import (
+    BoundCheck,
+    RobustnessCertificate,
+    certify,
+    check_theorem1,
+    check_theorem3,
+    check_theorem4,
+    check_theorem5,
+    empirical_audit,
+    forward_error_propagation,
+    network_fep,
+    precision_error_bound,
+    synapse_fep,
+    theorem1_max_crashes,
+)
+from .faults import (
+    ByzantineFault,
+    CrashFault,
+    FailureScenario,
+    FaultInjector,
+    monte_carlo_campaign,
+    random_failure_scenario,
+    worst_case_crash_scenario,
+)
+from .network import (
+    FeedForwardNetwork,
+    Sigmoid,
+    build_conv_net,
+    build_figure3_network,
+    build_mlp,
+    load_network,
+    save_network,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "forward_error_propagation",
+    "network_fep",
+    "synapse_fep",
+    "precision_error_bound",
+    "theorem1_max_crashes",
+    "check_theorem1",
+    "check_theorem3",
+    "check_theorem4",
+    "check_theorem5",
+    "BoundCheck",
+    "RobustnessCertificate",
+    "certify",
+    "empirical_audit",
+    # network
+    "FeedForwardNetwork",
+    "Sigmoid",
+    "build_mlp",
+    "build_conv_net",
+    "build_figure3_network",
+    "save_network",
+    "load_network",
+    # faults
+    "FaultInjector",
+    "FailureScenario",
+    "CrashFault",
+    "ByzantineFault",
+    "random_failure_scenario",
+    "worst_case_crash_scenario",
+    "monte_carlo_campaign",
+]

@@ -1,0 +1,48 @@
+"""Analysis utilities: Lipschitz estimation (Figure 2), topology export,
+parallel parameter sweeps, and error statistics / shape checks.
+"""
+
+from .lipschitz import (
+    estimate_lipschitz,
+    estimate_network_lipschitz,
+    sigmoid_profile,
+    slope_at_origin,
+)
+from .stats import (
+    Summary,
+    bootstrap_ci,
+    dominance_ratio,
+    is_monotone,
+    loglog_slope,
+    summarize,
+)
+from .pruning import certified_prune, lowest_influence_neurons, prune_neurons
+from .reporting import result_to_markdown, results_to_markdown, write_markdown_report
+from .sweep import SweepResult, default_workers, grid_configurations, parameter_sweep
+from .topology import figure1_network_stats, to_graph, topology_stats
+
+__all__ = [
+    "estimate_lipschitz",
+    "slope_at_origin",
+    "sigmoid_profile",
+    "estimate_network_lipschitz",
+    "to_graph",
+    "topology_stats",
+    "figure1_network_stats",
+    "SweepResult",
+    "grid_configurations",
+    "parameter_sweep",
+    "default_workers",
+    "Summary",
+    "summarize",
+    "bootstrap_ci",
+    "loglog_slope",
+    "is_monotone",
+    "dominance_ratio",
+    "prune_neurons",
+    "lowest_influence_neurons",
+    "certified_prune",
+    "result_to_markdown",
+    "results_to_markdown",
+    "write_markdown_report",
+]

@@ -1,0 +1,99 @@
+"""Render experiment results to Markdown reports.
+
+Turns a collection of :class:`repro.experiments.runner.ExperimentResult`
+into the kind of document EXPERIMENTS.md is: one section per
+experiment, the regenerated table, the shape-check verdicts and the
+headline metrics.  Used by ``python -m repro experiments --markdown``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Mapping, Union
+
+from ..experiments.runner import ExperimentResult
+
+__all__ = ["result_to_markdown", "results_to_markdown", "write_markdown_report"]
+
+
+def _md_table(rows) -> str:
+    if not rows:
+        return "*(no rows)*"
+    keys: list[str] = []
+    for row in rows:
+        for k in row:
+            if k not in keys:
+                keys.append(k)
+
+    def fmt(v) -> str:
+        if isinstance(v, float):
+            return f"{v:.6g}"
+        return str(v).replace("|", "\\|")
+
+    header = "| " + " | ".join(keys) + " |"
+    sep = "| " + " | ".join("---" for _ in keys) + " |"
+    body = "\n".join(
+        "| " + " | ".join(fmt(row.get(k, "")) for k in keys) + " |" for row in rows
+    )
+    return "\n".join([header, sep, body])
+
+
+def result_to_markdown(result: ExperimentResult) -> str:
+    """One experiment as a Markdown section."""
+    lines = [
+        f"## `{result.experiment_id}`",
+        "",
+        result.description + ".",
+        "",
+        _md_table(result.rows),
+        "",
+    ]
+    if result.metrics:
+        lines.append(
+            "**Metrics:** "
+            + ", ".join(f"`{k}` = {v:.6g}" for k, v in sorted(result.metrics.items()))
+        )
+        lines.append("")
+    lines.append("**Shape checks:**")
+    lines.append("")
+    for name, ok in result.shape_checks.items():
+        lines.append(f"- {'✅' if ok else '❌'} {name}")
+    if result.notes:
+        lines.append("")
+        for note in result.notes:
+            lines.append(f"> {note}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def results_to_markdown(
+    results: "Mapping[str, ExperimentResult] | Iterable[ExperimentResult]",
+    *,
+    title: str = "Reproduction report — When Neurons Fail (IPDPS 2017)",
+) -> str:
+    """A full report for a collection of results."""
+    if isinstance(results, Mapping):
+        ordered = list(results.values())
+    else:
+        ordered = list(results)
+    n_pass = sum(1 for r in ordered if r.passed)
+    lines = [
+        f"# {title}",
+        "",
+        f"{n_pass}/{len(ordered)} experiments pass all shape checks.",
+        "",
+    ]
+    for result in ordered:
+        lines.append(result_to_markdown(result))
+    return "\n".join(lines)
+
+
+def write_markdown_report(
+    results: "Mapping[str, ExperimentResult] | Iterable[ExperimentResult]",
+    path: Union[str, Path],
+    **kwargs,
+) -> Path:
+    """Write the report to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(results_to_markdown(results, **kwargs), encoding="utf-8")
+    return path

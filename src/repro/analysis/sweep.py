@@ -1,0 +1,107 @@
+"""Generic parameter sweeps with optional process-level parallelism.
+
+Experiments in this repo are embarrassingly parallel at the grain of
+"one configuration" (one K value, one bit-width, one architecture).
+``parameter_sweep`` runs a function over a configuration grid either
+in-process or over a ``ProcessPoolExecutor`` with chunking — the
+mpi4py-style scatter/gather pattern of the HPC guide, realised on a
+single node.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["SweepResult", "grid_configurations", "parameter_sweep", "default_workers"]
+
+
+@dataclass
+class SweepResult:
+    """Outcome of a sweep: aligned lists of configurations and results."""
+
+    configurations: List[dict] = field(default_factory=list)
+    results: List[Any] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(zip(self.configurations, self.results))
+
+    def column(self, key: str) -> list:
+        """Extract one configuration key across all runs."""
+        return [cfg[key] for cfg in self.configurations]
+
+    def values(self, key: Optional[str] = None) -> list:
+        """Result values; ``key`` indexes into dict-valued results."""
+        if key is None:
+            return list(self.results)
+        return [r[key] for r in self.results]
+
+    def as_rows(self) -> list[dict]:
+        """Flat row dicts (configuration merged with dict results)."""
+        rows = []
+        for cfg, res in self:
+            row = dict(cfg)
+            if isinstance(res, Mapping):
+                row.update(res)
+            else:
+                row["result"] = res
+            rows.append(row)
+        return rows
+
+
+def grid_configurations(**axes: Sequence) -> List[dict]:
+    """Cartesian product of named axes as a list of config dicts.
+
+    >>> grid_configurations(k=[1, 2], bits=[4, 8])
+    [{'k': 1, 'bits': 4}, {'k': 1, 'bits': 8}, {'k': 2, 'bits': 4}, {'k': 2, 'bits': 8}]
+    """
+    if not axes:
+        return [{}]
+    names = list(axes)
+    combos = itertools.product(*(axes[name] for name in names))
+    return [dict(zip(names, combo)) for combo in combos]
+
+
+def default_workers() -> int:
+    """A sensible process count: cores - 1, at least 1."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def _apply(args):  # pragma: no cover - subprocess body
+    fn, cfg = args
+    return fn(**cfg)
+
+
+def parameter_sweep(
+    fn: Callable[..., Any],
+    configurations: Iterable[dict],
+    *,
+    n_workers: int = 0,
+    chunksize: int = 1,
+) -> SweepResult:
+    """Run ``fn(**cfg)`` for every configuration.
+
+    ``n_workers = 0`` runs serially (deterministic ordering either
+    way); ``fn`` and configurations must be picklable for the parallel
+    path (module-level functions — not lambdas or closures).
+    """
+    configurations = list(configurations)
+    result = SweepResult(configurations=configurations)
+    if n_workers and n_workers > 1 and len(configurations) > 1:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            result.results = list(
+                pool.map(
+                    _apply,
+                    [(fn, cfg) for cfg in configurations],
+                    chunksize=max(1, chunksize),
+                )
+            )
+    else:
+        result.results = [fn(**cfg) for cfg in configurations]
+    return result

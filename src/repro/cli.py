@@ -1,0 +1,170 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiments [names...]``
+    Run the paper-reproduction experiments (default: all) and print the
+    regenerated tables + shape checks.
+``certify <net.npz> --epsilon E --epsilon-prime E'``
+    Load a saved network and print its robustness certificate
+    (crash or Byzantine mode).
+``inspect <net.npz>``
+    Topology summary and the structural quantities the bounds read.
+``survival <net.npz> --p-fail P --epsilon E --epsilon-prime E'``
+    Certified survival probability under i.i.d. neuron failures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'When Neurons Fail' (IPDPS 2017): "
+        "fault-tolerance bounds for feed-forward neural networks.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser(
+        "experiments", help="run paper-reproduction experiments"
+    )
+    p_exp.add_argument(
+        "names", nargs="*", help="experiment ids (default: all); see --list"
+    )
+    p_exp.add_argument(
+        "--list", action="store_true", help="list available experiments and exit"
+    )
+    p_exp.add_argument(
+        "--markdown", metavar="PATH", default=None,
+        help="also write a Markdown report to PATH",
+    )
+
+    def add_eps(p):
+        p.add_argument("--epsilon", type=float, required=True,
+                       help="required accuracy eps")
+        p.add_argument("--epsilon-prime", type=float, required=True,
+                       help="achieved over-provisioned accuracy eps' (< eps)")
+
+    p_cert = sub.add_parser("certify", help="certify a saved network")
+    p_cert.add_argument("network", help="path to a save_network() .npz archive")
+    add_eps(p_cert)
+    p_cert.add_argument("--mode", choices=("crash", "byzantine"), default="crash")
+    p_cert.add_argument("--capacity", type=float, default=None,
+                        help="transmission capacity C (byzantine mode)")
+
+    p_ins = sub.add_parser("inspect", help="topology summary of a saved network")
+    p_ins.add_argument("network", help="path to a save_network() .npz archive")
+
+    p_sur = sub.add_parser(
+        "survival", help="certified survival probability under iid failures"
+    )
+    p_sur.add_argument("network", help="path to a save_network() .npz archive")
+    add_eps(p_sur)
+    p_sur.add_argument("--p-fail", type=float, required=True,
+                       help="per-neuron failure probability")
+    p_sur.add_argument("--mode", choices=("crash", "byzantine"), default="crash")
+    p_sur.add_argument("--capacity", type=float, default=None)
+    return parser
+
+
+def _cmd_experiments(args) -> int:
+    from .experiments import ALL_EXPERIMENTS
+
+    if args.list:
+        for name in ALL_EXPERIMENTS:
+            print(name)
+        return 0
+    names = args.names or list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}", file=sys.stderr)
+        return 2
+    failed = []
+    results = {}
+    for name in names:
+        result = ALL_EXPERIMENTS[name]()
+        results[name] = result
+        print(result.report())
+        print()
+        if not result.passed:
+            failed.append(name)
+    if args.markdown:
+        from .analysis.reporting import write_markdown_report
+
+        path = write_markdown_report(results, args.markdown)
+        print(f"markdown report written to {path}")
+    if failed:
+        print(f"FAILED: {failed}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_certify(args) -> int:
+    from .core.certification import certify
+    from .network.serialization import load_network
+
+    network = load_network(args.network)
+    cert = certify(
+        network,
+        args.epsilon,
+        args.epsilon_prime,
+        mode=args.mode,
+        capacity=args.capacity,
+    )
+    print(cert.summary())
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    from .analysis.topology import topology_stats
+    from .network.serialization import load_network
+
+    network = load_network(args.network)
+    print(network.summary())
+    stats = topology_stats(network)
+    print(f"  mean |weight|: {stats['mean_abs_weight']:.4g}")
+    print(f"  DAG: {stats['is_dag']}, longest path: {stats['longest_path_len']} hops")
+    return 0
+
+
+def _cmd_survival(args) -> int:
+    from .faults.reliability import certified_survival_probability
+    from .network.serialization import load_network
+
+    network = load_network(args.network)
+    p = certified_survival_probability(
+        network,
+        args.p_fail,
+        args.epsilon,
+        args.epsilon_prime,
+        mode=args.mode,
+        capacity=args.capacity,
+    )
+    print(
+        f"certified P[eps-guarantee survives | p_fail={args.p_fail}] >= {p:.6f}"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "experiments": _cmd_experiments,
+    "certify": _cmd_certify,
+    "inspect": _cmd_inspect,
+    "survival": _cmd_survival,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro``."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution path
+    raise SystemExit(main())

@@ -1,0 +1,227 @@
+"""Robustness certification: package the paper's bounds as a certificate.
+
+``certify(network, epsilon, epsilon_prime, ...)`` computes, once, every
+structural quantity the theorems need and returns a
+:class:`RobustnessCertificate` that answers tolerance queries in O(L)
+— the paper's headline practical point: certification reads the
+topology, while the empirical alternative enumerates inputs x failure
+configurations.
+
+The certificate can be *audited* against reality with
+:func:`empirical_audit`, which runs an injection campaign and verifies
+that no certified distribution ever produced an output error beyond
+the budget (soundness), and reports how close the worst observed error
+came to the bound (tightness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..network.model import FeedForwardNetwork
+from .bounds import BoundCheck, check_theorem3
+from .fep import network_fep
+from .tolerance import (
+    greedy_max_total_failures,
+    max_failures_single_layer,
+    max_uniform_fraction,
+)
+
+__all__ = ["RobustnessCertificate", "certify", "AuditReport", "empirical_audit"]
+
+
+@dataclass(frozen=True)
+class RobustnessCertificate:
+    """A certified summary of a network's failure tolerance.
+
+    All quantities follow Theorem 3 with the stated mode and capacity.
+    """
+
+    layer_sizes: tuple[int, ...]
+    weight_maxes: tuple[float, ...]
+    lipschitz: float
+    epsilon: float
+    epsilon_prime: float
+    mode: str
+    capacity: Optional[float]
+    #: Largest f_l per layer with other layers healthy.
+    per_layer_max: tuple[int, ...]
+    #: Largest uniform failure fraction.
+    uniform_fraction: float
+    #: A maximal simultaneous distribution (greedy).
+    maximal_distribution: tuple[int, ...]
+    #: The network the certificate was issued for (not hashed).
+    network: FeedForwardNetwork = field(repr=False, compare=False)
+
+    @property
+    def budget(self) -> float:
+        return self.epsilon - self.epsilon_prime
+
+    def tolerates(self, failures: Sequence[int]) -> BoundCheck:
+        """Theorem-3 check of an arbitrary distribution."""
+        return check_theorem3(
+            self.network,
+            failures,
+            self.epsilon,
+            self.epsilon_prime,
+            capacity=self.capacity,
+            mode=self.mode,
+        )
+
+    def fep(self, failures: Sequence[int]) -> float:
+        return network_fep(
+            self.network, failures, capacity=self.capacity, mode=self.mode
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"RobustnessCertificate(mode={self.mode}, eps={self.epsilon:g}, "
+            f"eps'={self.epsilon_prime:g}, budget={self.budget:g})",
+            f"  topology N={self.layer_sizes}, K={self.lipschitz:g}, "
+            f"w_m={tuple(round(w, 4) for w in self.weight_maxes)}",
+            f"  per-layer max failures: {self.per_layer_max}",
+            f"  max uniform failure fraction: {self.uniform_fraction:.3f}",
+            f"  a maximal simultaneous distribution: {self.maximal_distribution}",
+        ]
+        return "\n".join(lines)
+
+
+def certify(
+    network: FeedForwardNetwork,
+    epsilon: float,
+    epsilon_prime: float,
+    *,
+    mode: str = "crash",
+    capacity: Optional[float] = None,
+) -> RobustnessCertificate:
+    """Issue a :class:`RobustnessCertificate` for ``network``.
+
+    ``mode="crash"`` certifies against crashed neurons (Definition 2)
+    with the Section IV-B substitution ``C -> sup phi``;
+    ``mode="byzantine"`` certifies against arbitrary emissions within
+    the given finite ``capacity`` (Assumption 1).
+    """
+    per_layer = tuple(
+        max_failures_single_layer(
+            network, l, epsilon, epsilon_prime, capacity=capacity, mode=mode
+        )
+        for l in range(1, network.depth + 1)
+    )
+    uniform = max_uniform_fraction(
+        network, epsilon, epsilon_prime, capacity=capacity, mode=mode
+    )
+    maximal = greedy_max_total_failures(
+        network, epsilon, epsilon_prime, capacity=capacity, mode=mode
+    )
+    return RobustnessCertificate(
+        layer_sizes=network.layer_sizes,
+        weight_maxes=network.weight_maxes(),
+        lipschitz=network.lipschitz_constant,
+        epsilon=epsilon,
+        epsilon_prime=epsilon_prime,
+        mode=mode,
+        capacity=capacity,
+        per_layer_max=per_layer,
+        uniform_fraction=uniform,
+        maximal_distribution=maximal,
+        network=network,
+    )
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """Outcome of empirically auditing a certificate.
+
+    ``sound`` is the hard property (no observed error exceeded the
+    analytic bound); ``tightness`` in [0, 1] is the ratio of the worst
+    observed error to the bound (1 = the bound is attained).
+    """
+
+    distribution: tuple[int, ...]
+    analytic_bound: float
+    worst_observed: float
+    n_scenarios: int
+    sound: bool
+
+    @property
+    def tightness(self) -> float:
+        if self.analytic_bound == 0.0:
+            return 1.0 if self.worst_observed == 0.0 else float("inf")
+        return self.worst_observed / self.analytic_bound
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AuditReport(f={self.distribution}, bound={self.analytic_bound:.6g}, "
+            f"observed={self.worst_observed:.6g}, tightness={self.tightness:.3f}, "
+            f"sound={self.sound})"
+        )
+
+
+def empirical_audit(
+    certificate: RobustnessCertificate,
+    x: np.ndarray,
+    *,
+    distribution: Optional[Sequence[int]] = None,
+    n_scenarios: int = 500,
+    seed: Optional[int] = 0,
+    include_adversarial: bool = True,
+) -> AuditReport:
+    """Audit a certificate by fault injection.
+
+    Samples ``n_scenarios`` random scenarios with the certified
+    distribution (plus, optionally, the gradient-guided adversarial
+    scenario), measures output errors over the input batch, and checks
+    them against the analytic Fep.
+    """
+    from ..faults.adversary import (
+        adversarial_byzantine_scenario,
+        adversarial_crash_scenario,
+    )
+    from ..faults.campaign import monte_carlo_campaign, run_campaign
+    from ..faults.injector import FaultInjector
+    from ..faults.types import ByzantineFault, CrashFault
+
+    network = certificate.network
+    dist = tuple(
+        int(f)
+        for f in (
+            distribution if distribution is not None else certificate.maximal_distribution
+        )
+    )
+    if certificate.mode == "crash":
+        fault = CrashFault()
+        injector = FaultInjector(network, capacity=network.output_bound)
+    else:
+        fault = ByzantineFault()
+        injector = FaultInjector(network, capacity=certificate.capacity)
+
+    result = monte_carlo_campaign(
+        injector,
+        x,
+        dist,
+        n_scenarios=n_scenarios,
+        fault=fault,
+        seed=seed,
+    )
+    worst = result.max_error
+    if include_adversarial and sum(dist) > 0:
+        if certificate.mode == "crash":
+            adv = adversarial_crash_scenario(network, dist, x)
+        else:
+            adv = adversarial_byzantine_scenario(
+                network, dist, x, capacity=certificate.capacity
+            )
+        adv_result = run_campaign(injector, x, [adv])
+        worst = max(worst, adv_result.max_error)
+
+    bound = certificate.fep(dist)
+    return AuditReport(
+        distribution=dist,
+        analytic_bound=bound,
+        worst_observed=worst,
+        n_scenarios=result.num_scenarios + (1 if include_adversarial else 0),
+        sound=worst <= bound + 1e-9,
+    )

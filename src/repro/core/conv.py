@@ -1,0 +1,139 @@
+"""Convolutional refinement of the bounds (paper, Section VI).
+
+For convolutional layers the paper observes two structural facts that
+loosen the bounds (i.e. tolerate more failures):
+
+1. **Weight sharing** — the max-weight constraint ``w_m^(l)`` runs over
+   the ``R^(l)`` distinct kernel values only, not over
+   ``N_l x N_{l-1}`` independent weights.  Our layer protocol already
+   encodes this (:meth:`repro.network.layers.Conv1DLayer.max_abs_weight`
+   reads the kernel), so the *generic* Fep applied to a conv network is
+   automatically the refined one.  :func:`dense_equivalent_weight_maxes`
+   computes what the bound *would* use if the network were treated as an
+   arbitrary dense network with the same dense-equivalent matrices —
+   on trained dense nets of the same shape the max over the much larger
+   weight set is systematically larger, which is the paper's
+   comparative point.
+
+2. **Limited receptive field** — an error at one neuron of layer ``l``
+   reaches at most ``R^(l+1)`` neurons of layer ``l+1`` (its fan-out),
+   not all of them.  :func:`receptive_field_fep` exploits this with a
+   sound reachability cap: the number of corrupted-signal-carrying
+   neurons at layer ``l'`` is at most ``min(N_l' - f_l', a_{l'-1} *
+   fanout(l'))`` where ``a`` counts affected neurons (each affected
+   neuron feeds at most ``fanout`` consumers).  This never exceeds the
+   generic ``(N_l' - f_l')`` factor, so the refined bound is at most
+   the generic one.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..network.layers import Conv1DLayer
+from ..network.model import FeedForwardNetwork
+from .fep import _network_capacity
+
+__all__ = [
+    "dense_equivalent_weight_maxes",
+    "max_fanout",
+    "receptive_field_fep",
+    "bound_reduction_factor",
+]
+
+
+def dense_equivalent_weight_maxes(network: FeedForwardNetwork) -> tuple[float, ...]:
+    """Per-stage max |weight| over the *dense-equivalent* matrices.
+
+    For conv layers this equals the kernel max (zeros are structural,
+    not synapses), so on a purely convolutional network it coincides
+    with ``network.weight_maxes()``; it differs on mixed or dense
+    networks and is exposed for the comparison experiments.
+    """
+    maxes = []
+    for layer in network.layers:
+        dense = layer.dense_weights()
+        maxes.append(float(np.max(np.abs(dense))) if dense.size else 0.0)
+    maxes.append(float(np.max(np.abs(network.output_weights))))
+    return tuple(maxes)
+
+
+def max_fanout(network: FeedForwardNetwork, layer: int) -> int:
+    """Max number of layer-``layer+1`` consumers of one layer-``layer``
+    neuron (1-based; ``layer = L`` fans out to the output node).
+
+    Dense stages fan out to the full next width; a 1-D conv stage with
+    receptive field ``R`` fans out to at most ``R`` positions.
+    """
+    if not 1 <= layer <= network.depth:
+        raise ValueError(f"layer {layer} outside 1..{network.depth}")
+    if layer == network.depth:
+        return network.n_outputs
+    nxt = network.layers[layer]  # 0-based: the (layer+1)-th layer
+    if isinstance(nxt, Conv1DLayer):
+        return min(nxt.receptive_field, nxt.n_out)
+    return nxt.n_out
+
+
+def receptive_field_fep(
+    network: FeedForwardNetwork,
+    failures: Sequence[int],
+    *,
+    capacity: Optional[float] = None,
+    mode: str = "crash",
+) -> float:
+    """Fep refined by receptive-field reachability (Section VI).
+
+    For each origin layer ``l`` the generic per-stage factor
+    ``(N_l' - f_l')`` is replaced by ``min(N_l' - f_l', reach_l')``
+    where ``reach`` starts at ``f_l * fanout(l)`` and multiplies by the
+    next fan-out at each stage.  On dense networks ``fanout = N_l'``
+    and the refinement reduces to Theorem 2's Fep exactly.
+    """
+    failures = tuple(int(f) for f in failures)
+    if len(failures) != network.depth:
+        raise ValueError(
+            f"distribution length {len(failures)} != depth {network.depth}"
+        )
+    c = _network_capacity(network, capacity, mode)
+    K = network.lipschitz_constant
+    sizes = network.layer_sizes
+    w = network.weight_maxes()
+    L = network.depth
+
+    total = 0.0
+    for l in range(1, L + 1):
+        f_l = failures[l - 1]
+        if f_l == 0:
+            continue
+        term = float(f_l) * K ** (L - l)
+        carriers = float(f_l)  # corrupted-signal sources entering stage l+1
+        for lp in range(l + 1, L + 2):  # stages l+1 .. L+1
+            if lp == L + 1:
+                width = 1.0
+            else:
+                width = float(sizes[lp - 1] - failures[lp - 1])
+            reach = carriers * max_fanout(network, lp - 1)
+            carriers = min(width, reach)
+            term *= carriers * w[lp - 1]
+        total += term
+    return float(c * total)
+
+
+def bound_reduction_factor(
+    network: FeedForwardNetwork,
+    failures: Sequence[int],
+    *,
+    capacity: Optional[float] = None,
+    mode: str = "crash",
+) -> float:
+    """``generic_fep / refined_fep`` — how much Section VI buys (>= 1)."""
+    from .fep import network_fep
+
+    generic = network_fep(network, failures, capacity=capacity, mode=mode)
+    refined = receptive_field_fep(network, failures, capacity=capacity, mode=mode)
+    if refined == 0.0:
+        return 1.0 if generic == 0.0 else float("inf")
+    return generic / refined

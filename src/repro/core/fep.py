@@ -1,0 +1,520 @@
+"""Forward Error Propagation — the paper's central quantity (Theorem 2).
+
+Given an ``L``-layer network with ``N_l`` neurons per layer, per-layer
+max incoming weights ``w_m^(l)`` (``l = 1..L+1``; stage ``L+1`` feeds
+the linear output node), a ``K``-Lipschitz activation and transmission
+capacity ``C``, a per-layer failure distribution ``f = (f_1..f_L)``
+perturbs the output by at most::
+
+    Fep(f) = C * sum_{l=1}^{L} f_l * K^(L-l)
+                 * prod_{l'=l+1}^{L+1} (N_l' - f_l') * w_m^(l')
+
+with the convention ``N_{L+1} = 1``, ``f_{L+1} = 0``.  The bound is
+*tight* (worst-case constructions attain it) and computing it needs
+only the topology — no input sweep, no configuration enumeration.
+
+This module provides the scalar bound, its per-layer decomposition
+(useful to see which layer dominates), vectorised evaluation over many
+distributions at once, and network-aware wrappers that pull
+``N_l, w_m, K`` straight from a :class:`FeedForwardNetwork`.
+
+Crash-only variant (Section IV-B): when no neuron is Byzantine, ``C``
+can be replaced by ``sup phi`` (1 for the sigmoid) — the most a correct
+(and hence a silently-missing) neuron could have contributed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..network.model import FeedForwardNetwork
+
+__all__ = [
+    "fep_terms",
+    "forward_error_propagation",
+    "fep_many",
+    "network_fep",
+    "network_fep_terms",
+    "synapse_fep",
+    "network_synapse_fep",
+    "combined_fep",
+    "network_combined_fep",
+    "heterogeneous_fep",
+    "network_heterogeneous_fep",
+    "precision_error_bound",
+    "network_precision_bound",
+]
+
+
+def _validate(
+    failures: Sequence[int],
+    layer_sizes: Sequence[int],
+    weight_maxes: Sequence[float],
+    lipschitz: float,
+    capacity: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    f = np.asarray(failures, dtype=np.float64)
+    n = np.asarray(layer_sizes, dtype=np.float64)
+    w = np.asarray(weight_maxes, dtype=np.float64)
+    L = f.shape[-1]
+    if n.shape != (L,):
+        raise ValueError(f"layer_sizes length {n.shape} != failures length {L}")
+    if w.shape != (L + 1,):
+        raise ValueError(
+            f"weight_maxes must have length L+1={L + 1} "
+            f"(w_m^(1)..w_m^(L+1)), got {w.shape}"
+        )
+    if np.any(f < 0):
+        raise ValueError("failure counts must be non-negative")
+    if np.any(f > n):
+        raise ValueError(f"failures {failures} exceed layer sizes {tuple(layer_sizes)}")
+    if np.any(n <= 0):
+        raise ValueError("layer sizes must be positive")
+    if np.any(w < 0):
+        raise ValueError("weight maxima must be non-negative")
+    if lipschitz <= 0:
+        raise ValueError(f"Lipschitz constant must be positive, got {lipschitz}")
+    if capacity <= 0 or not np.isfinite(capacity):
+        raise ValueError(
+            f"capacity must be positive and finite, got {capacity} "
+            "(unbounded transmission tolerates nothing — Lemma 1)"
+        )
+    return f, n, w
+
+
+def fep_terms(
+    failures: Sequence[int],
+    layer_sizes: Sequence[int],
+    weight_maxes: Sequence[float],
+    lipschitz: float,
+    capacity: float = 1.0,
+) -> np.ndarray:
+    """Per-layer contributions to Fep; ``fep_terms(...).sum() == Fep``.
+
+    Term ``l`` (1-based) is the worst-case output perturbation caused
+    by the ``f_l`` failures *of layer l alone*, amplified by the
+    ``L - l`` squashing stages and the correct fan-outs on its right.
+    The decomposition makes the paper's observation quantitative: the
+    effect of a failure grows exponentially (``K^(L-l)``) with the
+    depth at which it occurs (for ``K > 1``; it *shrinks* for ``K < 1``).
+    """
+    f, n, w = _validate(failures, layer_sizes, weight_maxes, lipschitz, capacity)
+    L = f.shape[0]
+    # Extended arrays with the output-node convention appended.
+    n_ext = np.concatenate([n, [1.0]])
+    f_ext = np.concatenate([f, [0.0]])
+    # suffix[l0] = prod_{l'=l0+2..L+1} (N_l' - f_l') * w_m^(l') in 1-based
+    # layer terms, i.e. the product attached to term l = l0+1.  w holds
+    # w_m^(1)..w_m^(L+1) at indices 0..L, so stage l' reads w[l'-1].
+    suffix = np.ones(L + 1, dtype=np.float64)
+    for idx in range(L - 1, -1, -1):
+        suffix[idx] = suffix[idx + 1] * (n_ext[idx + 1] - f_ext[idx + 1]) * w[idx + 1]
+    powers = lipschitz ** np.arange(L - 1, -1, -1, dtype=np.float64)
+    return capacity * f * powers * suffix[:L]
+
+
+def forward_error_propagation(
+    failures: Sequence[int],
+    layer_sizes: Sequence[int],
+    weight_maxes: Sequence[float],
+    lipschitz: float,
+    capacity: float = 1.0,
+) -> float:
+    """``Fep`` of Theorem 2 — the tight output-perturbation bound.
+
+    Parameters
+    ----------
+    failures:
+        Per-layer failure counts ``(f_1, ..., f_L)``.
+    layer_sizes:
+        ``(N_1, ..., N_L)``.
+    weight_maxes:
+        ``(w_m^(1), ..., w_m^(L+1))``; ``w_m^(1)`` (input synapses) is
+        accepted for symmetry but does not enter the neuron-failure
+        bound (errors originate at neuron *outputs*).
+    lipschitz:
+        ``K`` of the activation.
+    capacity:
+        ``C`` of Assumption 1; pass the activation's ``sup phi`` for
+        the crash-only variant.
+    """
+    return float(fep_terms(failures, layer_sizes, weight_maxes, lipschitz, capacity).sum())
+
+
+def fep_many(
+    failure_matrix: np.ndarray,
+    layer_sizes: Sequence[int],
+    weight_maxes: Sequence[float],
+    lipschitz: float,
+    capacity: float = 1.0,
+) -> np.ndarray:
+    """Vectorised Fep for ``(M, L)`` failure distributions at once.
+
+    Used by the tolerance-region solvers, which scan thousands of
+    candidate distributions.
+    """
+    F = np.asarray(failure_matrix, dtype=np.float64)
+    if F.ndim != 2:
+        raise ValueError(f"failure_matrix must be 2-D (M, L), got {F.shape}")
+    M, L = F.shape
+    n = np.asarray(layer_sizes, dtype=np.float64)
+    w = np.asarray(weight_maxes, dtype=np.float64)
+    if n.shape != (L,) or w.shape != (L + 1,):
+        raise ValueError("layer_sizes / weight_maxes lengths inconsistent with F")
+    if np.any(F < 0) or np.any(F > n):
+        raise ValueError("failure counts outside [0, N_l]")
+    if lipschitz <= 0 or capacity <= 0 or not np.isfinite(capacity):
+        raise ValueError("lipschitz and capacity must be positive (capacity finite)")
+
+    n_ext = np.concatenate([n, [1.0]])[None, :]  # (1, L+1)
+    F_ext = np.concatenate([F, np.zeros((M, 1))], axis=1)  # (M, L+1)
+    mult = (n_ext[:, 1:] - F_ext[:, 1:]) * w[None, 1:]  # (M, L): stages 2..L+1
+    # suffix[:, l0] = prod over columns l0..L-1 of mult (empty product = 1)
+    suffix = np.ones((M, L + 1), dtype=np.float64)
+    for idx in range(L - 1, -1, -1):
+        suffix[:, idx] = suffix[:, idx + 1] * mult[:, idx]
+    powers = lipschitz ** np.arange(L - 1, -1, -1, dtype=np.float64)
+    terms = capacity * F * powers[None, :] * suffix[:, :L]
+    return terms.sum(axis=1)
+
+
+# ---------------------------------------------------------------------------
+# Network-aware wrappers
+# ---------------------------------------------------------------------------
+
+
+def _network_capacity(
+    network: FeedForwardNetwork, capacity: Optional[float], mode: str
+) -> float:
+    if mode == "crash":
+        c = network.output_bound
+        if not np.isfinite(c):
+            raise ValueError(
+                "crash-mode bounds need a bounded activation "
+                f"(sup|phi| = {c}); this network violates the paper's "
+                "squashing-function hypothesis"
+            )
+        return c
+    if mode == "byzantine":
+        if capacity is None:
+            raise ValueError(
+                "Byzantine-mode bounds need a finite capacity C (Assumption 1); "
+                "with unbounded transmission nothing is tolerated (Lemma 1)"
+            )
+        return float(capacity)
+    raise ValueError(f"mode must be 'crash' or 'byzantine', got {mode!r}")
+
+
+def network_fep(
+    network: FeedForwardNetwork,
+    failures: Sequence[int],
+    *,
+    capacity: Optional[float] = None,
+    mode: str = "byzantine",
+) -> float:
+    """Fep for a concrete network, reading ``N_l, w_m, K`` off the model.
+
+    ``mode="crash"`` substitutes ``sup phi`` for ``C`` (Section IV-B);
+    ``mode="byzantine"`` requires an explicit finite ``capacity``.
+    """
+    c = _network_capacity(network, capacity, mode)
+    return forward_error_propagation(
+        failures,
+        network.layer_sizes,
+        network.weight_maxes(),
+        network.lipschitz_constant,
+        c,
+    )
+
+
+def network_fep_terms(
+    network: FeedForwardNetwork,
+    failures: Sequence[int],
+    *,
+    capacity: Optional[float] = None,
+    mode: str = "byzantine",
+) -> np.ndarray:
+    """Per-layer Fep decomposition for a concrete network."""
+    c = _network_capacity(network, capacity, mode)
+    return fep_terms(
+        failures,
+        network.layer_sizes,
+        network.weight_maxes(),
+        network.lipschitz_constant,
+        c,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Synapse failures (Theorem 4)
+# ---------------------------------------------------------------------------
+
+
+def synapse_fep(
+    failures: Sequence[int],
+    layer_sizes: Sequence[int],
+    weight_maxes: Sequence[float],
+    lipschitz: float,
+    capacity: float = 1.0,
+) -> float:
+    """Theorem 4's bound for Byzantine *synapses*.
+
+    ``failures = (f_1, ..., f_{L+1})`` counts faulty synapses per
+    stage; stage ``l`` holds the synapses from layer ``l-1`` into layer
+    ``l`` (stage ``L+1`` feeds the output node).  Each faulty synapse
+    at stage ``l`` corrupts the emission it carries by at most ``C``,
+    giving a received-sum error ``<= w_m^(l) * C``, a squashed error
+    ``<= K * w_m^(l) * C`` (Lemma 2), then propagates like a neuron
+    error of layer ``l``::
+
+        Fep_syn = C * sum_{l=1}^{L+1} f_l * K^(L+1-l) * w_m^(l)
+                      * prod_{l'=l+1}^{L+1} (N_l' - g_l') * w_m^(l')
+
+    where ``g_l'`` is the number of *neurons* of layer ``l'`` whose
+    output is already corrupted by those stage-``l'`` synapse faults
+    (conservatively 0 here — keeping all ``N_l'`` multipliers is the
+    worst case, and matches the paper's statement with ``f'_l`` the
+    neuron-failure counts, zero in a pure-synapse scenario).
+
+    The ``l = L+1`` term is ``C * f_{L+1} * w_m^(L+1)`` — no Lipschitz
+    factor, since the output node is linear.
+    """
+    f = np.asarray(failures, dtype=np.float64)
+    n = np.asarray(layer_sizes, dtype=np.float64)
+    w = np.asarray(weight_maxes, dtype=np.float64)
+    L = n.shape[0]
+    if f.shape != (L + 1,):
+        raise ValueError(f"failures must have length L+1={L + 1}, got {f.shape}")
+    if w.shape != (L + 1,):
+        raise ValueError(f"weight_maxes must have length L+1={L + 1}, got {w.shape}")
+    if np.any(f < 0):
+        raise ValueError("failure counts must be non-negative")
+    if lipschitz <= 0 or capacity <= 0 or not np.isfinite(capacity):
+        raise ValueError("lipschitz and capacity must be positive (capacity finite)")
+
+    n_ext = np.concatenate([n, [1.0]])  # extended sizes, stage l' multiplier base
+    total = 0.0
+    for l in range(1, L + 2):  # stage index, 1-based
+        if f[l - 1] == 0:
+            continue
+        # K exponent: L+1-l squashings on the path (the corrupted emission
+        # passes through layers l..L; stage L+1 contributes none).
+        k_pow = lipschitz ** (L + 1 - l)
+        prod = 1.0
+        for lp in range(l + 1, L + 2):
+            prod *= n_ext[lp - 1] * w[lp - 1]
+        total += f[l - 1] * k_pow * w[l - 1] * prod
+    return float(capacity * total)
+
+
+def network_synapse_fep(
+    network: FeedForwardNetwork,
+    failures: Sequence[int],
+    *,
+    capacity: float,
+) -> float:
+    """Theorem-4 synapse bound for a concrete network."""
+    return synapse_fep(
+        failures,
+        network.layer_sizes,
+        network.weight_maxes(),
+        network.lipschitz_constant,
+        capacity,
+    )
+
+
+def heterogeneous_fep(
+    failures: Sequence[int],
+    layer_sizes: Sequence[int],
+    weight_maxes: Sequence[float],
+    lipschitz_constants: Sequence[float],
+    capacity: float = 1.0,
+) -> float:
+    """Fep refined for per-layer Lipschitz constants.
+
+    The paper states Theorem 2 with a single ``K`` (the worst over the
+    network); when layers use differently-tuned activations the exact
+    amplification of a layer-``l`` error is the *product* of the
+    downstream constants::
+
+        Fep_het(f) = C * sum_l f_l * (prod_{l'=l+1..L} K_l')
+                         * (prod_{l'=l+1..L+1} (N_l' - f_l') * w_m^(l'))
+
+    which reduces to Theorem 2's ``K**(L-l)`` when all ``K_l`` are
+    equal, and never exceeds the homogeneous bound evaluated at
+    ``K = max_l K_l`` (tested).  The refinement is sound for the same
+    reason the original is: each traversed activation multiplies the
+    incoming perturbation by at most its own constant.
+    """
+    f = np.asarray(failures, dtype=np.float64)
+    n = np.asarray(layer_sizes, dtype=np.float64)
+    w = np.asarray(weight_maxes, dtype=np.float64)
+    ks = np.asarray(lipschitz_constants, dtype=np.float64)
+    L = n.shape[0]
+    if f.shape != (L,) or w.shape != (L + 1,) or ks.shape != (L,):
+        raise ValueError(
+            f"inconsistent lengths: f{f.shape}, N({L},), w{w.shape}, K{ks.shape}"
+        )
+    if np.any(f < 0) or np.any(f > n):
+        raise ValueError("failure counts outside [0, N_l]")
+    if np.any(ks <= 0) or capacity <= 0 or not np.isfinite(capacity):
+        raise ValueError("Lipschitz constants and capacity must be positive")
+
+    n_ext = np.concatenate([n, [1.0]])
+    f_ext = np.concatenate([f, [0.0]])
+    total = 0.0
+    for l in range(1, L + 1):
+        if f[l - 1] == 0:
+            continue
+        k_prod = float(np.prod(ks[l:]))  # downstream activations l+1..L
+        carrier = 1.0
+        for lp in range(l + 1, L + 2):
+            carrier *= (n_ext[lp - 1] - f_ext[lp - 1]) * w[lp - 1]
+        total += f[l - 1] * k_prod * carrier
+    return float(capacity * total)
+
+
+def network_heterogeneous_fep(
+    network: FeedForwardNetwork,
+    failures: Sequence[int],
+    *,
+    capacity: Optional[float] = None,
+    mode: str = "byzantine",
+) -> float:
+    """Per-layer-K Fep for a concrete network."""
+    c = _network_capacity(network, capacity, mode)
+    return heterogeneous_fep(
+        failures,
+        network.layer_sizes,
+        network.weight_maxes(),
+        network.lipschitz_constants(),
+        c,
+    )
+
+
+def combined_fep(
+    neuron_failures: Sequence[int],
+    synapse_failures: Sequence[int],
+    layer_sizes: Sequence[int],
+    weight_maxes: Sequence[float],
+    lipschitz: float,
+    capacity: float = 1.0,
+) -> float:
+    """Joint bound for simultaneous neuron *and* synapse failures.
+
+    The paper notes "our bound can easily be extended to the case where
+    synapses can fail": both error sources enter the output linearly
+    through the same triangle-inequality pipeline, so their worst-case
+    contributions **add**.  We keep the neuron-failure ``(N_l - f_l)``
+    discounts in both terms (failed neurons amplify neither their own
+    errors nor transiting synapse errors), which keeps the sum a sound
+    upper bound:
+
+    ``combined <= Fep(neuron_failures) + Fep_syn(synapse_failures)``
+
+    evaluated with the *same* ``(N_l - f_l)`` carrier counts.
+    """
+    f = np.asarray(neuron_failures, dtype=np.float64)
+    s = np.asarray(synapse_failures, dtype=np.float64)
+    n = np.asarray(layer_sizes, dtype=np.float64)
+    w = np.asarray(weight_maxes, dtype=np.float64)
+    L = n.shape[0]
+    if f.shape != (L,) or s.shape != (L + 1,):
+        raise ValueError(
+            f"need neuron failures of length L={L} and synapse failures of "
+            f"length L+1={L + 1}, got {f.shape} and {s.shape}"
+        )
+    neuron_part = forward_error_propagation(f, n, w, lipschitz, capacity)
+    # Synapse part, with carriers discounted by the failed neurons.
+    if np.any(s < 0):
+        raise ValueError("synapse failure counts must be non-negative")
+    n_ext = np.concatenate([n, [1.0]])
+    f_ext = np.concatenate([f, [0.0]])
+    total = 0.0
+    for l in range(1, L + 2):
+        if s[l - 1] == 0:
+            continue
+        k_pow = lipschitz ** (L + 1 - l)
+        prod = 1.0
+        for lp in range(l + 1, L + 2):
+            prod *= (n_ext[lp - 1] - f_ext[lp - 1]) * w[lp - 1]
+        total += s[l - 1] * k_pow * w[l - 1] * prod
+    return float(neuron_part + capacity * total)
+
+
+def network_combined_fep(
+    network: FeedForwardNetwork,
+    neuron_failures: Sequence[int],
+    synapse_failures: Sequence[int],
+    *,
+    capacity: Optional[float] = None,
+    mode: str = "byzantine",
+) -> float:
+    """Combined neuron+synapse bound for a concrete network."""
+    c = _network_capacity(network, capacity, mode)
+    return combined_fep(
+        neuron_failures,
+        synapse_failures,
+        network.layer_sizes,
+        network.weight_maxes(),
+        network.lipschitz_constant,
+        c,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Precision / memory-cost reduction (Theorem 5)
+# ---------------------------------------------------------------------------
+
+
+def precision_error_bound(
+    lambdas: Sequence[float],
+    layer_sizes: Sequence[int],
+    weight_maxes: Sequence[float],
+    lipschitz: float,
+) -> float:
+    """Theorem 5: output error when *every* neuron of layer ``l`` carries
+    an implementation error of magnitude at most ``lambda_l``::
+
+        |Fneu - Flambda| <= sum_{l=1}^{L} K^(L-l) * lambda_l
+                              * prod_{l'=l}^{L} N_l' * w_m^(l'+1)
+
+    This is the paper's first theoretical quantification of the
+    precision-reduction trade-offs observed experimentally in Proteus
+    [31]; :mod:`repro.quantization` produces the ``lambda_l`` for
+    concrete fixed-point schemes.
+    """
+    lam = np.asarray(lambdas, dtype=np.float64)
+    n = np.asarray(layer_sizes, dtype=np.float64)
+    w = np.asarray(weight_maxes, dtype=np.float64)
+    L = n.shape[0]
+    if lam.shape != (L,):
+        raise ValueError(f"lambdas must have length L={L}, got {lam.shape}")
+    if w.shape != (L + 1,):
+        raise ValueError(f"weight_maxes must have length L+1={L + 1}, got {w.shape}")
+    if np.any(lam < 0):
+        raise ValueError("per-layer error magnitudes must be non-negative")
+    if lipschitz <= 0:
+        raise ValueError(f"Lipschitz constant must be positive, got {lipschitz}")
+
+    # suffix[l0] = prod_{l'=l..L} N_l' * w_m^(l'+1), 0-based l0 = l-1.
+    suffix = np.ones(L + 1, dtype=np.float64)
+    for idx in range(L - 1, -1, -1):
+        suffix[idx] = suffix[idx + 1] * n[idx] * w[idx + 1]
+    powers = lipschitz ** np.arange(L - 1, -1, -1, dtype=np.float64)
+    return float(np.sum(powers * lam * suffix[:L]))
+
+
+def network_precision_bound(
+    network: FeedForwardNetwork,
+    lambdas: Sequence[float],
+) -> float:
+    """Theorem-5 bound for a concrete network."""
+    return precision_error_bound(
+        lambdas,
+        network.layer_sizes,
+        network.weight_maxes(),
+        network.lipschitz_constant,
+    )

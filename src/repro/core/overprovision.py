@@ -1,0 +1,162 @@
+"""Over-provisioning constructions (Section II-C, Corollary 1).
+
+The paper's explanation for why fault tolerance is possible at all is
+*over-provisioning*: networks carry more neurons than the minimal
+``Nmin(eps)`` needed for an epsilon-approximation, and the surplus
+precision ``eps' < eps`` is a budget that failures may consume.
+
+This module provides:
+
+* :func:`barron_nmin` — the ``Theta(1/eps)`` minimal-size estimate
+  from Barron's approximation bound [34];
+* :func:`replicate_network` — the canonical Corollary-1 construction:
+  duplicate every hidden neuron ``r`` times and divide outgoing
+  weights by ``r``.  The computed function is *identical* (testably
+  bit-close), while every ``w_m^(l)``, ``l >= 2``, shrinks by ``r`` —
+  so the same absolute failure count costs ~``1/r`` of the budget, and
+  the tolerated count grows ~linearly in ``r``;
+* :func:`minimal_replication_factor` — the smallest ``r`` making a
+  target distribution tolerated.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..network.layers import DenseLayer
+from ..network.model import FeedForwardNetwork
+from .bounds import check_theorem3
+
+__all__ = [
+    "barron_nmin",
+    "replicate_network",
+    "minimal_replication_factor",
+]
+
+
+def barron_nmin(epsilon: float, constant: float = 1.0) -> int:
+    """Estimate ``Nmin(eps) = Theta(1/eps)`` (Barron [34]).
+
+    ``constant`` absorbs the target-function-dependent factor (the
+    Barron norm); the default 1 gives the scaling law used in the
+    over-provisioning discussion.
+    """
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    if constant <= 0:
+        raise ValueError(f"constant must be positive, got {constant}")
+    return max(1, math.ceil(constant / epsilon))
+
+
+def replicate_network(network: FeedForwardNetwork, r: int) -> FeedForwardNetwork:
+    """Duplicate every hidden neuron ``r`` times, preserving the function.
+
+    Construction: each neuron of each hidden layer becomes ``r``
+    identical copies.  A copy receives the *same* pre-activation as the
+    original: its incoming weights from the previous (replicated)
+    layer are the original weights divided by ``r`` (each of the ``r``
+    source copies contributes one share); first-layer copies keep the
+    original input weights (inputs are clients and are not
+    replicated).  Outgoing weights are divided by ``r`` as well, so
+    every consumer's sum is unchanged.
+
+    Consequences (the Corollary-1 mechanism):
+
+    * ``Fneu`` is *exactly* preserved — same epsilon';
+    * ``N_l -> r * N_l`` and ``w_m^(l) -> w_m^(l) / r`` for
+      ``l = 2..L+1`` — so Fep for a fixed distribution shrinks and the
+      tolerated failure counts grow with ``r``.
+
+    Only dense layers are supported (replication of shared-weight
+    convolutional layers would break the weight-sharing structure).
+    """
+    if r < 1:
+        raise ValueError(f"replication factor must be >= 1, got {r}")
+    if r == 1:
+        return network.copy()
+    for layer in network.layers:
+        if not isinstance(layer, DenseLayer):
+            raise TypeError(
+                f"replicate_network supports dense layers only, got {type(layer).__name__}"
+            )
+
+    new_layers: list[DenseLayer] = []
+    prev_replicated = False
+    for layer in network.layers:
+        w = layer.dense_weights()
+        # Rows (outputs) are replicated r times.
+        w_rows = np.repeat(w, r, axis=0)
+        if prev_replicated:
+            # Columns (inputs) correspond to replicated sources: tile and
+            # divide so each of the r source copies carries 1/r of the sum.
+            w_new = np.repeat(w_rows, r, axis=1) / r
+        else:
+            w_new = w_rows
+        bias_new = np.repeat(layer.bias, r) if layer.use_bias else None
+        new_layers.append(
+            DenseLayer(
+                w_new.shape[1],
+                w_new.shape[0],
+                layer.activation,
+                weights=w_new,
+                bias=bias_new,
+                use_bias=layer.use_bias,
+            )
+        )
+        prev_replicated = True
+
+    out_w = np.repeat(network.output_weights, r, axis=1) / r
+    return FeedForwardNetwork(new_layers, out_w, network.output_bias)
+
+
+def minimal_replication_factor(
+    network: FeedForwardNetwork,
+    failures: Sequence[int],
+    epsilon: float,
+    epsilon_prime: float,
+    *,
+    mode: str = "crash",
+    capacity: Optional[float] = None,
+    max_r: int = 4096,
+) -> tuple[int, FeedForwardNetwork]:
+    """Smallest ``r`` whose replicated network tolerates ``failures``.
+
+    ``failures`` is expressed against the *original* layer sizes and
+    kept as absolute counts for the replicated network (the replicated
+    net must survive the same number of dead neurons).  Returns
+    ``(r, replicated_network)``; raises if no ``r <= max_r`` works.
+    """
+    failures = tuple(int(f) for f in failures)
+
+    def works(r: int) -> bool:
+        candidate = replicate_network(network, r)
+        if not all(f < n for f, n in zip(failures, candidate.layer_sizes)):
+            return False
+        return bool(
+            check_theorem3(
+                candidate, failures, epsilon, epsilon_prime,
+                capacity=capacity, mode=mode,
+            )
+        )
+
+    # Exponential search for a working r, then binary refinement (Fep for a
+    # fixed distribution decreases ~1/r, so tolerance is monotone in r).
+    hi = 1
+    while hi <= max_r and not works(hi):
+        hi *= 2
+    if hi > max_r:
+        raise ValueError(
+            f"no replication factor <= {max_r} tolerates {failures} "
+            f"within budget {epsilon - epsilon_prime:g}"
+        )
+    lo = max(1, hi // 2)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if works(mid):
+            hi = mid
+        else:
+            lo = mid + 1
+    return hi, replicate_network(network, hi)

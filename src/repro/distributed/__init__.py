@@ -1,0 +1,39 @@
+"""The network as a distributed system: process-per-neuron synchronous
+message-passing simulator (the paper's literal Section II-A model) and
+the Corollary-2 boosting scheme.
+"""
+
+from .boosting import (
+    BoostingResult,
+    LatencyModel,
+    boosting_report,
+    simulate_boosted_run,
+)
+from .channels import SynapseChannel
+from .events import ComponentState, Reset, RoundTrace, Signal
+from .neuron import NeuronProcess
+from .replication import (
+    ReplicaState,
+    ReplicatedEnsemble,
+    smr_neuron_cost,
+    smr_tolerance,
+)
+from .simulator import DistributedNetwork
+
+__all__ = [
+    "Signal",
+    "Reset",
+    "RoundTrace",
+    "ComponentState",
+    "SynapseChannel",
+    "NeuronProcess",
+    "DistributedNetwork",
+    "LatencyModel",
+    "BoostingResult",
+    "simulate_boosted_run",
+    "boosting_report",
+    "ReplicatedEnsemble",
+    "ReplicaState",
+    "smr_tolerance",
+    "smr_neuron_cost",
+]

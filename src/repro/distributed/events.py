@@ -1,0 +1,71 @@
+"""Message and event records for the synchronous simulator.
+
+The paper's Section II-A model: "Neurons communicate via
+message-passing through synchronous point-to-point communication
+channels called synapses."  Each neuron *fires (broadcasts) a signal
+(message) to all the neurons of the layer on its right*; a round of
+the simulator delivers one layer's broadcast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["Signal", "Reset", "RoundTrace", "ComponentState"]
+
+
+class ComponentState(Enum):
+    """Health of a neuron or synapse (Definition 2 / Section II-A)."""
+
+    CORRECT = "correct"
+    CRASHED = "crashed"
+    BYZANTINE = "byzantine"
+
+
+@dataclass(frozen=True)
+class Signal:
+    """A value fired from neuron ``src`` (layer ``layer``) in ``round``.
+
+    ``src`` is a neuron index within its layer; input signals use
+    ``layer = 0``.
+    """
+
+    layer: int
+    src: int
+    value: float
+    round: int
+
+    def __post_init__(self):
+        if self.layer < 0 or self.src < 0 or self.round < 0:
+            raise ValueError(f"invalid signal coordinates: {self}")
+
+
+@dataclass(frozen=True)
+class Reset(Signal):
+    """The Corollary-2 reset: a consumer tells a slow producer to stop.
+
+    Carries no payload; ``value`` is fixed at 0 — the consumer will use
+    0 for the producer, exactly as for a crashed neuron.
+    """
+
+    def __init__(self, layer: int, src: int, round: int):  # pragma: no cover - thin
+        super().__init__(layer=layer, src=src, value=0.0, round=round)
+
+
+@dataclass
+class RoundTrace:
+    """What happened in one synchronous round (one layer's broadcast)."""
+
+    round: int
+    layer: int
+    signals_delivered: int
+    signals_dropped: int
+    signals_corrupted: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"round {self.round}: layer {self.layer} broadcast "
+            f"{self.signals_delivered} delivered, {self.signals_dropped} dropped, "
+            f"{self.signals_corrupted} corrupted"
+        )

@@ -1,0 +1,154 @@
+"""The classical baseline: whole-network replication with voting.
+
+The paper's introduction contrasts its neuron-grained fault tolerance
+with the classical approach: "consider the entire neural network as a
+single piece of software, replicate this piece on several machines,
+and use classical state machine replication schemes to enforce the
+consistency of the replicas" [12].  There, "no neuron is supposed to
+fail independently: the unit of failure is the entire machine".
+
+This module implements that baseline so the comparison can be run:
+
+* :class:`ReplicatedEnsemble` — ``r`` replicas of a network, each
+  evaluated independently; the client aggregates with a **median**
+  vote (robust to ``floor((r-1)/2)`` arbitrary replica outputs);
+* failure injection at *machine* grain: a Byzantine replica returns an
+  arbitrary value, a crashed replica returns nothing (and is excluded
+  from the vote);
+* the cost model the paper's comparison needs: an ``r``-replica SMR
+  deployment spends ``r * N`` neurons to mask ``floor((r-1)/2)``
+  *machine* failures, while Corollary-1 over-provisioning spends its
+  extra neurons masking *neuron* failures inside one machine — the
+  experiment (`exp_smr_baseline`) puts numbers on that trade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..network.model import FeedForwardNetwork
+
+__all__ = ["ReplicaState", "ReplicatedEnsemble", "smr_tolerance", "smr_neuron_cost"]
+
+
+def smr_tolerance(n_replicas: int) -> int:
+    """Machine failures masked by an ``n_replicas`` median vote:
+    ``floor((r - 1) / 2)`` arbitrary (Byzantine) replicas."""
+    if n_replicas < 1:
+        raise ValueError(f"need at least one replica, got {n_replicas}")
+    return (n_replicas - 1) // 2
+
+
+def smr_neuron_cost(network: FeedForwardNetwork, n_replicas: int) -> int:
+    """Total neurons deployed by an ``n_replicas`` SMR scheme."""
+    return n_replicas * network.num_neurons
+
+
+@dataclass
+class ReplicaState:
+    """Health of one replica (machine-grained failure)."""
+
+    network: FeedForwardNetwork
+    crashed: bool = False
+    byzantine_value: Optional[float] = None
+
+    def evaluate(self, x: np.ndarray) -> Optional[np.ndarray]:
+        """Replica output, ``None`` when crashed."""
+        if self.crashed:
+            return None
+        out = self.network.forward(x)
+        if self.byzantine_value is not None:
+            return np.full_like(out, self.byzantine_value)
+        return out
+
+
+class ReplicatedEnsemble:
+    """``r`` whole-network replicas with a median-voting client.
+
+    Parameters
+    ----------
+    networks:
+        The replicas.  Pass ``r`` copies of one trained network (the
+        SMR picture: identical state machines), or independently
+        trained ones (ensemble flavour) — the voting guarantee is the
+        same.
+    """
+
+    def __init__(self, networks: Sequence[FeedForwardNetwork]):
+        networks = list(networks)
+        if not networks:
+            raise ValueError("need at least one replica")
+        d = networks[0].input_dim
+        o = networks[0].n_outputs
+        for net in networks:
+            if net.input_dim != d or net.n_outputs != o:
+                raise ValueError("replicas must share input/output shapes")
+        self.replicas: List[ReplicaState] = [ReplicaState(n) for n in networks]
+
+    @classmethod
+    def of_copies(cls, network: FeedForwardNetwork, r: int) -> "ReplicatedEnsemble":
+        """The textbook SMR deployment: ``r`` identical replicas."""
+        if r < 1:
+            raise ValueError(f"need r >= 1, got {r}")
+        return cls([network.copy() for _ in range(r)])
+
+    # -- failure control -------------------------------------------------
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def tolerance(self) -> int:
+        """Byzantine replicas masked by the median vote."""
+        return smr_tolerance(self.n_replicas)
+
+    def crash_replica(self, index: int) -> None:
+        self.replicas[index].crashed = True
+
+    def make_replica_byzantine(self, index: int, value: float) -> None:
+        self.replicas[index].byzantine_value = float(value)
+
+    def repair_all(self) -> None:
+        for rep in self.replicas:
+            rep.crashed = False
+            rep.byzantine_value = None
+
+    @property
+    def num_faulty(self) -> int:
+        return sum(
+            1
+            for rep in self.replicas
+            if rep.crashed or rep.byzantine_value is not None
+        )
+
+    # -- evaluation --------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Median vote over live replicas.
+
+        Crashed replicas are excluded (synchronous model: the client
+        detects silence); Byzantine outputs participate, which is what
+        the median defends against.  Raises when every replica crashed.
+        """
+        outputs = [rep.evaluate(x) for rep in self.replicas]
+        live = [o for o in outputs if o is not None]
+        if not live:
+            raise RuntimeError("all replicas crashed; no output available")
+        return np.median(np.stack(live, axis=0), axis=0)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def vote_error(self, x: np.ndarray, reference: FeedForwardNetwork) -> float:
+        """``sup_X |vote(X) - reference(X)|`` over the batch."""
+        ref = reference.forward(x)
+        return float(np.max(np.abs(self.forward(x) - ref)))
+
+    def masks_current_failures(self) -> bool:
+        """Whether the vote still guarantees a correct value:
+        the number of faulty replicas is within ``tolerance``."""
+        return self.num_faulty <= self.tolerance

@@ -1,0 +1,83 @@
+"""One module per paper figure/claim; each exposes ``run_*`` returning
+an :class:`repro.experiments.runner.ExperimentResult` whose shape
+checks constitute the reproduction criteria (see EXPERIMENTS.md).
+"""
+
+from .exp_boosting import run_boosting
+from .exp_conv import run_conv
+from .exp_fep_learning import run_fep_learning
+from .exp_lemma1 import run_lemma1
+from .exp_overprovision import run_overprovision
+from .exp_pruning import run_pruning
+from .exp_reliability import run_reliability
+from .exp_smr_baseline import run_smr_baseline
+from .exp_theorem1 import run_theorem1
+from .exp_theorem2 import run_theorem2
+from .exp_theorem3 import run_theorem3
+from .exp_theorem4 import run_theorem4
+from .exp_theorem5 import run_theorem5
+from .exp_tradeoff import run_tradeoff_k, run_tradeoff_weights
+from .fig1 import run_figure1
+from .fig2 import run_figure2
+from .fig3 import run_figure3
+from .runner import ExperimentResult, format_table
+
+#: Every experiment, keyed by paper anchor — the per-experiment index.
+ALL_EXPERIMENTS = {
+    "figure1": run_figure1,
+    "figure2": run_figure2,
+    "figure3": run_figure3,
+    "theorem1": run_theorem1,
+    "theorem2": run_theorem2,
+    "theorem3": run_theorem3,
+    "theorem4": run_theorem4,
+    "theorem5": run_theorem5,
+    "lemma1": run_lemma1,
+    "corollary1_overprovision": run_overprovision,
+    "corollary2_boosting": run_boosting,
+    "tradeoff_k": run_tradeoff_k,
+    "tradeoff_weights": run_tradeoff_weights,
+    "section6_conv": run_conv,
+    "extension_reliability": run_reliability,
+    "extension_fep_learning": run_fep_learning,
+    "baseline_smr": run_smr_baseline,
+    "intro_pruning": run_pruning,
+}
+
+
+def run_all(verbose: bool = False) -> dict[str, ExperimentResult]:
+    """Run every experiment with default (fast) parameters."""
+    results = {}
+    for name, fn in ALL_EXPERIMENTS.items():
+        result = fn()
+        results[name] = result
+        if verbose:
+            print(result.report())
+            print()
+    return results
+
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "ALL_EXPERIMENTS",
+    "run_all",
+    "run_figure1",
+    "run_figure2",
+    "run_figure3",
+    "run_theorem1",
+    "run_theorem2",
+    "run_theorem3",
+    "run_theorem4",
+    "run_theorem5",
+    "run_lemma1",
+    "run_overprovision",
+    "run_boosting",
+    "run_tradeoff_k",
+    "run_tradeoff_weights",
+    "run_conv",
+    "run_reliability",
+    "run_fep_learning",
+    "run_smr_baseline",
+    "run_pruning",
+]

@@ -1,0 +1,137 @@
+"""Worst-case network constructions used by the tightness experiments.
+
+The paper's tightness proofs pick (a) inputs on which the failing
+neurons emit values at the activation maximum, (b) failing neurons
+carrying the maximal weights, and (c) positively-proportional error
+contributions.  Two constructions realise those equality cases
+empirically:
+
+* :func:`saturated_single_layer` — Theorem 1's adversary: every neuron
+  saturates near 1 on the probe input and every output weight equals
+  ``w_m``, so crashing ``f`` neurons removes ``~ f * w_m`` from the
+  output;
+* :func:`linear_regime_network` — Theorems 2-4's equality case: a
+  hard-sigmoid network biased into its *linear* region with all-equal
+  positive weights, where a small emission error ``lambda`` propagates
+  *exactly* as ``lambda * K^(L-l) * prod (N * w)`` — Fep with ``C``
+  replaced by ``lambda`` is attained to machine precision.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..network.activations import HardSigmoid, Sigmoid
+from ..network.layers import DenseLayer
+from ..network.model import FeedForwardNetwork
+
+__all__ = [
+    "saturated_single_layer",
+    "linear_regime_network",
+    "linear_regime_probe",
+    "linear_regime_safety_margin",
+]
+
+
+def saturated_single_layer(
+    n_neurons: int = 12,
+    *,
+    w_max: float = 0.05,
+    input_dim: int = 1,
+    k: float = 1.0,
+    drive: float = 60.0,
+) -> FeedForwardNetwork:
+    """Theorem-1 worst case: saturated neurons, all-equal output weights.
+
+    Every hidden neuron has a large positive input drive, so on the
+    probe input ``x = 1`` it emits ``sigmoid(4k * drive) ~ 1``; the
+    output weights all equal ``w_max`` (positively proportional).
+    Crashing any ``f`` neurons then removes ``f * w_max * y ~ f * w_max``
+    — the bound's equality case.
+    """
+    if n_neurons < 2:
+        raise ValueError(f"need at least 2 neurons, got {n_neurons}")
+    weights = np.full((n_neurons, input_dim), drive, dtype=np.float64)
+    layer = DenseLayer(
+        input_dim,
+        n_neurons,
+        Sigmoid(k),
+        weights=weights,
+        use_bias=False,
+    )
+    out_w = np.full((1, n_neurons), w_max, dtype=np.float64)
+    return FeedForwardNetwork([layer], out_w)
+
+
+def linear_regime_network(
+    layer_sizes: Sequence[int],
+    *,
+    input_dim: int = 2,
+    k: float = 1.0,
+    margin: float = 0.25,
+) -> FeedForwardNetwork:
+    """Theorem-2/3/4 equality case: hard sigmoid in its linear region.
+
+    Construction: ``HardSigmoid(k)`` activations (value ``k*s + 1/2``
+    while ``|s| < 1/(2k)``), no biases, all weights positive and equal
+    per stage, sized so that every pre-activation stays strictly inside
+    the linear window for all inputs in the cube::
+
+        w^(1) = margin / (2k * d)          (|s_1| <= d * w1 < 1/(2k))
+        w^(l) = margin / (2k * N_{l-1})    (|s_l| <= N * w * y_max,
+                                            y_max <= 1)
+
+    In the linear regime the network is *affine*, the per-neuron slope
+    is exactly ``k``, and error contributions are positively
+    proportional — so an emission offset ``lambda`` at layer ``l``
+    reaches the output multiplied by exactly
+    ``k^(L-l) * prod_{l'>l} N_l' w^(l')``, attaining Theorem 2's bound
+    with ``C = lambda``.
+
+    ``margin < 1`` keeps slack for the injected perturbations; the
+    remaining slack is reported by :func:`linear_regime_safety_margin`.
+    """
+    layer_sizes = [int(n) for n in layer_sizes]
+    if not layer_sizes or any(n < 1 for n in layer_sizes):
+        raise ValueError(f"bad layer sizes {layer_sizes}")
+    if not 0 < margin < 1:
+        raise ValueError(f"margin must be in (0, 1), got {margin}")
+    act = HardSigmoid(k)
+    layers = []
+    fan_in = input_dim
+    for l, n in enumerate(layer_sizes, start=1):
+        w_val = margin / (2.0 * k * fan_in)
+        weights = np.full((n, fan_in), w_val, dtype=np.float64)
+        layers.append(DenseLayer(fan_in, n, act, weights=weights, use_bias=False))
+        fan_in = n
+    out_w = np.full((1, fan_in), margin / fan_in, dtype=np.float64)
+    return FeedForwardNetwork(layers, out_w)
+
+
+def linear_regime_probe(network: FeedForwardNetwork, value: float = 0.5) -> np.ndarray:
+    """A probe input (constant coordinates) for the linear construction."""
+    return np.full((1, network.input_dim), float(value))
+
+
+def linear_regime_safety_margin(
+    network: FeedForwardNetwork, x: np.ndarray
+) -> float:
+    """Distance (in pre-activation units) to the nearest clip boundary.
+
+    Perturbation experiments must keep every induced pre-activation
+    shift below this margin for the linear (equality-case) analysis to
+    hold exactly.
+    """
+    margins = []
+    y = np.asarray(x, dtype=np.float64)
+    if y.ndim == 1:
+        y = y[None, :]
+    for layer in network.layers:
+        s = layer.pre_activation(y)
+        k = layer.activation.lipschitz
+        # Linear while 0 < k*s + 1/2 < 1, i.e. |s| < 1/(2k).
+        margins.append(float((0.5 / k) - np.abs(s).max()))
+        y = layer.activation(s)
+    return min(margins)

@@ -1,0 +1,94 @@
+"""Lemma 1 — with unbounded transmission, a single Byzantine neuron
+defeats any network.
+
+Validation protocol: fix a network and make one *last-layer* neuron
+Byzantine (the paper's proof places it "at layer L", feeding the
+linear output node — inner-layer damage is squashed by downstream
+activations, which is exactly why the catastrophe needs the last
+layer).  Sweep the capacity upward: the output error grows without
+bound (linearly in C once the deviation dominates), so *no*
+epsilon-guarantee survives — and equivalently, the tolerated failure
+count from Theorem 3 collapses to zero as ``C -> inf``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.stats import is_monotone
+from ..core.tolerance import greedy_max_total_failures
+from ..faults.injector import FaultInjector
+from ..faults.scenarios import byzantine_scenario
+from ..network.builder import build_mlp
+from .runner import ExperimentResult
+
+__all__ = ["run_lemma1"]
+
+
+def run_lemma1(
+    *,
+    capacities: tuple[float, ...] = (1.0, 4.0, 16.0, 64.0, 256.0),
+    epsilon: float = 0.4,
+    epsilon_prime: float = 0.1,
+    seed: int = 29,
+) -> ExperimentResult:
+    """Show the unbounded-transmission catastrophe quantitatively."""
+    rng = np.random.default_rng(seed)
+    net = build_mlp(
+        2,
+        [10, 8],
+        activation={"name": "sigmoid", "k": 0.5},
+        init={"name": "uniform", "scale": 0.5},
+        output_scale=0.5,
+        seed=seed,
+    )
+    x = rng.random((32, net.input_dim))
+    # One Byzantine neuron in the LAST layer (the Lemma-1 proof's choice).
+    scenario = byzantine_scenario([(net.depth, 0)], name="single-byzantine")
+
+    rows = []
+    errors, tolerated = [], []
+    for c in capacities:
+        injector = FaultInjector(net, capacity=c)
+        err = injector.output_error(x, scenario)
+        dist = greedy_max_total_failures(
+            net, epsilon, epsilon_prime, capacity=c, mode="byzantine"
+        )
+        errors.append(err)
+        tolerated.append(sum(dist))
+        rows.append(
+            {
+                "capacity": c,
+                "single_byzantine_error": err,
+                "tolerated_failures": sum(dist),
+                "breaks_eps_0.4": err > epsilon,
+            }
+        )
+
+    # Linear-in-C growth once the emission dominates the nominal value.
+    late_ratio = errors[-1] / errors[-2]
+    cap_ratio = capacities[-1] / capacities[-2]
+
+    checks = {
+        "error_grows_unboundedly_with_capacity": is_monotone(
+            errors, increasing=True
+        )
+        and errors[-1] > 10 * errors[0],
+        "error_growth_is_asymptotically_linear_in_C": abs(late_ratio - cap_ratio)
+        < 0.2 * cap_ratio,
+        "large_capacity_breaks_any_epsilon": errors[-1] > epsilon,
+        "tolerated_failures_vanish_as_C_grows": tolerated[-1] == 0
+        and is_monotone(tolerated, increasing=False),
+    }
+    return ExperimentResult(
+        experiment_id="lemma1",
+        description="Unbounded transmission: one Byzantine neuron's damage "
+        "grows linearly in C; tolerance collapses to zero",
+        rows=rows,
+        shape_checks=checks,
+        metrics={
+            "error_at_C1": errors[0],
+            "error_at_Cmax": errors[-1],
+            "growth_factor": errors[-1] / errors[0],
+        },
+    )

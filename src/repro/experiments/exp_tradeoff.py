@@ -1,0 +1,155 @@
+"""Section V-C — robustness vs ease-of-learning trade-offs.
+
+Two knobs, two experiments:
+
+* **Lipschitz constant K** — "choosing a low value of K leads to
+  satisfying the inequalities ... with high numbers of faults", but a
+  low-K activation is less discriminating, so learning is harder (more
+  epochs / worse fit at equal effort).  We train the same architecture
+  at several K and report (robustness = tolerated uniform fraction,
+  learning = achieved sup error at fixed epochs); robustness must fall
+  with K while the fit improves (or the fit at the lowest K is the
+  worst).
+* **Synaptic weights** — "imposing low weights leaves room for higher
+  numbers of faults ... more neurons are needed to sum to the desired
+  value, if the weights are lower."  We train under max-norm caps of
+  decreasing size; tolerance must grow as the cap shrinks while the
+  achievable fit degrades.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.stats import is_monotone
+from ..core.tolerance import max_uniform_fraction
+from ..network.builder import build_mlp
+from ..training.data import gaussian_bump, grid_inputs, sample_dataset, sup_error
+from ..training.regularizers import MaxNormConstraint
+from ..training.trainer import Trainer
+from .runner import ExperimentResult
+
+__all__ = ["run_tradeoff_k", "run_tradeoff_weights"]
+
+
+def _train_fresh(
+    k: float,
+    *,
+    max_norm: float | None,
+    epochs: int,
+    seed: int,
+    hidden=(12,),
+):
+    """Train one network; returns (network, sup_error achieved)."""
+    target = gaussian_bump(2, width=0.2)
+    net = build_mlp(
+        2,
+        list(hidden),
+        activation={"name": "sigmoid", "k": k},
+        init={"name": "uniform", "scale": 0.3},
+        output_scale=0.3,
+        seed=seed,
+    )
+    rng = np.random.default_rng(seed)
+    X, y = sample_dataset(target, 512, rng=rng)
+    regs = [MaxNormConstraint(max_norm)] if max_norm is not None else []
+    trainer = Trainer(optimizer="adam", regularizers=regs)
+    trainer.train(net, X, y, epochs=epochs, batch_size=64, rng=rng)
+    grid = grid_inputs(2, 25)
+    return net, sup_error(net, target, grid)
+
+
+def run_tradeoff_k(
+    *,
+    k_grid: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0),
+    epochs: int = 60,
+    epsilon: float = 0.5,
+    epsilon_prime: float = 0.2,
+    seed: int = 41,
+) -> ExperimentResult:
+    """The K trade-off: robustness falls with K, fitting power rises."""
+    rows = []
+    robustness, fits = [], []
+    for k in k_grid:
+        net, err = _train_fresh(k, max_norm=0.8, epochs=epochs, seed=seed)
+        frac = max_uniform_fraction(net, epsilon, epsilon_prime, mode="crash")
+        robustness.append(frac)
+        fits.append(err)
+        rows.append(
+            {
+                "K": k,
+                "tolerated_uniform_fraction": frac,
+                "achieved_sup_error": err,
+                "w_maxes": tuple(round(w, 3) for w in net.weight_maxes()),
+            }
+        )
+    checks = {
+        # Analytic side: lower K satisfies the bound with more faults.
+        "robustness_decreases_with_K": is_monotone(
+            robustness, increasing=False, tolerance=1e-12
+        ),
+        "lowest_K_is_most_robust": robustness[0] == max(robustness),
+        # Learning side: the least discriminating activation fits no
+        # better than the steepest one (small tolerance for MC noise).
+        "lowest_K_fits_worst": fits[0] >= fits[-1] - 0.02,
+    }
+    return ExperimentResult(
+        experiment_id="tradeoff_k",
+        description="Section V-C trade-off on K: low K buys fault "
+        "tolerance, high K buys discriminating power",
+        rows=rows,
+        shape_checks=checks,
+        metrics={
+            "robustness_span": robustness[0] - robustness[-1],
+            "fit_span": fits[0] - fits[-1],
+        },
+        notes=["learning cost proxied by achieved sup error at fixed epochs"],
+    )
+
+
+def run_tradeoff_weights(
+    *,
+    caps: tuple[float, ...] = (0.1, 0.2, 0.4, 0.8),
+    epochs: int = 60,
+    epsilon: float = 0.5,
+    epsilon_prime: float = 0.2,
+    seed: int = 43,
+) -> ExperimentResult:
+    """The weight trade-off: small caps buy tolerance, cost accuracy."""
+    rows = []
+    robustness, fits = [], []
+    for cap in caps:
+        net, err = _train_fresh(0.5, max_norm=cap, epochs=epochs, seed=seed)
+        frac = max_uniform_fraction(net, epsilon, epsilon_prime, mode="crash")
+        robustness.append(frac)
+        fits.append(err)
+        rows.append(
+            {
+                "weight_cap": cap,
+                "w_max_realised": max(net.weight_maxes()),
+                "tolerated_uniform_fraction": frac,
+                "achieved_sup_error": err,
+            }
+        )
+    checks = {
+        "caps_are_respected": all(
+            r["w_max_realised"] <= r["weight_cap"] + 1e-12 for r in rows
+        ),
+        "robustness_decreases_as_cap_grows": is_monotone(
+            robustness, increasing=False, tolerance=1e-12
+        ),
+        "tightest_cap_is_most_robust": robustness[0] == max(robustness),
+        # Small tolerance: with few epochs the fits can tie.
+        "tightest_cap_fits_worst": fits[0] >= fits[-1] - 0.02,
+    }
+    return ExperimentResult(
+        experiment_id="tradeoff_weights",
+        description="Section V-C trade-off on weights: max-norm caps "
+        "trade approximation power for failure tolerance",
+        rows=rows,
+        shape_checks=checks,
+        metrics={
+            "robustness_span": robustness[0] - robustness[-1],
+            "fit_span": fits[0] - fits[-1],
+        },
+    )

@@ -1,0 +1,64 @@
+"""Figure 1 — the example topology (d=3, L=3, N=(4,3,4)).
+
+Figure 1 is illustrative, but it pins down the paper's model: inputs
+and the output node are *clients* (dotted), not neurons; every neuron
+of layer ``l-1`` feeds every neuron of layer ``l``; the output node is
+linear.  We build exactly that network and assert the structural
+invariants, which also exercises the topology exporter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.topology import figure1_network_stats, to_graph
+from ..network.builder import build_mlp
+from .runner import ExperimentResult
+
+__all__ = ["run_figure1"]
+
+
+def run_figure1(seed: int = 59) -> ExperimentResult:
+    """Build the Figure-1 network and verify its structure."""
+    net = build_mlp(
+        3,
+        [4, 3, 4],
+        activation="sigmoid",
+        init={"name": "uniform", "scale": 0.5},
+        output_scale=0.5,
+        seed=seed,
+    )
+    stats = figure1_network_stats(net)
+    g = to_graph(net)
+
+    # Synapse count of the full bipartite wiring (+ output stage).
+    expected_synapses = 3 * 4 + 4 * 3 + 3 * 4 + 4 * 1
+    rows = [
+        {"property": "d (input clients)", "value": stats["input_dim"]},
+        {"property": "L (layers)", "value": stats["depth"]},
+        {"property": "N per layer", "value": stats["layer_sizes"]},
+        {"property": "neurons", "value": stats["n_neurons"]},
+        {"property": "synapses", "value": stats["n_synapses"]},
+        {"property": "longest path (edges)", "value": stats["longest_path_len"]},
+    ]
+    checks = {
+        "matches_paper_shape": stats["input_dim"] == 3
+        and stats["depth"] == 3
+        and stats["layer_sizes"] == (4, 3, 4),
+        "clients_are_not_neurons": stats["n_clients"] == 3 + 1
+        and stats["n_neurons"] == 11,
+        "full_bipartite_wiring": stats["n_synapses"] == expected_synapses,
+        "is_feedforward_dag": stats["is_dag"],
+        "input_to_output_path_has_L_plus_1_hops": stats["longest_path_len"] == 4,
+        "forward_pass_runs": bool(
+            np.isfinite(net.forward(np.array([0.2, 0.5, 0.8]))).all()
+        ),
+    }
+    return ExperimentResult(
+        experiment_id="figure1",
+        description="The example topology: d=3, L=3, N=(4,3,4); inputs "
+        "and output node are clients",
+        rows=rows,
+        shape_checks=checks,
+        metrics={"n_synapses": float(stats["n_synapses"])},
+    )

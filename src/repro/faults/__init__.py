@@ -1,0 +1,107 @@
+"""Fault models, failure scenarios, vectorised injection, campaigns.
+
+This subpackage realises the paper's failure model (Section II-B):
+independently failing neurons (crash / Byzantine under bounded
+transmission) and synapses, plus the experimental machinery to measure
+the resulting output error at scale.
+"""
+
+from .adversary import (
+    adversarial_byzantine_scenario,
+    adversarial_crash_scenario,
+    output_sensitivities,
+    worst_input_search,
+)
+from .campaign import (
+    CampaignResult,
+    count_crash_configurations,
+    exhaustive_crash_campaign,
+    monte_carlo_campaign,
+    run_campaign,
+)
+from .injector import (
+    CompiledScenarioBatch,
+    FaultInjector,
+    apply_neuron_fault,
+    static_fault_action,
+)
+from .reliability import (
+    ReliabilityEstimate,
+    certified_survival_probability,
+    mean_failures_to_violation,
+    mission_survival_curve,
+    monte_carlo_survival,
+)
+from .scenarios import (
+    NOMINAL,
+    FailureScenario,
+    all_single_neuron_faults,
+    byzantine_scenario,
+    crash_scenario,
+    exhaustive_crash_scenarios,
+    random_failure_scenario,
+    random_synapse_scenario,
+    uniform_distribution,
+    worst_case_byzantine_scenario,
+    worst_case_crash_scenario,
+)
+from .types import (
+    ByzantineFault,
+    CrashFault,
+    FaultModel,
+    IntermittentFault,
+    NeuronFault,
+    NoiseFault,
+    OffsetFault,
+    SignFlipFault,
+    StuckAtFault,
+    SynapseByzantineFault,
+    SynapseCrashFault,
+    SynapseFault,
+    SynapseNoiseFault,
+)
+
+__all__ = [
+    "FaultModel",
+    "NeuronFault",
+    "SynapseFault",
+    "CrashFault",
+    "ByzantineFault",
+    "StuckAtFault",
+    "OffsetFault",
+    "NoiseFault",
+    "IntermittentFault",
+    "SignFlipFault",
+    "SynapseCrashFault",
+    "SynapseByzantineFault",
+    "SynapseNoiseFault",
+    "FailureScenario",
+    "NOMINAL",
+    "crash_scenario",
+    "byzantine_scenario",
+    "random_failure_scenario",
+    "random_synapse_scenario",
+    "worst_case_crash_scenario",
+    "worst_case_byzantine_scenario",
+    "exhaustive_crash_scenarios",
+    "all_single_neuron_faults",
+    "uniform_distribution",
+    "FaultInjector",
+    "CompiledScenarioBatch",
+    "static_fault_action",
+    "apply_neuron_fault",
+    "output_sensitivities",
+    "adversarial_byzantine_scenario",
+    "adversarial_crash_scenario",
+    "worst_input_search",
+    "CampaignResult",
+    "run_campaign",
+    "monte_carlo_campaign",
+    "exhaustive_crash_campaign",
+    "count_crash_configurations",
+    "certified_survival_probability",
+    "monte_carlo_survival",
+    "ReliabilityEstimate",
+    "mission_survival_curve",
+    "mean_failures_to_violation",
+]

@@ -1,0 +1,404 @@
+"""Vectorised fault injection: run a network under a failure scenario.
+
+The injector realises Definition 2 and Assumption 1 of the paper as
+masked tensor algebra:
+
+* a **crashed** neuron's emitted value is replaced by 0 ("stops
+  sending"; consumers read 0 — no capacity interaction, and the
+  crash-mode bounds use ``sup phi`` instead of ``C``);
+* a **Byzantine** neuron broadcasts ``y + lambda`` (Theorem 2's error
+  model): the *deviation* ``lambda`` carried by its synapses is
+  bounded by the transmission capacity ``C`` (Assumption 1), so the
+  effective emission is ``y + clip(requested - y, -C, +C)``.  Under
+  *unbounded* capacity (``capacity=None``) no clipping happens, which
+  is the regime of Lemma 1.  (The paper's Assumption 1 phrases the
+  bound on the transmitted value; its Theorem-2 algebra bounds the
+  error ``lambda`` by ``C`` — we follow the algebra, which is the
+  sound-and-tight reading.  See DESIGN.md.);
+* a **faulty synapse** corrupts the emission it carries: the receiver
+  reads ``w_ji * v`` where ``|v - y_i| <= C`` (so the received-sum
+  error is at most ``w_m * C``, the per-synapse term of Theorem 4 and
+  Lemma 2); a crashed synapse delivers ``v = 0``.
+
+Two execution paths are provided:
+
+* :meth:`FaultInjector.run` — one scenario, batch of inputs; supports
+  every fault model including stochastic ones.
+* :meth:`FaultInjector.run_many` — a *batch of scenarios* compiled to
+  per-layer masks, evaluated with one GEMM per layer for all S x B
+  (scenario, input) pairs.  This is the hot path for Monte-Carlo
+  campaigns; it requires "static" faults (crash / Byzantine / stuck-at)
+  whose replacement value does not depend on the nominal output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..network.model import FeedForwardNetwork
+from .scenarios import FailureScenario
+from .types import ByzantineFault, CrashFault, FaultModel, OffsetFault, StuckAtFault
+
+__all__ = [
+    "FaultInjector",
+    "CompiledScenarioBatch",
+    "static_fault_action",
+    "apply_neuron_fault",
+]
+
+
+def static_fault_action(fault: FaultModel) -> Optional[tuple[str, float]]:
+    """The input-independent action of a fault, or ``None``.
+
+    Returns one of:
+
+    * ``("zero", 0.0)`` — crash: emission is exactly 0;
+    * ``("set", v)`` — Byzantine with explicit value / stuck-at: the
+      emission is pulled to ``v`` subject to the deviation bound;
+    * ``("add", delta)`` — Byzantine capacity sentinel (``+-inf``, to
+      be resolved to ``+-C``) or a fixed offset: emission is
+      ``y + delta``.
+
+    Stochastic or sign-dependent faults (noise, sign flip) return
+    ``None`` and are only supported on the scalar path.
+    """
+    if isinstance(fault, CrashFault):
+        return ("zero", 0.0)
+    if isinstance(fault, ByzantineFault):
+        if fault.value is None:
+            return ("add", fault.sign * np.inf)
+        return ("set", float(fault.value))
+    if isinstance(fault, StuckAtFault):
+        return ("set", float(fault.value))
+    if isinstance(fault, OffsetFault):
+        return ("add", float(fault.offset))
+    return None
+
+
+def apply_neuron_fault(
+    fault: FaultModel,
+    nominal: np.ndarray,
+    capacity: Optional[float],
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Faulty emission under the deviation-bounded semantics.
+
+    Crash emits exactly 0; every other fault emits
+    ``nominal + clip(requested - nominal, -C, +C)`` (Theorem 2's
+    ``y + lambda`` with ``|lambda| <= C``).  Unbounded capacity passes
+    finite requests through and rejects capacity sentinels.
+    """
+    nominal = np.asarray(nominal, dtype=np.float64)
+    if isinstance(fault, CrashFault):
+        return np.zeros_like(nominal)
+    requested = fault.apply(nominal, rng=rng)
+    if capacity is None:
+        if not np.all(np.isfinite(requested)):
+            raise ValueError(
+                "capacity-saturating fault (value=None) under unbounded "
+                "transmission: specify an explicit Byzantine value"
+            )
+        return requested
+    deviation = np.clip(requested - nominal, -capacity, capacity)
+    return nominal + deviation
+
+
+@dataclass
+class CompiledScenarioBatch:
+    """Per-layer fault masks for a batch of static scenarios.
+
+    All arrays have shape ``(S, N_{l+1})`` (0-based layer index ``l``):
+
+    * ``zero_masks`` — crashed neurons (emission exactly 0);
+    * ``set_masks`` / ``set_values`` — value-pulling faults (Byzantine
+      with explicit value, stuck-at), applied under the deviation
+      bound at run time;
+    * ``add_masks`` / ``add_values`` — additive faults, with capacity
+      sentinels already resolved to ``+-C`` at compile time.
+    """
+
+    zero_masks: List[np.ndarray]
+    set_masks: List[np.ndarray]
+    set_values: List[np.ndarray]
+    add_masks: List[np.ndarray]
+    add_values: List[np.ndarray]
+    names: List[str]
+
+    @property
+    def num_scenarios(self) -> int:
+        return self.zero_masks[0].shape[0] if self.zero_masks else 0
+
+
+class FaultInjector:
+    """Runs a :class:`FeedForwardNetwork` under failure scenarios.
+
+    Parameters
+    ----------
+    network:
+        The (trained) network under test.
+    capacity:
+        The synaptic transmission capacity ``C`` of Assumption 1.
+        ``None`` models *unbounded* transmission (Lemma 1): Byzantine
+        values pass through unclipped, and capacity-saturating sentinel
+        faults are rejected (they have no well-defined value).
+    """
+
+    def __init__(
+        self,
+        network: FeedForwardNetwork,
+        capacity: Optional[float] = 1.0,
+    ):
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive or None, got {capacity}")
+        self.network = network
+        self.capacity = None if capacity is None else float(capacity)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _clip_synapse_error(self, deviation: np.ndarray) -> np.ndarray:
+        """Bound a synapse's emission deviation by the capacity (Lemma 2)."""
+        if self.capacity is None:
+            if not np.all(np.isfinite(deviation)):
+                raise ValueError(
+                    "capacity-saturating synapse fault under unbounded "
+                    "transmission: specify an explicit offset"
+                )
+            return deviation
+        return np.clip(deviation, -self.capacity, self.capacity)
+
+    def _neuron_faults_by_layer(
+        self, scenario: FailureScenario
+    ) -> List[list[tuple[int, FaultModel]]]:
+        per_layer: List[list[tuple[int, FaultModel]]] = [
+            [] for _ in range(self.network.depth)
+        ]
+        for addr, fault in scenario.neuron_faults.items():
+            self.network.check_address(addr)
+            per_layer[addr.layer - 1].append((addr.index, fault))
+        return per_layer
+
+    def _synapse_faults_by_stage(
+        self, scenario: FailureScenario
+    ) -> List[list[tuple[int, int, FaultModel]]]:
+        per_stage: List[list[tuple[int, int, FaultModel]]] = [
+            [] for _ in range(self.network.depth + 1)
+        ]
+        for (l, j, i), fault in scenario.synapse_faults.items():
+            per_stage[l - 1].append((j, i, fault))
+        return per_stage
+
+    # ------------------------------------------------------------------
+    # Scalar path (one scenario, any fault model)
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        x: np.ndarray,
+        scenario: FailureScenario,
+        *,
+        rng: Optional[np.random.Generator] = None,
+        return_taps: bool = False,
+    ):
+        """Faulty forward pass ``Ffail(X)`` for a batch of inputs.
+
+        Returns ``(B, n_outputs)`` outputs (or ``(outputs, taps)`` with
+        per-layer faulty activations when ``return_taps`` is set).
+        """
+        scenario.validate(self.network)
+        net = self.network
+        xb, squeeze = net._as_batch(x)
+        rng = rng if rng is not None else np.random.default_rng()
+
+        neuron_faults = self._neuron_faults_by_layer(scenario)
+        synapse_faults = self._synapse_faults_by_stage(scenario)
+
+        y = xb
+        taps: List[np.ndarray] = []
+        for l0, layer in enumerate(net.layers):
+            s = layer.pre_activation(y)
+            if synapse_faults[l0]:
+                weights = layer.dense_weights()
+                s = s.copy()
+                for j, i, fault in synapse_faults[l0]:
+                    nominal_emission = y[:, i]
+                    faulty_emission = fault.apply(nominal_emission, rng=rng)
+                    deviation = self._clip_synapse_error(
+                        faulty_emission - nominal_emission
+                    )
+                    s[:, j] += weights[j, i] * deviation
+            y = layer.activation(s)
+            if neuron_faults[l0]:
+                y = y.copy()
+                for i, fault in neuron_faults[l0]:
+                    y[:, i] = apply_neuron_fault(fault, y[:, i], self.capacity, rng)
+            if return_taps:
+                taps.append(y)
+
+        out = net.readout(y)
+        stage = net.depth  # 0-based index of stage L+1 in synapse_faults
+        if synapse_faults[stage]:
+            out = out.copy()
+            for j, i, fault in synapse_faults[stage]:
+                nominal_emission = y[:, i]
+                faulty_emission = fault.apply(nominal_emission, rng=rng)
+                deviation = self._clip_synapse_error(
+                    faulty_emission - nominal_emission
+                )
+                out[:, j] += net.output_weights[j, i] * deviation
+
+        if squeeze:
+            out = out[0]
+        return (out, taps) if return_taps else out
+
+    def output_error(
+        self,
+        x: np.ndarray,
+        scenario: FailureScenario,
+        *,
+        rng: Optional[np.random.Generator] = None,
+        reduction: str = "max",
+    ) -> float:
+        """``sup_X |Fneu(X) - Ffail(X)|`` over the supplied batch.
+
+        ``reduction`` is ``"max"`` (the paper's worst-case metric) or
+        ``"mean"``.
+        """
+        xb, _ = self.network._as_batch(x)
+        nominal = self.network.forward(xb)
+        faulty = self.run(xb, scenario, rng=rng)
+        err = np.abs(nominal - faulty).max(axis=1)
+        if reduction == "max":
+            return float(err.max())
+        if reduction == "mean":
+            return float(err.mean())
+        raise ValueError(f"unknown reduction {reduction!r}")
+
+    # ------------------------------------------------------------------
+    # Batched path (many static scenarios at once)
+    # ------------------------------------------------------------------
+
+    def compile_batch(
+        self, scenarios: Sequence[FailureScenario]
+    ) -> CompiledScenarioBatch:
+        """Compile static neuron-fault scenarios to per-layer masks.
+
+        Raises when any scenario contains a synapse fault or a
+        non-static neuron fault (use :meth:`run` for those).
+        """
+        net = self.network
+        S = len(scenarios)
+        zero_masks = [np.zeros((S, n), dtype=bool) for n in net.layer_sizes]
+        set_masks = [np.zeros((S, n), dtype=bool) for n in net.layer_sizes]
+        set_values = [np.zeros((S, n), dtype=np.float64) for n in net.layer_sizes]
+        add_masks = [np.zeros((S, n), dtype=bool) for n in net.layer_sizes]
+        add_values = [np.zeros((S, n), dtype=np.float64) for n in net.layer_sizes]
+        names = []
+        for s_idx, scenario in enumerate(scenarios):
+            if scenario.synapse_faults:
+                raise ValueError(
+                    f"scenario {scenario.name!r} has synapse faults; the batched "
+                    "path supports neuron faults only"
+                )
+            scenario.validate(net)
+            names.append(scenario.name)
+            for addr, fault in scenario.neuron_faults.items():
+                action = static_fault_action(fault)
+                if action is None:
+                    raise ValueError(
+                        f"fault {fault!r} is not static; use FaultInjector.run"
+                    )
+                kind, value = action
+                l0, i = addr.layer - 1, addr.index
+                if kind == "zero":
+                    zero_masks[l0][s_idx, i] = True
+                elif kind == "set":
+                    set_masks[l0][s_idx, i] = True
+                    set_values[l0][s_idx, i] = value
+                else:  # "add"
+                    add_masks[l0][s_idx, i] = True
+                    add_values[l0][s_idx, i] = value
+        # Resolve capacity sentinels (additive +-inf -> +-C) at compile time.
+        for arr in add_values:
+            if self.capacity is None:
+                if not np.all(np.isfinite(arr)):
+                    raise ValueError(
+                        "capacity-saturating fault under unbounded transmission"
+                    )
+            else:
+                np.clip(arr, -self.capacity, self.capacity, out=arr)
+        return CompiledScenarioBatch(
+            zero_masks, set_masks, set_values, add_masks, add_values, names
+        )
+
+    def run_many(
+        self,
+        x: np.ndarray,
+        batch: "CompiledScenarioBatch | Sequence[FailureScenario]",
+    ) -> np.ndarray:
+        """Faulty outputs for S scenarios x B inputs in one sweep.
+
+        Returns an array of shape ``(S, B, n_outputs)``.  One GEMM per
+        layer serves every (scenario, input) pair; replacement is a
+        single vectorised ``np.where`` per layer.
+        """
+        if not isinstance(batch, CompiledScenarioBatch):
+            batch = self.compile_batch(batch)
+        net = self.network
+        xb, _ = net._as_batch(x)
+        S = batch.num_scenarios
+        if S == 0:
+            return np.empty((0, xb.shape[0], net.n_outputs))
+
+        B = xb.shape[0]
+
+        def masked(y: np.ndarray, l0: int) -> np.ndarray:
+            """Apply the layer-l0 fault channels to (S, B, N) activations."""
+            zero = batch.zero_masks[l0][:, None, :]
+            out = np.where(zero, 0.0, y)
+            if batch.set_masks[l0].any():
+                vals = batch.set_values[l0][:, None, :]
+                if self.capacity is not None:
+                    # Deviation bound: pull toward vals but stay within
+                    # [y - C, y + C].
+                    vals = np.clip(vals, y - self.capacity, y + self.capacity)
+                out = np.where(batch.set_masks[l0][:, None, :], vals, out)
+            if batch.add_masks[l0].any():
+                out = np.where(
+                    batch.add_masks[l0][:, None, :],
+                    out + batch.add_values[l0][:, None, :],
+                    out,
+                )
+            return out
+
+        # Layer 1 is scenario-independent before masking: compute once for
+        # the B inputs, then broadcast the replacement across S scenarios.
+        y = net.layers[0].forward(xb)  # (B, N_1)
+        y = masked(np.broadcast_to(y[None, :, :], (S, B, y.shape[1])), 0)
+        for l0, layer in enumerate(net.layers[1:], start=1):
+            y = layer.forward(y.reshape(S * B, -1)).reshape(S, B, -1)
+            y = masked(y, l0)
+        out = y @ net.output_weights.T + net.output_bias
+        return out
+
+    def output_errors_many(
+        self,
+        x: np.ndarray,
+        batch: "CompiledScenarioBatch | Sequence[FailureScenario]",
+        *,
+        reduction: str = "max",
+    ) -> np.ndarray:
+        """Per-scenario output error over the input batch, shape ``(S,)``."""
+        xb, _ = self.network._as_batch(x)
+        nominal = self.network.forward(xb)  # (B, n_outputs)
+        faulty = self.run_many(xb, batch)  # (S, B, n_outputs)
+        err = np.abs(faulty - nominal[None]).max(axis=2)  # (S, B)
+        if reduction == "max":
+            return err.max(axis=1)
+        if reduction == "mean":
+            return err.mean(axis=1)
+        raise ValueError(f"unknown reduction {reduction!r}")

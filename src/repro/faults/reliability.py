@@ -1,0 +1,282 @@
+"""Probabilistic reliability analysis on top of the worst-case bounds.
+
+The paper's theorems are adversarial: *any* placement of ``(f_l)``
+failures is absorbed.  A deployment engineer usually asks the dual
+question: *if every neuron fails independently with probability ``p``
+(per mission), what is the probability the epsilon-guarantee
+survives?*  Because Theorem 3's condition depends only on the per-layer
+*counts* — not on which neurons fail — the survival event contains the
+event ``{(F_1..F_L) is a tolerated distribution}`` where ``F_l ~
+Binomial(N_l, p)`` independently.  This module computes that lower
+bound exactly (dynamic programming over the per-layer count
+distributions), plus Monte-Carlo estimates of the *actual* survival
+probability (which can only be higher: untolerated counts may still
+land on harmless neurons), and mission-time curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+from scipy import stats as sps
+
+from ..core.fep import fep_many
+from ..network.model import FeedForwardNetwork
+from .campaign import run_campaign
+from .injector import FaultInjector
+from .scenarios import FailureScenario, random_failure_scenario
+from .types import CrashFault, FaultModel
+
+__all__ = [
+    "certified_survival_probability",
+    "ReliabilityEstimate",
+    "monte_carlo_survival",
+    "mission_survival_curve",
+    "mean_failures_to_violation",
+]
+
+
+def _tolerated_mask(
+    network: FeedForwardNetwork,
+    budget: float,
+    *,
+    capacity: Optional[float],
+    mode: str,
+) -> list[np.ndarray]:
+    """Tolerance mask over the joint count grid.
+
+    The Theorem-3 condition couples the layers (the ``(N_l - f_l)``
+    products), so no per-layer marginal exists; the mask has shape
+    ``(N_1+1, ..., N_L+1)``.
+    """
+    from ..core.fep import _network_capacity
+
+    c = _network_capacity(network, capacity, mode)
+    sizes = network.layer_sizes
+    grids = np.meshgrid(*[np.arange(n + 1) for n in sizes], indexing="ij")
+    counts = np.stack([g.ravel() for g in grids], axis=1).astype(np.float64)
+    # f_l = N_l is never tolerated (Theorem 3 needs f_l < N_l); clamp for
+    # the Fep evaluation and mark those rows invalid.
+    valid = np.all(counts < np.asarray(sizes)[None, :], axis=1)
+    clamped = np.minimum(counts, np.asarray(sizes, dtype=np.float64) - 1)
+    feps = fep_many(
+        clamped, sizes, network.weight_maxes(), network.lipschitz_constant, c
+    )
+    ok = valid & (feps <= budget + 1e-12)
+    return [ok.reshape([n + 1 for n in sizes])]
+
+
+def certified_survival_probability(
+    network: FeedForwardNetwork,
+    p_fail: float,
+    epsilon: float,
+    epsilon_prime: float,
+    *,
+    capacity: Optional[float] = None,
+    mode: str = "crash",
+    max_grid: int = 2_000_000,
+) -> float:
+    """Exact lower bound on P[epsilon-guarantee survives].
+
+    ``P[ (F_1..F_L) tolerated ]`` with ``F_l ~ Binomial(N_l, p_fail)``
+    independent — a *certified* survival probability: whenever the
+    counts are tolerated, Theorem 3 guarantees survival for any
+    placement and any (mode-consistent) faulty behaviour.
+
+    The computation enumerates the count grid ``prod(N_l + 1)`` and
+    weighs it by the product of binomial pmfs; refuses above
+    ``max_grid`` points.
+    """
+    if not 0 <= p_fail <= 1:
+        raise ValueError(f"p_fail must be in [0,1], got {p_fail}")
+    if not (0 < epsilon_prime <= epsilon):
+        raise ValueError("need 0 < epsilon_prime <= epsilon")
+    sizes = network.layer_sizes
+    grid_size = int(np.prod([n + 1 for n in sizes]))
+    if grid_size > max_grid:
+        raise ValueError(
+            f"count grid has {grid_size} points (> {max_grid}); use "
+            "monte_carlo_survival instead"
+        )
+    budget = epsilon - epsilon_prime
+    (ok,) = _tolerated_mask(network, budget, capacity=capacity, mode=mode)
+    # Tensor-contract the independent binomial pmfs against the mask.
+    weights = [sps.binom.pmf(np.arange(n + 1), n, p_fail) for n in sizes]
+    weighted = ok.astype(np.float64)
+    for axis, w in enumerate(weights):
+        shape = [1] * len(sizes)
+        shape[axis] = len(w)
+        weighted = weighted * w.reshape(shape)
+    return float(weighted.sum())
+
+
+@dataclass(frozen=True)
+class ReliabilityEstimate:
+    """Monte-Carlo survival estimate with a CI."""
+
+    survival: float
+    ci_low: float
+    ci_high: float
+    n_trials: int
+    certified_lower_bound: Optional[float] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        certified = (
+            f", certified>={self.certified_lower_bound:.4f}"
+            if self.certified_lower_bound is not None
+            else ""
+        )
+        return (
+            f"ReliabilityEstimate({self.survival:.4f} "
+            f"[{self.ci_low:.4f}, {self.ci_high:.4f}], "
+            f"n={self.n_trials}{certified})"
+        )
+
+
+def monte_carlo_survival(
+    network: FeedForwardNetwork,
+    p_fail: float,
+    epsilon: float,
+    epsilon_prime: float,
+    x: np.ndarray,
+    *,
+    fault: Optional[FaultModel] = None,
+    capacity: Optional[float] = None,
+    n_trials: int = 500,
+    seed: Optional[int] = 0,
+    confidence: float = 0.95,
+) -> ReliabilityEstimate:
+    """Estimate the *actual* survival probability by injection.
+
+    Each trial fails every neuron independently with ``p_fail``
+    (Bernoulli), injects, and checks the output error over the probe
+    batch against the budget.  Reports a Wilson interval and, when the
+    count grid is affordable, attaches the certified lower bound —
+    the Monte-Carlo estimate must dominate it.
+    """
+    if not 0 <= p_fail <= 1:
+        raise ValueError(f"p_fail must be in [0,1], got {p_fail}")
+    budget = epsilon - epsilon_prime
+    fault = fault if fault is not None else CrashFault()
+    if capacity is None and isinstance(fault, CrashFault):
+        injector_capacity: Optional[float] = network.output_bound
+    else:
+        injector_capacity = capacity
+    injector = FaultInjector(network, capacity=injector_capacity)
+    rng = np.random.default_rng(seed)
+
+    scenarios = []
+    for t in range(n_trials):
+        faults = {}
+        for l, width in enumerate(network.layer_sizes, start=1):
+            hit = np.nonzero(rng.random(width) < p_fail)[0]
+            for i in hit:
+                faults[(l, int(i))] = fault
+        scenarios.append(FailureScenario(faults, name=f"trial{t}"))
+
+    result = run_campaign(injector, x, scenarios, keep_names=False)
+    survived = int(np.sum(result.errors <= budget + 1e-12))
+    estimate = survived / n_trials
+    lo, hi = _wilson_interval(survived, n_trials, confidence)
+
+    certified = None
+    grid_size = int(np.prod([n + 1 for n in network.layer_sizes]))
+    if grid_size <= 200_000:
+        mode = "crash" if isinstance(fault, CrashFault) else "byzantine"
+        try:
+            certified = certified_survival_probability(
+                network, p_fail, epsilon, epsilon_prime,
+                capacity=capacity, mode=mode,
+            )
+        except ValueError:
+            certified = None
+    return ReliabilityEstimate(estimate, lo, hi, n_trials, certified)
+
+
+def _wilson_interval(k: int, n: int, confidence: float) -> tuple[float, float]:
+    if n == 0:
+        return (0.0, 1.0)
+    z = sps.norm.ppf(0.5 + confidence / 2.0)
+    phat = k / n
+    denom = 1 + z**2 / n
+    centre = (phat + z**2 / (2 * n)) / denom
+    half = z * np.sqrt(phat * (1 - phat) / n + z**2 / (4 * n**2)) / denom
+    return (max(0.0, centre - half), min(1.0, centre + half))
+
+
+def mission_survival_curve(
+    network: FeedForwardNetwork,
+    failure_rate: float,
+    mission_times: Sequence[float],
+    epsilon: float,
+    epsilon_prime: float,
+    *,
+    capacity: Optional[float] = None,
+    mode: str = "crash",
+) -> list[tuple[float, float]]:
+    """Certified survival over mission time with exponential lifetimes.
+
+    Each neuron fails by time ``t`` with ``p(t) = 1 - exp(-rate * t)``;
+    the curve is ``[(t, certified_survival(p(t)))]``.  This is the
+    deployment-facing face of over-provisioning: more budget = flatter
+    curve.
+    """
+    if failure_rate < 0:
+        raise ValueError(f"failure_rate must be >= 0, got {failure_rate}")
+    curve = []
+    for t in mission_times:
+        if t < 0:
+            raise ValueError(f"mission times must be >= 0, got {t}")
+        p = 1.0 - float(np.exp(-failure_rate * t))
+        curve.append(
+            (
+                float(t),
+                certified_survival_probability(
+                    network, p, epsilon, epsilon_prime,
+                    capacity=capacity, mode=mode,
+                ),
+            )
+        )
+    return curve
+
+
+def mean_failures_to_violation(
+    network: FeedForwardNetwork,
+    epsilon: float,
+    epsilon_prime: float,
+    x: np.ndarray,
+    *,
+    n_trials: int = 200,
+    seed: Optional[int] = 0,
+) -> float:
+    """Empirical mean number of sequential crashes until epsilon breaks.
+
+    Crashes neurons one at a time (uniformly at random, without
+    replacement) until the output error over the probe batch exceeds
+    the budget; returns the mean count over trials.  The analytic
+    counterpart is the greedy tolerance of
+    :func:`repro.core.tolerance.greedy_max_total_failures`, which this
+    empirical count must (weakly) exceed.
+    """
+    budget = epsilon - epsilon_prime
+    injector = FaultInjector(network, capacity=network.output_bound)
+    rng = np.random.default_rng(seed)
+    addresses = list(network.iter_addresses())
+    counts = []
+    for _ in range(n_trials):
+        order = rng.permutation(len(addresses))
+        faults = {}
+        violated_at = len(addresses)
+        for step, idx in enumerate(order, start=1):
+            faults[addresses[idx]] = CrashFault()
+            # Keep at least one correct neuron per layer — past that the
+            # computation is gone anyway.
+            scenario = FailureScenario(dict(faults))
+            err = injector.output_error(x, scenario)
+            if err > budget + 1e-12:
+                violated_at = step
+                break
+        counts.append(violated_at)
+    return float(np.mean(counts))

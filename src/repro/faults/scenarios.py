@@ -1,0 +1,363 @@
+"""Failure scenarios: which components fail, and how.
+
+A :class:`FailureScenario` is an immutable assignment of fault models
+to neuron addresses ``(l, i)`` and synapse addresses ``(l, j, i)``
+(the synapse from neuron ``i`` of layer ``l-1`` to neuron ``j`` of
+layer ``l``; ``l = L+1`` addresses synapses into the output node).
+
+Generators in this module produce the scenario families used across
+experiments:
+
+* random crash / Byzantine scenarios with a given per-layer
+  distribution ``(f_l)`` — the object Theorem 3 bounds;
+* worst-case (adversarial) scenarios: kill the neurons "with highest
+  weights" (the tightness construction of Theorem 1);
+* exhaustive enumerations for small networks (the combinatorial
+  explosion the paper's analytical bounds let you avoid).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..network.model import FeedForwardNetwork, NeuronAddress
+from .types import (
+    ByzantineFault,
+    CrashFault,
+    FaultModel,
+    NeuronFault,
+    SynapseFault,
+)
+
+__all__ = [
+    "FailureScenario",
+    "crash_scenario",
+    "byzantine_scenario",
+    "random_failure_scenario",
+    "worst_case_crash_scenario",
+    "worst_case_byzantine_scenario",
+    "random_synapse_scenario",
+    "exhaustive_crash_scenarios",
+    "all_single_neuron_faults",
+    "uniform_distribution",
+]
+
+SynapseAddress = tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class FailureScenario:
+    """An assignment of fault models to components.
+
+    Attributes
+    ----------
+    neuron_faults:
+        Mapping ``NeuronAddress -> NeuronFault``.
+    synapse_faults:
+        Mapping ``(l, j, i) -> SynapseFault``.
+    name:
+        Free-form label for reports.
+    """
+
+    neuron_faults: Mapping[NeuronAddress, FaultModel] = field(default_factory=dict)
+    synapse_faults: Mapping[SynapseAddress, FaultModel] = field(default_factory=dict)
+    name: str = ""
+
+    def __post_init__(self):
+        neuron_faults = {}
+        for addr, fault in dict(self.neuron_faults).items():
+            if not isinstance(addr, NeuronAddress):
+                addr = NeuronAddress(*addr)
+            if not isinstance(fault, NeuronFault):
+                raise TypeError(f"{fault!r} is not a NeuronFault (at {tuple(addr)})")
+            neuron_faults[addr] = fault
+        synapse_faults = {}
+        for saddr, fault in dict(self.synapse_faults).items():
+            l, j, i = (int(v) for v in saddr)
+            if l < 1:
+                raise ValueError(f"synapse layer must be >= 1, got {l}")
+            if not isinstance(fault, SynapseFault):
+                raise TypeError(f"{fault!r} is not a SynapseFault (at {(l, j, i)})")
+            synapse_faults[(l, j, i)] = fault
+        object.__setattr__(self, "neuron_faults", neuron_faults)
+        object.__setattr__(self, "synapse_faults", synapse_faults)
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def num_neuron_faults(self) -> int:
+        return len(self.neuron_faults)
+
+    @property
+    def num_synapse_faults(self) -> int:
+        return len(self.synapse_faults)
+
+    def is_empty(self) -> bool:
+        return not self.neuron_faults and not self.synapse_faults
+
+    def neuron_distribution(self, depth: int) -> tuple[int, ...]:
+        """Per-layer fault counts ``(f_1, ..., f_L)`` — the ``Nfail``
+        of Theorem 3."""
+        counts = [0] * depth
+        for addr in self.neuron_faults:
+            if addr.layer > depth:
+                raise ValueError(
+                    f"scenario addresses layer {addr.layer} but depth is {depth}"
+                )
+            counts[addr.layer - 1] += 1
+        return tuple(counts)
+
+    def synapse_distribution(self, depth: int) -> tuple[int, ...]:
+        """Per-synapse-stage fault counts ``(f_1, ..., f_{L+1})`` — the
+        ``Nfail`` of Theorem 4 (stage ``l`` = synapses into layer ``l``)."""
+        counts = [0] * (depth + 1)
+        for (l, _j, _i) in self.synapse_faults:
+            if l > depth + 1:
+                raise ValueError(
+                    f"scenario addresses synapse stage {l} but depth is {depth}"
+                )
+            counts[l - 1] += 1
+        return tuple(counts)
+
+    def validate(self, network: FeedForwardNetwork) -> "FailureScenario":
+        """Check every address against the network topology; return self."""
+        for addr in self.neuron_faults:
+            network.check_address(addr)
+        sizes = (network.input_dim,) + network.layer_sizes + (network.n_outputs,)
+        for (l, j, i) in self.synapse_faults:
+            if l > network.depth + 1:
+                raise ValueError(f"synapse stage {l} > L+1 = {network.depth + 1}")
+            n_out, n_in = sizes[l], sizes[l - 1]
+            if not (0 <= j < n_out and 0 <= i < n_in):
+                raise ValueError(
+                    f"synapse ({l},{j},{i}) outside stage shape ({n_out},{n_in})"
+                )
+            if l <= network.depth and not network.layers[l - 1].synapse_mask()[j, i]:
+                raise ValueError(
+                    f"synapse ({l},{j},{i}) does not physically exist "
+                    "(outside the receptive field)"
+                )
+        return self
+
+    def merged_with(self, other: "FailureScenario") -> "FailureScenario":
+        """Union of two scenarios (the other wins on collisions)."""
+        return FailureScenario(
+            {**self.neuron_faults, **other.neuron_faults},
+            {**self.synapse_faults, **other.synapse_faults},
+            name=f"{self.name}+{other.name}" if self.name or other.name else "",
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FailureScenario(name={self.name!r}, neurons={self.num_neuron_faults}, "
+            f"synapses={self.num_synapse_faults})"
+        )
+
+
+#: The scenario with no failures (nominal operation).
+NOMINAL = FailureScenario(name="nominal")
+
+
+# ---------------------------------------------------------------------------
+# Constructors
+# ---------------------------------------------------------------------------
+
+
+def crash_scenario(
+    addresses: Iterable["NeuronAddress | tuple[int, int]"],
+    name: str = "crash",
+) -> FailureScenario:
+    """All listed neurons crash."""
+    fault = CrashFault()
+    return FailureScenario(
+        {NeuronAddress(*a) if not isinstance(a, NeuronAddress) else a: fault
+         for a in addresses},
+        name=name,
+    )
+
+
+def byzantine_scenario(
+    addresses: Iterable["NeuronAddress | tuple[int, int]"],
+    *,
+    value: Optional[float] = None,
+    sign: int = 1,
+    name: str = "byzantine",
+) -> FailureScenario:
+    """All listed neurons turn Byzantine with the same emission rule."""
+    fault = ByzantineFault(value=value, sign=sign)
+    return FailureScenario(
+        {NeuronAddress(*a) if not isinstance(a, NeuronAddress) else a: fault
+         for a in addresses},
+        name=name,
+    )
+
+
+def uniform_distribution(network: FeedForwardNetwork, fraction: float) -> tuple[int, ...]:
+    """A per-layer distribution failing ``floor(fraction * N_l)`` per layer."""
+    if not 0 <= fraction <= 1:
+        raise ValueError(f"fraction must be in [0,1], got {fraction}")
+    return tuple(int(np.floor(fraction * n)) for n in network.layer_sizes)
+
+
+def _sample_layer_indices(
+    rng: np.random.Generator, width: int, count: int
+) -> np.ndarray:
+    if count > width:
+        raise ValueError(f"cannot fail {count} neurons in a layer of width {width}")
+    return rng.choice(width, size=count, replace=False)
+
+
+def random_failure_scenario(
+    network: FeedForwardNetwork,
+    distribution: Sequence[int],
+    *,
+    fault: Optional[FaultModel] = None,
+    rng: Optional[np.random.Generator] = None,
+    name: str = "random",
+) -> FailureScenario:
+    """Fail ``distribution[l-1]`` uniformly-random neurons in each layer.
+
+    ``fault`` defaults to :class:`CrashFault`; pass a
+    :class:`ByzantineFault` for the Byzantine campaigns.
+    """
+    if len(distribution) != network.depth:
+        raise ValueError(
+            f"distribution length {len(distribution)} != depth {network.depth}"
+        )
+    rng = rng if rng is not None else np.random.default_rng()
+    fault = fault if fault is not None else CrashFault()
+    faults: dict[NeuronAddress, FaultModel] = {}
+    for l, (width, count) in enumerate(zip(network.layer_sizes, distribution), start=1):
+        for i in _sample_layer_indices(rng, width, int(count)):
+            faults[NeuronAddress(l, int(i))] = fault
+    return FailureScenario(faults, name=name)
+
+
+def _outgoing_weight_scores(network: FeedForwardNetwork, layer: int) -> np.ndarray:
+    """Influence score per neuron of 1-based ``layer``: max |outgoing weight|.
+
+    The Theorem-1 tightness construction kills the neurons with the
+    highest outgoing weights; this generalises it to hidden layers.
+    """
+    if layer == network.depth:
+        out = np.abs(network.output_weights)  # (n_outputs, N_L)
+        return out.max(axis=0)
+    # 0-based ``layers[layer]`` is 1-based layer ``layer + 1``, whose dense
+    # weights have shape (N_{layer+1}, N_layer).
+    dense = np.abs(network.layers[layer].dense_weights())
+    return dense.max(axis=0)
+
+
+def worst_case_crash_scenario(
+    network: FeedForwardNetwork,
+    distribution: Sequence[int],
+    name: str = "worst-crash",
+) -> FailureScenario:
+    """Crash the ``f_l`` highest-influence neurons of each layer."""
+    if len(distribution) != network.depth:
+        raise ValueError(
+            f"distribution length {len(distribution)} != depth {network.depth}"
+        )
+    faults: dict[NeuronAddress, FaultModel] = {}
+    fault = CrashFault()
+    for l, count in enumerate(distribution, start=1):
+        count = int(count)
+        if count == 0:
+            continue
+        width = network.layer_sizes[l - 1]
+        if count > width:
+            raise ValueError(f"cannot fail {count} of {width} neurons in layer {l}")
+        scores = _outgoing_weight_scores(network, l)
+        victims = np.argsort(scores)[::-1][:count]
+        for i in victims:
+            faults[NeuronAddress(l, int(i))] = fault
+    return FailureScenario(faults, name=name)
+
+
+def worst_case_byzantine_scenario(
+    network: FeedForwardNetwork,
+    distribution: Sequence[int],
+    *,
+    sign: int = 1,
+    name: str = "worst-byzantine",
+) -> FailureScenario:
+    """Highest-influence neurons emit capacity-saturating values."""
+    base = worst_case_crash_scenario(network, distribution, name=name)
+    fault = ByzantineFault(value=None, sign=sign)
+    return FailureScenario(
+        {addr: fault for addr in base.neuron_faults}, name=name
+    )
+
+
+def random_synapse_scenario(
+    network: FeedForwardNetwork,
+    distribution: Sequence[int],
+    *,
+    fault: Optional[SynapseFault] = None,
+    rng: Optional[np.random.Generator] = None,
+    name: str = "random-synapse",
+) -> FailureScenario:
+    """Fail ``distribution[l-1]`` random synapses at each stage ``l``.
+
+    ``distribution`` has length ``L+1`` (stage ``L+1`` feeds the output
+    node).  ``fault`` defaults to the Lemma-2 worst case
+    (:class:`SynapseByzantineFault` saturating the capacity).
+    """
+    from .types import SynapseByzantineFault
+
+    if len(distribution) != network.depth + 1:
+        raise ValueError(
+            f"distribution length {len(distribution)} != L+1 = {network.depth + 1}"
+        )
+    rng = rng if rng is not None else np.random.default_rng()
+    fault = fault if fault is not None else SynapseByzantineFault()
+    faults: dict[SynapseAddress, SynapseFault] = {}
+    for l, count in enumerate(distribution, start=1):
+        count = int(count)
+        if count == 0:
+            continue
+        if l <= network.depth:
+            mask = network.layers[l - 1].synapse_mask()
+        else:
+            mask = np.ones((network.n_outputs, network.layer_sizes[-1]), dtype=bool)
+        js, is_ = np.nonzero(mask)
+        if count > js.size:
+            raise ValueError(f"cannot fail {count} of {js.size} synapses at stage {l}")
+        picks = rng.choice(js.size, size=count, replace=False)
+        for p in picks:
+            faults[(l, int(js[p]), int(is_[p]))] = fault
+    return FailureScenario(synapse_faults=faults, name=name)
+
+
+# ---------------------------------------------------------------------------
+# Enumerations (the combinatorial explosion, made explicit)
+# ---------------------------------------------------------------------------
+
+
+def exhaustive_crash_scenarios(
+    network: FeedForwardNetwork,
+    n_fail: int,
+) -> Iterator[FailureScenario]:
+    """Every way to crash exactly ``n_fail`` neurons anywhere.
+
+    This is the experiment the paper calls "discouraging": the number
+    of scenarios is C(num_neurons, n_fail).  Only feasible for small
+    networks — which is exactly the point of having analytic bounds.
+    """
+    addresses = list(network.iter_addresses())
+    for combo in itertools.combinations(addresses, n_fail):
+        yield crash_scenario(combo, name=f"crash{tuple(map(tuple, combo))}")
+
+
+def all_single_neuron_faults(
+    network: FeedForwardNetwork,
+    fault: Optional[FaultModel] = None,
+) -> Iterator[FailureScenario]:
+    """One scenario per neuron, each failing just that neuron."""
+    fault = fault if fault is not None else CrashFault()
+    for addr in network.iter_addresses():
+        yield FailureScenario({addr: fault}, name=f"single{tuple(addr)}")

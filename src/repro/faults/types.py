@@ -1,0 +1,293 @@
+"""Fault models for neurons and synapses (paper, Section II-B).
+
+The paper distinguishes:
+
+* **crashed neurons** — stop sending; downstream neurons read ``0``
+  (Definition 2);
+* **Byzantine neurons** — send an arbitrary value, but every synapse
+  out of a Byzantine neuron transmits at most ``C`` in absolute value
+  (Assumption 1, bounded transmission);
+* **crashed synapses** — weight behaves as ``0``;
+* **Byzantine synapses** — transmit an arbitrary value within capacity;
+  equivalently an additive error ``lambda`` with ``|lambda| <= C`` on
+  the received sum (Lemma 2).
+
+Each fault model maps the *nominal* emitted value to the *faulty* one;
+capacity clipping is applied by the injector, once, uniformly — so a
+``ByzantineFault(value=1e9)`` under capacity ``C=2`` emits exactly 2,
+and under unbounded capacity emits 1e9 (the Lemma-1 regime).
+
+Additional engineering-grade models (stuck-at, additive noise, sign
+flip) are provided for the wider fault-injection campaigns; they are
+all special cases of the Byzantine model and therefore covered by the
+paper's bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "FaultModel",
+    "NeuronFault",
+    "SynapseFault",
+    "CrashFault",
+    "ByzantineFault",
+    "StuckAtFault",
+    "OffsetFault",
+    "NoiseFault",
+    "IntermittentFault",
+    "SignFlipFault",
+    "SynapseCrashFault",
+    "SynapseByzantineFault",
+    "SynapseNoiseFault",
+]
+
+
+class FaultModel:
+    """Base class; concrete models override :meth:`apply`."""
+
+    #: ``"neuron"`` or ``"synapse"`` — what this model attaches to.
+    target: str = "neuron"
+    #: Short machine-readable tag for reports.
+    kind: str = "fault"
+
+    def apply(
+        self,
+        nominal: np.ndarray,
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Map nominal emitted value(s) to faulty value(s).
+
+        ``nominal`` is an array (any shape — typically ``(B,)`` over a
+        batch of inputs); the result must have the same shape.  The
+        injector clips the result to the transmission capacity.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class NeuronFault(FaultModel):
+    """Marker base for faults attached to a neuron."""
+
+    target = "neuron"
+
+
+class SynapseFault(FaultModel):
+    """Marker base for faults attached to a synapse.
+
+    A faulty synapse corrupts the *emission* it carries: ``apply``
+    receives the nominal emitted value ``y_i`` and returns the value
+    the synapse actually delivers; the receiving neuron still applies
+    its weight ``w_ji``.  The injector bounds the emission deviation
+    ``|faulty - nominal|`` by the capacity ``C``, so the received-sum
+    error is at most ``w_m^(l) * C`` — the per-synapse term of
+    Theorem 4 (and Lemma 2's neuron-equivalent error ``C * K`` after
+    squashing).
+    """
+
+    target = "synapse"
+
+
+# ---------------------------------------------------------------------------
+# Neuron faults
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CrashFault(NeuronFault):
+    """The neuron stops; downstream neurons read 0 (Definition 2)."""
+
+    kind: str = field(default="crash", init=False)
+
+    def apply(self, nominal, *, rng=None):
+        return np.zeros_like(np.asarray(nominal, dtype=np.float64))
+
+
+@dataclass(frozen=True)
+class ByzantineFault(NeuronFault):
+    """The neuron broadcasts an arbitrary value ``y + lambda``.
+
+    The injector bounds the *deviation* ``lambda`` by the capacity
+    ``C`` (Theorem 2's error model; see the module docstring of
+    :mod:`repro.faults.injector` for the interpretive note on
+    Assumption 1).
+
+    Parameters
+    ----------
+    value:
+        The requested emission; the realised emission is
+        ``y + clip(value - y, -C, +C)``.  ``None`` means "deviate as
+        much as allowed": the emission becomes ``y + sign * C`` (the
+        worst case used in the tightness proofs); it raises when the
+        capacity is unbounded (a Byzantine neuron with unbounded
+        capacity has no well-defined worst value — Lemma 1).
+    sign:
+        Direction of the capacity-saturating deviation (+1 or -1).
+    """
+
+    value: Optional[float] = None
+    sign: int = 1
+    kind: str = field(default="byzantine", init=False)
+
+    def __post_init__(self):
+        if self.sign not in (-1, 1):
+            raise ValueError(f"sign must be +-1, got {self.sign}")
+
+    def apply(self, nominal, *, rng=None):
+        nominal = np.asarray(nominal, dtype=np.float64)
+        if self.value is None:
+            # Sentinel: the injector replaces infinities by +-capacity.
+            return np.full_like(nominal, self.sign * np.inf)
+        return np.full_like(nominal, float(self.value))
+
+
+@dataclass(frozen=True)
+class StuckAtFault(NeuronFault):
+    """The neuron's output is stuck at a constant (e.g. stuck-at-1)."""
+
+    value: float = 1.0
+    kind: str = field(default="stuck_at", init=False)
+
+    def apply(self, nominal, *, rng=None):
+        nominal = np.asarray(nominal, dtype=np.float64)
+        return np.full_like(nominal, float(self.value))
+
+
+@dataclass(frozen=True)
+class OffsetFault(NeuronFault):
+    """The neuron broadcasts ``y + offset`` instead of ``y``.
+
+    This is Theorem 2's error model verbatim ("any neuron j within
+    layer l broadcasts an output ``y_j + lambda_j`` ... instead of the
+    nominal ``y_j``"), with a *controlled* error magnitude — the tool
+    the tightness experiments use to attain the Fep bound exactly in
+    the linear regime of a hard-sigmoid network.
+    """
+
+    offset: float = 0.0
+    kind: str = field(default="offset", init=False)
+
+    def apply(self, nominal, *, rng=None):
+        return np.asarray(nominal, dtype=np.float64) + float(self.offset)
+
+
+@dataclass(frozen=True)
+class NoiseFault(NeuronFault):
+    """Additive Gaussian noise on the emitted value (soft errors)."""
+
+    sigma: float = 0.1
+    kind: str = field(default="noise", init=False)
+
+    def __post_init__(self):
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {self.sigma}")
+
+    def apply(self, nominal, *, rng=None):
+        nominal = np.asarray(nominal, dtype=np.float64)
+        rng = rng if rng is not None else np.random.default_rng()
+        return nominal + rng.normal(0.0, self.sigma, size=nominal.shape)
+
+
+@dataclass(frozen=True)
+class IntermittentFault(NeuronFault):
+    """The neuron fails only sometimes (transient hardware faults).
+
+    On each evaluation, with probability ``p`` the wrapped ``fault``
+    applies; otherwise the nominal value passes through.  Decided
+    per-evaluation-batch, elementwise — so over a probe batch a
+    fraction ~``p`` of inputs see the fault.  Worst case it behaves
+    like the wrapped fault everywhere, so all bounds still apply.
+    """
+
+    p: float = 0.5
+    fault: "NeuronFault" = None  # type: ignore[assignment]
+    kind: str = field(default="intermittent", init=False)
+
+    def __post_init__(self):
+        if not 0 <= self.p <= 1:
+            raise ValueError(f"p must be in [0, 1], got {self.p}")
+        if self.fault is None:
+            object.__setattr__(self, "fault", CrashFault())
+        if not isinstance(self.fault, NeuronFault):
+            raise TypeError(f"wrapped fault must be a NeuronFault, got {self.fault!r}")
+
+    def apply(self, nominal, *, rng=None):
+        nominal = np.asarray(nominal, dtype=np.float64)
+        rng = rng if rng is not None else np.random.default_rng()
+        hit = rng.random(nominal.shape) < self.p
+        faulty = self.fault.apply(nominal, rng=rng)
+        return np.where(hit, faulty, nominal)
+
+
+@dataclass(frozen=True)
+class SignFlipFault(NeuronFault):
+    """The neuron emits the negation of its nominal value."""
+
+    kind: str = field(default="sign_flip", init=False)
+
+    def apply(self, nominal, *, rng=None):
+        return -np.asarray(nominal, dtype=np.float64)
+
+
+# ---------------------------------------------------------------------------
+# Synapse faults
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SynapseCrashFault(SynapseFault):
+    """The synapse stops transmitting: it delivers 0 instead of the
+    emission (equivalently, weight value 0 — Section II-A)."""
+
+    kind: str = field(default="synapse_crash", init=False)
+
+    def apply(self, nominal, *, rng=None):
+        return np.zeros_like(np.asarray(nominal, dtype=np.float64))
+
+
+@dataclass(frozen=True)
+class SynapseByzantineFault(SynapseFault):
+    """The synapse delivers the emission plus an error ``lambda``.
+
+    ``offset=None`` saturates the capacity (``lambda = sign * C``),
+    mirroring the Lemma-2 / Theorem-4 worst case (received-sum error
+    ``w_ji * C``).
+    """
+
+    offset: Optional[float] = None
+    sign: int = 1
+    kind: str = field(default="synapse_byzantine", init=False)
+
+    def __post_init__(self):
+        if self.sign not in (-1, 1):
+            raise ValueError(f"sign must be +-1, got {self.sign}")
+
+    def apply(self, nominal, *, rng=None):
+        nominal = np.asarray(nominal, dtype=np.float64)
+        if self.offset is None:
+            return nominal + self.sign * np.inf
+        return nominal + float(self.offset)
+
+
+@dataclass(frozen=True)
+class SynapseNoiseFault(SynapseFault):
+    """Additive Gaussian noise on the carried emission."""
+
+    sigma: float = 0.1
+    kind: str = field(default="synapse_noise", init=False)
+
+    def __post_init__(self):
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {self.sigma}")
+
+    def apply(self, nominal, *, rng=None):
+        nominal = np.asarray(nominal, dtype=np.float64)
+        rng = rng if rng is not None else np.random.default_rng()
+        return nominal + rng.normal(0.0, self.sigma, size=nominal.shape)

@@ -1,0 +1,57 @@
+"""Neural-network substrate: activations, layers, models, construction,
+serialization.  This is the system under study — the paper's multilayer
+perceptron of Section II-A, built from scratch on NumPy.
+"""
+
+from .activations import (
+    Activation,
+    HardSigmoid,
+    Identity,
+    LeakyReLU,
+    ReLU,
+    Sigmoid,
+    SoftSign,
+    Tanh,
+    available_activations,
+    get_activation,
+    register_activation,
+)
+from .builder import (
+    build_conv_net,
+    build_figure3_network,
+    build_mlp,
+    figure3_architectures,
+    random_network,
+)
+from .initializers import get_initializer
+from .layers import Conv1DLayer, DenseLayer, Layer, layer_from_spec
+from .model import FeedForwardNetwork, NeuronAddress
+from .serialization import load_network, save_network
+
+__all__ = [
+    "Activation",
+    "Sigmoid",
+    "Tanh",
+    "HardSigmoid",
+    "ReLU",
+    "LeakyReLU",
+    "SoftSign",
+    "Identity",
+    "get_activation",
+    "register_activation",
+    "available_activations",
+    "get_initializer",
+    "Layer",
+    "DenseLayer",
+    "Conv1DLayer",
+    "layer_from_spec",
+    "FeedForwardNetwork",
+    "NeuronAddress",
+    "build_mlp",
+    "build_conv_net",
+    "random_network",
+    "figure3_architectures",
+    "build_figure3_network",
+    "save_network",
+    "load_network",
+]

@@ -1,0 +1,350 @@
+"""Activation ("squashing") functions with explicit Lipschitz metadata.
+
+The paper's entire theory is parameterised by three analytic facts about
+the activation function ``phi``:
+
+1. it is bounded (``phi_max = sup |phi|`` replaces the transmission
+   capacity ``C`` in the crash-only case, Section IV-B);
+2. it is ``K``-Lipschitz (``K = sup |phi(x) - phi(y)| / |x - y|``), which
+   drives the ``K**(L - l)`` amplification in the Forward Error
+   Propagation (Theorem 2);
+3. it satisfies the hypotheses of the universality theorem
+   (non-constant, bounded, monotonically increasing) so that
+   over-provisioned epsilon'-approximations exist at all (Section II-A).
+
+Every activation in this module therefore carries its Lipschitz constant
+``K`` and its range as first-class attributes, and the sigmoid family is
+*K-tunable* exactly as in the paper's Figure 2: the logistic function is
+1/4-Lipschitz, so ``x -> sigmoid(4*K*x)`` is ``K``-Lipschitz.
+
+All ``__call__``/``derivative`` implementations are vectorised NumPy and
+safe on arbitrarily-shaped arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Type
+
+import numpy as np
+
+__all__ = [
+    "Activation",
+    "Sigmoid",
+    "Tanh",
+    "ReLU",
+    "LeakyReLU",
+    "HardSigmoid",
+    "Identity",
+    "SoftSign",
+    "get_activation",
+    "register_activation",
+    "available_activations",
+]
+
+
+class Activation:
+    """Base class for activation functions.
+
+    Subclasses must define :meth:`__call__` and :meth:`derivative` and
+    set the analytic attributes below.
+
+    Attributes
+    ----------
+    lipschitz:
+        The (exact) Lipschitz constant ``K`` of the function.
+    lower, upper:
+        The infimum / supremum of the range.  ``upper`` doubles as the
+        crash-case transmission bound (a correct neuron can never emit
+        more than ``upper`` in absolute value; the paper uses 1 for the
+        sigmoid).
+    satisfies_universality:
+        ``True`` when the function meets the universality theorem's
+        hypotheses (strictly increasing, bounded, limits 0 and 1 after
+        affine renormalisation).  The bounds in :mod:`repro.core` only
+        *require* bounded + Lipschitz, so e.g. ReLU is provided for
+        completeness but flagged.
+    """
+
+    name: str = "activation"
+    lipschitz: float = 1.0
+    lower: float = 0.0
+    upper: float = 1.0
+    satisfies_universality: bool = False
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def derivative(self, x: np.ndarray) -> np.ndarray:
+        """Pointwise derivative ``phi'(x)`` (used by backprop)."""
+        raise NotImplementedError
+
+    # -- analytic metadata ------------------------------------------------
+
+    @property
+    def output_bound(self) -> float:
+        """``sup |phi|`` — the worst value a *correct* neuron can emit.
+
+        Replaces the Byzantine capacity ``C`` in the crash-only bounds
+        (Theorem 3, remark in Section IV-B).
+        """
+        return max(abs(self.lower), abs(self.upper))
+
+    def spec(self) -> dict:
+        """JSON-serialisable description (used by model serialization)."""
+        return {"name": self.name}
+
+    # -- conveniences ------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(K={self.lipschitz:g})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Activation) and self.spec() == other.spec()
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self.spec().items())))
+
+
+class Sigmoid(Activation):
+    """The K-tunable logistic function of the paper (Figure 2).
+
+    ``sigmoid(x) = 1 / (1 + exp(-x))`` is exactly 1/4-Lipschitz (the
+    derivative peaks at 1/4 at the origin).  Following Section II-A we
+    expose ``Sigmoid(k)`` computing ``sigmoid(4*k*x)``, which is exactly
+    ``k``-Lipschitz, strictly increasing, with limits 0 and 1 — i.e. a
+    valid squashing function for any ``k > 0``.
+
+    Parameters
+    ----------
+    k:
+        Target Lipschitz constant.  ``k = 0.25`` recovers the vanilla
+        logistic function.
+    """
+
+    name = "sigmoid"
+    lower = 0.0
+    upper = 1.0
+    satisfies_universality = True
+
+    def __init__(self, k: float = 0.25):
+        if k <= 0:
+            raise ValueError(f"Lipschitz constant must be positive, got {k}")
+        self.k = float(k)
+        self.lipschitz = float(k)
+        self._scale = 4.0 * float(k)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        z = self._scale * np.asarray(x, dtype=np.float64)
+        # Numerically stable piecewise evaluation: never exponentiate a
+        # large positive argument.
+        out = np.empty_like(z)
+        pos = z >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+        ez = np.exp(z[~pos])
+        out[~pos] = ez / (1.0 + ez)
+        return out
+
+    def derivative(self, x: np.ndarray) -> np.ndarray:
+        s = self(x)
+        return self._scale * s * (1.0 - s)
+
+    def spec(self) -> dict:
+        return {"name": self.name, "k": self.k}
+
+
+class Tanh(Activation):
+    """K-tunable hyperbolic tangent, rescaled to range (0, 1).
+
+    The paper's model maps into ``[0, 1]`` (targets live in
+    ``C([0,1]^d, [0,1])``), so we use the affinely renormalised
+    ``(tanh(2*k*x) + 1) / 2`` which is ``k``-Lipschitz with limits 0/1.
+    """
+
+    name = "tanh"
+    lower = 0.0
+    upper = 1.0
+    satisfies_universality = True
+
+    def __init__(self, k: float = 0.5):
+        if k <= 0:
+            raise ValueError(f"Lipschitz constant must be positive, got {k}")
+        self.k = float(k)
+        self.lipschitz = float(k)
+        self._scale = 2.0 * float(k)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        z = self._scale * np.asarray(x, dtype=np.float64)
+        return 0.5 * (np.tanh(z) + 1.0)
+
+    def derivative(self, x: np.ndarray) -> np.ndarray:
+        z = self._scale * np.asarray(x, dtype=np.float64)
+        t = np.tanh(z)
+        return 0.5 * self._scale * (1.0 - t * t)
+
+    def spec(self) -> dict:
+        return {"name": self.name, "k": self.k}
+
+
+class HardSigmoid(Activation):
+    """Piecewise-linear squashing ``clip(k*x + 1/2, 0, 1)``.
+
+    Exactly ``k``-Lipschitz and bounded; *weakly* (not strictly)
+    increasing, hence flagged as not satisfying the universality
+    hypotheses, but it attains the Lipschitz bound on an interval, which
+    makes tightness experiments sharp.
+    """
+
+    name = "hard_sigmoid"
+    lower = 0.0
+    upper = 1.0
+    satisfies_universality = False
+
+    def __init__(self, k: float = 0.25):
+        if k <= 0:
+            raise ValueError(f"Lipschitz constant must be positive, got {k}")
+        self.k = float(k)
+        self.lipschitz = float(k)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        z = self.k * np.asarray(x, dtype=np.float64) + 0.5
+        return np.clip(z, 0.0, 1.0)
+
+    def derivative(self, x: np.ndarray) -> np.ndarray:
+        z = self.k * np.asarray(x, dtype=np.float64) + 0.5
+        return np.where((z > 0.0) & (z < 1.0), self.k, 0.0)
+
+    def spec(self) -> dict:
+        return {"name": self.name, "k": self.k}
+
+
+class ReLU(Activation):
+    """Rectified linear unit — 1-Lipschitz but *unbounded*.
+
+    Provided as the canonical counter-example: the crash-case bounds of
+    the paper require a bounded activation, and :mod:`repro.core.bounds`
+    refuses to substitute ``output_bound`` for ``C`` when it is infinite.
+    """
+
+    name = "relu"
+    lipschitz = 1.0
+    lower = 0.0
+    upper = np.inf
+    satisfies_universality = False
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(np.asarray(x, dtype=np.float64), 0.0)
+
+    def derivative(self, x: np.ndarray) -> np.ndarray:
+        return (np.asarray(x, dtype=np.float64) > 0.0).astype(np.float64)
+
+
+class LeakyReLU(Activation):
+    """Leaky ReLU with slope ``alpha`` on the negative side (unbounded)."""
+
+    name = "leaky_relu"
+    lower = -np.inf
+    upper = np.inf
+    satisfies_universality = False
+
+    def __init__(self, alpha: float = 0.01):
+        if not 0 <= alpha <= 1:
+            raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+        self.alpha = float(alpha)
+        self.lipschitz = 1.0
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return np.where(x > 0.0, x, self.alpha * x)
+
+    def derivative(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return np.where(x > 0.0, 1.0, self.alpha)
+
+    def spec(self) -> dict:
+        return {"name": self.name, "alpha": self.alpha}
+
+
+class SoftSign(Activation):
+    """Rescaled softsign ``(x/(1+|x|) + 1)/2`` — 1/2-Lipschitz, range (0,1)."""
+
+    name = "softsign"
+    lipschitz = 0.5
+    lower = 0.0
+    upper = 1.0
+    satisfies_universality = True
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return 0.5 * (x / (1.0 + np.abs(x)) + 1.0)
+
+    def derivative(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return 0.5 / (1.0 + np.abs(x)) ** 2
+
+
+class Identity(Activation):
+    """Identity map — used for the linear output node (not a squasher)."""
+
+    name = "identity"
+    lipschitz = 1.0
+    lower = -np.inf
+    upper = np.inf
+    satisfies_universality = False
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x, dtype=np.float64)
+
+    def derivative(self, x: np.ndarray) -> np.ndarray:
+        return np.ones_like(np.asarray(x, dtype=np.float64))
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: Dict[str, Type[Activation]] = {}
+
+
+def register_activation(cls: Type[Activation]) -> Type[Activation]:
+    """Register an :class:`Activation` subclass under its ``name``."""
+    if not issubclass(cls, Activation):
+        raise TypeError(f"{cls!r} is not an Activation subclass")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+for _cls in (Sigmoid, Tanh, HardSigmoid, ReLU, LeakyReLU, SoftSign, Identity):
+    register_activation(_cls)
+
+
+def available_activations() -> list[str]:
+    """Names of all registered activations."""
+    return sorted(_REGISTRY)
+
+
+def get_activation(spec: "str | dict | Activation") -> Activation:
+    """Instantiate an activation from a name, spec dict, or pass-through.
+
+    Examples
+    --------
+    >>> get_activation("sigmoid").lipschitz
+    0.25
+    >>> get_activation({"name": "sigmoid", "k": 2.0}).lipschitz
+    2.0
+    """
+    if isinstance(spec, Activation):
+        return spec
+    if isinstance(spec, str):
+        spec = {"name": spec}
+    if not isinstance(spec, dict) or "name" not in spec:
+        raise TypeError(f"cannot build an activation from {spec!r}")
+    kwargs = {k: v for k, v in spec.items() if k != "name"}
+    name = spec["name"]
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown activation {name!r}; available: {available_activations()}"
+        ) from None
+    return cls(**kwargs)

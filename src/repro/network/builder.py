@@ -1,0 +1,183 @@
+"""Construction helpers: spec-driven builds, random networks, and the
+eight concrete architectures used to regenerate the paper's Figure 3.
+
+The paper reports Figure 3 over "several neural networks" (eight
+series, Net 1..Net 8) "affected with similar amounts of neuron
+failures", without disclosing the architectures.  We substitute a
+concrete family spanning the relevant axes — depth 1..4 and width
+8..64 — which is sufficient to reproduce the figure's claim (output
+error grows polynomially with the Lipschitz constant ``K``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .activations import Activation, get_activation
+from .initializers import get_initializer
+from .layers import Conv1DLayer, DenseLayer, Layer
+from .model import FeedForwardNetwork
+
+__all__ = [
+    "build_mlp",
+    "build_conv_net",
+    "random_network",
+    "figure3_architectures",
+    "build_figure3_network",
+]
+
+
+def build_mlp(
+    input_dim: int,
+    hidden_sizes: Sequence[int],
+    *,
+    activation: "str | dict | Activation" = "sigmoid",
+    n_outputs: int = 1,
+    init: str = "xavier_uniform",
+    use_bias: bool = True,
+    output_scale: Optional[float] = None,
+    seed: Optional[int] = None,
+) -> FeedForwardNetwork:
+    """Build a fully-connected network ``d -> N_1 -> ... -> N_L -> out``.
+
+    Parameters
+    ----------
+    input_dim:
+        ``d``, the number of input clients.
+    hidden_sizes:
+        ``(N_1, ..., N_L)``; must be non-empty.
+    activation:
+        Squashing function for every hidden layer.
+    output_scale:
+        When given, output weights are drawn Uniform(-s, s) with
+        ``s = output_scale``; otherwise the ``init`` scheme is used.
+    seed:
+        Seed for reproducible initialisation.
+    """
+    hidden_sizes = list(hidden_sizes)
+    if not hidden_sizes:
+        raise ValueError("hidden_sizes must contain at least one layer")
+    rng = np.random.default_rng(seed)
+    act = get_activation(activation)
+    layers: list[Layer] = []
+    fan_in = input_dim
+    for width in hidden_sizes:
+        layers.append(
+            DenseLayer(fan_in, width, act, init=init, use_bias=use_bias, rng=rng)
+        )
+        fan_in = width
+    if output_scale is not None:
+        out_w = rng.uniform(-output_scale, output_scale, size=(n_outputs, fan_in))
+    else:
+        out_w = np.asarray(get_initializer(init)((n_outputs, fan_in), rng))
+    return FeedForwardNetwork(layers, out_w)
+
+
+def build_conv_net(
+    input_dim: int,
+    receptive_fields: Sequence[int],
+    *,
+    activation: "str | dict | Activation" = "sigmoid",
+    n_outputs: int = 1,
+    init: str = "xavier_uniform",
+    use_bias: bool = True,
+    seed: Optional[int] = None,
+) -> FeedForwardNetwork:
+    """Build a stack of 1-D convolutional layers plus a linear readout.
+
+    Each entry of ``receptive_fields`` creates one :class:`Conv1DLayer`
+    with that receptive field (widths shrink by ``R - 1`` per layer,
+    'valid' convolution).  Used by the Section VI experiments.
+    """
+    rng = np.random.default_rng(seed)
+    act = get_activation(activation)
+    layers: list[Layer] = []
+    fan_in = input_dim
+    for r in receptive_fields:
+        layer = Conv1DLayer(fan_in, r, act, init=init, use_bias=use_bias, rng=rng)
+        layers.append(layer)
+        fan_in = layer.n_out
+    out_w = np.asarray(get_initializer(init)((n_outputs, fan_in), rng))
+    return FeedForwardNetwork(layers, out_w)
+
+
+def random_network(
+    *,
+    max_depth: int = 3,
+    max_width: int = 12,
+    max_input_dim: int = 5,
+    activation: "str | dict | Activation" = "sigmoid",
+    weight_scale: float = 1.0,
+    seed: Optional[int] = None,
+) -> FeedForwardNetwork:
+    """Draw a random architecture + weights (tests, property checks).
+
+    Weights are Uniform(-weight_scale, weight_scale), so every
+    ``w_m^(l) <= weight_scale`` by construction.
+    """
+    rng = np.random.default_rng(seed)
+    depth = int(rng.integers(1, max_depth + 1))
+    input_dim = int(rng.integers(1, max_input_dim + 1))
+    widths = [int(rng.integers(2, max_width + 1)) for _ in range(depth)]
+    return build_mlp(
+        input_dim,
+        widths,
+        activation=activation,
+        init={"name": "uniform", "scale": weight_scale},
+        output_scale=weight_scale,
+        seed=int(rng.integers(0, 2**31 - 1)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 family
+# ---------------------------------------------------------------------------
+
+#: The eight architectures standing in for the paper's Net 1..Net 8.
+#: (input_dim, hidden_sizes) — chosen to span depth 1..4 and width 8..64
+#: so the K-dependence exponent (= depth for first-layer faults) varies
+#: across series exactly as the spread in the paper's Figure 3 does.
+FIGURE3_SPECS: tuple[tuple[int, tuple[int, ...]], ...] = (
+    (2, (16,)),
+    (2, (64,)),
+    (3, (16, 16)),
+    (3, (32, 16)),
+    (4, (24, 24, 24)),
+    (4, (48, 24, 12)),
+    (5, (16, 16, 16, 16)),
+    (5, (32, 32, 16, 8)),
+)
+
+
+def figure3_architectures() -> tuple[tuple[int, tuple[int, ...]], ...]:
+    """The (input_dim, hidden_sizes) pairs of the Figure-3 family."""
+    return FIGURE3_SPECS
+
+
+def build_figure3_network(
+    index: int,
+    k: float,
+    *,
+    seed: Optional[int] = None,
+    weight_scale: float = 0.8,
+) -> FeedForwardNetwork:
+    """Build Net ``index`` (0-based, 0..7) with a K-tuned sigmoid.
+
+    The same seed produces the same weights for every ``k``, so sweeps
+    over ``k`` isolate the activation-steepness effect, as Figure 3
+    requires (the failure pattern and weights are held fixed while K
+    varies).
+    """
+    if not 0 <= index < len(FIGURE3_SPECS):
+        raise ValueError(f"index {index} outside 0..{len(FIGURE3_SPECS) - 1}")
+    input_dim, hidden = FIGURE3_SPECS[index]
+    return build_mlp(
+        input_dim,
+        hidden,
+        activation={"name": "sigmoid", "k": k},
+        init={"name": "uniform", "scale": weight_scale},
+        output_scale=weight_scale,
+        seed=seed if seed is not None else 1000 + index,
+    )

@@ -1,0 +1,133 @@
+"""Weight initialisation schemes for the from-scratch network substrate.
+
+The paper's bounds depend on the *maximum synaptic weight* ``w_m^(l)``
+per layer, so initialisers here let callers control that quantity
+directly (``uniform(scale)`` bounds |w| <= scale by construction), on
+top of the usual variance-scaled schemes used to make training converge.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+__all__ = [
+    "Initializer",
+    "UniformInitializer",
+    "NormalInitializer",
+    "XavierUniform",
+    "XavierNormal",
+    "HeNormal",
+    "ConstantInitializer",
+    "get_initializer",
+]
+
+
+class Initializer:
+    """Base class: maps a shape ``(fan_out, fan_in)`` to a weight matrix."""
+
+    name = "initializer"
+
+    def __call__(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+
+class UniformInitializer(Initializer):
+    """i.i.d. Uniform(-scale, scale); guarantees ``w_m <= scale``."""
+
+    name = "uniform"
+
+    def __init__(self, scale: float = 0.5):
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.scale = float(scale)
+
+    def __call__(self, shape, rng):
+        return rng.uniform(-self.scale, self.scale, size=shape)
+
+
+class NormalInitializer(Initializer):
+    """i.i.d. Normal(0, std^2)."""
+
+    name = "normal"
+
+    def __init__(self, std: float = 0.1):
+        if std <= 0:
+            raise ValueError(f"std must be positive, got {std}")
+        self.std = float(std)
+
+    def __call__(self, shape, rng):
+        return rng.normal(0.0, self.std, size=shape)
+
+
+class XavierUniform(Initializer):
+    """Glorot/Xavier uniform: Uniform(+-sqrt(6/(fan_in+fan_out)))."""
+
+    name = "xavier_uniform"
+
+    def __call__(self, shape, rng):
+        fan_out, fan_in = shape[0], shape[-1]
+        limit = np.sqrt(6.0 / (fan_in + fan_out))
+        return rng.uniform(-limit, limit, size=shape)
+
+
+class XavierNormal(Initializer):
+    """Glorot/Xavier normal: Normal(0, 2/(fan_in+fan_out))."""
+
+    name = "xavier_normal"
+
+    def __call__(self, shape, rng):
+        fan_out, fan_in = shape[0], shape[-1]
+        std = np.sqrt(2.0 / (fan_in + fan_out))
+        return rng.normal(0.0, std, size=shape)
+
+
+class HeNormal(Initializer):
+    """He/Kaiming normal: Normal(0, 2/fan_in)."""
+
+    name = "he_normal"
+
+    def __call__(self, shape, rng):
+        fan_in = shape[-1]
+        std = np.sqrt(2.0 / fan_in)
+        return rng.normal(0.0, std, size=shape)
+
+
+class ConstantInitializer(Initializer):
+    """All weights equal to ``value`` (worst-case constructions, tests)."""
+
+    name = "constant"
+
+    def __init__(self, value: float = 0.0):
+        self.value = float(value)
+
+    def __call__(self, shape, rng):
+        return np.full(shape, self.value, dtype=np.float64)
+
+
+_REGISTRY: Dict[str, Callable[..., Initializer]] = {
+    "uniform": UniformInitializer,
+    "normal": NormalInitializer,
+    "xavier_uniform": XavierUniform,
+    "xavier_normal": XavierNormal,
+    "he_normal": HeNormal,
+    "constant": ConstantInitializer,
+}
+
+
+def get_initializer(spec: "str | dict | Initializer") -> Initializer:
+    """Instantiate an initializer from a name, spec dict, or pass-through."""
+    if isinstance(spec, Initializer):
+        return spec
+    if isinstance(spec, str):
+        spec = {"name": spec}
+    if not isinstance(spec, dict) or "name" not in spec:
+        raise TypeError(f"cannot build an initializer from {spec!r}")
+    kwargs = {k: v for k, v in spec.items() if k != "name"}
+    name = spec["name"]
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown initializer {name!r}; available: {sorted(_REGISTRY)}") from None
+    return cls(**kwargs)

@@ -1,0 +1,340 @@
+"""Layer primitives for the feed-forward substrate.
+
+Two layer types are provided:
+
+* :class:`DenseLayer` — the fully-connected layer of the paper's
+  multilayer perceptron model (Equations 1-3): every neuron of layer
+  ``l`` receives a weighted sum of all outputs of layer ``l-1`` and
+  applies the squashing function.
+* :class:`Conv1DLayer` — a one-dimensional convolutional layer with a
+  limited receptive field and shared weights, matching the paper's
+  Section VI discussion of convolutional networks (each neuron of layer
+  ``l`` is connected to ``R`` neurons of layer ``l-1`` only, and the
+  weight values are shared across positions).
+
+Both expose the same protocol (``forward``, ``pre_activation``,
+``dense_weights``, ``max_abs_weight``, ``spec``) so the fault-injection
+engine and the bound calculators treat them uniformly.  Biases are
+supported but, following the paper's notational convention (footnote 4),
+are modelled as the weight from an always-correct constant neuron: they
+never fail and are excluded from ``max_abs_weight`` by default.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .activations import Activation, get_activation
+from .initializers import Initializer, get_initializer
+
+__all__ = ["Layer", "DenseLayer", "Conv1DLayer", "layer_from_spec"]
+
+
+class Layer:
+    """Protocol base class for network layers."""
+
+    n_in: int
+    n_out: int
+    activation: Activation
+
+    # -- forward -----------------------------------------------------------
+
+    def pre_activation(self, x: np.ndarray) -> np.ndarray:
+        """The received sums ``s_j`` (Equation 3), before squashing."""
+        raise NotImplementedError
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """``y_j = phi(s_j)`` (Equation 2)."""
+        return self.activation(self.pre_activation(x))
+
+    # -- structural metadata ------------------------------------------------
+
+    def dense_weights(self) -> np.ndarray:
+        """Equivalent dense ``(n_out, n_in)`` weight matrix.
+
+        For dense layers this is the weight matrix itself (a view);
+        convolutional layers materialise their sparse banded equivalent.
+        Used by the fault injector (synapse faults) and the topology
+        exporter.
+        """
+        raise NotImplementedError
+
+    def max_abs_weight(self) -> float:
+        """``w_m`` — the maximum synaptic weight norm into this layer.
+
+        For convolutional layers this runs over the ``R`` *distinct*
+        kernel values only (paper, Section VI): zero entries of the
+        dense equivalent are structural absences, not synapses.
+        """
+        raise NotImplementedError
+
+    def parameters(self) -> dict[str, np.ndarray]:
+        """Trainable arrays, by name (views — mutate to update)."""
+        raise NotImplementedError
+
+    def spec(self) -> dict:
+        raise NotImplementedError
+
+    @property
+    def num_synapses(self) -> int:
+        """Number of physical synapses entering this layer."""
+        return int(np.count_nonzero(self.synapse_mask()))
+
+    def synapse_mask(self) -> np.ndarray:
+        """Boolean ``(n_out, n_in)`` mask of physically-present synapses."""
+        return np.ones((self.n_out, self.n_in), dtype=bool)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(n_in={self.n_in}, n_out={self.n_out}, "
+            f"activation={self.activation!r})"
+        )
+
+
+class DenseLayer(Layer):
+    """Fully-connected layer ``y = phi(W x + b)``.
+
+    Parameters
+    ----------
+    n_in, n_out:
+        Fan-in / fan-out.
+    activation:
+        Activation spec (name, dict or instance); see
+        :func:`repro.network.activations.get_activation`.
+    weights, bias:
+        Explicit arrays (used by deserialisation and worst-case
+        constructions).  ``weights`` has shape ``(n_out, n_in)``.
+    init:
+        Initializer spec used when ``weights`` is not given.
+    use_bias:
+        When ``False`` the layer is bias-free, exactly matching the
+        paper's computation model.
+    rng:
+        Generator for initialisation (defaults to a fresh default_rng).
+    """
+
+    def __init__(
+        self,
+        n_in: int,
+        n_out: int,
+        activation: "str | dict | Activation" = "sigmoid",
+        *,
+        weights: Optional[np.ndarray] = None,
+        bias: Optional[np.ndarray] = None,
+        init: "str | dict | Initializer" = "xavier_uniform",
+        use_bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if n_in <= 0 or n_out <= 0:
+            raise ValueError(f"layer dimensions must be positive, got ({n_in}, {n_out})")
+        self.n_in = int(n_in)
+        self.n_out = int(n_out)
+        self.activation = get_activation(activation)
+        self.use_bias = bool(use_bias)
+
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != (self.n_out, self.n_in):
+                raise ValueError(
+                    f"weights shape {weights.shape} != ({self.n_out}, {self.n_in})"
+                )
+            self.weights = weights.copy()
+        else:
+            rng = rng if rng is not None else np.random.default_rng()
+            initializer = get_initializer(init)
+            self.weights = np.asarray(
+                initializer((self.n_out, self.n_in), rng), dtype=np.float64
+            )
+
+        if bias is not None:
+            bias = np.asarray(bias, dtype=np.float64)
+            if bias.shape != (self.n_out,):
+                raise ValueError(f"bias shape {bias.shape} != ({self.n_out},)")
+            self.bias = bias.copy()
+            self.use_bias = True
+        else:
+            self.bias = np.zeros(self.n_out, dtype=np.float64)
+
+    # -- forward -----------------------------------------------------------
+
+    def pre_activation(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        s = x @ self.weights.T
+        if self.use_bias:
+            s = s + self.bias
+        return s
+
+    # -- metadata ------------------------------------------------------------
+
+    def dense_weights(self) -> np.ndarray:
+        return self.weights
+
+    def max_abs_weight(self) -> float:
+        return float(np.max(np.abs(self.weights))) if self.weights.size else 0.0
+
+    def parameters(self) -> dict[str, np.ndarray]:
+        params = {"weights": self.weights}
+        if self.use_bias:
+            params["bias"] = self.bias
+        return params
+
+    def spec(self) -> dict:
+        return {
+            "type": "dense",
+            "n_in": self.n_in,
+            "n_out": self.n_out,
+            "activation": self.activation.spec(),
+            "use_bias": self.use_bias,
+        }
+
+    def copy(self) -> "DenseLayer":
+        return DenseLayer(
+            self.n_in,
+            self.n_out,
+            self.activation,
+            weights=self.weights,
+            bias=self.bias if self.use_bias else None,
+            use_bias=self.use_bias,
+        )
+
+
+class Conv1DLayer(Layer):
+    """1-D convolution with receptive field ``receptive_field`` and stride 1.
+
+    Output position ``p`` (for ``p in 0..n_out-1``) computes::
+
+        y_p = phi( sum_{r=0}^{R-1} kernel[r] * x[p + r] + bias )
+
+    i.e. 'valid' convolution, ``n_out = n_in - R + 1``.  The kernel is
+    shared across positions (weight sharing), and each output neuron has
+    a receptive field of exactly ``R`` input neurons — the two
+    properties the paper uses in Section VI to refine the bound (the
+    max-weight constraint runs over the R distinct kernel values only).
+    """
+
+    def __init__(
+        self,
+        n_in: int,
+        receptive_field: int,
+        activation: "str | dict | Activation" = "sigmoid",
+        *,
+        kernel: Optional[np.ndarray] = None,
+        bias: float = 0.0,
+        init: "str | dict | Initializer" = "xavier_uniform",
+        use_bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if receptive_field <= 0:
+            raise ValueError(f"receptive field must be positive, got {receptive_field}")
+        if n_in < receptive_field:
+            raise ValueError(
+                f"n_in={n_in} smaller than receptive field {receptive_field}"
+            )
+        self.n_in = int(n_in)
+        self.receptive_field = int(receptive_field)
+        self.n_out = self.n_in - self.receptive_field + 1
+        self.activation = get_activation(activation)
+        self.use_bias = bool(use_bias)
+
+        if kernel is not None:
+            kernel = np.asarray(kernel, dtype=np.float64)
+            if kernel.shape != (self.receptive_field,):
+                raise ValueError(
+                    f"kernel shape {kernel.shape} != ({self.receptive_field},)"
+                )
+            self.kernel = kernel.copy()
+        else:
+            rng = rng if rng is not None else np.random.default_rng()
+            initializer = get_initializer(init)
+            # Treat the kernel as a (1, R) weight row for fan computations.
+            self.kernel = np.asarray(
+                initializer((1, self.receptive_field), rng), dtype=np.float64
+            ).ravel()
+
+        self.bias = np.full(1, float(bias), dtype=np.float64)
+
+    # -- forward -----------------------------------------------------------
+
+    def pre_activation(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        squeeze = x.ndim == 1
+        if squeeze:
+            x = x[None, :]
+        windows = np.lib.stride_tricks.sliding_window_view(
+            x, self.receptive_field, axis=1
+        )  # (B, n_out, R)
+        s = windows @ self.kernel
+        if self.use_bias:
+            s = s + self.bias[0]
+        return s[0] if squeeze else s
+
+    # -- metadata ------------------------------------------------------------
+
+    def dense_weights(self) -> np.ndarray:
+        """Banded ``(n_out, n_in)`` matrix with the kernel on each row."""
+        dense = np.zeros((self.n_out, self.n_in), dtype=np.float64)
+        for p in range(self.n_out):
+            dense[p, p : p + self.receptive_field] = self.kernel
+        return dense
+
+    def synapse_mask(self) -> np.ndarray:
+        mask = np.zeros((self.n_out, self.n_in), dtype=bool)
+        for p in range(self.n_out):
+            mask[p, p : p + self.receptive_field] = True
+        return mask
+
+    def max_abs_weight(self) -> float:
+        return float(np.max(np.abs(self.kernel))) if self.kernel.size else 0.0
+
+    def parameters(self) -> dict[str, np.ndarray]:
+        params = {"kernel": self.kernel}
+        if self.use_bias:
+            params["bias"] = self.bias
+        return params
+
+    def spec(self) -> dict:
+        return {
+            "type": "conv1d",
+            "n_in": self.n_in,
+            "receptive_field": self.receptive_field,
+            "activation": self.activation.spec(),
+            "use_bias": self.use_bias,
+        }
+
+    def copy(self) -> "Conv1DLayer":
+        return Conv1DLayer(
+            self.n_in,
+            self.receptive_field,
+            self.activation,
+            kernel=self.kernel,
+            bias=float(self.bias[0]),
+            use_bias=self.use_bias,
+        )
+
+
+def layer_from_spec(
+    spec: dict,
+    *,
+    rng: Optional[np.random.Generator] = None,
+) -> Layer:
+    """Rebuild a layer from its :meth:`Layer.spec` dictionary."""
+    kind = spec.get("type")
+    if kind == "dense":
+        return DenseLayer(
+            spec["n_in"],
+            spec["n_out"],
+            spec["activation"],
+            use_bias=spec.get("use_bias", True),
+            rng=rng,
+        )
+    if kind == "conv1d":
+        return Conv1DLayer(
+            spec["n_in"],
+            spec["receptive_field"],
+            spec["activation"],
+            use_bias=spec.get("use_bias", True),
+            rng=rng,
+        )
+    raise KeyError(f"unknown layer type {kind!r}")

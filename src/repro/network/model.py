@@ -1,0 +1,347 @@
+"""The feed-forward network model of the paper (Section II-A).
+
+A :class:`FeedForwardNetwork` realises the neural computation of
+Equations 1-3: ``L`` layers of squashing neurons followed by a *linear
+output node* which is a client of the network, not part of it (paper,
+Figure 1).  The output node's incoming synapses ``w^(L+1)`` *are* part
+of the network and enter the bounds.
+
+The model exposes exactly the structural quantities the paper's theory
+consumes:
+
+* ``layer_sizes``             — ``(N_1, ..., N_L)``;
+* ``weight_maxes``            — ``(w_m^(1), ..., w_m^(L+1))``;
+* ``lipschitz_constant``      — ``K`` (max over hidden activations);
+* ``output_bound``            — ``sup phi`` (crash-case capacity);
+* per-layer activation taps   — for the fault-injection engine.
+
+Everything is vectorised over a batch axis: inputs of shape ``(B, d)``
+produce outputs of shape ``(B, n_outputs)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .activations import Activation
+from .layers import DenseLayer, Layer
+
+__all__ = ["FeedForwardNetwork", "NeuronAddress"]
+
+
+class NeuronAddress(tuple):
+    """Address of a neuron as ``(layer, index)``; layers are 1-based.
+
+    Layer ``l`` ranges over ``1..L`` (hidden layers).  The input nodes
+    (layer 0) and the output node (layer L+1) are clients, not neurons,
+    and cannot fail (paper, Figure 1); addressing them raises.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, layer: int, index: int):
+        if layer < 1:
+            raise ValueError(f"layer must be >= 1 (got {layer}); inputs cannot fail")
+        if index < 0:
+            raise ValueError(f"neuron index must be >= 0, got {index}")
+        return super().__new__(cls, (int(layer), int(index)))
+
+    def __getnewargs__(self):
+        # tuple's default would pass the whole tuple as one argument;
+        # our __new__ takes (layer, index), so unpack for pickling.
+        return (self[0], self[1])
+
+    @property
+    def layer(self) -> int:
+        return self[0]
+
+    @property
+    def index(self) -> int:
+        return self[1]
+
+
+class FeedForwardNetwork:
+    """An ``L``-layer feed-forward network with a linear output node.
+
+    Parameters
+    ----------
+    layers:
+        Hidden layers ``1..L``; consecutive fan-in/fan-out must chain.
+    output_weights:
+        ``(n_outputs, N_L)`` weights of the synapses into the output
+        node (the ``w^(L+1)`` of Equation 1).
+    output_bias:
+        Optional output bias (kept for trainability; the paper's output
+        node is a plain weighted sum, so bound computations ignore it —
+        it is a constant offset unaffected by failures).
+    """
+
+    def __init__(
+        self,
+        layers: Sequence[Layer],
+        output_weights: np.ndarray,
+        output_bias: Optional[np.ndarray] = None,
+    ):
+        layers = list(layers)
+        if not layers:
+            raise ValueError("a network needs at least one hidden layer")
+        for a, b in zip(layers, layers[1:]):
+            if a.n_out != b.n_in:
+                raise ValueError(
+                    f"layer fan mismatch: {a!r} feeds {a.n_out} values into "
+                    f"{b!r} expecting {b.n_in}"
+                )
+        output_weights = np.asarray(output_weights, dtype=np.float64)
+        if output_weights.ndim == 1:
+            output_weights = output_weights[None, :]
+        if output_weights.shape[1] != layers[-1].n_out:
+            raise ValueError(
+                f"output weights shape {output_weights.shape} incompatible with "
+                f"last layer width {layers[-1].n_out}"
+            )
+        self.layers: List[Layer] = layers
+        self.output_weights = output_weights.copy()
+        self.n_outputs = int(output_weights.shape[0])
+        if output_bias is not None:
+            output_bias = np.asarray(output_bias, dtype=np.float64).reshape(-1)
+            if output_bias.shape != (self.n_outputs,):
+                raise ValueError(
+                    f"output bias shape {output_bias.shape} != ({self.n_outputs},)"
+                )
+            self.output_bias = output_bias.copy()
+        else:
+            self.output_bias = np.zeros(self.n_outputs, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """``L`` — the number of hidden (squashing) layers."""
+        return len(self.layers)
+
+    @property
+    def input_dim(self) -> int:
+        """``d`` — dimensionality of the input clients."""
+        return self.layers[0].n_in
+
+    @property
+    def layer_sizes(self) -> tuple[int, ...]:
+        """``(N_1, ..., N_L)``."""
+        return tuple(layer.n_out for layer in self.layers)
+
+    @property
+    def num_neurons(self) -> int:
+        """Total number of neurons (inputs/output node excluded)."""
+        return sum(self.layer_sizes)
+
+    @property
+    def num_synapses(self) -> int:
+        """Total number of physical synapses, including into the output."""
+        return sum(layer.num_synapses for layer in self.layers) + int(
+            self.output_weights.size
+        )
+
+    def weight_max(self, l: int) -> float:
+        """``w_m^(l)`` — max |weight| of synapses into layer ``l``.
+
+        ``l`` ranges over ``1..L+1``; ``L+1`` addresses the synapses
+        into the output node.
+        """
+        if not 1 <= l <= self.depth + 1:
+            raise ValueError(f"layer index {l} outside 1..{self.depth + 1}")
+        if l == self.depth + 1:
+            return float(np.max(np.abs(self.output_weights)))
+        return self.layers[l - 1].max_abs_weight()
+
+    def weight_maxes(self) -> tuple[float, ...]:
+        """``(w_m^(1), ..., w_m^(L+1))``."""
+        return tuple(self.weight_max(l) for l in range(1, self.depth + 2))
+
+    @property
+    def lipschitz_constant(self) -> float:
+        """``K`` — the max Lipschitz constant over hidden activations."""
+        return max(layer.activation.lipschitz for layer in self.layers)
+
+    def lipschitz_constants(self) -> tuple[float, ...]:
+        """Per-layer Lipschitz constants ``(K_1, ..., K_L)``."""
+        return tuple(layer.activation.lipschitz for layer in self.layers)
+
+    @property
+    def output_bound(self) -> float:
+        """``sup |phi|`` over hidden activations — the most a *correct*
+        neuron can emit; substitutes for ``C`` in crash-only bounds."""
+        return max(layer.activation.output_bound for layer in self.layers)
+
+    # ------------------------------------------------------------------
+    # Neuron addressing
+    # ------------------------------------------------------------------
+
+    def check_address(self, address: "NeuronAddress | tuple[int, int]") -> NeuronAddress:
+        """Validate a ``(layer, index)`` address against the topology."""
+        if not isinstance(address, NeuronAddress):
+            address = NeuronAddress(*address)
+        if address.layer > self.depth:
+            raise ValueError(
+                f"layer {address.layer} > depth {self.depth}; the output node "
+                "is a client and cannot fail"
+            )
+        width = self.layer_sizes[address.layer - 1]
+        if address.index >= width:
+            raise ValueError(
+                f"neuron index {address.index} >= layer width {width} "
+                f"(layer {address.layer})"
+            )
+        return address
+
+    def flat_index(self, address: "NeuronAddress | tuple[int, int]") -> int:
+        """Map a ``(layer, index)`` address to a global flat index."""
+        address = self.check_address(address)
+        offset = sum(self.layer_sizes[: address.layer - 1])
+        return offset + address.index
+
+    def address_of(self, flat: int) -> NeuronAddress:
+        """Inverse of :meth:`flat_index`."""
+        if not 0 <= flat < self.num_neurons:
+            raise ValueError(f"flat index {flat} outside 0..{self.num_neurons - 1}")
+        for l, width in enumerate(self.layer_sizes, start=1):
+            if flat < width:
+                return NeuronAddress(l, flat)
+            flat -= width
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def iter_addresses(self) -> Iterable[NeuronAddress]:
+        """All neuron addresses in layer-major order."""
+        for l, width in enumerate(self.layer_sizes, start=1):
+            for i in range(width):
+                yield NeuronAddress(l, i)
+
+    # ------------------------------------------------------------------
+    # Forward computation
+    # ------------------------------------------------------------------
+
+    def _as_batch(self, x: np.ndarray) -> tuple[np.ndarray, bool]:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            return x[None, :], True
+        if x.ndim != 2:
+            raise ValueError(f"input must be 1-D or 2-D, got shape {x.shape}")
+        if x.shape[1] != self.input_dim:
+            raise ValueError(
+                f"input dimension {x.shape[1]} != network input_dim {self.input_dim}"
+            )
+        return x, False
+
+    def hidden_outputs(self, x: np.ndarray) -> List[np.ndarray]:
+        """Per-layer activations ``[y^(1), ..., y^(L)]`` for a batch.
+
+        Each entry has shape ``(B, N_l)``.
+        """
+        x, _ = self._as_batch(x)
+        outputs: List[np.ndarray] = []
+        y = x
+        for layer in self.layers:
+            y = layer.forward(y)
+            outputs.append(y)
+        return outputs
+
+    def readout(self, y_last: np.ndarray) -> np.ndarray:
+        """Apply the linear output node to last-layer activations."""
+        return y_last @ self.output_weights.T + self.output_bias
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """``Fneu(X)`` of Equation 1 for a batch of inputs.
+
+        Returns shape ``(B, n_outputs)`` for 2-D input; a 1-D input of
+        shape ``(d,)`` returns shape ``(n_outputs,)`` (and a bare float
+        for single-output nets via ``float(...)`` if desired).
+        """
+        xb, squeeze = self._as_batch(x)
+        y = xb
+        for layer in self.layers:
+            y = layer.forward(y)
+        out = self.readout(y)
+        return out[0] if squeeze else out
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def forward_from(self, layer: int, y: np.ndarray) -> np.ndarray:
+        """Resume the forward pass given ``y^(layer)`` activations.
+
+        ``layer`` is 1-based; ``forward_from(L, y)`` applies only the
+        output node.  Used by the fault injector to re-run suffixes.
+        """
+        if not 1 <= layer <= self.depth:
+            raise ValueError(f"layer {layer} outside 1..{self.depth}")
+        for next_layer in self.layers[layer:]:
+            y = next_layer.forward(y)
+        return self.readout(y)
+
+    # ------------------------------------------------------------------
+    # Mutation helpers
+    # ------------------------------------------------------------------
+
+    def parameters(self) -> dict[str, np.ndarray]:
+        """All trainable arrays keyed by ``layer{l}.{name}`` (views)."""
+        params: dict[str, np.ndarray] = {}
+        for l, layer in enumerate(self.layers, start=1):
+            for name, arr in layer.parameters().items():
+                params[f"layer{l}.{name}"] = arr
+        params["output.weights"] = self.output_weights
+        params["output.bias"] = self.output_bias
+        return params
+
+    def scale_weights(self, factor: float) -> None:
+        """Multiply every synaptic weight (incl. output) by ``factor``.
+
+        Used by the robustness/ease-of-learning trade-off experiments:
+        shrinking the weights shrinks every ``w_m^(l)`` and therefore
+        Fep, at the price of approximation quality.
+        """
+        for layer in self.layers:
+            for arr in layer.parameters().values():
+                arr *= factor
+        self.output_weights *= factor
+        self.output_bias *= factor
+
+    def copy(self) -> "FeedForwardNetwork":
+        """Deep copy (weights are duplicated)."""
+        return FeedForwardNetwork(
+            [layer.copy() for layer in self.layers],
+            self.output_weights,
+            self.output_bias,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def spec(self) -> dict:
+        """Structural description (no weights); see serialization."""
+        return {
+            "layers": [layer.spec() for layer in self.layers],
+            "n_outputs": self.n_outputs,
+        }
+
+    def summary(self) -> str:
+        """Human-readable multi-line description."""
+        lines = [
+            f"FeedForwardNetwork: d={self.input_dim}, L={self.depth}, "
+            f"N={self.layer_sizes}, outputs={self.n_outputs}",
+            f"  neurons={self.num_neurons}, synapses={self.num_synapses}, "
+            f"K={self.lipschitz_constant:g}",
+        ]
+        for l, layer in enumerate(self.layers, start=1):
+            lines.append(f"  layer {l}: {layer!r}, w_m={layer.max_abs_weight():.4g}")
+        lines.append(f"  output: w_m={self.weight_max(self.depth + 1):.4g}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FeedForwardNetwork(d={self.input_dim}, N={self.layer_sizes}, "
+            f"outputs={self.n_outputs})"
+        )

@@ -1,0 +1,64 @@
+"""Save/load networks to a single ``.npz`` archive.
+
+The archive stores a JSON structural spec plus one array per parameter,
+so a round-trip reproduces the network bit-exactly (weights are float64
+throughout).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .layers import layer_from_spec
+from .model import FeedForwardNetwork
+
+__all__ = ["save_network", "load_network"]
+
+_SPEC_KEY = "__spec__"
+
+
+def save_network(network: FeedForwardNetwork, path: Union[str, Path]) -> Path:
+    """Serialise ``network`` (topology + weights) to ``path`` (.npz).
+
+    Returns the resolved path (``.npz`` appended if missing).
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    arrays: dict[str, np.ndarray] = {}
+    for name, arr in network.parameters().items():
+        arrays[name] = np.asarray(arr, dtype=np.float64)
+    spec = json.dumps(network.spec())
+    arrays[_SPEC_KEY] = np.frombuffer(spec.encode("utf-8"), dtype=np.uint8)
+    with open(path, "wb") as fh:
+        np.savez(fh, **arrays)
+    return path
+
+
+def load_network(path: Union[str, Path]) -> FeedForwardNetwork:
+    """Rebuild a network saved by :func:`save_network`."""
+    path = Path(path)
+    with np.load(path) as data:
+        if _SPEC_KEY not in data:
+            raise ValueError(f"{path} is not a repro network archive (missing spec)")
+        spec = json.loads(bytes(data[_SPEC_KEY].tolist()).decode("utf-8"))
+        layers = [layer_from_spec(layer_spec) for layer_spec in spec["layers"]]
+        network = FeedForwardNetwork(
+            layers,
+            output_weights=np.zeros((spec["n_outputs"], layers[-1].n_out)),
+        )
+        for name, arr in network.parameters().items():
+            if name not in data:
+                raise ValueError(f"archive {path} is missing parameter {name!r}")
+            loaded = np.asarray(data[name], dtype=np.float64)
+            if loaded.shape != arr.shape:
+                raise ValueError(
+                    f"parameter {name!r} shape mismatch: archive {loaded.shape} "
+                    f"vs spec {arr.shape}"
+                )
+            arr[...] = loaded
+    return network

@@ -1,0 +1,32 @@
+"""Memory-cost reduction (paper, Section V-A): quantisers producing the
+per-layer errors of Theorem 5, and precision-allocation solvers
+inverting the bound.
+"""
+
+from .precision import (
+    build_quantized_network,
+    greedy_bit_allocation,
+    layer_error_coefficients,
+    memory_savings,
+    uniform_bit_allocation,
+)
+from .quantizers import (
+    FixedPointQuantizer,
+    QuantizedNetwork,
+    Quantizer,
+    StochasticRoundingQuantizer,
+    UniformQuantizer,
+)
+
+__all__ = [
+    "Quantizer",
+    "FixedPointQuantizer",
+    "UniformQuantizer",
+    "StochasticRoundingQuantizer",
+    "QuantizedNetwork",
+    "layer_error_coefficients",
+    "uniform_bit_allocation",
+    "greedy_bit_allocation",
+    "build_quantized_network",
+    "memory_savings",
+]

@@ -1,0 +1,195 @@
+"""Quantisers: the concrete source of Theorem 5's per-layer errors.
+
+Section V-A applies the error-propagation machinery to memory-cost
+reduction: implementing each neuron at reduced numerical precision
+introduces a bounded per-layer error ``lambda_l``, and Theorem 5 bounds
+the output damage — "the first theoretical result quantifying those
+trade-offs" (observed experimentally by Proteus [31]).
+
+A :class:`Quantizer` maps emitted activations to their low-precision
+representatives and *knows its own worst-case error* ``max_error`` —
+exactly the ``lambda_l`` Theorem 5 consumes.  A
+:class:`QuantizedNetwork` wraps a full-precision network with per-layer
+quantisers so experiments can measure real output degradation against
+the analytic bound.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..network.model import FeedForwardNetwork
+
+__all__ = [
+    "Quantizer",
+    "FixedPointQuantizer",
+    "UniformQuantizer",
+    "StochasticRoundingQuantizer",
+    "QuantizedNetwork",
+]
+
+
+class Quantizer:
+    """Base class: an idempotent rounding map with a known error bound."""
+
+    name = "quantizer"
+
+    #: Worst-case absolute rounding error on the representable range.
+    max_error: float
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def bits(self) -> Optional[int]:
+        """Storage bits per value, when meaningful."""
+        return None
+
+
+class FixedPointQuantizer(Quantizer):
+    """Unsigned fixed-point on ``[0, 1]`` with ``bits`` fractional bits.
+
+    Values are rounded to the nearest multiple of ``2**-bits`` —
+    round-to-nearest gives ``max_error = 2**-(bits+1)``.  This is the
+    natural scheme for squashed activations living in ``[0, 1]``.
+    """
+
+    name = "fixed_point"
+
+    def __init__(self, bits: int):
+        if bits < 1:
+            raise ValueError(f"bits must be >= 1, got {bits}")
+        self._bits = int(bits)
+        self.step = 2.0 ** (-self._bits)
+        self.max_error = self.step / 2.0
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return np.clip(np.round(x / self.step) * self.step, 0.0, 1.0)
+
+    @property
+    def bits(self) -> int:
+        return self._bits
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FixedPointQuantizer(bits={self._bits})"
+
+
+class UniformQuantizer(Quantizer):
+    """Uniform grid over an arbitrary ``[lo, hi]`` with ``levels`` points."""
+
+    name = "uniform"
+
+    def __init__(self, levels: int, lo: float = 0.0, hi: float = 1.0):
+        if levels < 2:
+            raise ValueError(f"levels must be >= 2, got {levels}")
+        if hi <= lo:
+            raise ValueError(f"need hi > lo, got [{lo}, {hi}]")
+        self.levels = int(levels)
+        self.lo, self.hi = float(lo), float(hi)
+        self.step = (self.hi - self.lo) / (self.levels - 1)
+        self.max_error = self.step / 2.0
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        q = np.round((x - self.lo) / self.step) * self.step + self.lo
+        return np.clip(q, self.lo, self.hi)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UniformQuantizer(levels={self.levels}, range=[{self.lo}, {self.hi}])"
+
+
+class StochasticRoundingQuantizer(Quantizer):
+    """Stochastic rounding on the fixed-point grid.
+
+    Rounds up with probability equal to the fractional position —
+    unbiased in expectation, worst-case error one full ``step``
+    (``2**-bits``), which is what ``max_error`` reports (Theorem 5 is a
+    worst-case statement).
+    """
+
+    name = "stochastic"
+
+    def __init__(self, bits: int, rng: Optional[np.random.Generator] = None):
+        if bits < 1:
+            raise ValueError(f"bits must be >= 1, got {bits}")
+        self._bits = int(bits)
+        self.step = 2.0 ** (-self._bits)
+        self.max_error = self.step
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        scaled = x / self.step
+        floor = np.floor(scaled)
+        frac = scaled - floor
+        up = self.rng.random(x.shape) < frac
+        return np.clip((floor + up) * self.step, 0.0, 1.0)
+
+    @property
+    def bits(self) -> int:
+        return self._bits
+
+
+class QuantizedNetwork:
+    """A network whose layer emissions pass through per-layer quantisers.
+
+    The forward pass quantises each hidden layer's activations before
+    they are consumed downstream — the Section V-A implementation-error
+    model, with ``lambda_l = quantizers[l].max_error``.
+    """
+
+    def __init__(
+        self,
+        network: FeedForwardNetwork,
+        quantizers: Sequence[Optional[Quantizer]],
+    ):
+        if len(quantizers) != network.depth:
+            raise ValueError(
+                f"need one quantizer slot per layer ({network.depth}), "
+                f"got {len(quantizers)}"
+            )
+        self.network = network
+        self.quantizers = list(quantizers)
+
+    @property
+    def lambdas(self) -> tuple[float, ...]:
+        """Per-layer worst-case errors — Theorem 5's ``lambda_l``."""
+        return tuple(
+            0.0 if q is None else float(q.max_error) for q in self.quantizers
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        net = self.network
+        xb, squeeze = net._as_batch(x)
+        y = xb
+        for layer, q in zip(net.layers, self.quantizers):
+            y = layer.forward(y)
+            if q is not None:
+                y = q(y)
+        out = net.readout(y)
+        return out[0] if squeeze else out
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def output_error(self, x: np.ndarray) -> float:
+        """``sup_X |Fneu(X) - Flambda(X)|`` over the batch."""
+        xb, _ = self.network._as_batch(x)
+        return float(
+            np.max(np.abs(self.network.forward(xb) - self.forward(xb)))
+        )
+
+    def memory_bits(self, full_precision_bits: int = 64) -> int:
+        """Total activation-storage bits per forward pass.
+
+        Layers without a quantizer are charged ``full_precision_bits``
+        per neuron — the memory-cost side of the Section V-A trade-off.
+        """
+        total = 0
+        for n, q in zip(self.network.layer_sizes, self.quantizers):
+            bits = q.bits if (q is not None and q.bits is not None) else full_precision_bits
+            total += n * bits
+        return total

@@ -1,0 +1,68 @@
+"""Learning substrate: losses, optimizers, backprop, regularisers
+(including the paper's Fep-minimising scheme), synthetic targets and
+the training loop.
+"""
+
+from .backprop import (
+    backward,
+    forward_trace,
+    loss_and_gradients,
+    numerical_gradients,
+)
+from .data import (
+    TargetFunction,
+    available_targets,
+    gaussian_bump,
+    get_target,
+    grid_inputs,
+    polynomial_bowl,
+    radial_wave,
+    sample_dataset,
+    sine_ridge,
+    smooth_xor,
+    sup_error,
+)
+from .losses import HuberLoss, Loss, MAELoss, MSELoss, get_loss
+from .optimizers import SGD, Adam, Optimizer, RMSProp, get_optimizer
+from .regularizers import (
+    FepRegularizer,
+    L2Regularizer,
+    MaxNormConstraint,
+    Regularizer,
+)
+from .trainer import Trainer, TrainingHistory, train_to_target
+
+__all__ = [
+    "Loss",
+    "MSELoss",
+    "MAELoss",
+    "HuberLoss",
+    "get_loss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "RMSProp",
+    "get_optimizer",
+    "forward_trace",
+    "backward",
+    "loss_and_gradients",
+    "numerical_gradients",
+    "Regularizer",
+    "L2Regularizer",
+    "MaxNormConstraint",
+    "FepRegularizer",
+    "TargetFunction",
+    "gaussian_bump",
+    "sine_ridge",
+    "polynomial_bowl",
+    "smooth_xor",
+    "radial_wave",
+    "get_target",
+    "available_targets",
+    "sample_dataset",
+    "grid_inputs",
+    "sup_error",
+    "Trainer",
+    "TrainingHistory",
+    "train_to_target",
+]

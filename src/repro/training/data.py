@@ -1,0 +1,175 @@
+"""Synthetic targets in ``A = C([0,1]^d, [0,1])`` and dataset utilities.
+
+The paper's computation model approximates continuous functions from
+the unit cube to the unit interval; these are concrete members of that
+space used to *train* the over-provisioned approximations the bounds
+are then applied to.  Each target knows its own Lipschitz-ish scale so
+tests can reason about achievable approximation quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..network.model import FeedForwardNetwork
+
+__all__ = [
+    "TargetFunction",
+    "gaussian_bump",
+    "sine_ridge",
+    "polynomial_bowl",
+    "smooth_xor",
+    "radial_wave",
+    "get_target",
+    "available_targets",
+    "sample_dataset",
+    "grid_inputs",
+    "sup_error",
+]
+
+
+@dataclass(frozen=True)
+class TargetFunction:
+    """A named continuous target ``F: [0,1]^d -> [0,1]``."""
+
+    name: str
+    dim: int
+    fn: Callable[[np.ndarray], np.ndarray]
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        squeeze = x.ndim == 1
+        if squeeze:
+            x = x[None, :]
+        if x.shape[1] != self.dim:
+            raise ValueError(f"target {self.name!r} expects d={self.dim}, got {x.shape[1]}")
+        out = np.asarray(self.fn(x), dtype=np.float64).reshape(x.shape[0])
+        return out[0] if squeeze else out
+
+
+def gaussian_bump(dim: int = 2, center: float = 0.5, width: float = 0.15) -> TargetFunction:
+    """A smooth bump ``exp(-|x - c|^2 / (2 width^2))`` in the cube."""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+
+    def fn(x):
+        r2 = np.sum((x - center) ** 2, axis=1)
+        return np.exp(-r2 / (2.0 * width**2))
+
+    return TargetFunction(f"gaussian_bump_d{dim}", dim, fn)
+
+
+def sine_ridge(dim: int = 2, frequency: float = 1.5) -> TargetFunction:
+    """``(1 + sin(2 pi f mean(x))) / 2`` — a ridge along the diagonal."""
+
+    def fn(x):
+        return 0.5 * (1.0 + np.sin(2.0 * np.pi * frequency * x.mean(axis=1)))
+
+    return TargetFunction(f"sine_ridge_d{dim}", dim, fn)
+
+
+def polynomial_bowl(dim: int = 2) -> TargetFunction:
+    """``mean(4 (x - 1/2)^2)`` — a quadratic bowl, range [0, 1]."""
+
+    def fn(x):
+        return np.mean(4.0 * (x - 0.5) ** 2, axis=1)
+
+    return TargetFunction(f"polynomial_bowl_d{dim}", dim, fn)
+
+
+def smooth_xor(steepness: float = 8.0) -> TargetFunction:
+    """A smooth 2-D XOR — the non-linearly-separable classic
+    (Minsky's objection to perceptrons, paper's introduction)."""
+
+    def fn(x):
+        a = np.tanh(steepness * (x[:, 0] - 0.5))
+        b = np.tanh(steepness * (x[:, 1] - 0.5))
+        return 0.5 * (1.0 - a * b)
+
+    return TargetFunction("smooth_xor", 2, fn)
+
+
+def radial_wave(dim: int = 3, frequency: float = 2.0) -> TargetFunction:
+    """``(1 + cos(2 pi f |x - 1/2|)) / 2`` — concentric waves."""
+
+    def fn(x):
+        r = np.sqrt(np.sum((x - 0.5) ** 2, axis=1))
+        return 0.5 * (1.0 + np.cos(2.0 * np.pi * frequency * r))
+
+    return TargetFunction(f"radial_wave_d{dim}", dim, fn)
+
+
+_FACTORIES: Dict[str, Callable[..., TargetFunction]] = {
+    "gaussian_bump": gaussian_bump,
+    "sine_ridge": sine_ridge,
+    "polynomial_bowl": polynomial_bowl,
+    "smooth_xor": smooth_xor,
+    "radial_wave": radial_wave,
+}
+
+
+def available_targets() -> list[str]:
+    return sorted(_FACTORIES)
+
+
+def get_target(name: str, **kwargs) -> TargetFunction:
+    """Build a named target function."""
+    try:
+        return _FACTORIES[name](**kwargs)
+    except KeyError:
+        raise KeyError(f"unknown target {name!r}; available: {available_targets()}") from None
+
+
+# ---------------------------------------------------------------------------
+# Datasets
+# ---------------------------------------------------------------------------
+
+
+def sample_dataset(
+    target: TargetFunction,
+    n: int,
+    *,
+    rng: Optional[np.random.Generator] = None,
+    noise: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Uniformly-sampled ``(X, y)`` pairs from the cube.
+
+    ``noise`` adds Gaussian observation noise to the labels (the
+    learning dataset is "a finite number of the values of the target
+    function" — optionally imperfect).
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    rng = rng if rng is not None else np.random.default_rng()
+    X = rng.random((n, target.dim))
+    y = target(X)
+    if noise > 0:
+        y = y + rng.normal(0.0, noise, size=y.shape)
+    return X, y[:, None]
+
+
+def grid_inputs(dim: int, points_per_dim: int = 20) -> np.ndarray:
+    """A regular grid over ``[0,1]^d`` (dense sup-error evaluation)."""
+    if dim <= 0 or points_per_dim <= 1:
+        raise ValueError("dim must be >= 1 and points_per_dim >= 2")
+    axes = [np.linspace(0.0, 1.0, points_per_dim)] * dim
+    mesh = np.meshgrid(*axes, indexing="ij")
+    return np.stack([m.ravel() for m in mesh], axis=1)
+
+
+def sup_error(
+    network: FeedForwardNetwork,
+    target: TargetFunction,
+    inputs: Optional[np.ndarray] = None,
+    *,
+    points_per_dim: int = 20,
+) -> float:
+    """Empirical ``sup_X |F(X) - Fneu(X)|`` over a grid (the epsilon'
+    actually achieved by a trained approximation)."""
+    if inputs is None:
+        inputs = grid_inputs(target.dim, points_per_dim)
+    pred = network.forward(inputs)[:, 0]
+    return float(np.max(np.abs(pred - target(inputs))))

@@ -1,0 +1,108 @@
+"""Loss functions for the from-scratch trainer.
+
+Each loss exposes ``value`` and ``gradient`` (w.r.t. predictions,
+*averaged* over the batch — so optimizer step sizes are batch-size
+independent).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+import numpy as np
+
+__all__ = ["Loss", "MSELoss", "MAELoss", "HuberLoss", "get_loss"]
+
+
+class Loss:
+    """Base class; predictions/targets are ``(B, n_outputs)`` arrays."""
+
+    name = "loss"
+
+    @staticmethod
+    def _check(pred: np.ndarray, target: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        pred = np.asarray(pred, dtype=np.float64)
+        target = np.asarray(target, dtype=np.float64)
+        if target.ndim == 1:
+            target = target[:, None]
+        if pred.ndim == 1:
+            pred = pred[:, None]
+        if pred.shape != target.shape:
+            raise ValueError(f"shape mismatch: pred {pred.shape} vs target {target.shape}")
+        return pred, target
+
+    def value(self, pred: np.ndarray, target: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        """``d value / d pred`` — same shape as ``pred``."""
+        raise NotImplementedError
+
+
+class MSELoss(Loss):
+    """Mean squared error ``mean((pred - target)^2)``."""
+
+    name = "mse"
+
+    def value(self, pred, target):
+        pred, target = self._check(pred, target)
+        return float(np.mean((pred - target) ** 2))
+
+    def gradient(self, pred, target):
+        pred, target = self._check(pred, target)
+        return 2.0 * (pred - target) / pred.size
+
+
+class MAELoss(Loss):
+    """Mean absolute error (subgradient 0 at exact zeros)."""
+
+    name = "mae"
+
+    def value(self, pred, target):
+        pred, target = self._check(pred, target)
+        return float(np.mean(np.abs(pred - target)))
+
+    def gradient(self, pred, target):
+        pred, target = self._check(pred, target)
+        return np.sign(pred - target) / pred.size
+
+
+class HuberLoss(Loss):
+    """Huber loss with transition point ``delta``."""
+
+    name = "huber"
+
+    def __init__(self, delta: float = 1.0):
+        if delta <= 0:
+            raise ValueError(f"delta must be positive, got {delta}")
+        self.delta = float(delta)
+
+    def value(self, pred, target):
+        pred, target = self._check(pred, target)
+        r = pred - target
+        quad = 0.5 * r**2
+        lin = self.delta * (np.abs(r) - 0.5 * self.delta)
+        return float(np.mean(np.where(np.abs(r) <= self.delta, quad, lin)))
+
+    def gradient(self, pred, target):
+        pred, target = self._check(pred, target)
+        r = pred - target
+        g = np.where(np.abs(r) <= self.delta, r, self.delta * np.sign(r))
+        return g / pred.size
+
+
+_REGISTRY: Dict[str, Type[Loss]] = {
+    "mse": MSELoss,
+    "mae": MAELoss,
+    "huber": HuberLoss,
+}
+
+
+def get_loss(spec: "str | Loss") -> Loss:
+    """Instantiate a loss from its name, or pass an instance through."""
+    if isinstance(spec, Loss):
+        return spec
+    try:
+        return _REGISTRY[spec]()
+    except KeyError:
+        raise KeyError(f"unknown loss {spec!r}; available: {sorted(_REGISTRY)}") from None

@@ -1,0 +1,158 @@
+"""First-order optimizers operating on named parameter dictionaries.
+
+Parameters are NumPy arrays mutated *in place* (they are views into the
+network's layers), following the in-place-update idiom of the
+optimisation guide: no reallocations in the training hot loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Type
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "Adam", "RMSProp", "get_optimizer"]
+
+
+class Optimizer:
+    """Base class keeping per-parameter state keyed by name."""
+
+    name = "optimizer"
+
+    def __init__(self, lr: float = 0.1):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+        self._state: Dict[str, dict] = {}
+
+    def _slot(self, key: str) -> dict:
+        return self._state.setdefault(key, {})
+
+    def step(
+        self,
+        params: Mapping[str, np.ndarray],
+        grads: Mapping[str, np.ndarray],
+    ) -> None:
+        """Update every parameter in place from its gradient."""
+        for key, p in params.items():
+            g = grads.get(key)
+            if g is None:
+                continue
+            g = np.asarray(g, dtype=np.float64)
+            if g.shape != p.shape:
+                raise ValueError(
+                    f"gradient shape {g.shape} != parameter shape {p.shape} "
+                    f"for {key!r}"
+                )
+            self._update(key, p, g)
+
+    def _update(self, key: str, p: np.ndarray, g: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Drop all accumulated state (momenta, moments)."""
+        self._state.clear()
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional (Nesterov) momentum."""
+
+    name = "sgd"
+
+    def __init__(self, lr: float = 0.5, momentum: float = 0.0, nesterov: bool = False):
+        super().__init__(lr)
+        if not 0 <= momentum < 1:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = float(momentum)
+        self.nesterov = bool(nesterov)
+
+    def _update(self, key, p, g):
+        if self.momentum == 0.0:
+            p -= self.lr * g
+            return
+        slot = self._slot(key)
+        v = slot.get("v")
+        if v is None:
+            v = slot["v"] = np.zeros_like(p)
+        v *= self.momentum
+        v -= self.lr * g
+        if self.nesterov:
+            p += self.momentum * v - self.lr * g
+        else:
+            p += v
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    name = "adam"
+
+    def __init__(
+        self,
+        lr: float = 0.01,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        super().__init__(lr)
+        if not 0 <= beta1 < 1 or not 0 <= beta2 < 1:
+            raise ValueError(f"betas must be in [0, 1), got {beta1}, {beta2}")
+        self.beta1, self.beta2, self.eps = float(beta1), float(beta2), float(eps)
+
+    def _update(self, key, p, g):
+        slot = self._slot(key)
+        if "m" not in slot:
+            slot["m"] = np.zeros_like(p)
+            slot["v"] = np.zeros_like(p)
+            slot["t"] = 0
+        slot["t"] += 1
+        m, v, t = slot["m"], slot["v"], slot["t"]
+        m *= self.beta1
+        m += (1 - self.beta1) * g
+        v *= self.beta2
+        v += (1 - self.beta2) * g * g
+        m_hat = m / (1 - self.beta1**t)
+        v_hat = v / (1 - self.beta2**t)
+        p -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class RMSProp(Optimizer):
+    """RMSProp with exponential moving average of squared gradients."""
+
+    name = "rmsprop"
+
+    def __init__(self, lr: float = 0.01, rho: float = 0.9, eps: float = 1e-8):
+        super().__init__(lr)
+        if not 0 <= rho < 1:
+            raise ValueError(f"rho must be in [0, 1), got {rho}")
+        self.rho, self.eps = float(rho), float(eps)
+
+    def _update(self, key, p, g):
+        slot = self._slot(key)
+        if "s" not in slot:
+            slot["s"] = np.zeros_like(p)
+        s = slot["s"]
+        s *= self.rho
+        s += (1 - self.rho) * g * g
+        p -= self.lr * g / (np.sqrt(s) + self.eps)
+
+
+_REGISTRY: Dict[str, Type[Optimizer]] = {
+    "sgd": SGD,
+    "adam": Adam,
+    "rmsprop": RMSProp,
+}
+
+
+def get_optimizer(spec: "str | Optimizer", **kwargs) -> Optimizer:
+    """Instantiate an optimizer from its name, or pass an instance through."""
+    if isinstance(spec, Optimizer):
+        return spec
+    try:
+        return _REGISTRY[spec](**kwargs)
+    except KeyError:
+        raise KeyError(
+            f"unknown optimizer {spec!r}; available: {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,209 @@
+"""Regularisers, including the paper's future-work Fep regulariser.
+
+Section V-C frames robustness as *minimising Fep during learning*; the
+concluding remarks call a learning scheme "taking the forward error
+propagation as an additional minimization target" an appealing research
+direction (one prior attempt, [36], handles a single crash only).  We
+implement it:
+
+* :class:`L2Regularizer` — classic weight decay; shrinks *all* weights
+  and therefore each ``w_m^(l)``;
+* :class:`MaxNormConstraint` — projects weights onto ``|w| <= c`` after
+  every step; *directly* caps ``w_m^(l)``, making the weight trade-off
+  of Section V-C a single knob;
+* :class:`FepRegularizer` — adds ``lam * Fep(f_target)`` to the loss,
+  with (sub)gradients routed to the max-magnitude weight of each stage
+  (the argmax subgradient of ``w -> max|w|``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..core.fep import forward_error_propagation
+from ..network.layers import Conv1DLayer, DenseLayer
+from ..network.model import FeedForwardNetwork
+
+__all__ = ["Regularizer", "L2Regularizer", "MaxNormConstraint", "FepRegularizer"]
+
+
+class Regularizer:
+    """Base class: a penalty and its parameter gradients, plus an
+    optional post-step projection."""
+
+    def penalty(self, network: FeedForwardNetwork) -> float:
+        return 0.0
+
+    def gradients(self, network: FeedForwardNetwork) -> Dict[str, np.ndarray]:
+        """Gradients of :meth:`penalty`, keyed like ``network.parameters()``."""
+        return {}
+
+    def project(self, network: FeedForwardNetwork) -> None:
+        """In-place constraint applied after each optimizer step."""
+
+
+class L2Regularizer(Regularizer):
+    """Weight decay ``lam * sum w^2`` over synaptic weights (not biases)."""
+
+    def __init__(self, lam: float = 1e-3):
+        if lam < 0:
+            raise ValueError(f"lam must be >= 0, got {lam}")
+        self.lam = float(lam)
+
+    def _weight_keys(self, network: FeedForwardNetwork) -> list[str]:
+        keys = []
+        for name in network.parameters():
+            if name.endswith(".weights") or name.endswith(".kernel"):
+                keys.append(name)
+        return keys
+
+    def penalty(self, network):
+        params = network.parameters()
+        return self.lam * float(
+            sum(np.sum(params[k] ** 2) for k in self._weight_keys(network))
+        )
+
+    def gradients(self, network):
+        params = network.parameters()
+        return {k: 2.0 * self.lam * params[k] for k in self._weight_keys(network)}
+
+
+class MaxNormConstraint(Regularizer):
+    """Hard cap ``|w| <= max_abs`` on synaptic weights.
+
+    After projection, every capped ``w_m^(l) <= max_abs``, so Theorem
+    3's condition can be *designed for* rather than hoped for.
+
+    Parameters
+    ----------
+    max_abs:
+        The cap.
+    stages:
+        Which synapse stages to cap (1-based; stage ``l`` feeds layer
+        ``l``, stage ``L+1`` feeds the output node).  ``None`` caps
+        everything.  Capping only stages >= 2 is the Fep-aware choice:
+        ``w_m^(1)`` never enters the neuron-failure bound (errors
+        originate at neuron *outputs*), so the input features can stay
+        expressive while the propagation-relevant weights shrink.
+    include_bias:
+        Also cap biases (off by default; biases model the constant
+        neuron and do not enter the bounds).
+    """
+
+    def __init__(
+        self,
+        max_abs: float = 1.0,
+        include_bias: bool = False,
+        stages: "Sequence[int] | None" = None,
+    ):
+        if max_abs <= 0:
+            raise ValueError(f"max_abs must be positive, got {max_abs}")
+        self.max_abs = float(max_abs)
+        self.include_bias = bool(include_bias)
+        self.stages = None if stages is None else {int(s) for s in stages}
+
+    def _stage_of(self, name: str, network: FeedForwardNetwork) -> Optional[int]:
+        if name.startswith("output."):
+            return network.depth + 1
+        if name.startswith("layer"):
+            return int(name.split(".")[0][len("layer"):])
+        return None  # pragma: no cover - no other key shapes exist
+
+    def project(self, network):
+        for name, p in network.parameters().items():
+            is_weight = name.endswith(".weights") or name.endswith(".kernel")
+            is_bias = name.endswith(".bias")
+            if not (is_weight or (self.include_bias and is_bias)):
+                continue
+            if self.stages is not None:
+                stage = self._stage_of(name, network)
+                if stage not in self.stages:
+                    continue
+            np.clip(p, -self.max_abs, self.max_abs, out=p)
+
+
+class FepRegularizer(Regularizer):
+    """Penalise ``lam * Fep(f_target)`` — learn robustness directly.
+
+    ``Fep`` depends on the weights only through the per-stage maxima
+    ``w_m^(2..L+1)``; the penalty's subgradient w.r.t. each stage's
+    weights is ``dFep/dw_m`` concentrated on the entry attaining the
+    maximum (ties broken arbitrarily at the first argmax — a valid
+    subgradient of the max function).
+
+    Parameters
+    ----------
+    target_distribution:
+        The ``(f_l)`` the user wants tolerated; Fep is evaluated there.
+    lam:
+        Penalty strength.
+    capacity:
+        ``C`` for the Fep evaluation (default 1 = crash mode with a
+        [0,1] squasher).
+    """
+
+    def __init__(
+        self,
+        target_distribution: Sequence[int],
+        lam: float = 1e-2,
+        capacity: float = 1.0,
+    ):
+        if lam < 0:
+            raise ValueError(f"lam must be >= 0, got {lam}")
+        self.target = tuple(int(f) for f in target_distribution)
+        self.lam = float(lam)
+        self.capacity = float(capacity)
+
+    def _fep(self, network: FeedForwardNetwork, weight_maxes: np.ndarray) -> float:
+        return forward_error_propagation(
+            self.target,
+            network.layer_sizes,
+            weight_maxes,
+            network.lipschitz_constant,
+            self.capacity,
+        )
+
+    def penalty(self, network):
+        if len(self.target) != network.depth:
+            raise ValueError(
+                f"target distribution length {len(self.target)} != depth "
+                f"{network.depth}"
+            )
+        return self.lam * self._fep(network, np.asarray(network.weight_maxes()))
+
+    def gradients(self, network):
+        if len(self.target) != network.depth:
+            raise ValueError(
+                f"target distribution length {len(self.target)} != depth "
+                f"{network.depth}"
+            )
+        w = np.asarray(network.weight_maxes(), dtype=np.float64)
+        base = self._fep(network, w)
+        grads: Dict[str, np.ndarray] = {}
+        # dFep/dw_m^(stage) by forward differences on the scalar formula
+        # (L+1 cheap evaluations), then routed to the argmax weight.
+        eps = 1e-7
+        for stage in range(2, network.depth + 2):  # w_m^(1) never enters
+            w_pert = w.copy()
+            w_pert[stage - 1] += eps
+            d = (self._fep(network, w_pert) - base) / eps
+            if d == 0.0:
+                continue
+            if stage == network.depth + 1:
+                key = "output.weights"
+                arr = network.output_weights
+            else:
+                layer = network.layers[stage - 1]
+                if isinstance(layer, DenseLayer):
+                    key, arr = f"layer{stage}.weights", layer.weights
+                elif isinstance(layer, Conv1DLayer):
+                    key, arr = f"layer{stage}.kernel", layer.kernel
+                else:  # pragma: no cover - no other layer types exist
+                    continue
+            g = grads.setdefault(key, np.zeros_like(arr))
+            flat_idx = int(np.argmax(np.abs(arr)))
+            sign = np.sign(arr.reshape(-1)[flat_idx]) or 1.0
+            g.reshape(-1)[flat_idx] += self.lam * d * sign
+        return grads

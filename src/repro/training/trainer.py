@@ -1,0 +1,182 @@
+"""Mini-batch training loop producing the over-provisioned networks the
+bounds are applied to.
+
+The trainer is deliberately simple (full NumPy, no autograd): it is a
+substrate, not a contribution.  It supports the regularisers of
+:mod:`repro.training.regularizers` — in particular the Fep regulariser
+and max-norm projection that realise the paper's robustness/ease-of-
+learning trade-offs — and records the history experiments need
+(epochs-to-target, achieved sup error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..network.model import FeedForwardNetwork
+from .backprop import loss_and_gradients
+from .data import TargetFunction, grid_inputs, sup_error
+from .losses import Loss, get_loss
+from .optimizers import Optimizer, get_optimizer
+from .regularizers import Regularizer
+
+__all__ = ["TrainingHistory", "Trainer", "train_to_target"]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch records of a training run."""
+
+    losses: list[float] = field(default_factory=list)
+    penalties: list[float] = field(default_factory=list)
+    sup_errors: list[float] = field(default_factory=list)
+    epochs_run: int = 0
+    converged: bool = False
+    #: Epoch at which the sup-error target was first met (or None).
+    epochs_to_target: Optional[int] = None
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+    @property
+    def final_sup_error(self) -> float:
+        return self.sup_errors[-1] if self.sup_errors else float("nan")
+
+
+class Trainer:
+    """Mini-batch gradient trainer.
+
+    Parameters
+    ----------
+    loss, optimizer:
+        Specs or instances (see ``get_loss`` / ``get_optimizer``).
+    regularizers:
+        Applied additively to loss gradients; their ``project`` hooks
+        run after every optimizer step.
+    """
+
+    def __init__(
+        self,
+        loss: "str | Loss" = "mse",
+        optimizer: "str | Optimizer" = "adam",
+        regularizers: Sequence[Regularizer] = (),
+    ):
+        self.loss = get_loss(loss)
+        self.optimizer = get_optimizer(optimizer)
+        self.regularizers = list(regularizers)
+
+    def train(
+        self,
+        network: FeedForwardNetwork,
+        X: np.ndarray,
+        y: np.ndarray,
+        *,
+        epochs: int = 200,
+        batch_size: int = 32,
+        rng: Optional[np.random.Generator] = None,
+        target: Optional[TargetFunction] = None,
+        target_sup_error: Optional[float] = None,
+        eval_every: int = 10,
+        eval_points_per_dim: int = 15,
+        callback: Optional[Callable[[int, float], None]] = None,
+    ) -> TrainingHistory:
+        """Train in place; returns the history.
+
+        When ``target`` is given, the sup error over a grid is tracked
+        every ``eval_every`` epochs, and training stops early once it
+        drops below ``target_sup_error`` (that epoch is recorded as
+        ``epochs_to_target`` — the "learning cost" of the Section V-C
+        trade-off experiments).
+        """
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if y.ndim == 1:
+            y = y[:, None]
+        if X.shape[0] != y.shape[0]:
+            raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]}")
+        if epochs <= 0 or batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        n = X.shape[0]
+        history = TrainingHistory()
+        eval_grid = (
+            grid_inputs(target.dim, eval_points_per_dim) if target is not None else None
+        )
+
+        for epoch in range(1, epochs + 1):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            n_batches = 0
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                value, grads = loss_and_gradients(network, X[idx], y[idx], self.loss)
+                for reg in self.regularizers:
+                    for key, g in reg.gradients(network).items():
+                        if key in grads:
+                            grads[key] = grads[key] + g
+                        else:
+                            grads[key] = g
+                self.optimizer.step(network.parameters(), grads)
+                for reg in self.regularizers:
+                    reg.project(network)
+                epoch_loss += value
+                n_batches += 1
+            epoch_loss /= max(1, n_batches)
+            history.losses.append(epoch_loss)
+            history.penalties.append(
+                float(sum(reg.penalty(network) for reg in self.regularizers))
+            )
+            history.epochs_run = epoch
+            if callback is not None:
+                callback(epoch, epoch_loss)
+
+            if target is not None and (epoch % eval_every == 0 or epoch == epochs):
+                err = sup_error(network, target, eval_grid)
+                history.sup_errors.append(err)
+                if (
+                    target_sup_error is not None
+                    and err <= target_sup_error
+                    and history.epochs_to_target is None
+                ):
+                    history.epochs_to_target = epoch
+                    history.converged = True
+                    break
+        return history
+
+
+def train_to_target(
+    network: FeedForwardNetwork,
+    target: TargetFunction,
+    *,
+    n_samples: int = 2048,
+    epochs: int = 300,
+    batch_size: int = 64,
+    optimizer: "str | Optimizer" = "adam",
+    regularizers: Sequence[Regularizer] = (),
+    target_sup_error: Optional[float] = None,
+    seed: int = 0,
+) -> TrainingHistory:
+    """Convenience wrapper: sample a dataset from ``target`` and train.
+
+    Produces the epsilon'-approximations the experiments inject faults
+    into.  Returns the history; the network is trained in place.
+    """
+    from .data import sample_dataset
+
+    rng = np.random.default_rng(seed)
+    X, y = sample_dataset(target, n_samples, rng=rng)
+    trainer = Trainer(optimizer=optimizer, regularizers=regularizers)
+    return trainer.train(
+        network,
+        X,
+        y,
+        epochs=epochs,
+        batch_size=batch_size,
+        rng=rng,
+        target=target,
+        target_sup_error=target_sup_error,
+    )

@@ -1,0 +1,173 @@
+"""Unit tests for the activation family and its Lipschitz metadata."""
+
+import numpy as np
+import pytest
+
+from repro.network.activations import (
+    HardSigmoid,
+    Identity,
+    LeakyReLU,
+    ReLU,
+    Sigmoid,
+    SoftSign,
+    Tanh,
+    available_activations,
+    get_activation,
+)
+
+ALL_BOUNDED = [Sigmoid(0.25), Sigmoid(2.0), Tanh(0.5), HardSigmoid(1.0), SoftSign()]
+
+
+class TestSigmoid:
+    def test_default_is_quarter_lipschitz(self):
+        assert Sigmoid().lipschitz == 0.25
+
+    def test_value_at_zero_is_half(self):
+        assert Sigmoid(3.0)(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_limits(self):
+        s = Sigmoid(1.0)
+        assert s(np.array([50.0]))[0] == pytest.approx(1.0)
+        assert s(np.array([-50.0]))[0] == pytest.approx(0.0)
+
+    def test_numerically_stable_at_extremes(self):
+        s = Sigmoid(4.0)
+        out = s(np.array([-1e6, 1e6]))
+        assert np.all(np.isfinite(out))
+        assert out[0] == 0.0 and out[1] == 1.0
+
+    @pytest.mark.parametrize("k", [0.25, 0.5, 1.0, 2.0, 8.0])
+    def test_tuned_lipschitz_equals_k(self, k):
+        s = Sigmoid(k)
+        xs = np.linspace(-5, 5, 10001)
+        quot = np.abs(np.diff(s(xs)) / np.diff(xs))
+        assert quot.max() == pytest.approx(k, rel=1e-3)
+
+    def test_derivative_matches_finite_difference(self):
+        s = Sigmoid(1.5)
+        xs = np.linspace(-3, 3, 25)
+        h = 1e-7
+        fd = (s(xs + h) - s(xs - h)) / (2 * h)
+        np.testing.assert_allclose(s.derivative(xs), fd, rtol=1e-4, atol=1e-9)
+
+    def test_strictly_increasing(self):
+        s = Sigmoid(0.7)
+        xs = np.linspace(-4, 4, 100)
+        assert np.all(np.diff(s(xs)) > 0)
+
+    def test_rejects_nonpositive_k(self):
+        with pytest.raises(ValueError):
+            Sigmoid(0.0)
+        with pytest.raises(ValueError):
+            Sigmoid(-1.0)
+
+    def test_satisfies_universality(self):
+        assert Sigmoid(1.0).satisfies_universality
+
+
+class TestTanh:
+    def test_range_is_unit_interval(self):
+        t = Tanh(1.0)
+        out = t(np.linspace(-30, 30, 101))
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_lipschitz_constant(self):
+        t = Tanh(2.0)
+        xs = np.linspace(-4, 4, 10001)
+        quot = np.abs(np.diff(t(xs)) / np.diff(xs))
+        assert quot.max() == pytest.approx(2.0, rel=1e-3)
+
+    def test_derivative_matches_finite_difference(self):
+        t = Tanh(0.8)
+        xs = np.linspace(-2, 2, 17)
+        h = 1e-7
+        fd = (t(xs + h) - t(xs - h)) / (2 * h)
+        np.testing.assert_allclose(t.derivative(xs), fd, rtol=1e-5)
+
+
+class TestHardSigmoid:
+    def test_exact_linear_region(self):
+        h = HardSigmoid(2.0)
+        xs = np.linspace(-0.2, 0.2, 41)  # |k x| < 0.5 -> linear
+        np.testing.assert_allclose(h(xs), 2.0 * xs + 0.5)
+
+    def test_clipping(self):
+        h = HardSigmoid(1.0)
+        assert h(np.array([10.0]))[0] == 1.0
+        assert h(np.array([-10.0]))[0] == 0.0
+
+    def test_derivative_in_and_out_of_region(self):
+        h = HardSigmoid(0.5)
+        assert h.derivative(np.array([0.0]))[0] == 0.5
+        assert h.derivative(np.array([100.0]))[0] == 0.0
+
+
+class TestUnboundedActivations:
+    def test_relu_output_bound_infinite(self):
+        assert ReLU().output_bound == np.inf
+
+    def test_relu_values_and_derivative(self):
+        r = ReLU()
+        np.testing.assert_allclose(r(np.array([-1.0, 2.0])), [0.0, 2.0])
+        np.testing.assert_allclose(r.derivative(np.array([-1.0, 2.0])), [0.0, 1.0])
+
+    def test_leaky_relu(self):
+        lr = LeakyReLU(alpha=0.1)
+        np.testing.assert_allclose(lr(np.array([-2.0, 3.0])), [-0.2, 3.0])
+        with pytest.raises(ValueError):
+            LeakyReLU(alpha=2.0)
+
+    def test_identity(self):
+        i = Identity()
+        xs = np.linspace(-2, 2, 5)
+        np.testing.assert_allclose(i(xs), xs)
+        np.testing.assert_allclose(i.derivative(xs), 1.0)
+
+
+class TestBoundedFamily:
+    @pytest.mark.parametrize("act", ALL_BOUNDED, ids=lambda a: repr(a))
+    def test_output_bound_respected(self, act):
+        out = act(np.linspace(-100, 100, 501))
+        assert np.all(np.abs(out) <= act.output_bound + 1e-12)
+
+    @pytest.mark.parametrize("act", ALL_BOUNDED, ids=lambda a: repr(a))
+    def test_empirical_lipschitz_below_declared(self, act):
+        xs = np.linspace(-10, 10, 5001)
+        quot = np.abs(np.diff(act(xs)) / np.diff(xs))
+        assert quot.max() <= act.lipschitz + 1e-9
+
+    def test_softsign_lipschitz_half(self):
+        s = SoftSign()
+        assert s.derivative(np.array([0.0]))[0] == pytest.approx(0.5)
+
+
+class TestRegistry:
+    def test_get_by_name(self):
+        assert isinstance(get_activation("sigmoid"), Sigmoid)
+
+    def test_get_by_spec_dict(self):
+        act = get_activation({"name": "sigmoid", "k": 2.0})
+        assert act.lipschitz == 2.0
+
+    def test_passthrough_instance(self):
+        act = Tanh(0.3)
+        assert get_activation(act) is act
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown activation"):
+            get_activation("nope")
+
+    def test_bad_spec_type_raises(self):
+        with pytest.raises(TypeError):
+            get_activation(42)
+
+    def test_available_lists_builtin(self):
+        names = available_activations()
+        for expected in ("sigmoid", "tanh", "relu", "identity"):
+            assert expected in names
+
+    def test_spec_roundtrip(self):
+        act = Sigmoid(1.25)
+        again = get_activation(act.spec())
+        assert again == act
+        assert hash(again) == hash(act)

@@ -1,0 +1,146 @@
+"""Unit tests for the theorem-level bound API."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import (
+    BoundCheck,
+    check_theorem1,
+    check_theorem3,
+    check_theorem4,
+    check_theorem5,
+    corollary2_required_signals,
+    lemma1_unbounded_transmission,
+    lemma2_synapse_neuron_equivalence,
+    theorem1_max_crashes,
+)
+from repro.network import build_mlp
+
+
+class TestBoundCheck:
+    def test_truthiness(self):
+        ok = BoundCheck(True, 0.1, 0.2, "t")
+        bad = BoundCheck(False, 0.3, 0.2, "t")
+        assert ok and not bad
+        assert ok.margin == pytest.approx(0.1)
+        assert bad.margin == pytest.approx(-0.1)
+
+    def test_repr_mentions_verdict(self):
+        assert "NOT tolerated" in repr(BoundCheck(False, 1.0, 0.5, "theorem3"))
+
+
+class TestTheorem1:
+    def test_max_crashes_floor(self):
+        assert theorem1_max_crashes(0.3, 0.1, 0.05) == 4
+        assert theorem1_max_crashes(0.3, 0.1, 0.2) == 1
+        assert theorem1_max_crashes(0.3, 0.1, 0.21) == 0
+
+    def test_exact_division_included(self):
+        assert theorem1_max_crashes(0.3, 0.1, 0.1) == 2
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            theorem1_max_crashes(0.1, 0.3, 0.05)
+        with pytest.raises(ValueError):
+            theorem1_max_crashes(0.3, 0.0, 0.05)
+        with pytest.raises(ValueError):
+            theorem1_max_crashes(0.3, 0.1, 0.0)
+
+    def test_check_on_single_layer(self, single_layer_net):
+        w = single_layer_net.weight_max(2)
+        n_ok = int(0.2 / w)
+        ok = check_theorem1(single_layer_net, n_ok, 0.3, 0.1)
+        bad = check_theorem1(single_layer_net, n_ok + 1, 0.3, 0.1)
+        assert ok.tolerated and not bad.tolerated
+
+    def test_check_rejects_multilayer(self, small_net):
+        with pytest.raises(ValueError, match="single-layer"):
+            check_theorem1(small_net, 1, 0.3, 0.1)
+
+    def test_check_rejects_negative(self, single_layer_net):
+        with pytest.raises(ValueError):
+            check_theorem1(single_layer_net, -1, 0.3, 0.1)
+
+
+class TestTheorem3:
+    def test_zero_failures_always_tolerated(self, small_net):
+        assert check_theorem3(small_net, (0, 0), 0.3, 0.1, mode="crash")
+
+    def test_full_layer_never_tolerated(self, small_net):
+        check = check_theorem3(small_net, (8, 0), 0.3, 0.1, mode="crash")
+        assert not check.tolerated
+
+    def test_monotone_budget(self, small_net):
+        dist = (1, 0)
+        tight = check_theorem3(small_net, dist, 0.11, 0.1, mode="crash")
+        loose = check_theorem3(small_net, dist, 5.0, 0.1, mode="crash")
+        assert loose.tolerated
+        assert loose.error_bound == pytest.approx(tight.error_bound)
+
+    def test_capacity_scaling(self, small_net):
+        a = check_theorem3(small_net, (1, 1), 1.0, 0.5, capacity=1.0,
+                           mode="byzantine")
+        b = check_theorem3(small_net, (1, 1), 1.0, 0.5, capacity=2.0,
+                           mode="byzantine")
+        assert b.error_bound == pytest.approx(2 * a.error_bound)
+
+    def test_distribution_length_checked(self, small_net):
+        with pytest.raises(ValueError):
+            check_theorem3(small_net, (1,), 0.3, 0.1, mode="crash")
+
+
+class TestTheorem4:
+    def test_monotone_in_failures(self, small_net):
+        a = check_theorem4(small_net, (1, 0, 0), 1.0, 0.5, capacity=1.0)
+        b = check_theorem4(small_net, (2, 0, 0), 1.0, 0.5, capacity=1.0)
+        assert b.error_bound == pytest.approx(2 * a.error_bound)
+
+    def test_length_checked(self, small_net):
+        with pytest.raises(ValueError):
+            check_theorem4(small_net, (1, 0), 1.0, 0.5, capacity=1.0)
+
+    def test_output_stage_cheapest(self, small_net):
+        stage1 = check_theorem4(small_net, (1, 0, 0), 1.0, 0.5, capacity=1.0)
+        out_stage = check_theorem4(small_net, (0, 0, 1), 1.0, 0.5, capacity=1.0)
+        # With K=1 and fan-outs > 1, an early synapse fault can fan out.
+        assert out_stage.error_bound <= stage1.error_bound
+
+
+class TestTheorem5:
+    def test_zero_lambdas_tolerated(self, small_net):
+        assert check_theorem5(small_net, (0.0, 0.0), 0.3, 0.1)
+
+    def test_scaling_in_lambda(self, small_net):
+        a = check_theorem5(small_net, (0.01, 0.01), 1.0, 0.5)
+        b = check_theorem5(small_net, (0.02, 0.02), 1.0, 0.5)
+        assert b.error_bound == pytest.approx(2 * a.error_bound)
+
+
+class TestLemmas:
+    def test_lemma1_detects_unbounded(self):
+        assert lemma1_unbounded_transmission(None)
+        assert lemma1_unbounded_transmission(np.inf)
+        assert not lemma1_unbounded_transmission(10.0)
+
+    def test_lemma2_value(self):
+        assert lemma2_synapse_neuron_equivalence(2.0, 0.5) == 1.0
+        with pytest.raises(ValueError):
+            lemma2_synapse_neuron_equivalence(-1.0, 0.5)
+
+
+class TestCorollary2:
+    def test_quota_formula(self):
+        net = build_mlp(
+            2, [10, 8], activation={"name": "sigmoid", "k": 0.5},
+            init={"name": "uniform", "scale": 0.05}, output_scale=0.05, seed=0,
+        )
+        quotas = corollary2_required_signals(net, (2, 1), 0.5, 0.1)
+        assert quotas == (8, 7)
+
+    def test_untolerated_distribution_raises(self):
+        net = build_mlp(
+            2, [10, 8], init={"name": "uniform", "scale": 2.0},
+            output_scale=2.0, seed=0,
+        )
+        with pytest.raises(ValueError, match="not tolerated"):
+            corollary2_required_signals(net, (5, 5), 0.2, 0.1)

@@ -1,0 +1,106 @@
+"""Unit tests for network construction helpers."""
+
+import numpy as np
+import pytest
+
+from repro.network.builder import (
+    FIGURE3_SPECS,
+    build_conv_net,
+    build_figure3_network,
+    build_mlp,
+    figure3_architectures,
+    random_network,
+)
+from repro.network.layers import Conv1DLayer
+
+
+class TestBuildMLP:
+    def test_shapes(self):
+        net = build_mlp(4, [10, 5], seed=0)
+        assert net.input_dim == 4 and net.layer_sizes == (10, 5)
+
+    def test_seed_reproducibility(self):
+        a = build_mlp(3, [6], seed=42)
+        b = build_mlp(3, [6], seed=42)
+        np.testing.assert_array_equal(a.layers[0].weights, b.layers[0].weights)
+        np.testing.assert_array_equal(a.output_weights, b.output_weights)
+
+    def test_different_seeds_differ(self):
+        a = build_mlp(3, [6], seed=1)
+        b = build_mlp(3, [6], seed=2)
+        assert not np.array_equal(a.layers[0].weights, b.layers[0].weights)
+
+    def test_output_scale_bounds_output_weights(self):
+        net = build_mlp(2, [4], output_scale=0.1, seed=0)
+        assert np.abs(net.output_weights).max() <= 0.1
+
+    def test_uniform_init_bounds_all_stages(self):
+        net = build_mlp(
+            2, [4, 4], init={"name": "uniform", "scale": 0.2},
+            output_scale=0.2, seed=0,
+        )
+        assert all(w <= 0.2 for w in net.weight_maxes())
+
+    def test_empty_hidden_rejected(self):
+        with pytest.raises(ValueError):
+            build_mlp(2, [])
+
+    def test_multi_output(self):
+        net = build_mlp(2, [4], n_outputs=3, seed=0)
+        assert net.forward(np.zeros((5, 2))).shape == (5, 3)
+
+
+class TestBuildConvNet:
+    def test_width_shrinkage(self):
+        net = build_conv_net(20, [5, 3], seed=0)
+        assert net.layer_sizes == (16, 14)
+        assert all(isinstance(l, Conv1DLayer) for l in net.layers)
+
+    def test_forward_runs(self):
+        net = build_conv_net(12, [3], seed=0)
+        out = net.forward(np.random.default_rng(0).random((4, 12)))
+        assert out.shape == (4, 1) and np.isfinite(out).all()
+
+
+class TestRandomNetwork:
+    def test_seeded_reproducible(self):
+        a = random_network(seed=7)
+        b = random_network(seed=7)
+        assert a.layer_sizes == b.layer_sizes
+        np.testing.assert_array_equal(a.output_weights, b.output_weights)
+
+    def test_weight_scale_respected(self):
+        net = random_network(weight_scale=0.3, seed=9)
+        assert all(w <= 0.3 + 1e-12 for w in net.weight_maxes())
+
+    def test_depth_within_bounds(self):
+        for seed in range(10):
+            net = random_network(max_depth=2, max_width=5, seed=seed)
+            assert 1 <= net.depth <= 2
+            assert all(2 <= n <= 5 for n in net.layer_sizes)
+
+
+class TestFigure3Family:
+    def test_eight_architectures(self):
+        assert len(figure3_architectures()) == 8
+
+    def test_depth_span(self):
+        depths = {len(h) for _, h in FIGURE3_SPECS}
+        assert depths == {1, 2, 3, 4}
+
+    def test_same_seed_same_weights_across_k(self):
+        a = build_figure3_network(2, k=0.5)
+        b = build_figure3_network(2, k=4.0)
+        np.testing.assert_array_equal(a.layers[0].weights, b.layers[0].weights)
+        assert a.lipschitz_constant == 0.5 and b.lipschitz_constant == 4.0
+
+    def test_index_range_checked(self):
+        with pytest.raises(ValueError):
+            build_figure3_network(8, k=1.0)
+
+    @pytest.mark.parametrize("idx", range(8))
+    def test_every_network_builds_and_runs(self, idx):
+        net = build_figure3_network(idx, k=1.0)
+        d = FIGURE3_SPECS[idx][0]
+        out = net.forward(np.full((2, d), 0.5))
+        assert np.isfinite(out).all()

@@ -1,0 +1,84 @@
+"""Unit tests for robustness certification and empirical audit."""
+
+import numpy as np
+import pytest
+
+from repro.core.certification import certify, empirical_audit
+
+
+@pytest.fixture
+def cert_net():
+    from repro.network import build_mlp
+
+    return build_mlp(
+        2,
+        [10, 8],
+        activation={"name": "sigmoid", "k": 0.5},
+        init={"name": "uniform", "scale": 0.1},
+        output_scale=0.08,
+        seed=6,
+    )
+
+
+class TestCertify:
+    def test_certificate_fields(self, cert_net):
+        cert = certify(cert_net, 0.5, 0.1, mode="crash")
+        assert cert.layer_sizes == (10, 8)
+        assert cert.budget == pytest.approx(0.4)
+        assert len(cert.per_layer_max) == 2
+        assert 0 <= cert.uniform_fraction <= 1
+
+    def test_maximal_distribution_is_tolerated(self, cert_net):
+        cert = certify(cert_net, 0.5, 0.1, mode="crash")
+        assert cert.tolerates(cert.maximal_distribution)
+
+    def test_byzantine_mode_requires_capacity(self, cert_net):
+        with pytest.raises(ValueError):
+            certify(cert_net, 0.5, 0.1, mode="byzantine")
+        cert = certify(cert_net, 0.5, 0.1, mode="byzantine", capacity=1.0)
+        assert cert.capacity == 1.0
+
+    def test_fep_accessor_matches(self, cert_net):
+        from repro.core.fep import network_fep
+
+        cert = certify(cert_net, 0.5, 0.1, mode="crash")
+        assert cert.fep((1, 1)) == pytest.approx(
+            network_fep(cert_net, (1, 1), mode="crash")
+        )
+
+    def test_summary_text(self, cert_net):
+        cert = certify(cert_net, 0.5, 0.1, mode="crash")
+        text = cert.summary()
+        assert "per-layer max failures" in text and "budget=0.4" in text
+
+
+class TestEmpiricalAudit:
+    def test_crash_audit_sound(self, cert_net, rng):
+        cert = certify(cert_net, 0.5, 0.1, mode="crash")
+        x = rng.random((48, 2))
+        report = empirical_audit(cert, x, n_scenarios=100, seed=0)
+        assert report.sound
+        assert report.worst_observed <= cert.budget + 1e-9
+        assert 0 <= report.tightness <= 1 + 1e-9
+
+    def test_byzantine_audit_sound(self, cert_net, rng):
+        cert = certify(cert_net, 0.5, 0.1, mode="byzantine", capacity=1.0)
+        x = rng.random((48, 2))
+        report = empirical_audit(cert, x, n_scenarios=100, seed=0)
+        assert report.sound
+
+    def test_explicit_distribution(self, cert_net, rng):
+        cert = certify(cert_net, 0.5, 0.1, mode="crash")
+        x = rng.random((16, 2))
+        report = empirical_audit(
+            cert, x, distribution=(1, 0), n_scenarios=20, seed=0
+        )
+        assert report.distribution == (1, 0)
+
+    def test_zero_distribution_trivially_sound(self, cert_net, rng):
+        cert = certify(cert_net, 0.5, 0.1, mode="crash")
+        x = rng.random((8, 2))
+        report = empirical_audit(
+            cert, x, distribution=(0, 0), n_scenarios=5, seed=0
+        )
+        assert report.sound and report.worst_observed == 0.0

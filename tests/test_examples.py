@@ -1,0 +1,56 @@
+"""The example scripts must run end to end (they contain their own
+assertions) — executed as subprocesses, as a user would."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "OK:" in proc.stdout
+
+    def test_flight_controller(self):
+        proc = run_example("flight_controller_certification.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "CERTIFIED" in proc.stdout
+
+    def test_neuromorphic_memory(self):
+        proc = run_example("neuromorphic_memory_budget.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "bound respected" in proc.stdout
+
+    def test_boosting(self):
+        proc = run_example("boosting_stragglers.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "speedup" in proc.stdout
+
+    def test_mission_reliability(self):
+        proc = run_example("mission_reliability_planning.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "smallest replication" in proc.stdout
+
+    def test_reproduce_paper_single(self):
+        proc = run_example("reproduce_paper.py", "figure2")
+        assert proc.returncode == 0, proc.stderr
+        assert "1 experiments reproduced" in proc.stdout
+
+    def test_reproduce_paper_unknown(self):
+        proc = run_example("reproduce_paper.py", "nonsense")
+        assert proc.returncode == 2

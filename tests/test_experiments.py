@@ -1,0 +1,141 @@
+"""Smoke + shape tests for the experiment harness.
+
+Each experiment's shape checks are the reproduction criteria; here we
+run every experiment at reduced size and assert they all pass, plus
+unit-test the result container and table formatter.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentResult,
+    format_table,
+    run_boosting,
+    run_conv,
+    run_figure1,
+    run_figure2,
+    run_figure3,
+    run_lemma1,
+    run_overprovision,
+    run_theorem1,
+    run_theorem2,
+    run_theorem3,
+    run_theorem4,
+    run_theorem5,
+)
+
+
+class TestRunner:
+    def test_passed_and_failed_checks(self):
+        r = ExperimentResult("x", "d", shape_checks={"a": True, "b": False})
+        assert not r.passed
+        assert r.failed_checks() == ["b"]
+        with pytest.raises(AssertionError, match="b"):
+            r.assert_passed()
+
+    def test_report_contains_checks_and_rows(self):
+        r = ExperimentResult(
+            "x", "desc", rows=[{"a": 1.5, "b": "q"}],
+            shape_checks={"ok": True}, metrics={"m": 2.0},
+            notes=["a note"],
+        )
+        text = r.report()
+        assert "PASS" in text and "a note" in text and "m=2" in text
+
+    def test_format_table_alignment(self):
+        table = format_table([{"col": 1}, {"col": 22, "extra": "x"}])
+        lines = table.splitlines()
+        assert lines[0].startswith("col")
+        assert "extra" in lines[0]
+        assert len(lines) == 4
+
+    def test_format_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_registry_is_complete(self):
+        assert len(ALL_EXPERIMENTS) == 18
+
+
+class TestFigures:
+    def test_figure1(self):
+        run_figure1().assert_passed()
+
+    def test_figure2(self):
+        result = run_figure2()
+        result.assert_passed()
+        assert len(result.rows) == 5
+
+    def test_figure3_reduced(self):
+        result = run_figure3(
+            k_grid=(0.5, 1.0, 2.0),
+            n_scenarios=20,
+            n_inputs=24,
+            networks=(0, 2, 4),
+        )
+        result.assert_passed()
+        assert len(result.rows) == 9
+
+
+class TestTheorems:
+    def test_theorem1(self):
+        run_theorem1(n_neurons=8, max_fail=3, n_inputs=24).assert_passed()
+
+    def test_theorem2(self):
+        run_theorem2(n_networks=6).assert_passed()
+
+    def test_theorem3(self):
+        run_theorem3(n_scenarios=80).assert_passed()
+
+    def test_theorem4(self):
+        run_theorem4(n_networks=6).assert_passed()
+
+    def test_theorem5(self):
+        run_theorem5(bits_grid=(2, 4, 6, 8), n_inputs=64).assert_passed()
+
+    def test_lemma1(self):
+        run_lemma1().assert_passed()
+
+
+class TestApplications:
+    def test_overprovision(self):
+        run_overprovision(factors=(1, 2, 4)).assert_passed()
+
+    def test_boosting(self):
+        run_boosting(n_trials=6).assert_passed()
+
+    def test_conv(self):
+        run_conv(n_scenarios=30, n_draws=60).assert_passed()
+
+    def test_reliability(self):
+        from repro.experiments import run_reliability
+
+        run_reliability(n_trials=80).assert_passed()
+
+    def test_pruning(self):
+        from repro.experiments import run_pruning
+
+        run_pruning().assert_passed()
+
+    def test_smr_baseline(self):
+        from repro.experiments import run_smr_baseline
+
+        run_smr_baseline(n_scenarios=40).assert_passed()
+
+    @pytest.mark.slow
+    def test_fep_learning(self):
+        from repro.experiments import run_fep_learning
+
+        run_fep_learning(epochs=50, n_scenarios=50).assert_passed()
+
+    @pytest.mark.slow
+    def test_tradeoff_k(self):
+        from repro.experiments import run_tradeoff_k
+
+        run_tradeoff_k(k_grid=(0.25, 1.0), epochs=25).assert_passed()
+
+    @pytest.mark.slow
+    def test_tradeoff_weights(self):
+        from repro.experiments import run_tradeoff_weights
+
+        run_tradeoff_weights(caps=(0.1, 0.8), epochs=25).assert_passed()

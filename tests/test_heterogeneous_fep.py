@@ -1,0 +1,82 @@
+"""Tests for the per-layer-Lipschitz refinement of Fep."""
+
+import numpy as np
+import pytest
+
+from repro.core.fep import (
+    forward_error_propagation,
+    heterogeneous_fep,
+    network_fep,
+    network_heterogeneous_fep,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.scenarios import random_failure_scenario
+from repro.faults.types import ByzantineFault
+from repro.network import FeedForwardNetwork, Sigmoid
+from repro.network.layers import DenseLayer
+
+
+def mixed_k_network(k1=2.0, k2=0.25, seed=0):
+    """Two hidden layers with very different Lipschitz constants."""
+    rng = np.random.default_rng(seed)
+    l1 = DenseLayer(2, 6, Sigmoid(k1),
+                    weights=rng.uniform(-0.5, 0.5, (6, 2)), use_bias=False)
+    l2 = DenseLayer(6, 5, Sigmoid(k2),
+                    weights=rng.uniform(-0.5, 0.5, (5, 6)), use_bias=False)
+    return FeedForwardNetwork([l1, l2], rng.uniform(-0.5, 0.5, (1, 5)))
+
+
+class TestHeterogeneousFep:
+    def test_reduces_to_homogeneous_for_uniform_k(self):
+        sizes, w, f = [4, 3], [1.0, 0.5, 0.4], [1, 1]
+        het = heterogeneous_fep(f, sizes, w, [1.5, 1.5], 2.0)
+        hom = forward_error_propagation(f, sizes, w, 1.5, 2.0)
+        assert het == pytest.approx(hom)
+
+    def test_never_exceeds_worst_case_k(self):
+        net = mixed_k_network()
+        for dist in [(1, 0), (2, 1), (0, 2)]:
+            het = network_heterogeneous_fep(net, dist, capacity=1.0)
+            hom = network_fep(net, dist, capacity=1.0)
+            assert het <= hom + 1e-12
+
+    def test_strict_gap_on_mixed_networks(self):
+        net = mixed_k_network(k1=2.0, k2=0.25)
+        # A layer-1 failure traverses only the K=0.25 layer; the
+        # homogeneous bound charges K=2 for it.
+        het = network_heterogeneous_fep(net, (1, 0), capacity=1.0)
+        hom = network_fep(net, (1, 0), capacity=1.0)
+        assert het < 0.2 * hom
+
+    def test_downstream_constants_only(self):
+        # Failures in the last layer are unaffected by any K.
+        net = mixed_k_network()
+        het = network_heterogeneous_fep(net, (0, 1), capacity=1.0)
+        assert het == pytest.approx(net.weight_max(3))
+
+    def test_hand_computation(self):
+        # L=2, f=(1,0): C * K_2 * (N_2 w2)(1 w3).
+        got = heterogeneous_fep([1, 0], [3, 4], [9, 0.5, 0.25], [5.0, 0.5], 1.0)
+        assert got == pytest.approx(0.5 * (4 * 0.5) * 0.25)
+
+    def test_still_sound_under_injection(self, rng):
+        net = mixed_k_network(seed=3)
+        injector = FaultInjector(net, capacity=1.0)
+        x = rng.random((32, 2))
+        dist = (2, 1)
+        bound = network_heterogeneous_fep(net, dist, capacity=1.0)
+        worst = 0.0
+        for _ in range(40):
+            sc = random_failure_scenario(
+                net, dist, fault=ByzantineFault(), rng=rng
+            )
+            worst = max(worst, injector.output_error(x, sc))
+        assert worst <= bound + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            heterogeneous_fep([1], [3], [1, 1], [1.0, 1.0], 1.0)
+        with pytest.raises(ValueError):
+            heterogeneous_fep([1], [3], [1, 1], [0.0], 1.0)
+        with pytest.raises(ValueError):
+            heterogeneous_fep([4], [3], [1, 1], [1.0], 1.0)

@@ -1,0 +1,81 @@
+"""Unit tests for weight initialisers."""
+
+import numpy as np
+import pytest
+
+from repro.network.initializers import (
+    ConstantInitializer,
+    HeNormal,
+    NormalInitializer,
+    UniformInitializer,
+    XavierNormal,
+    XavierUniform,
+    get_initializer,
+)
+
+
+class TestUniform:
+    def test_bounds_guarantee_w_max(self, rng):
+        init = UniformInitializer(scale=0.3)
+        w = init((50, 40), rng)
+        assert np.abs(w).max() <= 0.3
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            UniformInitializer(scale=0.0)
+
+
+class TestNormal:
+    def test_statistics(self, rng):
+        w = NormalInitializer(std=0.2)((200, 200), rng)
+        assert abs(w.std() - 0.2) < 0.01
+        assert abs(w.mean()) < 0.01
+
+    def test_std_validation(self):
+        with pytest.raises(ValueError):
+            NormalInitializer(std=-1.0)
+
+
+class TestVarianceScaled:
+    def test_xavier_uniform_limit(self, rng):
+        w = XavierUniform()((30, 20), rng)
+        limit = np.sqrt(6.0 / 50)
+        assert np.abs(w).max() <= limit
+
+    def test_xavier_normal_std(self, rng):
+        w = XavierNormal()((300, 300), rng)
+        assert abs(w.std() - np.sqrt(2.0 / 600)) < 0.005
+
+    def test_he_normal_std(self, rng):
+        w = HeNormal()((300, 300), rng)
+        assert abs(w.std() - np.sqrt(2.0 / 300)) < 0.005
+
+
+class TestConstant:
+    def test_fills(self, rng):
+        w = ConstantInitializer(0.7)((3, 4), rng)
+        assert np.all(w == 0.7)
+
+
+class TestRegistry:
+    def test_by_name_and_spec(self, rng):
+        assert isinstance(get_initializer("he_normal"), HeNormal)
+        init = get_initializer({"name": "uniform", "scale": 0.1})
+        assert init.scale == 0.1
+
+    def test_passthrough(self):
+        init = XavierUniform()
+        assert get_initializer(init) is init
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_initializer("orthogonal")
+
+    def test_bad_spec(self):
+        with pytest.raises(TypeError):
+            get_initializer(3.14)
+
+    def test_reproducibility_with_seeded_rng(self):
+        a = UniformInitializer(0.5)((5, 5), np.random.default_rng(0))
+        b = UniformInitializer(0.5)((5, 5), np.random.default_rng(0))
+        np.testing.assert_array_equal(a, b)

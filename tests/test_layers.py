@@ -1,0 +1,137 @@
+"""Unit tests for DenseLayer and Conv1DLayer."""
+
+import numpy as np
+import pytest
+
+from repro.network.activations import Identity, Sigmoid
+from repro.network.layers import Conv1DLayer, DenseLayer, layer_from_spec
+
+
+class TestDenseLayer:
+    def test_forward_matches_manual_computation(self):
+        w = np.array([[1.0, -2.0], [0.5, 0.5]])
+        b = np.array([0.1, -0.1])
+        layer = DenseLayer(2, 2, Identity(), weights=w, bias=b)
+        x = np.array([[1.0, 1.0]])
+        np.testing.assert_allclose(layer.forward(x), x @ w.T + b)
+
+    def test_activation_applied(self):
+        w = np.zeros((3, 2))
+        layer = DenseLayer(2, 3, Sigmoid(1.0), weights=w, use_bias=False)
+        out = layer.forward(np.array([[0.3, 0.7]]))
+        np.testing.assert_allclose(out, 0.5)  # sigmoid(0) = 1/2
+
+    def test_no_bias_mode(self):
+        layer = DenseLayer(2, 2, Identity(), weights=np.eye(2), use_bias=False)
+        x = np.array([[2.0, 3.0]])
+        np.testing.assert_allclose(layer.forward(x), x)
+
+    def test_max_abs_weight(self):
+        w = np.array([[0.1, -0.9], [0.3, 0.2]])
+        layer = DenseLayer(2, 2, weights=w)
+        assert layer.max_abs_weight() == pytest.approx(0.9)
+
+    def test_dense_weights_is_view(self):
+        layer = DenseLayer(2, 2, weights=np.eye(2))
+        layer.dense_weights()[0, 0] = 5.0
+        assert layer.weights[0, 0] == 5.0
+
+    def test_synapse_mask_full(self):
+        layer = DenseLayer(3, 4)
+        assert layer.synapse_mask().all()
+        assert layer.num_synapses == 12
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="weights shape"):
+            DenseLayer(2, 2, weights=np.zeros((3, 2)))
+        with pytest.raises(ValueError, match="bias shape"):
+            DenseLayer(2, 2, weights=np.zeros((2, 2)), bias=np.zeros(3))
+        with pytest.raises(ValueError, match="dimensions"):
+            DenseLayer(0, 2)
+
+    def test_parameters_are_mutable_views(self):
+        layer = DenseLayer(2, 2, weights=np.eye(2))
+        layer.parameters()["weights"] += 1.0
+        assert layer.weights[0, 0] == 2.0
+
+    def test_copy_is_deep(self):
+        layer = DenseLayer(2, 2, weights=np.eye(2))
+        clone = layer.copy()
+        clone.weights[0, 0] = 9.0
+        assert layer.weights[0, 0] == 1.0
+
+    def test_explicit_weights_are_copied(self):
+        w = np.eye(2)
+        layer = DenseLayer(2, 2, weights=w)
+        w[0, 0] = 7.0
+        assert layer.weights[0, 0] == 1.0
+
+
+class TestConv1DLayer:
+    def test_output_width(self):
+        layer = Conv1DLayer(10, 3)
+        assert layer.n_out == 8
+
+    def test_forward_matches_dense_equivalent(self):
+        rng = np.random.default_rng(0)
+        layer = Conv1DLayer(9, 4, Sigmoid(1.0), rng=rng)
+        x = rng.random((5, 9))
+        dense = layer.dense_weights()
+        expected = layer.activation(x @ dense.T + layer.bias[0])
+        np.testing.assert_allclose(layer.forward(x), expected, rtol=1e-12)
+
+    def test_forward_1d_input(self):
+        layer = Conv1DLayer(6, 2, kernel=np.array([1.0, -1.0]), use_bias=False,
+                            activation=Identity())
+        x = np.array([1.0, 2.0, 4.0, 7.0, 11.0, 16.0])
+        np.testing.assert_allclose(layer.forward(x), [-1, -2, -3, -4, -5])
+
+    def test_weight_sharing_in_dense_equivalent(self):
+        layer = Conv1DLayer(7, 3, kernel=np.array([1.0, 2.0, 3.0]))
+        dense = layer.dense_weights()
+        for p in range(layer.n_out):
+            np.testing.assert_allclose(dense[p, p : p + 3], [1.0, 2.0, 3.0])
+        assert np.count_nonzero(dense) == layer.n_out * 3
+
+    def test_max_abs_weight_reads_kernel_only(self):
+        layer = Conv1DLayer(7, 3, kernel=np.array([0.5, -2.5, 1.0]))
+        assert layer.max_abs_weight() == pytest.approx(2.5)
+
+    def test_synapse_mask_banded(self):
+        layer = Conv1DLayer(5, 2)
+        mask = layer.synapse_mask()
+        assert layer.num_synapses == 4 * 2
+        assert mask[0, 0] and mask[0, 1] and not mask[0, 2]
+
+    def test_receptive_field_validation(self):
+        with pytest.raises(ValueError):
+            Conv1DLayer(3, 5)
+        with pytest.raises(ValueError):
+            Conv1DLayer(5, 0)
+        with pytest.raises(ValueError, match="kernel shape"):
+            Conv1DLayer(5, 2, kernel=np.zeros(3))
+
+    def test_copy_is_deep(self):
+        layer = Conv1DLayer(5, 2, kernel=np.array([1.0, 2.0]))
+        clone = layer.copy()
+        clone.kernel[0] = 9.0
+        assert layer.kernel[0] == 1.0
+
+
+class TestLayerFromSpec:
+    def test_dense_roundtrip_structure(self):
+        layer = DenseLayer(3, 4, Sigmoid(2.0), use_bias=False)
+        rebuilt = layer_from_spec(layer.spec())
+        assert rebuilt.n_in == 3 and rebuilt.n_out == 4
+        assert rebuilt.activation.lipschitz == 2.0
+        assert rebuilt.use_bias is False
+
+    def test_conv_roundtrip_structure(self):
+        layer = Conv1DLayer(8, 3, Sigmoid(0.5))
+        rebuilt = layer_from_spec(layer.spec())
+        assert isinstance(rebuilt, Conv1DLayer)
+        assert rebuilt.receptive_field == 3 and rebuilt.n_in == 8
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(KeyError):
+            layer_from_spec({"type": "recurrent"})

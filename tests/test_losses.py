@@ -1,0 +1,80 @@
+"""Unit tests for loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.training.losses import HuberLoss, MAELoss, MSELoss, get_loss
+
+
+class TestMSE:
+    def test_value(self):
+        loss = MSELoss()
+        assert loss.value(np.array([[1.0], [2.0]]), np.array([[0.0], [0.0]])) == (
+            pytest.approx(2.5)
+        )
+
+    def test_gradient_matches_fd(self, rng):
+        loss = MSELoss()
+        pred = rng.random((6, 2))
+        target = rng.random((6, 2))
+        g = loss.gradient(pred, target)
+        h = 1e-6
+        for i in range(6):
+            for j in range(2):
+                bump = pred.copy()
+                bump[i, j] += h
+                fd = (loss.value(bump, target) - loss.value(pred, target)) / h
+                assert g[i, j] == pytest.approx(fd, rel=1e-3, abs=1e-8)
+
+    def test_zero_at_perfect(self):
+        x = np.ones((3, 1))
+        assert MSELoss().value(x, x) == 0.0
+
+    def test_1d_targets_promoted(self):
+        assert MSELoss().value(np.array([1.0, 2.0]), np.array([1.0, 2.0])) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MSELoss().value(np.zeros((2, 1)), np.zeros((3, 1)))
+
+
+class TestMAE:
+    def test_value(self):
+        assert MAELoss().value(np.array([[1.0], [-1.0]]), np.zeros((2, 1))) == 1.0
+
+    def test_gradient_signs(self):
+        g = MAELoss().gradient(np.array([[2.0], [-2.0]]), np.zeros((2, 1)))
+        np.testing.assert_allclose(g, [[0.5], [-0.5]])
+
+
+class TestHuber:
+    def test_quadratic_regime(self):
+        h = HuberLoss(delta=1.0)
+        assert h.value(np.array([[0.5]]), np.array([[0.0]])) == pytest.approx(0.125)
+
+    def test_linear_regime(self):
+        h = HuberLoss(delta=1.0)
+        assert h.value(np.array([[3.0]]), np.array([[0.0]])) == pytest.approx(2.5)
+
+    def test_gradient_capped(self):
+        h = HuberLoss(delta=1.0)
+        g = h.gradient(np.array([[100.0]]), np.array([[0.0]]))
+        assert g[0, 0] == pytest.approx(1.0)
+
+    def test_delta_validation(self):
+        with pytest.raises(ValueError):
+            HuberLoss(delta=0.0)
+
+
+class TestRegistry:
+    def test_get_by_name(self):
+        assert isinstance(get_loss("mse"), MSELoss)
+        assert isinstance(get_loss("huber"), HuberLoss)
+
+    def test_passthrough(self):
+        loss = MAELoss()
+        assert get_loss(loss) is loss
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_loss("hinge")

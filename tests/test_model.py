@@ -1,0 +1,146 @@
+"""Unit tests for FeedForwardNetwork (model structure + forward)."""
+
+import numpy as np
+import pytest
+
+from repro.network.layers import DenseLayer
+from repro.network.model import FeedForwardNetwork, NeuronAddress
+from repro.network import build_mlp
+
+
+class TestConstruction:
+    def test_fan_mismatch_rejected(self):
+        layers = [DenseLayer(2, 3), DenseLayer(4, 2)]
+        with pytest.raises(ValueError, match="fan mismatch"):
+            FeedForwardNetwork(layers, np.zeros((1, 2)))
+
+    def test_output_weight_shape_checked(self):
+        with pytest.raises(ValueError, match="output weights"):
+            FeedForwardNetwork([DenseLayer(2, 3)], np.zeros((1, 4)))
+
+    def test_needs_at_least_one_layer(self):
+        with pytest.raises(ValueError):
+            FeedForwardNetwork([], np.zeros((1, 1)))
+
+    def test_1d_output_weights_promoted(self):
+        net = FeedForwardNetwork([DenseLayer(2, 3)], np.zeros(3))
+        assert net.output_weights.shape == (1, 3)
+        assert net.n_outputs == 1
+
+
+class TestStructure:
+    def test_sizes(self, small_net):
+        assert small_net.depth == 2
+        assert small_net.input_dim == 3
+        assert small_net.layer_sizes == (8, 6)
+        assert small_net.num_neurons == 14
+        assert small_net.num_synapses == 3 * 8 + 8 * 6 + 6
+
+    def test_weight_maxes_length_and_bound(self, small_net):
+        wm = small_net.weight_maxes()
+        assert len(wm) == small_net.depth + 1
+        assert all(0 < w <= 0.5 for w in wm)
+
+    def test_weight_max_bad_index(self, small_net):
+        with pytest.raises(ValueError):
+            small_net.weight_max(0)
+        with pytest.raises(ValueError):
+            small_net.weight_max(4)
+
+    def test_lipschitz_is_max_over_layers(self):
+        net = build_mlp(2, [3], activation={"name": "sigmoid", "k": 2.0}, seed=0)
+        assert net.lipschitz_constant == 2.0
+        assert net.lipschitz_constants() == (2.0,)
+
+    def test_output_bound_sigmoid(self, small_net):
+        assert small_net.output_bound == 1.0
+
+
+class TestAddressing:
+    def test_flat_roundtrip(self, small_net):
+        for addr in small_net.iter_addresses():
+            assert small_net.address_of(small_net.flat_index(addr)) == addr
+
+    def test_flat_count(self, small_net):
+        assert len(list(small_net.iter_addresses())) == small_net.num_neurons
+
+    def test_check_address_rejects_output_layer(self, small_net):
+        with pytest.raises(ValueError, match="client"):
+            small_net.check_address((3, 0))
+
+    def test_check_address_rejects_wide_index(self, small_net):
+        with pytest.raises(ValueError):
+            small_net.check_address((1, 8))
+
+    def test_address_class_invariants(self):
+        with pytest.raises(ValueError):
+            NeuronAddress(0, 1)
+        with pytest.raises(ValueError):
+            NeuronAddress(1, -1)
+        a = NeuronAddress(2, 3)
+        assert a.layer == 2 and a.index == 3 and tuple(a) == (2, 3)
+
+    def test_address_of_out_of_range(self, small_net):
+        with pytest.raises(ValueError):
+            small_net.address_of(small_net.num_neurons)
+
+
+class TestForward:
+    def test_output_shape_batch(self, small_net, batch):
+        assert small_net.forward(batch).shape == (32, 1)
+
+    def test_output_shape_single(self, small_net):
+        out = small_net.forward(np.zeros(3))
+        assert out.shape == (1,)
+
+    def test_rejects_wrong_dim(self, small_net):
+        with pytest.raises(ValueError, match="input dimension"):
+            small_net.forward(np.zeros((4, 5)))
+        with pytest.raises(ValueError, match="1-D or 2-D"):
+            small_net.forward(np.zeros((2, 2, 3)))
+
+    def test_hidden_outputs_shapes(self, small_net, batch):
+        taps = small_net.hidden_outputs(batch)
+        assert [t.shape for t in taps] == [(32, 8), (32, 6)]
+
+    def test_forward_from_consistency(self, small_net, batch):
+        taps = small_net.hidden_outputs(batch)
+        full = small_net.forward(batch)
+        np.testing.assert_allclose(small_net.forward_from(1, taps[0]), full)
+        np.testing.assert_allclose(small_net.forward_from(2, taps[1]), full)
+
+    def test_forward_from_bad_layer(self, small_net, batch):
+        with pytest.raises(ValueError):
+            small_net.forward_from(0, batch)
+
+    def test_deterministic(self, small_net, batch):
+        np.testing.assert_array_equal(
+            small_net.forward(batch), small_net.forward(batch)
+        )
+
+    def test_callable_alias(self, small_net, batch):
+        np.testing.assert_array_equal(small_net(batch), small_net.forward(batch))
+
+
+class TestMutation:
+    def test_scale_weights_scales_w_m(self, small_net):
+        before = np.asarray(small_net.weight_maxes())
+        small_net.scale_weights(0.5)
+        after = np.asarray(small_net.weight_maxes())
+        np.testing.assert_allclose(after, before * 0.5)
+
+    def test_copy_independent(self, small_net, batch):
+        clone = small_net.copy()
+        clone.scale_weights(0.0)
+        assert np.abs(small_net.forward(batch)).max() > 0
+        np.testing.assert_allclose(
+            clone.forward(batch), np.zeros((batch.shape[0], 1))
+        )
+
+    def test_parameters_keys(self, small_net):
+        keys = set(small_net.parameters())
+        assert "layer1.weights" in keys and "output.weights" in keys
+
+    def test_summary_mentions_topology(self, small_net):
+        text = small_net.summary()
+        assert "L=2" in text and "N=(8, 6)" in text

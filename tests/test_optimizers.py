@@ -1,0 +1,107 @@
+"""Unit tests for optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.training.optimizers import SGD, Adam, RMSProp, get_optimizer
+
+
+def quadratic_descent(opt, steps=300, dim=4, seed=0):
+    """Minimise |p - target|^2; returns final distance."""
+    rng = np.random.default_rng(seed)
+    target = rng.random(dim)
+    p = np.zeros(dim)
+    params = {"p": p}
+    for _ in range(steps):
+        grads = {"p": 2 * (p - target)}
+        opt.step(params, grads)
+    return float(np.abs(p - target).max())
+
+
+class TestSGD:
+    def test_plain_update_rule(self):
+        opt = SGD(lr=0.1)
+        p = np.array([1.0])
+        opt.step({"p": p}, {"p": np.array([2.0])})
+        assert p[0] == pytest.approx(0.8)
+
+    def test_converges_on_quadratic(self):
+        assert quadratic_descent(SGD(lr=0.1)) < 1e-6
+
+    def test_momentum_converges(self):
+        assert quadratic_descent(SGD(lr=0.05, momentum=0.9)) < 1e-6
+
+    def test_nesterov_converges(self):
+        assert quadratic_descent(SGD(lr=0.05, momentum=0.9, nesterov=True)) < 1e-6
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD(lr=0.1, momentum=0.0, nesterov=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SGD(lr=0.0)
+        with pytest.raises(ValueError):
+            SGD(lr=0.1, momentum=1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        assert quadratic_descent(Adam(lr=0.05), steps=600) < 1e-4
+
+    def test_bias_correction_first_step(self):
+        opt = Adam(lr=0.1)
+        p = np.array([0.0])
+        opt.step({"p": p}, {"p": np.array([1.0])})
+        # First step magnitude ~ lr regardless of gradient scale.
+        assert abs(p[0]) == pytest.approx(0.1, rel=1e-6)
+
+    def test_state_reset(self):
+        opt = Adam(lr=0.1)
+        p = np.array([0.0])
+        opt.step({"p": p}, {"p": np.array([1.0])})
+        opt.reset()
+        assert opt._state == {}
+
+    def test_beta_validation(self):
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)
+
+
+class TestRMSProp:
+    def test_converges_on_quadratic(self):
+        # RMSProp with a constant step hovers near the optimum rather
+        # than converging exactly; a loose neighbourhood is the claim.
+        assert quadratic_descent(RMSProp(lr=0.05), steps=600) < 0.05
+
+    def test_rho_validation(self):
+        with pytest.raises(ValueError):
+            RMSProp(rho=1.5)
+
+
+class TestProtocol:
+    def test_in_place_updates(self):
+        opt = SGD(lr=1.0)
+        p = np.zeros(3)
+        ref = p
+        opt.step({"p": p}, {"p": np.ones(3)})
+        assert ref is p and np.all(p == -1.0)
+
+    def test_missing_gradient_skipped(self):
+        opt = SGD(lr=1.0)
+        p = np.zeros(2)
+        opt.step({"p": p}, {})
+        assert np.all(p == 0.0)
+
+    def test_shape_mismatch_rejected(self):
+        opt = SGD(lr=1.0)
+        with pytest.raises(ValueError, match="shape"):
+            opt.step({"p": np.zeros(2)}, {"p": np.zeros(3)})
+
+    def test_registry(self):
+        assert isinstance(get_optimizer("adam"), Adam)
+        assert isinstance(get_optimizer("sgd", lr=0.2), SGD)
+        opt = RMSProp()
+        assert get_optimizer(opt) is opt
+        with pytest.raises(KeyError):
+            get_optimizer("lbfgs")

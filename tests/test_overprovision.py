@@ -1,0 +1,113 @@
+"""Unit tests for the over-provisioning constructions (Corollary 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import check_theorem3
+from repro.core.fep import network_fep
+from repro.core.overprovision import (
+    barron_nmin,
+    minimal_replication_factor,
+    replicate_network,
+)
+from repro.network import build_conv_net, build_mlp
+
+
+class TestBarron:
+    def test_inverse_scaling(self):
+        assert barron_nmin(0.1) == 10
+        assert barron_nmin(0.01) == 100
+        assert barron_nmin(0.5, constant=2.0) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            barron_nmin(0.0)
+        with pytest.raises(ValueError):
+            barron_nmin(0.1, constant=-1.0)
+
+
+class TestReplication:
+    def test_function_exactly_preserved(self, small_net, batch):
+        for r in (2, 3, 5):
+            rep = replicate_network(small_net, r)
+            np.testing.assert_allclose(
+                rep.forward(batch), small_net.forward(batch), atol=1e-12
+            )
+
+    def test_sizes_and_weight_maxes(self, small_net):
+        rep = replicate_network(small_net, 4)
+        assert rep.layer_sizes == tuple(4 * n for n in small_net.layer_sizes)
+        wm_orig = small_net.weight_maxes()
+        wm_rep = rep.weight_maxes()
+        # Stage 1 (from inputs) is unchanged; stages >= 2 shrink by r.
+        assert wm_rep[0] == pytest.approx(wm_orig[0])
+        for a, b in zip(wm_rep[1:], wm_orig[1:]):
+            assert a == pytest.approx(b / 4)
+
+    def test_fep_shrinks_for_fixed_distribution(self, small_net):
+        base = network_fep(small_net, (1, 1), mode="crash")
+        rep = replicate_network(small_net, 4)
+        assert network_fep(rep, (1, 1), mode="crash") < base
+
+    def test_r_one_is_copy(self, small_net, batch):
+        rep = replicate_network(small_net, 1)
+        np.testing.assert_array_equal(rep.forward(batch), small_net.forward(batch))
+        rep.scale_weights(0.0)
+        assert np.abs(small_net.forward(batch)).max() > 0
+
+    def test_invalid_r(self, small_net):
+        with pytest.raises(ValueError):
+            replicate_network(small_net, 0)
+
+    def test_conv_layers_rejected(self):
+        net = build_conv_net(8, [3], seed=0)
+        with pytest.raises(TypeError, match="dense"):
+            replicate_network(net, 2)
+
+    def test_bias_replicated(self, batch):
+        net = build_mlp(3, [4, 3], seed=0)
+        for layer in net.layers:
+            layer.bias[:] = np.random.default_rng(0).normal(size=layer.bias.shape)
+        rep = replicate_network(net, 3)
+        np.testing.assert_allclose(rep.forward(batch), net.forward(batch), atol=1e-12)
+
+
+class TestMinimalReplication:
+    def test_finds_tolerating_factor(self):
+        net = build_mlp(
+            2, [6, 5], init={"name": "uniform", "scale": 0.5},
+            output_scale=0.5, seed=0,
+        )
+        dist = (2, 1)
+        assert not check_theorem3(net, dist, 0.3, 0.1, mode="crash")
+        r, rep = minimal_replication_factor(net, dist, 0.3, 0.1, mode="crash")
+        assert r > 1
+        assert check_theorem3(rep, dist, 0.3, 0.1, mode="crash")
+
+    def test_minimality(self):
+        net = build_mlp(
+            2, [6, 5], init={"name": "uniform", "scale": 0.5},
+            output_scale=0.5, seed=0,
+        )
+        dist = (2, 1)
+        r, _ = minimal_replication_factor(net, dist, 0.3, 0.1, mode="crash")
+        if r > 1:
+            smaller = replicate_network(net, r - 1)
+            assert not check_theorem3(smaller, dist, 0.3, 0.1, mode="crash")
+
+    def test_already_tolerant_returns_one(self):
+        net = build_mlp(
+            2, [6], init={"name": "uniform", "scale": 0.01},
+            output_scale=0.01, seed=0,
+        )
+        r, _ = minimal_replication_factor(net, (1,), 0.5, 0.1, mode="crash")
+        assert r == 1
+
+    def test_unreachable_budget_raises(self):
+        net = build_mlp(
+            2, [4], init={"name": "uniform", "scale": 1.0}, output_scale=1.0, seed=0
+        )
+        with pytest.raises(ValueError, match="no replication factor"):
+            minimal_replication_factor(
+                net, (3,), 0.100001, 0.1, mode="crash", max_r=2
+            )

@@ -1,0 +1,85 @@
+"""Unit tests for precision allocation (the Theorem-5 inverse)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fep import network_precision_bound
+from repro.quantization.precision import (
+    build_quantized_network,
+    greedy_bit_allocation,
+    layer_error_coefficients,
+    memory_savings,
+    uniform_bit_allocation,
+)
+
+
+class TestCoefficients:
+    def test_linear_reconstruction(self, small_net):
+        coeffs = layer_error_coefficients(small_net)
+        lambdas = np.array([0.03, 0.07])
+        assert float(coeffs @ lambdas) == pytest.approx(
+            network_precision_bound(small_net, lambdas)
+        )
+
+    def test_positive(self, deep_net):
+        assert np.all(layer_error_coefficients(deep_net) > 0)
+
+
+class TestUniformAllocation:
+    def test_meets_budget_and_is_minimal(self, small_net):
+        b = uniform_bit_allocation(small_net, 0.05)
+        coeffs = layer_error_coefficients(small_net)
+        bound_at = lambda bits: float(
+            np.sum(coeffs * 2.0 ** -(np.full(2, bits) + 1.0))
+        )
+        assert bound_at(b) <= 0.05
+        if b > 1:
+            assert bound_at(b - 1) > 0.05
+
+    def test_budget_validation(self, small_net):
+        with pytest.raises(ValueError):
+            uniform_bit_allocation(small_net, 0.0)
+
+    def test_unreachable_budget(self, small_net):
+        with pytest.raises(ValueError, match="unreachable"):
+            uniform_bit_allocation(small_net, 1e-30, max_bits=8)
+
+
+class TestGreedyAllocation:
+    def test_meets_budget(self, deep_net):
+        alloc = greedy_bit_allocation(deep_net, 0.02)
+        qnet = build_quantized_network(deep_net, alloc)
+        assert network_precision_bound(deep_net, qnet.lambdas) <= 0.02 + 1e-12
+
+    def test_no_worse_than_uniform(self, deep_net):
+        alloc = greedy_bit_allocation(deep_net, 0.02)
+        uniform = uniform_bit_allocation(deep_net, 0.02)
+        assert sum(alloc) <= deep_net.depth * uniform
+
+    def test_high_coefficient_layers_get_more_bits(self, deep_net):
+        coeffs = layer_error_coefficients(deep_net)
+        alloc = greedy_bit_allocation(deep_net, 0.001)
+        order_coeff = np.argsort(coeffs)
+        order_bits = np.argsort(alloc)
+        # The costliest layer never receives the fewest bits (ties aside).
+        assert alloc[order_coeff[-1]] >= alloc[order_coeff[0]]
+
+    def test_unreachable_budget(self, small_net):
+        with pytest.raises(ValueError, match="unreachable"):
+            greedy_bit_allocation(small_net, 1e-30, max_bits=6)
+
+
+class TestBuildAndSavings:
+    def test_scalar_bits_broadcast(self, small_net):
+        qnet = build_quantized_network(small_net, 6)
+        assert all(q.bits == 6 for q in qnet.quantizers)
+
+    def test_sequence_bits(self, small_net):
+        qnet = build_quantized_network(small_net, [4, 8])
+        assert [q.bits for q in qnet.quantizers] == [4, 8]
+        with pytest.raises(ValueError):
+            build_quantized_network(small_net, [4])
+
+    def test_memory_savings_fraction(self, small_net):
+        assert memory_savings(small_net, 8) == pytest.approx(1 - 8 / 64)
+        assert memory_savings(small_net, 64) == pytest.approx(0.0)

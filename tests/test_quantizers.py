@@ -1,0 +1,110 @@
+"""Unit tests for quantisers and the quantised network wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.core.fep import network_precision_bound
+from repro.quantization.quantizers import (
+    FixedPointQuantizer,
+    QuantizedNetwork,
+    StochasticRoundingQuantizer,
+    UniformQuantizer,
+)
+
+
+class TestFixedPointQuantizer:
+    def test_max_error_formula(self):
+        q = FixedPointQuantizer(bits=4)
+        assert q.max_error == 2.0**-5
+        assert q.bits == 4
+
+    def test_error_bound_holds_on_unit_interval(self, rng):
+        q = FixedPointQuantizer(bits=5)
+        x = rng.random(10000)
+        err = np.abs(q(x) - x)
+        assert err.max() <= q.max_error + 1e-15
+
+    def test_idempotent(self, rng):
+        q = FixedPointQuantizer(bits=3)
+        x = rng.random(100)
+        np.testing.assert_array_equal(q(q(x)), q(x))
+
+    def test_grid_values(self):
+        q = FixedPointQuantizer(bits=2)
+        np.testing.assert_allclose(
+            q(np.array([0.0, 0.1, 0.3, 0.6, 1.0])), [0.0, 0.0, 0.25, 0.5, 1.0]
+        )
+
+    def test_clips_to_unit_interval(self):
+        q = FixedPointQuantizer(bits=2)
+        assert q(np.array([1.4]))[0] == 1.0
+
+    def test_bits_validation(self):
+        with pytest.raises(ValueError):
+            FixedPointQuantizer(0)
+
+
+class TestUniformQuantizer:
+    def test_levels_and_step(self):
+        q = UniformQuantizer(levels=5, lo=0.0, hi=1.0)
+        assert q.step == pytest.approx(0.25)
+        assert q.max_error == pytest.approx(0.125)
+
+    def test_arbitrary_range(self, rng):
+        q = UniformQuantizer(levels=9, lo=-2.0, hi=2.0)
+        x = rng.uniform(-2, 2, 1000)
+        assert np.abs(q(x) - x).max() <= q.max_error + 1e-15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformQuantizer(levels=1)
+        with pytest.raises(ValueError):
+            UniformQuantizer(levels=4, lo=1.0, hi=0.0)
+
+
+class TestStochasticRounding:
+    def test_unbiased_in_expectation(self):
+        q = StochasticRoundingQuantizer(bits=3, rng=np.random.default_rng(0))
+        x = np.full(40000, 0.3)
+        assert abs(q(x).mean() - 0.3) < 1e-3
+
+    def test_worst_case_error_one_step(self, rng):
+        q = StochasticRoundingQuantizer(bits=4, rng=rng)
+        x = rng.random(5000)
+        assert np.abs(q(x) - x).max() <= q.max_error + 1e-15
+
+    def test_outputs_on_grid(self):
+        q = StochasticRoundingQuantizer(bits=2, rng=np.random.default_rng(1))
+        out = q(np.random.default_rng(2).random(100))
+        np.testing.assert_allclose(out * 4, np.round(out * 4), atol=1e-12)
+
+
+class TestQuantizedNetwork:
+    def test_lambdas_reported(self, small_net):
+        qnet = QuantizedNetwork(
+            small_net, [FixedPointQuantizer(4), FixedPointQuantizer(8)]
+        )
+        assert qnet.lambdas == (2.0**-5, 2.0**-9)
+
+    def test_none_slots_are_exact(self, small_net, batch):
+        qnet = QuantizedNetwork(small_net, [None, None])
+        np.testing.assert_array_equal(qnet.forward(batch), small_net.forward(batch))
+        assert qnet.lambdas == (0.0, 0.0)
+        assert qnet.output_error(batch) == 0.0
+
+    def test_output_error_within_theorem5(self, small_net, batch):
+        qnet = QuantizedNetwork(
+            small_net, [FixedPointQuantizer(3), FixedPointQuantizer(3)]
+        )
+        bound = network_precision_bound(small_net, qnet.lambdas)
+        assert qnet.output_error(batch) <= bound + 1e-12
+
+    def test_slot_count_validated(self, small_net):
+        with pytest.raises(ValueError):
+            QuantizedNetwork(small_net, [FixedPointQuantizer(4)])
+
+    def test_memory_accounting(self, small_net):
+        qnet = QuantizedNetwork(
+            small_net, [FixedPointQuantizer(4), None]
+        )
+        assert qnet.memory_bits(64) == 8 * 4 + 6 * 64

@@ -1,0 +1,120 @@
+"""Unit tests for regularisers, including the Fep regulariser."""
+
+import numpy as np
+import pytest
+
+from repro.core.fep import network_fep
+from repro.network import build_mlp
+from repro.training.regularizers import (
+    FepRegularizer,
+    L2Regularizer,
+    MaxNormConstraint,
+)
+
+
+class TestL2:
+    def test_penalty_value(self, small_net):
+        reg = L2Regularizer(lam=0.5)
+        expected = 0.5 * sum(
+            float(np.sum(arr**2))
+            for name, arr in small_net.parameters().items()
+            if name.endswith(".weights")
+        )
+        assert reg.penalty(small_net) == pytest.approx(expected)
+
+    def test_gradients_point_at_weights(self, small_net):
+        reg = L2Regularizer(lam=0.1)
+        grads = reg.gradients(small_net)
+        assert "layer1.weights" in grads and "output.weights" in grads
+        assert "layer1.bias" not in grads
+        np.testing.assert_allclose(
+            grads["layer1.weights"], 0.2 * small_net.layers[0].weights
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            L2Regularizer(lam=-1.0)
+
+
+class TestMaxNorm:
+    def test_projection_caps_weights(self, small_net):
+        small_net.scale_weights(10.0)
+        MaxNormConstraint(0.3).project(small_net)
+        assert max(small_net.weight_maxes()) <= 0.3
+
+    def test_bias_untouched_by_default(self, small_net):
+        small_net.layers[0].bias[:] = 5.0
+        MaxNormConstraint(0.3).project(small_net)
+        assert small_net.layers[0].bias[0] == 5.0
+
+    def test_bias_included_when_asked(self, small_net):
+        small_net.layers[0].bias[:] = 5.0
+        MaxNormConstraint(0.3, include_bias=True).project(small_net)
+        assert small_net.layers[0].bias[0] == 0.3
+
+    def test_no_penalty_term(self, small_net):
+        assert MaxNormConstraint(0.5).penalty(small_net) == 0.0
+
+    def test_stage_selective_projection(self, small_net):
+        small_net.scale_weights(10.0)
+        w1_before = small_net.layers[0].weights.copy()
+        MaxNormConstraint(0.1, stages=(2, 3)).project(small_net)
+        # Stage 1 (input weights) untouched — it never enters Fep.
+        np.testing.assert_array_equal(small_net.layers[0].weights, w1_before)
+        assert small_net.layers[1].max_abs_weight() <= 0.1
+        assert np.abs(small_net.output_weights).max() <= 0.1
+
+    def test_stage_cap_shrinks_fep_without_touching_stage1(self, small_net):
+        fep_before = network_fep(small_net, (2, 1), mode="crash")
+        MaxNormConstraint(0.01, stages=(2, 3)).project(small_net)
+        assert network_fep(small_net, (2, 1), mode="crash") < fep_before
+
+
+class TestFepRegularizer:
+    def test_penalty_equals_lam_times_fep(self, small_net):
+        reg = FepRegularizer((1, 1), lam=0.2, capacity=1.0)
+        assert reg.penalty(small_net) == pytest.approx(
+            0.2 * network_fep(small_net, (1, 1), capacity=1.0, mode="byzantine")
+        )
+
+    def test_gradient_targets_argmax_weights(self, small_net):
+        reg = FepRegularizer((1, 1), lam=1.0)
+        grads = reg.gradients(small_net)
+        # w_m^(1) never enters the neuron-failure Fep.
+        assert "layer1.weights" not in grads
+        for key in ("layer2.weights", "output.weights"):
+            g = grads[key]
+            assert np.count_nonzero(g) == 1
+            arr = small_net.parameters()[key]
+            idx = np.unravel_index(np.argmax(np.abs(g)), g.shape)
+            assert abs(arr[idx]) == pytest.approx(np.abs(arr).max())
+
+    def test_gradient_descends_fep(self, small_net):
+        reg = FepRegularizer((2, 2), lam=1.0)
+        before = reg.penalty(small_net)
+        grads = reg.gradients(small_net)
+        for key, g in grads.items():
+            small_net.parameters()[key][...] -= 0.05 * g
+        assert reg.penalty(small_net) < before
+
+    def test_depth_mismatch_raises(self, small_net):
+        reg = FepRegularizer((1,), lam=1.0)
+        with pytest.raises(ValueError):
+            reg.penalty(small_net)
+
+    def test_training_with_fep_regularizer_reduces_fep(self, rng):
+        from repro.training.trainer import Trainer
+
+        net = build_mlp(
+            2, [8, 6], init={"name": "uniform", "scale": 0.6},
+            output_scale=0.6, seed=9,
+        )
+        x = rng.random((128, 2))
+        y = rng.random((128, 1))
+        fep_before = network_fep(net, (2, 1), mode="crash")
+        trainer = Trainer(
+            optimizer="sgd",
+            regularizers=[FepRegularizer((2, 1), lam=0.05)],
+        )
+        trainer.train(net, x, y, epochs=20, batch_size=32, rng=rng)
+        assert network_fep(net, (2, 1), mode="crash") < fep_before

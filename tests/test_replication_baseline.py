@@ -1,0 +1,103 @@
+"""Unit tests for the SMR whole-network-replication baseline."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.replication import (
+    ReplicatedEnsemble,
+    smr_neuron_cost,
+    smr_tolerance,
+)
+from repro.network import build_mlp
+
+
+@pytest.fixture
+def base_net():
+    return build_mlp(2, [6, 5], seed=50)
+
+
+class TestToleranceFormula:
+    @pytest.mark.parametrize("r,expected", [(1, 0), (2, 0), (3, 1), (5, 2), (7, 3)])
+    def test_floor_half(self, r, expected):
+        assert smr_tolerance(r) == expected
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            smr_tolerance(0)
+
+    def test_neuron_cost(self, base_net):
+        assert smr_neuron_cost(base_net, 5) == 5 * 11
+
+
+class TestEnsemble:
+    def test_nominal_vote_equals_network(self, base_net, rng):
+        ens = ReplicatedEnsemble.of_copies(base_net, 3)
+        x = rng.random((8, 2))
+        np.testing.assert_allclose(ens.forward(x), base_net.forward(x))
+
+    def test_byzantine_within_tolerance_masked(self, base_net, rng):
+        ens = ReplicatedEnsemble.of_copies(base_net, 5)
+        ens.make_replica_byzantine(0, 1e9)
+        ens.make_replica_byzantine(1, -1e9)
+        x = rng.random((8, 2))
+        assert ens.vote_error(x, base_net) <= 1e-12
+        assert ens.masks_current_failures()
+
+    def test_byzantine_beyond_tolerance_breaks(self, base_net, rng):
+        ens = ReplicatedEnsemble.of_copies(base_net, 3)
+        ens.make_replica_byzantine(0, 1e6)
+        ens.make_replica_byzantine(1, 1e6)
+        x = rng.random((8, 2))
+        assert ens.vote_error(x, base_net) > 1e3
+        assert not ens.masks_current_failures()
+
+    def test_crashed_replicas_excluded(self, base_net, rng):
+        ens = ReplicatedEnsemble.of_copies(base_net, 3)
+        ens.crash_replica(0)
+        ens.crash_replica(1)
+        x = rng.random((8, 2))
+        np.testing.assert_allclose(ens.forward(x), base_net.forward(x))
+
+    def test_all_crashed_raises(self, base_net, rng):
+        ens = ReplicatedEnsemble.of_copies(base_net, 2)
+        ens.crash_replica(0)
+        ens.crash_replica(1)
+        with pytest.raises(RuntimeError, match="all replicas"):
+            ens.forward(rng.random((2, 2)))
+
+    def test_repair(self, base_net, rng):
+        ens = ReplicatedEnsemble.of_copies(base_net, 3)
+        ens.make_replica_byzantine(0, 5.0)
+        ens.crash_replica(1)
+        ens.repair_all()
+        assert ens.num_faulty == 0
+        x = rng.random((4, 2))
+        np.testing.assert_allclose(ens.forward(x), base_net.forward(x))
+
+    def test_shape_mismatch_rejected(self, base_net):
+        other = build_mlp(3, [4], seed=1)
+        with pytest.raises(ValueError, match="shapes"):
+            ReplicatedEnsemble([base_net, other])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ReplicatedEnsemble([])
+        with pytest.raises(ValueError):
+            ReplicatedEnsemble.of_copies(build_mlp(2, [3], seed=0), 0)
+
+    def test_replicas_are_copies(self, base_net, rng):
+        ens = ReplicatedEnsemble.of_copies(base_net, 2)
+        ens.replicas[0].network.scale_weights(0.0)
+        x = rng.random((4, 2))
+        # Replica 1 untouched; median of (zeroed, nominal) is the midpoint.
+        assert not np.allclose(
+            ens.replicas[1].network.forward(x), ens.replicas[0].network.forward(x)
+        )
+
+    def test_heterogeneous_ensemble_votes(self, rng):
+        nets = [build_mlp(2, [6], seed=s) for s in range(3)]
+        ens = ReplicatedEnsemble(nets)
+        x = rng.random((4, 2))
+        out = ens.forward(x)
+        stack = np.stack([n.forward(x) for n in nets])
+        np.testing.assert_allclose(out, np.median(stack, axis=0))

@@ -1,0 +1,73 @@
+"""Unit tests for the Markdown reporting layer."""
+
+import pytest
+
+from repro.analysis.reporting import (
+    result_to_markdown,
+    results_to_markdown,
+    write_markdown_report,
+)
+from repro.experiments.runner import ExperimentResult
+
+
+@pytest.fixture
+def sample_result():
+    return ExperimentResult(
+        "figureX",
+        "a demo experiment",
+        rows=[{"K": 0.5, "Er": 0.123456789}, {"K": 1.0, "Er": 0.5, "extra": "x|y"}],
+        shape_checks={"good": True, "bad": False},
+        metrics={"slope": 1.5},
+        notes=["a caveat"],
+    )
+
+
+class TestResultToMarkdown:
+    def test_section_structure(self, sample_result):
+        md = result_to_markdown(sample_result)
+        assert md.startswith("## `figureX`")
+        assert "| K | Er |" in md
+        assert "✅ good" in md and "❌ bad" in md
+        assert "`slope` = 1.5" in md
+        assert "> a caveat" in md
+
+    def test_pipe_escaped_in_cells(self, sample_result):
+        assert "x\\|y" in result_to_markdown(sample_result)
+
+    def test_empty_rows(self):
+        r = ExperimentResult("e", "d", shape_checks={"ok": True})
+        assert "*(no rows)*" in result_to_markdown(r)
+
+    def test_float_formatting(self, sample_result):
+        assert "0.123457" in result_to_markdown(sample_result)
+
+
+class TestResultsToMarkdown:
+    def test_summary_line(self, sample_result):
+        ok = ExperimentResult("ok", "d", shape_checks={"a": True})
+        md = results_to_markdown({"a": sample_result, "b": ok})
+        assert "1/2 experiments pass" in md
+        assert "## `figureX`" in md and "## `ok`" in md
+
+    def test_accepts_iterable(self, sample_result):
+        md = results_to_markdown([sample_result])
+        assert "0/1 experiments pass" in md
+
+    def test_custom_title(self, sample_result):
+        md = results_to_markdown([sample_result], title="My Report")
+        assert md.startswith("# My Report")
+
+
+class TestWriteReport:
+    def test_writes_file(self, tmp_path, sample_result):
+        path = write_markdown_report([sample_result], tmp_path / "report.md")
+        text = path.read_text(encoding="utf-8")
+        assert "figureX" in text
+
+    def test_cli_markdown_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "rep.md"
+        assert main(["experiments", "figure2", "--markdown", str(out)]) == 0
+        assert out.exists()
+        assert "figure2" in out.read_text(encoding="utf-8")

@@ -1,0 +1,152 @@
+"""Unit tests for failure scenarios and their generators."""
+
+import numpy as np
+import pytest
+
+from repro.faults.scenarios import (
+    NOMINAL,
+    FailureScenario,
+    all_single_neuron_faults,
+    byzantine_scenario,
+    crash_scenario,
+    exhaustive_crash_scenarios,
+    random_failure_scenario,
+    random_synapse_scenario,
+    uniform_distribution,
+    worst_case_byzantine_scenario,
+    worst_case_crash_scenario,
+)
+from repro.faults.types import ByzantineFault, CrashFault, SynapseCrashFault
+from repro.network import build_conv_net
+from repro.network.model import NeuronAddress
+
+
+class TestFailureScenario:
+    def test_nominal_is_empty(self):
+        assert NOMINAL.is_empty()
+        assert NOMINAL.num_neuron_faults == 0
+
+    def test_distribution_counting(self):
+        sc = crash_scenario([(1, 0), (1, 1), (2, 3)])
+        assert sc.neuron_distribution(3) == (2, 1, 0)
+
+    def test_distribution_depth_mismatch(self):
+        sc = crash_scenario([(3, 0)])
+        with pytest.raises(ValueError):
+            sc.neuron_distribution(2)
+
+    def test_synapse_distribution(self):
+        sc = FailureScenario(
+            synapse_faults={(1, 0, 0): SynapseCrashFault(), (3, 0, 1): SynapseCrashFault()}
+        )
+        assert sc.synapse_distribution(2) == (1, 0, 1)
+
+    def test_type_validation(self):
+        with pytest.raises(TypeError, match="NeuronFault"):
+            FailureScenario({(1, 0): SynapseCrashFault()})
+        with pytest.raises(TypeError, match="SynapseFault"):
+            FailureScenario(synapse_faults={(1, 0, 0): CrashFault()})
+
+    def test_validate_against_network(self, small_net):
+        crash_scenario([(2, 5)]).validate(small_net)
+        with pytest.raises(ValueError):
+            crash_scenario([(2, 6)]).validate(small_net)
+        with pytest.raises(ValueError):
+            crash_scenario([(3, 0)]).validate(small_net)
+
+    def test_validate_synapse_bounds(self, small_net):
+        FailureScenario(
+            synapse_faults={(3, 0, 5): SynapseCrashFault()}
+        ).validate(small_net)
+        with pytest.raises(ValueError):
+            FailureScenario(
+                synapse_faults={(3, 0, 6): SynapseCrashFault()}
+            ).validate(small_net)
+        with pytest.raises(ValueError, match="stage"):
+            FailureScenario(
+                synapse_faults={(4, 0, 0): SynapseCrashFault()}
+            ).validate(small_net)
+
+    def test_validate_conv_receptive_field(self):
+        net = build_conv_net(8, [3], seed=0)
+        FailureScenario(
+            synapse_faults={(1, 0, 2): SynapseCrashFault()}
+        ).validate(net)
+        with pytest.raises(ValueError, match="receptive field"):
+            FailureScenario(
+                synapse_faults={(1, 0, 7): SynapseCrashFault()}
+            ).validate(net)
+
+    def test_merged_with(self):
+        a = crash_scenario([(1, 0)], name="a")
+        b = byzantine_scenario([(1, 1)], name="b")
+        merged = a.merged_with(b)
+        assert merged.num_neuron_faults == 2
+        assert isinstance(merged.neuron_faults[NeuronAddress(1, 1)], ByzantineFault)
+
+    def test_immutable_mapping_semantics(self):
+        sc = crash_scenario([(1, 0)])
+        assert NeuronAddress(1, 0) in sc.neuron_faults
+
+
+class TestGenerators:
+    def test_random_counts_match_distribution(self, small_net, rng):
+        sc = random_failure_scenario(small_net, (3, 2), rng=rng)
+        assert sc.neuron_distribution(2) == (3, 2)
+
+    def test_random_rejects_overfull_layer(self, small_net, rng):
+        with pytest.raises(ValueError):
+            random_failure_scenario(small_net, (9, 0), rng=rng)
+
+    def test_random_distribution_length_checked(self, small_net, rng):
+        with pytest.raises(ValueError):
+            random_failure_scenario(small_net, (1,), rng=rng)
+
+    def test_random_no_duplicates(self, small_net, rng):
+        sc = random_failure_scenario(small_net, (8 - 1, 0), rng=rng)
+        layer1 = [a for a in sc.neuron_faults if a.layer == 1]
+        assert len(set(layer1)) == 7
+
+    def test_worst_case_picks_highest_outgoing_weight(self, small_net):
+        sc = worst_case_crash_scenario(small_net, (1, 0))
+        victim = next(iter(sc.neuron_faults))
+        scores = np.abs(small_net.layers[1].dense_weights()).max(axis=0)
+        assert victim.index == int(np.argmax(scores))
+
+    def test_worst_case_last_layer_uses_output_weights(self, small_net):
+        sc = worst_case_crash_scenario(small_net, (0, 1))
+        victim = next(iter(sc.neuron_faults))
+        assert victim.index == int(np.argmax(np.abs(small_net.output_weights)))
+
+    def test_worst_case_byzantine_saturates(self, small_net):
+        sc = worst_case_byzantine_scenario(small_net, (2, 0), sign=-1)
+        for fault in sc.neuron_faults.values():
+            assert isinstance(fault, ByzantineFault)
+            assert fault.value is None and fault.sign == -1
+
+    def test_uniform_distribution_floors(self, small_net):
+        assert uniform_distribution(small_net, 0.25) == (2, 1)
+        assert uniform_distribution(small_net, 0.0) == (0, 0)
+        with pytest.raises(ValueError):
+            uniform_distribution(small_net, 1.5)
+
+    def test_synapse_generator_counts(self, small_net, rng):
+        sc = random_synapse_scenario(small_net, (2, 1, 1), rng=rng)
+        assert sc.synapse_distribution(2) == (2, 1, 1)
+        sc.validate(small_net)
+
+    def test_synapse_generator_respects_conv_mask(self, rng):
+        net = build_conv_net(10, [3], seed=0)
+        sc = random_synapse_scenario(net, (5, 0), rng=rng)
+        sc.validate(net)
+
+
+class TestEnumerations:
+    def test_exhaustive_count(self, single_layer_net):
+        scenarios = list(exhaustive_crash_scenarios(single_layer_net, 2))
+        assert len(scenarios) == 45  # C(10, 2)
+
+    def test_single_fault_enumeration(self, small_net):
+        singles = list(all_single_neuron_faults(small_net))
+        assert len(singles) == small_net.num_neurons
+        assert all(s.num_neuron_faults == 1 for s in singles)

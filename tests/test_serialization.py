@@ -1,0 +1,47 @@
+"""Round-trip tests for network serialization."""
+
+import numpy as np
+import pytest
+
+from repro.network import build_conv_net, build_mlp, load_network, save_network
+
+
+class TestRoundTrip:
+    def test_dense_bit_exact(self, tmp_path, rng):
+        net = build_mlp(3, [7, 4], activation={"name": "sigmoid", "k": 1.5}, seed=0)
+        path = save_network(net, tmp_path / "net.npz")
+        again = load_network(path)
+        x = rng.random((16, 3))
+        np.testing.assert_array_equal(net.forward(x), again.forward(x))
+
+    def test_conv_bit_exact(self, tmp_path, rng):
+        net = build_conv_net(12, [3, 2], seed=1)
+        path = save_network(net, tmp_path / "conv.npz")
+        again = load_network(path)
+        x = rng.random((8, 12))
+        np.testing.assert_array_equal(net.forward(x), again.forward(x))
+
+    def test_structure_preserved(self, tmp_path):
+        net = build_mlp(2, [5], activation={"name": "tanh", "k": 0.7}, seed=2)
+        again = load_network(save_network(net, tmp_path / "n"))
+        assert again.layer_sizes == net.layer_sizes
+        assert again.lipschitz_constant == net.lipschitz_constant
+        assert again.weight_maxes() == net.weight_maxes()
+
+    def test_extension_appended(self, tmp_path):
+        net = build_mlp(2, [3], seed=0)
+        path = save_network(net, tmp_path / "plain")
+        assert path.suffix == ".npz"
+
+    def test_missing_spec_rejected(self, tmp_path):
+        bad = tmp_path / "bad.npz"
+        np.savez(bad, foo=np.zeros(3))
+        with pytest.raises(ValueError, match="missing spec"):
+            load_network(bad)
+
+    def test_weights_mutation_does_not_leak(self, tmp_path, rng):
+        net = build_mlp(2, [4], seed=3)
+        path = save_network(net, tmp_path / "n.npz")
+        net.scale_weights(0.0)
+        again = load_network(path)
+        assert np.abs(again.output_weights).max() > 0

@@ -1,0 +1,148 @@
+"""Unit tests for the bound-inversion solvers."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import check_theorem3
+from repro.core.fep import network_fep
+from repro.core.tolerance import (
+    greedy_max_total_failures,
+    max_capacity_for_distribution,
+    max_failures_single_layer,
+    max_uniform_fraction,
+    max_weight_scale_for_distribution,
+    tolerated_distributions,
+)
+from repro.network import build_mlp
+
+
+@pytest.fixture
+def tolerant_net():
+    """Small weights + shallow K -> lots of tolerance to play with."""
+    return build_mlp(
+        2,
+        [8, 6],
+        activation={"name": "sigmoid", "k": 0.5},
+        init={"name": "uniform", "scale": 0.08},
+        output_scale=0.05,
+        seed=4,
+    )
+
+
+class TestSingleLayer:
+    def test_result_is_tolerated_and_maximal(self, tolerant_net):
+        for layer in (1, 2):
+            f = max_failures_single_layer(tolerant_net, layer, 0.5, 0.1)
+            dist = [0, 0]
+            dist[layer - 1] = f
+            assert check_theorem3(tolerant_net, dist, 0.5, 0.1, mode="crash")
+            if f < tolerant_net.layer_sizes[layer - 1] - 1:
+                dist[layer - 1] = f + 1
+                assert not check_theorem3(tolerant_net, dist, 0.5, 0.1, mode="crash")
+
+    def test_capped_at_width_minus_one(self, tolerant_net):
+        f = max_failures_single_layer(tolerant_net, 2, 100.0, 0.1)
+        assert f == tolerant_net.layer_sizes[1] - 1
+
+    def test_layer_bounds_checked(self, tolerant_net):
+        with pytest.raises(ValueError):
+            max_failures_single_layer(tolerant_net, 0, 0.5, 0.1)
+        with pytest.raises(ValueError):
+            max_failures_single_layer(tolerant_net, 3, 0.5, 0.1)
+
+
+class TestUniformFraction:
+    def test_fraction_is_tolerated(self, tolerant_net):
+        p = max_uniform_fraction(tolerant_net, 0.5, 0.1)
+        dist = [int(np.floor(p * n)) for n in tolerant_net.layer_sizes]
+        assert check_theorem3(tolerant_net, dist, 0.5, 0.1, mode="crash")
+
+    def test_zero_budget_allows_no_actual_failures(self):
+        net = build_mlp(
+            2, [8], init={"name": "uniform", "scale": 2.0}, output_scale=2.0, seed=0
+        )
+        p = max_uniform_fraction(net, 0.1000001, 0.1)
+        # The fraction may be positive but must floor to zero failed neurons.
+        assert int(np.floor(p * 8)) == 0
+
+    def test_huge_budget_allows_almost_everything(self, tolerant_net):
+        assert max_uniform_fraction(tolerant_net, 1000.0, 0.1) >= 0.8
+
+
+class TestGreedy:
+    def test_result_is_tolerated(self, tolerant_net):
+        dist = greedy_max_total_failures(tolerant_net, 0.5, 0.1)
+        assert check_theorem3(tolerant_net, dist, 0.5, 0.1, mode="crash")
+
+    def test_result_is_maximal(self, tolerant_net):
+        dist = list(greedy_max_total_failures(tolerant_net, 0.5, 0.1))
+        for l0 in range(len(dist)):
+            if dist[l0] + 1 >= tolerant_net.layer_sizes[l0]:
+                continue
+            bigger = dist.copy()
+            bigger[l0] += 1
+            assert not check_theorem3(tolerant_net, bigger, 0.5, 0.1, mode="crash")
+
+    def test_respects_fl_strictly_below_nl(self, tolerant_net):
+        dist = greedy_max_total_failures(tolerant_net, 1e9, 0.1)
+        assert all(f <= n - 1 for f, n in zip(dist, tolerant_net.layer_sizes))
+
+
+class TestExactFrontier:
+    def test_frontier_members_tolerated_and_maximal(self):
+        net = build_mlp(
+            2, [5, 4], activation={"name": "sigmoid", "k": 0.5},
+            init={"name": "uniform", "scale": 0.1}, output_scale=0.1, seed=0,
+        )
+        frontier = tolerated_distributions(net, 0.4, 0.1)
+        assert frontier, "frontier should be non-empty"
+        for dist in frontier:
+            assert check_theorem3(net, dist, 0.4, 0.1, mode="crash")
+        # Greedy result is dominated by (or equals) some frontier point.
+        greedy = greedy_max_total_failures(net, 0.4, 0.1)
+        assert any(
+            all(g <= f for g, f in zip(greedy, front)) for front in frontier
+        )
+
+    def test_grid_size_guard(self, small_net):
+        with pytest.raises(ValueError, match="grid"):
+            tolerated_distributions(small_net, 0.4, 0.1, max_grid=10)
+
+
+class TestCriticalParameters:
+    def test_capacity_threshold_is_critical(self, tolerant_net):
+        dist = (1, 1)
+        c_star = max_capacity_for_distribution(tolerant_net, dist, 0.5, 0.1)
+        assert check_theorem3(
+            tolerant_net, dist, 0.5, 0.1, capacity=c_star * 0.999, mode="byzantine"
+        )
+        assert not check_theorem3(
+            tolerant_net, dist, 0.5, 0.1, capacity=c_star * 1.001, mode="byzantine"
+        )
+
+    def test_capacity_infinite_for_empty_distribution(self, tolerant_net):
+        assert max_capacity_for_distribution(tolerant_net, (0, 0), 0.5, 0.1) == (
+            float("inf")
+        )
+
+    def test_weight_scale_threshold_is_critical(self, tolerant_net):
+        dist = (1, 1)
+        s_star = max_weight_scale_for_distribution(tolerant_net, dist, 0.5, 0.1)
+        assert s_star > 0
+        w = np.asarray(tolerant_net.weight_maxes())
+        from repro.core.fep import forward_error_propagation
+
+        below = forward_error_propagation(
+            dist, tolerant_net.layer_sizes, w * (s_star * 0.999),
+            tolerant_net.lipschitz_constant, 1.0,
+        )
+        above = forward_error_propagation(
+            dist, tolerant_net.layer_sizes, w * (s_star * 1.001),
+            tolerant_net.lipschitz_constant, 1.0,
+        )
+        assert below <= 0.4 + 1e-9 < above
+
+    def test_weight_scale_monotone_in_budget(self, tolerant_net):
+        tight = max_weight_scale_for_distribution(tolerant_net, (1, 1), 0.2, 0.1)
+        loose = max_weight_scale_for_distribution(tolerant_net, (1, 1), 0.8, 0.1)
+        assert loose > tight
