@@ -1,0 +1,151 @@
+"""Campaign-engine benchmark: seed pipeline vs mask-native engine.
+
+Times the end-to-end Monte-Carlo campaign (sample -> evaluate ->
+reduce) on the throughput-bench network for both engines and dumps the
+results to ``BENCH_campaign.json`` so future PRs inherit a perf
+trajectory:
+
+* **seed pipeline** — per-scenario ``random_failure_scenario`` objects
+  lowered chunk-wise through ``compile_batch`` (the object path that
+  shipped with the seed repo);
+* **mask engine** — array-level sampling + streamed evaluation
+  (``repro.faults.masks``), in float64 and in the float32 fast path.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/run_campaign_bench.py
+    PYTHONPATH=src python benchmarks/run_campaign_bench.py --sizes 1000 100000
+
+The acceptance target tracked here: at S=100k crash scenarios the mask
+engine must be >= 10x the seed pipeline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.faults.campaign import run_campaign
+from repro.faults.injector import FaultInjector
+from repro.faults.masks import FixedDistributionSampler, sampled_campaign_errors
+from repro.faults.scenarios import random_failure_scenario
+from repro.network import build_mlp
+
+DISTRIBUTION = (3, 2)
+N_PROBES = 16
+
+
+def bench_network():
+    """The throughput-bench network of benchmarks/test_bench_throughput.py."""
+    return build_mlp(
+        4, [16, 12],
+        activation={"name": "sigmoid", "k": 1.0},
+        init={"name": "uniform", "scale": 0.4},
+        output_scale=0.3,
+        seed=21,
+    )
+
+
+def time_seed_pipeline(injector, x, n_scenarios, seed=0):
+    net = injector.network
+    t0 = time.perf_counter()
+    rng = np.random.default_rng(seed)
+    stream = (
+        random_failure_scenario(net, DISTRIBUTION, rng=rng, name=f"mc{i}")
+        for i in range(n_scenarios)
+    )
+    result = run_campaign(injector, x, stream, chunk_size=256)
+    elapsed = time.perf_counter() - t0
+    return elapsed, result.max_error
+
+
+def time_mask_engine(injector, x, n_scenarios, dtype, seed=0):
+    sampler = FixedDistributionSampler(injector.network, DISTRIBUTION)
+    t0 = time.perf_counter()
+    errors = sampled_campaign_errors(
+        injector, x, sampler, n_scenarios, seed=seed, dtype=dtype
+    )
+    elapsed = time.perf_counter() - t0
+    return elapsed, float(errors.max())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", type=int, nargs="+",
+                        default=[1_000, 100_000],
+                        help="campaign sizes S to benchmark")
+    parser.add_argument("--output", default=None,
+                        help="output path (default: BENCH_campaign.json "
+                             "next to this script's repo root)")
+    args = parser.parse_args(argv)
+
+    net = bench_network()
+    injector = FaultInjector(net, capacity=1.0)
+    x = np.random.default_rng(21).random((N_PROBES, net.input_dim))
+
+    rows = []
+    for S in args.sizes:
+        t_seed, max_seed = time_seed_pipeline(injector, x, S)
+        t_f64, max_f64 = time_mask_engine(injector, x, S, np.float64)
+        t_f32, max_f32 = time_mask_engine(injector, x, S, np.float32)
+        row = {
+            "n_scenarios": S,
+            "seed_pipeline_s": round(t_seed, 4),
+            "mask_float64_s": round(t_f64, 4),
+            "mask_float32_s": round(t_f32, 4),
+            "speedup_float64": round(t_seed / t_f64, 2),
+            "speedup_float32": round(t_seed / t_f32, 2),
+            "scenarios_per_s_float64": round(S / t_f64),
+            "scenarios_per_s_float32": round(S / t_f32),
+            "max_error_seed": max_seed,
+            "max_error_mask_float64": max_f64,
+            "max_error_mask_float32": max_f32,
+        }
+        rows.append(row)
+        print(
+            f"S={S:>8}: seed {t_seed:7.3f}s | mask f64 {t_f64:7.3f}s "
+            f"({row['speedup_float64']:5.1f}x) | mask f32 {t_f32:7.3f}s "
+            f"({row['speedup_float32']:5.1f}x)"
+        )
+
+    payload = {
+        "workload": {
+            "network": "mlp 4->[16,12]->1 (throughput-bench, seed 21)",
+            "distribution": list(DISTRIBUTION),
+            "n_probes": N_PROBES,
+            "fault": "crash",
+            "reduction": "max",
+        },
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "results": rows,
+    }
+    out_path = Path(
+        args.output
+        if args.output is not None
+        else Path(__file__).resolve().parent.parent / "BENCH_campaign.json"
+    )
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+    big = max(args.sizes)
+    headline = next(r for r in rows if r["n_scenarios"] == big)
+    if headline["speedup_float64"] < 10:
+        print(
+            f"WARNING: float64 speedup at S={big} is "
+            f"{headline['speedup_float64']}x (< 10x target)"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,8 +15,13 @@ import numpy as np
 import pytest
 
 from repro.core.fep import network_fep
-from repro.faults.campaign import exhaustive_crash_campaign
+from repro.faults.campaign import exhaustive_crash_campaign, run_campaign
 from repro.faults.injector import FaultInjector
+from repro.faults.masks import (
+    FixedDistributionSampler,
+    MaskCampaignEngine,
+    sampled_campaign_errors,
+)
 from repro.faults.scenarios import random_failure_scenario
 from repro.distributed.simulator import DistributedNetwork
 from repro.network import build_mlp
@@ -99,3 +104,76 @@ def test_bench_compile_scenarios(benchmark, setup):
     injector = FaultInjector(net, capacity=1.0)
     compiled = benchmark(injector.compile_batch, scenarios)
     assert compiled.num_scenarios == 256
+
+
+# ---------------------------------------------------------------------------
+# Mask-native engine (DESIGN.md throughput path)
+# ---------------------------------------------------------------------------
+
+
+def test_bench_mask_sampler_100k(benchmark, setup):
+    """Array-level scenario sampling: 100k scenarios, no Python objects."""
+    net, _, _ = setup
+    sampler = FixedDistributionSampler(net, (3, 2))
+    rng = np.random.default_rng(0)
+    batch = benchmark(sampler.sample, 100_000, rng)
+    assert batch.num_scenarios == 100_000
+
+
+def test_bench_mask_campaign_1k(benchmark, setup):
+    """Full pipeline (sample -> evaluate -> reduce) at S=1k."""
+    net, x, _ = setup
+    injector = FaultInjector(net, capacity=1.0)
+    sampler = FixedDistributionSampler(net, (3, 2))
+    errors = benchmark(
+        sampled_campaign_errors, injector, x[:16], sampler, 1_000, seed=0
+    )
+    assert errors.shape == (1_000,)
+
+
+def test_bench_seed_pipeline_1k(benchmark, setup):
+    """The seed path at S=1k: object sampling + compile_batch lowering.
+
+    The ratio against ``test_bench_mask_campaign_1k`` is the headline
+    speedup of the mask-native engine (see BENCH_campaign.json for the
+    S=100k comparison, where it exceeds 10x).
+    """
+    net, x, _ = setup
+    injector = FaultInjector(net, capacity=1.0)
+
+    def seed_pipeline():
+        rng = np.random.default_rng(0)
+        stream = (
+            random_failure_scenario(net, (3, 2), rng=rng, name=f"mc{i}")
+            for i in range(1_000)
+        )
+        return run_campaign(injector, x[:16], stream, chunk_size=256)
+
+    result = benchmark(seed_pipeline)
+    assert result.num_scenarios == 1_000
+
+
+def test_bench_mask_campaign_100k(benchmark, setup):
+    """Full pipeline at S=100k, float32 fast path (single round)."""
+    net, x, _ = setup
+    injector = FaultInjector(net, capacity=1.0)
+    sampler = FixedDistributionSampler(net, (3, 2))
+    errors = benchmark.pedantic(
+        sampled_campaign_errors,
+        args=(injector, x[:16], sampler, 100_000),
+        kwargs=dict(seed=0, dtype="float32"),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert errors.shape == (100_000,)
+
+
+def test_bench_mask_engine_eval_only(benchmark, setup):
+    """Streamed evaluation alone (preallocated buffers, float64)."""
+    net, x, scenarios = setup
+    injector = FaultInjector(net, capacity=1.0)
+    compiled = injector.compile_batch(scenarios)
+    engine = MaskCampaignEngine(injector, x, chunk_size=256)
+    errors = benchmark(engine.evaluate, compiled)
+    assert errors.shape == (256,)

@@ -3,18 +3,20 @@
 Experiments in this repo are embarrassingly parallel at the grain of
 "one configuration" (one K value, one bit-width, one architecture).
 ``parameter_sweep`` runs a function over a configuration grid either
-in-process or over a ``ProcessPoolExecutor`` with chunking — the
-mpi4py-style scatter/gather pattern of the HPC guide, realised on a
-single node.
+in-process or over a fork-once process pool: the function ships to
+each worker exactly once (pool initializer) and jobs carry only the
+configuration dicts, submitted lazily through a bounded in-flight
+window — the mpi4py-style scatter/gather pattern of the HPC guide,
+realised on a single node.
 """
 
 from __future__ import annotations
 
 import itertools
-import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..parallel import bounded_map, default_workers, fork_once_pool, worker_state
 
 __all__ = ["SweepResult", "grid_configurations", "parameter_sweep", "default_workers"]
 
@@ -68,14 +70,14 @@ def grid_configurations(**axes: Sequence) -> List[dict]:
     return [dict(zip(names, combo)) for combo in combos]
 
 
-def default_workers() -> int:
-    """A sensible process count: cores - 1, at least 1."""
-    return max(1, (os.cpu_count() or 2) - 1)
+def _build_sweep_state(fn):  # pragma: no cover - subprocess body
+    """fork_once_pool builder: the swept function ships exactly once."""
+    return {"fn": fn}
 
 
-def _apply(args):  # pragma: no cover - subprocess body
-    fn, cfg = args
-    return fn(**cfg)
+def _apply_block(cfgs):  # pragma: no cover - subprocess body
+    fn = worker_state()["fn"]
+    return [fn(**cfg) for cfg in cfgs]
 
 
 def parameter_sweep(
@@ -89,19 +91,25 @@ def parameter_sweep(
 
     ``n_workers = 0`` runs serially (deterministic ordering either
     way); ``fn`` and configurations must be picklable for the parallel
-    path (module-level functions — not lambdas or closures).
+    path (module-level functions — not lambdas or closures).  The
+    parallel path ships ``fn`` to each worker once, at pool start;
+    jobs carry ``chunksize`` configuration dicts each (raise it for
+    fine-grained grids to amortise the per-job round-trip).
     """
     configurations = list(configurations)
     result = SweepResult(configurations=configurations)
     if n_workers and n_workers > 1 and len(configurations) > 1:
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            result.results = list(
-                pool.map(
-                    _apply,
-                    [(fn, cfg) for cfg in configurations],
-                    chunksize=max(1, chunksize),
-                )
-            )
+        step = max(1, int(chunksize))
+        blocks = [
+            configurations[i : i + step]
+            for i in range(0, len(configurations), step)
+        ]
+        with fork_once_pool(n_workers, _build_sweep_state, (fn,)) as pool:
+            result.results = [
+                value
+                for block in bounded_map(pool, _apply_block, blocks)
+                for value in block
+            ]
     else:
         result.results = [fn(**cfg) for cfg in configurations]
     return result

@@ -12,6 +12,10 @@ Commands
     Topology summary and the structural quantities the bounds read.
 ``survival <net.npz> --p-fail P --epsilon E --epsilon-prime E'``
     Certified survival probability under i.i.d. neuron failures.
+``campaign <net.npz> [--exhaustive N | --distribution f1,f2,...]``
+    Mask-native fault-injection campaign: Monte-Carlo over a fixed
+    per-layer distribution, or the exhaustive sweep of all ``C(n, N)``
+    crash configurations.
 """
 
 from __future__ import annotations
@@ -70,6 +74,43 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-neuron failure probability")
     p_sur.add_argument("--mode", choices=("crash", "byzantine"), default="crash")
     p_sur.add_argument("--capacity", type=float, default=None)
+
+    p_cam = sub.add_parser(
+        "campaign", help="mask-native fault-injection campaign"
+    )
+    p_cam.add_argument("network", help="path to a save_network() .npz archive")
+    group = p_cam.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--distribution", metavar="f1,f2,...",
+        help="per-layer failure counts for a Monte-Carlo campaign",
+    )
+    group.add_argument(
+        "--exhaustive", type=int, metavar="N_FAIL",
+        help="evaluate every configuration of exactly N_FAIL crashes",
+    )
+    p_cam.add_argument("--n-scenarios", type=int, default=None,
+                       help="Monte-Carlo sample count (default 10000; "
+                            "Monte-Carlo only)")
+    p_cam.add_argument("--fault", choices=("crash", "byzantine", "stuck"),
+                       default=None,
+                       help="fault model (default crash; Monte-Carlo only — "
+                            "the exhaustive sweep is crash by definition)")
+    p_cam.add_argument("--value", type=float, default=None,
+                       help="stuck-at value (--fault stuck; default 1.0)")
+    p_cam.add_argument("--capacity", type=float, default=None,
+                       help="transmission capacity C (default: sup phi)")
+    p_cam.add_argument("--batch", type=int, default=32,
+                       help="random probe inputs to sweep (default 32)")
+    p_cam.add_argument("--seed", type=int, default=0)
+    p_cam.add_argument("--chunk-size", type=int, default=1024)
+    p_cam.add_argument("--workers", type=int, default=0,
+                       help="worker processes (0 = in-process)")
+    p_cam.add_argument("--dtype", choices=("float32", "float64"),
+                       default="float64",
+                       help="evaluation precision (float32 = fast path)")
+    p_cam.add_argument("--threshold", type=float, default=None,
+                       help="also report the fraction of scenarios "
+                            "exceeding this error")
     return parser
 
 
@@ -152,11 +193,106 @@ def _cmd_survival(args) -> int:
     return 0
 
 
+def _cmd_campaign(args) -> int:
+    import numpy as np
+
+    from .faults.campaign import (
+        count_crash_configurations,
+        exhaustive_crash_campaign,
+        monte_carlo_campaign,
+    )
+    from .faults.injector import FaultInjector
+    from .faults.types import ByzantineFault, CrashFault, StuckAtFault
+    from .network.serialization import load_network
+
+    network = load_network(args.network)
+    try:
+        capacity = (
+            args.capacity if args.capacity is not None else network.output_bound
+        )
+        injector = FaultInjector(network, capacity=capacity)
+        rng = np.random.default_rng(args.seed)
+        x = rng.random((max(1, args.batch), network.input_dim))
+
+        if args.exhaustive is not None:
+            ignored = [
+                name
+                for name, value in (
+                    ("--fault", args.fault),
+                    ("--value", args.value),
+                    ("--n-scenarios", args.n_scenarios),
+                )
+                if value is not None
+            ]
+            if ignored:
+                print(
+                    f"error: {', '.join(ignored)} only appl"
+                    f"{'ies' if len(ignored) == 1 else 'y'} to Monte-Carlo "
+                    "campaigns (--distribution); the exhaustive sweep "
+                    "enumerates crash configurations",
+                    file=sys.stderr,
+                )
+                return 2
+            total = count_crash_configurations(network, args.exhaustive)
+            print(f"exhaustive sweep: {total} configurations of "
+                  f"{args.exhaustive} crashes")
+            result = exhaustive_crash_campaign(
+                injector,
+                x,
+                args.exhaustive,
+                chunk_size=args.chunk_size,
+                n_workers=args.workers,
+                dtype=args.dtype,
+            )
+        else:
+            try:
+                distribution = tuple(
+                    int(v) for v in args.distribution.split(",") if v.strip() != ""
+                )
+            except ValueError:
+                print(f"bad distribution {args.distribution!r}", file=sys.stderr)
+                return 2
+            fault_name = args.fault or "crash"
+            n_scenarios = args.n_scenarios if args.n_scenarios is not None else 10_000
+            fault = {
+                "crash": CrashFault(),
+                "byzantine": ByzantineFault(),
+                "stuck": StuckAtFault(
+                    value=args.value if args.value is not None else 1.0
+                ),
+            }[fault_name]
+            print(f"monte-carlo campaign: {n_scenarios} scenarios, "
+                  f"distribution {distribution}, fault {fault_name}")
+            result = monte_carlo_campaign(
+                injector,
+                x,
+                distribution,
+                n_scenarios=n_scenarios,
+                fault=fault,
+                seed=args.seed,
+                chunk_size=args.chunk_size,
+                n_workers=args.workers,
+                dtype=args.dtype,
+            )
+    except ValueError as exc:
+        # Domain errors (combinatorial-explosion guard, bad distribution
+        # shape/counts) should read as CLI errors, not tracebacks.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.summary())
+    print(f"  p50={result.quantile(0.5):.6g}  p99={result.quantile(0.99):.6g}")
+    if args.threshold is not None:
+        frac = result.fraction_exceeding(args.threshold)
+        print(f"  fraction exceeding {args.threshold:g}: {frac:.4f}")
+    return 0
+
+
 _COMMANDS = {
     "experiments": _cmd_experiments,
     "certify": _cmd_certify,
     "inspect": _cmd_inspect,
     "survival": _cmd_survival,
+    "campaign": _cmd_campaign,
 }
 
 

@@ -108,11 +108,11 @@ def fep_terms(
     # suffix[l0] = prod_{l'=l0+2..L+1} (N_l' - f_l') * w_m^(l') in 1-based
     # layer terms, i.e. the product attached to term l = l0+1.  w holds
     # w_m^(1)..w_m^(L+1) at indices 0..L, so stage l' reads w[l'-1].
-    suffix = np.ones(L + 1, dtype=np.float64)
-    for idx in range(L - 1, -1, -1):
-        suffix[idx] = suffix[idx + 1] * (n_ext[idx + 1] - f_ext[idx + 1]) * w[idx + 1]
+    # Reversed cumprod realises all L suffix products in one pass.
+    mult = (n_ext[1:] - f_ext[1:]) * w[1:]  # (L,): stages 2..L+1
+    suffix = np.cumprod(mult[::-1])[::-1]
     powers = lipschitz ** np.arange(L - 1, -1, -1, dtype=np.float64)
-    return capacity * f * powers * suffix[:L]
+    return capacity * f * powers * suffix
 
 
 def forward_error_propagation(
@@ -171,12 +171,11 @@ def fep_many(
     n_ext = np.concatenate([n, [1.0]])[None, :]  # (1, L+1)
     F_ext = np.concatenate([F, np.zeros((M, 1))], axis=1)  # (M, L+1)
     mult = (n_ext[:, 1:] - F_ext[:, 1:]) * w[None, 1:]  # (M, L): stages 2..L+1
-    # suffix[:, l0] = prod over columns l0..L-1 of mult (empty product = 1)
-    suffix = np.ones((M, L + 1), dtype=np.float64)
-    for idx in range(L - 1, -1, -1):
-        suffix[:, idx] = suffix[:, idx + 1] * mult[:, idx]
+    # suffix[:, l0] = prod over columns l0..L-1 of mult — one reversed
+    # cumprod along the layer axis instead of a per-column Python loop.
+    suffix = np.cumprod(mult[:, ::-1], axis=1)[:, ::-1]
     powers = lipschitz ** np.arange(L - 1, -1, -1, dtype=np.float64)
-    terms = capacity * F * powers[None, :] * suffix[:, :L]
+    terms = capacity * F * powers[None, :] * suffix
     return terms.sum(axis=1)
 
 

@@ -18,7 +18,6 @@ Theorem 3 gives a yes/no condition on a failure distribution
 
 from __future__ import annotations
 
-import itertools
 from typing import Optional, Sequence
 
 import numpy as np
@@ -181,9 +180,13 @@ def tolerated_distributions(
 ) -> list[tuple[int, ...]]:
     """All maximal tolerated distributions (the Pareto frontier).
 
-    Enumerates the full grid ``prod (N_l)`` of distributions (refusing
-    beyond ``max_grid`` points), checks Theorem 3 vectorised, and
-    returns the distributions not dominated by another tolerated one.
+    Checks Theorem 3 over the full grid ``prod (N_l)`` of distributions
+    (refusing beyond ``max_grid`` points) and returns the distributions
+    not dominated by another tolerated one.  Everything stays at the
+    array level: the grid is an index array (``np.indices``, never a
+    Python list of tuples), the Theorem-3 check is one ``fep_many``
+    call, and the Pareto filter shifts the tolerated-set lattice along
+    each axis instead of probing a Python set point by point.
     """
     budget = _budget(epsilon, epsilon_prime)
     c = _resolve_capacity(network, capacity, mode)
@@ -194,28 +197,23 @@ def tolerated_distributions(
             f"distribution grid has {grid_size} points (> {max_grid}); "
             "use greedy_max_total_failures instead"
         )
-    grid = np.array(
-        list(itertools.product(*[range(n) for n in sizes])), dtype=np.float64
-    )
+    L = len(sizes)
+    grid = np.indices(sizes).reshape(L, -1).T.astype(np.float64)  # (M, L)
     feps = fep_many(
         grid, sizes, network.weight_maxes(), network.lipschitz_constant, c
     )
-    tolerated = grid[feps <= budget + 1e-12].astype(int)
-    # Pareto filter: keep rows not strictly dominated componentwise.
-    maximal: list[tuple[int, ...]] = []
-    tol_set = {tuple(row) for row in tolerated}
-    for row in tolerated:
-        row_t = tuple(int(v) for v in row)
-        dominated = False
-        for l0 in range(len(row_t)):
-            bigger = list(row_t)
-            bigger[l0] += 1
-            if tuple(bigger) in tol_set:
-                dominated = True
-                break
-        if not dominated:
-            maximal.append(row_t)
-    return sorted(maximal)
+    tolerated = (feps <= budget + 1e-12).reshape(sizes)  # boolean lattice
+    # A tolerated point is dominated iff any +1-along-one-axis neighbour
+    # is also tolerated: shift the lattice down each axis and OR.
+    dominated = np.zeros_like(tolerated)
+    for axis in range(L):
+        src = [slice(None)] * L
+        dst = [slice(None)] * L
+        src[axis] = slice(1, None)
+        dst[axis] = slice(0, -1)
+        dominated[tuple(dst)] |= tolerated[tuple(src)]
+    maximal = np.argwhere(tolerated & ~dominated)  # lexicographically sorted
+    return [tuple(int(v) for v in row) for row in maximal]
 
 
 def max_synapse_failures_single_stage(

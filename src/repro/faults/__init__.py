@@ -25,6 +25,17 @@ from .injector import (
     apply_neuron_fault,
     static_fault_action,
 )
+from .masks import (
+    BernoulliSampler,
+    FixedDistributionSampler,
+    MaskCampaignEngine,
+    MaskSampler,
+    combination_index_array,
+    empty_mask_batch,
+    exhaustive_crash_errors,
+    masks_from_flat_indices,
+    sampled_campaign_errors,
+)
 from .reliability import (
     ReliabilityEstimate,
     certified_survival_probability,
@@ -99,6 +110,15 @@ __all__ = [
     "monte_carlo_campaign",
     "exhaustive_crash_campaign",
     "count_crash_configurations",
+    "MaskSampler",
+    "FixedDistributionSampler",
+    "BernoulliSampler",
+    "MaskCampaignEngine",
+    "empty_mask_batch",
+    "combination_index_array",
+    "masks_from_flat_indices",
+    "sampled_campaign_errors",
+    "exhaustive_crash_errors",
     "certified_survival_probability",
     "monte_carlo_survival",
     "ReliabilityEstimate",

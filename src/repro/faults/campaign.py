@@ -3,33 +3,44 @@
 A campaign evaluates the empirical output error of a network over many
 failure scenarios — the "costly experiment ... facing a discouraging
 combinatorial explosion" that the paper's analytic bounds replace.  We
-make the experiment affordable enough to *validate* the bounds:
+make the experiment affordable enough to *validate* the bounds.  Two
+engines back the same API (see DESIGN.md):
 
-* scenarios are compiled to masks and evaluated S-at-a-time on the
-  vectorised injector path (one GEMM per layer for a whole chunk);
-* chunking bounds peak memory (``chunk x batch x width`` floats);
-* chunks can optionally fan out over processes for large campaigns
-  (the work is embarrassingly parallel).
+* the **mask-native engine** (:mod:`repro.faults.masks`) — scenarios
+  are sampled, compiled and evaluated as ``(S, N_l)`` arrays end to
+  end; static-fault Monte-Carlo and exhaustive crash campaigns route
+  here automatically;
+* the **object path** — scenarios that need the expressive
+  :class:`FailureScenario` API (synapse faults, stochastic faults) are
+  compiled per chunk by ``compile_batch`` or, failing that, run one at
+  a time on the scalar injector.
+
+Either way chunking bounds peak memory (``chunk x batch x width``
+floats) and chunks can fan out over a fork-once process pool: the
+network ships to each worker exactly once (pool initializer), jobs
+carry only chunk payloads, and stochastic faults draw per-chunk RNG
+streams spawned from the campaign seed.
 """
 
 from __future__ import annotations
 
 import itertools
 import math
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
 from ..network.model import FeedForwardNetwork
-from .injector import FaultInjector
-from .scenarios import (
-    FailureScenario,
-    crash_scenario,
-    random_failure_scenario,
+from ..parallel import bounded_map, fork_once_pool, worker_state
+from .injector import FaultInjector, static_fault_action
+from .masks import (
+    FixedDistributionSampler,
+    exhaustive_crash_errors,
+    sampled_campaign_errors,
 )
-from .types import FaultModel
+from .scenarios import FailureScenario
+from .types import CrashFault, FaultModel
 
 __all__ = [
     "CampaignResult",
@@ -109,23 +120,41 @@ def _evaluate_chunk(
     x: np.ndarray,
     chunk: Sequence[FailureScenario],
     reduction: str,
+    seed: "np.random.SeedSequence | None" = None,
 ) -> np.ndarray:
-    """Errors for one chunk, preferring the vectorised path."""
+    """Errors for one chunk, preferring the vectorised path.
+
+    ``seed`` feeds the scalar fallback only: stochastic faults draw
+    from a per-chunk stream spawned off the campaign seed, so no two
+    chunks replay the same noise.
+    """
     try:
         batch = injector.compile_batch(chunk)
     except ValueError:
         # Non-static faults or synapse faults: scalar path per scenario.
-        rng = np.random.default_rng(0)
+        rng = np.random.default_rng(seed)
         return np.array(
             [injector.output_error(x, sc, rng=rng, reduction=reduction) for sc in chunk]
         )
     return injector.output_errors_many(x, batch, reduction=reduction)
 
 
-def _worker_evaluate(args) -> np.ndarray:  # pragma: no cover - subprocess body
-    network, capacity, x, chunk, reduction = args
-    injector = FaultInjector(network, capacity=capacity)
-    return _evaluate_chunk(injector, x, chunk, reduction)
+def _build_object_state(network, capacity, x, reduction):  # pragma: no cover
+    """fork_once_pool builder: the network and probe batch ship once."""
+    return {
+        "injector": FaultInjector(network, capacity=capacity),
+        "x": x,
+        "reduction": reduction,
+    }
+
+
+def _worker_evaluate(job):  # pragma: no cover - subprocess body
+    """Job payload: ``(chunk of scenarios, per-chunk SeedSequence)``."""
+    chunk, seed = job
+    state = worker_state()
+    return _evaluate_chunk(
+        state["injector"], state["x"], chunk, state["reduction"], seed
+    )
 
 
 def run_campaign(
@@ -137,8 +166,15 @@ def run_campaign(
     reduction: str = "max",
     n_workers: int = 0,
     keep_names: bool = True,
+    seed: Optional[int] = 0,
 ) -> CampaignResult:
     """Evaluate every scenario's output error over the input batch.
+
+    This is the object-scenario entry point — it accepts any
+    :class:`FailureScenario`, including synapse and stochastic faults.
+    Static neuron-fault campaigns generated programmatically should
+    prefer :func:`monte_carlo_campaign` / :func:`exhaustive_crash_campaign`,
+    which route to the mask-native engine.
 
     Parameters
     ----------
@@ -147,30 +183,41 @@ def run_campaign(
         ``chunk_size * len(x) * max_width`` float64s per layer.
     n_workers:
         ``0`` (default) runs in-process; ``> 1`` fans chunks out over a
-        process pool (the network and inputs are pickled once per
-        chunk — worth it only for expensive campaigns).
+        fork-once process pool (the network and inputs ship once at
+        worker start; jobs are submitted lazily, so the scenario stream
+        is never materialised beyond the in-flight window).
+    seed:
+        Campaign seed for the *stochastic-fault* fallback path: each
+        chunk evaluates with an RNG spawned from this seed, so noise is
+        independent across chunks yet reproducible (default 0 keeps
+        repeated calls deterministic; pass ``None`` for fresh entropy).
     """
     if chunk_size <= 0:
         raise ValueError(f"chunk_size must be positive, got {chunk_size}")
     xb, _ = injector.network._as_batch(x)
     all_errors: List[np.ndarray] = []
     names: List[str] = []
+    seed_root = np.random.SeedSequence(seed)
 
-    if n_workers and n_workers > 1:
-        jobs = []
-        chunks = list(_chunks(scenarios, chunk_size))
-        for chunk in chunks:
-            if keep_names:
-                names.extend(sc.name for sc in chunk)
-            jobs.append((injector.network, injector.capacity, xb, chunk, reduction))
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            for errs in pool.map(_worker_evaluate, jobs):
-                all_errors.append(np.asarray(errs))
-    else:
+    def jobs() -> Iterator[tuple]:
         for chunk in _chunks(scenarios, chunk_size):
             if keep_names:
                 names.extend(sc.name for sc in chunk)
-            all_errors.append(_evaluate_chunk(injector, xb, chunk, reduction))
+            yield chunk, seed_root.spawn(1)[0]
+
+    if n_workers and n_workers > 1:
+        with fork_once_pool(
+            n_workers,
+            _build_object_state,
+            (injector.network, injector.capacity, xb, reduction),
+        ) as pool:
+            for errs in bounded_map(pool, _worker_evaluate, jobs()):
+                all_errors.append(np.asarray(errs))
+    else:
+        for chunk, chunk_seed in jobs():
+            all_errors.append(
+                _evaluate_chunk(injector, xb, chunk, reduction, chunk_seed)
+            )
 
     errors = (
         np.concatenate(all_errors) if all_errors else np.empty(0, dtype=np.float64)
@@ -189,27 +236,56 @@ def monte_carlo_campaign(
     chunk_size: int = 256,
     reduction: str = "max",
     n_workers: int = 0,
+    dtype: "str | np.dtype" = np.float64,
 ) -> CampaignResult:
     """Random scenarios with a fixed per-layer distribution ``(f_l)``.
 
     This is the Figure-3 workload: hold the failure distribution fixed,
-    sample which neurons fail, measure the output error.
+    sample which neurons fail, measure the output error.  Static faults
+    (crash / Byzantine / stuck-at / offset — the default and the only
+    kinds the paper's bounds address) run end-to-end on the mask-native
+    engine: per-layer masks are drawn with vectorised RNG, evaluated in
+    streamed chunks, and optionally fanned out over a fork-once worker
+    pool that receives only chunk sizes and spawned seeds.  Stochastic
+    faults fall back to the object-scenario path.
+
+    ``dtype=float32`` selects the fast evaluation path (mask engine
+    only); the default float64 matches the scalar injector exactly.
     """
-    rng = np.random.default_rng(seed)
-    scenarios = (
-        random_failure_scenario(
-            injector.network, distribution, fault=fault, rng=rng, name=f"mc{i}"
+    fault = fault if fault is not None else CrashFault()
+    if static_fault_action(fault) is None:
+        # Stochastic fault model: object path, per-scenario sampling.
+        rng = np.random.default_rng(seed)
+        from .scenarios import random_failure_scenario
+
+        scenario_stream = (
+            random_failure_scenario(
+                injector.network, distribution, fault=fault, rng=rng, name=f"mc{i}"
+            )
+            for i in range(n_scenarios)
         )
-        for i in range(n_scenarios)
-    )
-    return run_campaign(
+        return run_campaign(
+            injector,
+            x,
+            scenario_stream,
+            chunk_size=chunk_size,
+            reduction=reduction,
+            n_workers=n_workers,
+            seed=seed,
+        )
+
+    errors = sampled_campaign_errors(
         injector,
         x,
-        scenarios,
+        FixedDistributionSampler(injector.network, distribution, fault=fault),
+        n_scenarios,
+        seed=seed,
         chunk_size=chunk_size,
         reduction=reduction,
+        dtype=dtype,
         n_workers=n_workers,
     )
+    return CampaignResult(errors, [], reduction)
 
 
 def count_crash_configurations(network: FeedForwardNetwork, n_fail: int) -> int:
@@ -230,12 +306,15 @@ def exhaustive_crash_campaign(
     max_configurations: int = 2_000_000,
     reduction: str = "max",
     n_workers: int = 0,
+    dtype: "str | np.dtype" = np.float64,
 ) -> CampaignResult:
     """Every configuration of exactly ``n_fail`` crashed neurons.
 
     Raises when the configuration count exceeds ``max_configurations``
     (by default 2e6) — the practical face of the paper's combinatorial
-    explosion observation.
+    explosion observation.  Within budget, the sweep is compiled to
+    combination index arrays in bulk (no per-configuration Python
+    objects) and streamed through the mask engine.
     """
     total = count_crash_configurations(injector.network, n_fail)
     if total > max_configurations:
@@ -244,17 +323,14 @@ def exhaustive_crash_campaign(
             f"(> {max_configurations}); use monte_carlo_campaign or raise "
             "max_configurations"
         )
-    addresses = list(injector.network.iter_addresses())
-    scenarios = (
-        crash_scenario(combo, name="")
-        for combo in itertools.combinations(addresses, n_fail)
-    )
-    return run_campaign(
+    errors = exhaustive_crash_errors(
         injector,
         x,
-        scenarios,
+        n_fail,
         chunk_size=chunk_size,
         reduction=reduction,
+        dtype=dtype,
         n_workers=n_workers,
-        keep_names=False,
+        max_configurations=max_configurations,
     )
+    return CampaignResult(errors, [], reduction)

@@ -26,9 +26,16 @@ Two execution paths are provided:
   every fault model including stochastic ones.
 * :meth:`FaultInjector.run_many` — a *batch of scenarios* compiled to
   per-layer masks, evaluated with one GEMM per layer for all S x B
-  (scenario, input) pairs.  This is the hot path for Monte-Carlo
-  campaigns; it requires "static" faults (crash / Byzantine / stuck-at)
-  whose replacement value does not depend on the nominal output.
+  (scenario, input) pairs.  It requires "static" faults (crash /
+  Byzantine / stuck-at) whose replacement value does not depend on the
+  nominal output.
+
+For large campaigns, :mod:`repro.faults.masks` provides the
+*mask-native* engine: samplers draw :class:`CompiledScenarioBatch`
+masks directly as arrays (no per-scenario Python objects), and a
+streaming evaluator reuses preallocated chunk buffers.
+:meth:`FaultInjector.compile_batch` is the thin adapter that lowers
+object scenarios into that same mask representation.
 """
 
 from __future__ import annotations
@@ -47,6 +54,7 @@ __all__ = [
     "CompiledScenarioBatch",
     "static_fault_action",
     "apply_neuron_fault",
+    "apply_mask_channels",
 ]
 
 
@@ -106,6 +114,54 @@ def apply_neuron_fault(
     return nominal + deviation
 
 
+def apply_mask_channels(
+    Y: np.ndarray,
+    zero: np.ndarray,
+    set_mask: np.ndarray,
+    set_values: np.ndarray,
+    add_mask: np.ndarray,
+    add_values: np.ndarray,
+    capacity: Optional[float],
+) -> np.ndarray:
+    """Apply one layer's fault channels in place on ``(S, B, N)`` activations.
+
+    The single definition of the mask semantics, shared by
+    :meth:`FaultInjector.run_many` and the streaming engine in
+    :mod:`repro.faults.masks` (so the two evaluation paths cannot
+    diverge):
+
+    * ``zero`` cells read exactly 0 (crash);
+    * ``set`` cells are pulled toward the requested value but stay
+      within ``[y - C, y + C]`` of the nominal activation (deviation
+      bound);
+    * ``add`` cells gain the offset, clipped to ``+-C`` — which also
+      resolves ``+-inf`` capacity sentinels; under unbounded capacity
+      sentinels are rejected (Lemma 1's regime).
+
+    Per scenario each neuron carries at most one fault, so the three
+    channels touch disjoint ``(s, i)`` cells and in-place order is
+    immaterial.
+    """
+    if zero.any():
+        np.copyto(Y, 0.0, where=zero[:, None, :])
+    if set_mask.any():
+        vals = np.broadcast_to(set_values[:, None, :], Y.shape)
+        if capacity is not None:
+            vals = np.clip(vals, Y - capacity, Y + capacity)
+        np.copyto(Y, vals, where=set_mask[:, None, :], casting="unsafe")
+    if add_mask.any():
+        add = add_values
+        if capacity is not None:
+            add = np.clip(add, -capacity, capacity)
+        elif not np.all(np.isfinite(add[add_mask])):
+            raise ValueError(
+                "capacity-saturating fault under unbounded transmission"
+            )
+        np.add(Y, add[:, None, :], out=Y, where=add_mask[:, None, :],
+               casting="unsafe")
+    return Y
+
+
 @dataclass
 class CompiledScenarioBatch:
     """Per-layer fault masks for a batch of static scenarios.
@@ -116,8 +172,11 @@ class CompiledScenarioBatch:
     * ``set_masks`` / ``set_values`` — value-pulling faults (Byzantine
       with explicit value, stuck-at), applied under the deviation
       bound at run time;
-    * ``add_masks`` / ``add_values`` — additive faults, with capacity
-      sentinels already resolved to ``+-C`` at compile time.
+    * ``add_masks`` / ``add_values`` — additive faults.  Values may
+      carry capacity sentinels (``+-inf`` meaning "deviate as much as
+      allowed"); every consumer resolves them against its capacity at
+      evaluation time (``compile_batch`` additionally resolves eagerly
+      when it can).
     """
 
     zero_masks: List[np.ndarray]
@@ -285,10 +344,13 @@ class FaultInjector:
     def compile_batch(
         self, scenarios: Sequence[FailureScenario]
     ) -> CompiledScenarioBatch:
-        """Compile static neuron-fault scenarios to per-layer masks.
+        """Lower static neuron-fault scenarios to per-layer masks.
 
-        Raises when any scenario contains a synapse fault or a
-        non-static neuron fault (use :meth:`run` for those).
+        This is the adapter between the expressive object API and the
+        mask representation shared with :mod:`repro.faults.masks`
+        (whose samplers produce the same batches without ever building
+        scenario objects).  Raises when any scenario contains a synapse
+        fault or a non-static neuron fault (use :meth:`run` for those).
         """
         net = self.network
         S = len(scenarios)
@@ -358,27 +420,21 @@ class FaultInjector:
 
         def masked(y: np.ndarray, l0: int) -> np.ndarray:
             """Apply the layer-l0 fault channels to (S, B, N) activations."""
-            zero = batch.zero_masks[l0][:, None, :]
-            out = np.where(zero, 0.0, y)
-            if batch.set_masks[l0].any():
-                vals = batch.set_values[l0][:, None, :]
-                if self.capacity is not None:
-                    # Deviation bound: pull toward vals but stay within
-                    # [y - C, y + C].
-                    vals = np.clip(vals, y - self.capacity, y + self.capacity)
-                out = np.where(batch.set_masks[l0][:, None, :], vals, out)
-            if batch.add_masks[l0].any():
-                out = np.where(
-                    batch.add_masks[l0][:, None, :],
-                    out + batch.add_values[l0][:, None, :],
-                    out,
-                )
-            return out
+            return apply_mask_channels(
+                y,
+                batch.zero_masks[l0],
+                batch.set_masks[l0],
+                batch.set_values[l0],
+                batch.add_masks[l0],
+                batch.add_values[l0],
+                self.capacity,
+            )
 
         # Layer 1 is scenario-independent before masking: compute once for
-        # the B inputs, then broadcast the replacement across S scenarios.
+        # the B inputs, then broadcast across S scenarios (materialised —
+        # the shared mask helper works in place).
         y = net.layers[0].forward(xb)  # (B, N_1)
-        y = masked(np.broadcast_to(y[None, :, :], (S, B, y.shape[1])), 0)
+        y = masked(np.broadcast_to(y[None, :, :], (S, B, y.shape[1])).copy(), 0)
         for l0, layer in enumerate(net.layers[1:], start=1):
             y = layer.forward(y.reshape(S * B, -1)).reshape(S, B, -1)
             y = masked(y, l0)

@@ -25,7 +25,8 @@ from scipy import stats as sps
 from ..core.fep import fep_many
 from ..network.model import FeedForwardNetwork
 from .campaign import run_campaign
-from .injector import FaultInjector
+from .injector import FaultInjector, static_fault_action
+from .masks import BernoulliSampler, sampled_campaign_errors
 from .scenarios import FailureScenario, random_failure_scenario
 from .types import CrashFault, FaultModel
 
@@ -155,6 +156,10 @@ def monte_carlo_survival(
     batch against the budget.  Reports a Wilson interval and, when the
     count grid is affordable, attaches the certified lower bound —
     the Monte-Carlo estimate must dominate it.
+
+    Static faults (the default crash model included) draw the Bernoulli
+    trial masks and evaluate on the mask-native engine; stochastic
+    faults fall back to per-trial scenario objects.
     """
     if not 0 <= p_fail <= 1:
         raise ValueError(f"p_fail must be in [0,1], got {p_fail}")
@@ -165,19 +170,26 @@ def monte_carlo_survival(
     else:
         injector_capacity = capacity
     injector = FaultInjector(network, capacity=injector_capacity)
-    rng = np.random.default_rng(seed)
 
-    scenarios = []
-    for t in range(n_trials):
-        faults = {}
-        for l, width in enumerate(network.layer_sizes, start=1):
-            hit = np.nonzero(rng.random(width) < p_fail)[0]
-            for i in hit:
-                faults[(l, int(i))] = fault
-        scenarios.append(FailureScenario(faults, name=f"trial{t}"))
-
-    result = run_campaign(injector, x, scenarios, keep_names=False)
-    survived = int(np.sum(result.errors <= budget + 1e-12))
+    if static_fault_action(fault) is None:
+        rng = np.random.default_rng(seed)
+        scenarios = []
+        for t in range(n_trials):
+            faults = {}
+            for l, width in enumerate(network.layer_sizes, start=1):
+                hit = np.nonzero(rng.random(width) < p_fail)[0]
+                for i in hit:
+                    faults[(l, int(i))] = fault
+            scenarios.append(FailureScenario(faults, name=f"trial{t}"))
+        errors = run_campaign(
+            injector, x, scenarios, keep_names=False, seed=seed
+        ).errors
+    else:
+        errors = sampled_campaign_errors(
+            injector, x, BernoulliSampler(network, p_fail, fault=fault),
+            n_trials, seed=seed,
+        )
+    survived = int(np.sum(errors <= budget + 1e-12))
     estimate = survived / n_trials
     lo, hi = _wilson_interval(survived, n_trials, confidence)
 

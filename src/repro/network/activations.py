@@ -79,6 +79,21 @@ class Activation:
         """Pointwise derivative ``phi'(x)`` (used by backprop)."""
         raise NotImplementedError
 
+    def evaluate_into(self, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Evaluate ``phi(x)`` into ``out`` (``out`` may alias ``x``).
+
+        The streaming campaign engine's hot path: unlike
+        :meth:`__call__` (which casts to float64 and allocates), this
+        preserves ``out``'s dtype and writes in place.  The base
+        implementation falls back to ``__call__`` + cast; subclasses
+        with cheap in-place forms override it.  Results may differ from
+        ``__call__`` by a few ulp (different but equally stable
+        formulations) — within the float-associativity tolerance the
+        engines guarantee (DESIGN.md).
+        """
+        np.copyto(out, self(x), casting="same_kind")
+        return out
+
     # -- analytic metadata ------------------------------------------------
 
     @property
@@ -149,6 +164,16 @@ class Sigmoid(Activation):
         s = self(x)
         return self._scale * s * (1.0 - s)
 
+    def evaluate_into(self, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+        # sigmoid(z) == (tanh(z/2) + 1) / 2: tanh is stable over the
+        # whole real line and has ufunc `out=` support, so the hot path
+        # runs fully in place in the caller's dtype.
+        np.multiply(x, 0.5 * self._scale, out=out)
+        np.tanh(out, out=out)
+        out += 1.0
+        out *= 0.5
+        return out
+
     def spec(self) -> dict:
         return {"name": self.name, "k": self.k}
 
@@ -182,6 +207,13 @@ class Tanh(Activation):
         t = np.tanh(z)
         return 0.5 * self._scale * (1.0 - t * t)
 
+    def evaluate_into(self, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+        np.multiply(x, self._scale, out=out)
+        np.tanh(out, out=out)
+        out += 1.0
+        out *= 0.5
+        return out
+
     def spec(self) -> dict:
         return {"name": self.name, "k": self.k}
 
@@ -214,6 +246,12 @@ class HardSigmoid(Activation):
         z = self.k * np.asarray(x, dtype=np.float64) + 0.5
         return np.where((z > 0.0) & (z < 1.0), self.k, 0.0)
 
+    def evaluate_into(self, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+        np.multiply(x, self.k, out=out)
+        out += 0.5
+        np.clip(out, 0.0, 1.0, out=out)
+        return out
+
     def spec(self) -> dict:
         return {"name": self.name, "k": self.k}
 
@@ -237,6 +275,10 @@ class ReLU(Activation):
 
     def derivative(self, x: np.ndarray) -> np.ndarray:
         return (np.asarray(x, dtype=np.float64) > 0.0).astype(np.float64)
+
+    def evaluate_into(self, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+        np.maximum(x, 0.0, out=out)
+        return out
 
 
 class LeakyReLU(Activation):

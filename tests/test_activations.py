@@ -171,3 +171,41 @@ class TestRegistry:
         again = get_activation(act.spec())
         assert again == act
         assert hash(again) == hash(act)
+
+
+class TestEvaluateInto:
+    """The in-place, dtype-preserving hot path of the campaign engine."""
+
+    @pytest.mark.parametrize(
+        "act",
+        [
+            Sigmoid(k=1.0),
+            Tanh(k=0.5),
+            HardSigmoid(k=0.25),
+            ReLU(),
+            SoftSign(),  # exercises the base-class fallback
+        ],
+    )
+    def test_matches_call_and_preserves_dtype(self, act):
+        x = np.linspace(-30, 30, 101)
+        for dtype in (np.float64, np.float32):
+            xd = x.astype(dtype)
+            out = np.empty_like(xd)
+            result = act.evaluate_into(xd.copy(), out)
+            assert result is out and out.dtype == dtype
+            np.testing.assert_allclose(out, act(x), rtol=1e-6, atol=1e-7)
+
+    def test_aliasing_input_is_allowed(self):
+        act = Sigmoid(k=2.0)
+        buf = np.linspace(-3, 3, 17)
+        expected = act(buf)
+        act.evaluate_into(buf, buf)
+        # The tanh formulation agrees to machine *absolute* precision
+        # (relative error grows in the deep tails, where values ~1e-11).
+        np.testing.assert_allclose(buf, expected, atol=1e-12)
+
+    def test_stable_at_extremes(self):
+        act = Sigmoid(k=1.0)
+        buf = np.array([-1e4, 1e4])
+        act.evaluate_into(buf, buf)
+        np.testing.assert_allclose(buf, [0.0, 1.0], atol=1e-12)

@@ -77,3 +77,44 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "certified P" in out
+
+    def test_campaign_monte_carlo(self, saved_net, capsys):
+        code = main(
+            [
+                "campaign", saved_net, "--distribution", "2,1",
+                "--n-scenarios", "200", "--batch", "8", "--seed", "3",
+                "--threshold", "0.4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CampaignResult(n=200" in out
+        assert "fraction exceeding" in out
+
+    def test_campaign_exhaustive(self, saved_net, capsys):
+        code = main(
+            ["campaign", saved_net, "--exhaustive", "1", "--batch", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "14 configurations" in out and "CampaignResult(n=14" in out
+
+    def test_campaign_float32_and_faults(self, saved_net, capsys):
+        for fault in ("byzantine", "stuck"):
+            code = main(
+                [
+                    "campaign", saved_net, "--distribution", "1,1",
+                    "--n-scenarios", "50", "--batch", "4",
+                    "--dtype", "float32", "--fault", fault,
+                ]
+            )
+            assert code == 0
+
+    def test_campaign_bad_distribution(self, saved_net, capsys):
+        assert main(
+            ["campaign", saved_net, "--distribution", "a,b"]
+        ) == 2
+
+    def test_campaign_requires_mode(self, saved_net):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", saved_net])

@@ -1,0 +1,325 @@
+"""Unit tests for the mask-native campaign engine.
+
+Covers the DESIGN.md three-engine equivalence contract: the mask
+engine must agree with the object-path ``compile_batch`` lowering, the
+scalar injector, and the process-grained simulator on identical
+scenarios — plus the statistical contract of the samplers and the
+float32 fast path's tolerance.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.distributed.simulator import DistributedNetwork
+from repro.faults.campaign import (
+    exhaustive_crash_campaign,
+    monte_carlo_campaign,
+    run_campaign,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.masks import (
+    BernoulliSampler,
+    FixedDistributionSampler,
+    MaskCampaignEngine,
+    combination_index_array,
+    masks_from_flat_indices,
+    sampled_campaign_errors,
+)
+from repro.faults.scenarios import (
+    exhaustive_crash_scenarios,
+    random_failure_scenario,
+)
+from repro.faults.types import (
+    ByzantineFault,
+    CrashFault,
+    NoiseFault,
+    OffsetFault,
+    StuckAtFault,
+)
+from repro.network import build_mlp
+
+
+@pytest.fixture
+def injector(small_net):
+    return FaultInjector(small_net, capacity=1.0)
+
+
+# ---------------------------------------------------------------------------
+# Engine equivalence (the DESIGN.md contract)
+# ---------------------------------------------------------------------------
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize(
+        "fault",
+        [
+            CrashFault(),
+            ByzantineFault(),            # capacity-saturating sentinel
+            ByzantineFault(value=0.7),   # value-pulling
+            StuckAtFault(value=0.9),
+            OffsetFault(offset=0.3),
+        ],
+    )
+    def test_matches_compiled_object_path(self, small_net, injector, batch, rng, fault):
+        scenarios = [
+            random_failure_scenario(small_net, (2, 1), fault=fault, rng=rng)
+            for _ in range(24)
+        ]
+        compiled = injector.compile_batch(scenarios)
+        engine = MaskCampaignEngine(injector, batch, chunk_size=7)
+        np.testing.assert_allclose(
+            engine.evaluate(compiled),
+            injector.output_errors_many(batch, compiled),
+            rtol=1e-12,
+            atol=1e-14,
+        )
+
+    def test_matches_scalar_injector(self, small_net, injector, batch, rng):
+        scenarios = [
+            random_failure_scenario(small_net, (3, 2), rng=rng) for _ in range(10)
+        ]
+        compiled = injector.compile_batch(scenarios)
+        engine = MaskCampaignEngine(injector, batch)
+        scalar = np.array([injector.output_error(batch, sc) for sc in scenarios])
+        np.testing.assert_allclose(engine.evaluate(compiled), scalar, rtol=1e-12)
+
+    def test_matches_simulator_reference(self, small_net, injector, rng):
+        x = rng.random((4, small_net.input_dim))
+        scenario = random_failure_scenario(small_net, (2, 1), rng=rng)
+        compiled = injector.compile_batch([scenario])
+        engine = MaskCampaignEngine(injector, x)
+        sim = DistributedNetwork(small_net, capacity=1.0)
+        sim.apply_scenario(scenario)
+        np.testing.assert_allclose(
+            engine.outputs(compiled)[0], sim.run_batch(x), rtol=1e-9
+        )
+
+    def test_chunking_invariance(self, injector, batch, rng):
+        scenarios = [
+            random_failure_scenario(injector.network, (2, 2), rng=rng)
+            for _ in range(20)
+        ]
+        compiled = injector.compile_batch(scenarios)
+        a = MaskCampaignEngine(injector, batch, chunk_size=3).evaluate(compiled)
+        b = MaskCampaignEngine(injector, batch, chunk_size=64).evaluate(compiled)
+        np.testing.assert_array_equal(a, b)
+
+    def test_float32_fast_path_tolerance(self, injector, batch, rng):
+        scenarios = [
+            random_failure_scenario(injector.network, (2, 1), rng=rng)
+            for _ in range(32)
+        ]
+        compiled = injector.compile_batch(scenarios)
+        e64 = MaskCampaignEngine(injector, batch, dtype=np.float64).evaluate(compiled)
+        e32 = MaskCampaignEngine(injector, batch, dtype="float32").evaluate(compiled)
+        assert e64.dtype == np.float64
+        np.testing.assert_allclose(e32, e64, atol=1e-5)
+        with pytest.raises(ValueError, match="float32 or float64"):
+            MaskCampaignEngine(injector, batch, dtype=np.int32)
+
+    def test_mean_reduction(self, injector, batch, rng):
+        scenarios = [
+            random_failure_scenario(injector.network, (2, 0), rng=rng)
+            for _ in range(8)
+        ]
+        compiled = injector.compile_batch(scenarios)
+        engine = MaskCampaignEngine(injector, batch, reduction="mean")
+        np.testing.assert_allclose(
+            engine.evaluate(compiled),
+            injector.output_errors_many(batch, compiled, reduction="mean"),
+            rtol=1e-12,
+        )
+
+    @pytest.mark.parametrize(
+        "fault", [ByzantineFault(), OffsetFault(offset=10.0)]
+    )
+    def test_sampler_batches_work_on_injector_run_many(
+        self, small_net, batch, rng, fault
+    ):
+        """Sampler batches carry unresolved add-channel sentinels /
+        unclipped offsets; run_many must resolve them like the engine."""
+        inj = FaultInjector(small_net, capacity=0.3)
+        sampler = FixedDistributionSampler(small_net, (2, 1), fault=fault)
+        compiled = sampler.sample(12, rng)
+        via_injector = inj.output_errors_many(batch, compiled)
+        via_engine = MaskCampaignEngine(inj, batch).evaluate(compiled)
+        assert np.all(np.isfinite(via_injector))
+        np.testing.assert_allclose(via_injector, via_engine, rtol=1e-12)
+
+    def test_unbounded_capacity_rejects_sentinels(self, small_net, batch, rng):
+        inj = FaultInjector(small_net, capacity=None)
+        sampler = FixedDistributionSampler(small_net, (1, 0), fault=ByzantineFault())
+        compiled = sampler.sample(4, rng)
+        with pytest.raises(ValueError, match="unbounded"):
+            MaskCampaignEngine(inj, batch).evaluate(compiled)
+
+    def test_empty_batch(self, injector, batch):
+        compiled = injector.compile_batch([])
+        engine = MaskCampaignEngine(injector, batch)
+        assert engine.evaluate(compiled).shape == (0,)
+        assert engine.outputs(compiled).shape[0] == 0
+
+
+# ---------------------------------------------------------------------------
+# Samplers
+# ---------------------------------------------------------------------------
+
+
+class TestSamplers:
+    def test_fixed_counts_exact(self, small_net, rng):
+        sampler = FixedDistributionSampler(small_net, (3, 2))
+        batch = sampler.sample(200, rng)
+        np.testing.assert_array_equal(batch.zero_masks[0].sum(axis=1), 3)
+        np.testing.assert_array_equal(batch.zero_masks[1].sum(axis=1), 2)
+        assert not batch.set_masks[0].any() and not batch.add_masks[0].any()
+
+    def test_marginals_match_object_sampler(self, small_net, rng):
+        """Each neuron of layer l is hit with probability f_l / N_l —
+        the same per-layer distribution as random_failure_scenario."""
+        S = 4000
+        dist = (3, 2)
+        sampler = FixedDistributionSampler(small_net, dist)
+        batch = sampler.sample(S, rng)
+        obj_counts = [np.zeros(n) for n in small_net.layer_sizes]
+        for _ in range(S):
+            sc = random_failure_scenario(small_net, dist, rng=rng)
+            for addr in sc.neuron_faults:
+                obj_counts[addr.layer - 1][addr.index] += 1
+        for l0, (n, f) in enumerate(zip(small_net.layer_sizes, dist)):
+            p = f / n
+            sigma = np.sqrt(p * (1 - p) / S)
+            mask_freq = batch.zero_masks[l0].mean(axis=0)
+            obj_freq = obj_counts[l0] / S
+            assert np.all(np.abs(mask_freq - p) < 6 * sigma)
+            assert np.all(np.abs(obj_freq - p) < 6 * sigma)
+
+    def test_full_layer_and_zero_counts(self, small_net, rng):
+        sizes = small_net.layer_sizes
+        batch = FixedDistributionSampler(small_net, (sizes[0], 0)).sample(5, rng)
+        assert batch.zero_masks[0].all()
+        assert not batch.zero_masks[1].any()
+
+    def test_byzantine_channel_routing(self, small_net, rng):
+        batch = FixedDistributionSampler(
+            small_net, (2, 0), fault=StuckAtFault(value=0.4)
+        ).sample(6, rng)
+        assert not batch.zero_masks[0].any()
+        np.testing.assert_array_equal(batch.set_masks[0].sum(axis=1), 2)
+        assert np.all(batch.set_values[0][batch.set_masks[0]] == 0.4)
+
+    def test_bernoulli_rates(self, small_net, rng):
+        sampler = BernoulliSampler(small_net, 0.3)
+        batch = sampler.sample(3000, rng)
+        for mask in batch.zero_masks:
+            assert abs(mask.mean() - 0.3) < 0.02
+
+    def test_rejects_stochastic_and_bad_args(self, small_net):
+        with pytest.raises(ValueError, match="not static"):
+            FixedDistributionSampler(small_net, (1, 0), fault=NoiseFault())
+        with pytest.raises(ValueError, match="length"):
+            FixedDistributionSampler(small_net, (1,))
+        with pytest.raises(ValueError):
+            FixedDistributionSampler(small_net, (100, 0))
+        with pytest.raises(ValueError):
+            BernoulliSampler(small_net, 1.5)
+
+
+# ---------------------------------------------------------------------------
+# Exhaustive compilation
+# ---------------------------------------------------------------------------
+
+
+class TestExhaustiveCompilation:
+    @pytest.mark.parametrize("n,k", [(6, 0), (6, 1), (6, 3), (6, 6), (3, 5)])
+    def test_combination_index_array(self, n, k):
+        combos = list(itertools.combinations(range(n), k))
+        expected = np.array(combos, dtype=np.intp).reshape(len(combos), k)
+        np.testing.assert_array_equal(combination_index_array(n, k), expected)
+
+    def test_masks_from_flat_indices_round_trip(self, small_net):
+        flat = np.array([[0, 8], [1, 13], [7, 9]])  # spans both layers
+        batch = masks_from_flat_indices(small_net.layer_sizes, flat)
+        for s, pair in enumerate(flat):
+            for idx in pair:
+                addr = small_net.address_of(int(idx))
+                assert batch.zero_masks[addr.layer - 1][s, addr.index]
+        assert batch.zero_masks[0].sum() + batch.zero_masks[1].sum() == flat.size
+
+    def test_flat_indices_validation(self, small_net):
+        with pytest.raises(ValueError, match="outside"):
+            masks_from_flat_indices(small_net.layer_sizes, np.array([[99]]))
+        with pytest.raises(ValueError, match="2-D"):
+            masks_from_flat_indices(small_net.layer_sizes, np.array([1, 2]))
+
+    def test_exhaustive_errors_guard_materialisation(self, injector, batch):
+        from repro.faults.masks import exhaustive_crash_errors
+
+        with pytest.raises(ValueError, match="configurations"):
+            exhaustive_crash_errors(
+                injector, batch, 7, max_configurations=100
+            )
+
+    def test_exhaustive_campaign_matches_object_path(self, injector, batch):
+        new = exhaustive_crash_campaign(injector, batch, 2, chunk_size=16)
+        old = run_campaign(
+            injector,
+            batch,
+            exhaustive_crash_scenarios(injector.network, 2),
+            keep_names=False,
+        )
+        np.testing.assert_allclose(new.errors, old.errors, rtol=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# Campaign-level behaviour
+# ---------------------------------------------------------------------------
+
+
+class TestSampledCampaigns:
+    def test_serial_matches_parallel(self, injector, batch):
+        sampler = FixedDistributionSampler(injector.network, (2, 1))
+        serial = sampled_campaign_errors(
+            injector, batch, sampler, 120, seed=7, chunk_size=32
+        )
+        parallel = sampled_campaign_errors(
+            injector, batch, sampler, 120, seed=7, chunk_size=32, n_workers=2
+        )
+        np.testing.assert_array_equal(serial, parallel)
+
+    def test_chunk_size_does_not_change_draws(self, injector, batch):
+        sampler = FixedDistributionSampler(injector.network, (2, 1))
+        a = sampled_campaign_errors(injector, batch, sampler, 50, seed=3, chunk_size=8)
+        b = sampled_campaign_errors(injector, batch, sampler, 50, seed=3, chunk_size=50)
+        np.testing.assert_array_equal(a, b)
+
+    def test_monte_carlo_routes_static_faults_to_masks(self, injector, batch):
+        result = monte_carlo_campaign(
+            injector, batch, (2, 1), n_scenarios=30, seed=1, dtype="float32"
+        )
+        assert result.num_scenarios == 30
+        assert result.scenario_names == []  # mask path carries no names
+
+    def test_monte_carlo_stochastic_fallback_keeps_names(self, injector, batch):
+        result = monte_carlo_campaign(
+            injector, batch, (1, 0), n_scenarios=4, seed=1,
+            fault=NoiseFault(sigma=0.05),
+        )
+        assert result.scenario_names == [f"mc{i}" for i in range(4)]
+        assert result.max_error > 0
+
+    def test_stochastic_chunks_draw_independent_noise(self, injector, batch):
+        """Regression: the scalar fallback used a fixed rng(0) per chunk,
+        replaying identical noise in every chunk."""
+        result = monte_carlo_campaign(
+            injector, batch, (1, 1), n_scenarios=8, seed=0, chunk_size=1,
+            fault=NoiseFault(sigma=0.5),
+        )
+        assert np.unique(result.errors).size == result.errors.size
+
+    def test_sampler_network_mismatch_rejected(self, injector, batch):
+        other = build_mlp(3, [4, 4], seed=9)
+        sampler = FixedDistributionSampler(other, (1, 1))
+        with pytest.raises(ValueError, match="layer sizes"):
+            sampled_campaign_errors(injector, batch, sampler, 10)
