@@ -1,0 +1,23 @@
+# Convenience targets; everything assumes the in-repo source tree.
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test fast-test docs-check experiments report bench
+
+test:            ## tier-1: the full pytest suite
+	$(PYTHON) -m pytest -x -q
+
+fast-test:       ## skip the slow training-loop tests
+	$(PYTHON) -m pytest -x -q -m "not slow" tests
+
+docs-check:      ## registry <-> EXPERIMENTS.md <-> paper map stay in sync
+	$(PYTHON) -m pytest -q -m docs tests/test_docs.py
+
+experiments:     ## run the experiment registry through the artifact pipeline
+	$(PYTHON) -m repro run-all
+
+report:          ## regenerate EXPERIMENTS.md from stored artifacts
+	$(PYTHON) -m repro report
+
+bench:           ## refresh BENCH_campaign.json
+	$(PYTHON) benchmarks/run_campaign_bench.py

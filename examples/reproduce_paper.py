@@ -1,43 +1,79 @@
 #!/usr/bin/env python3
 """Regenerate every figure and theorem validation of the paper.
 
-Runs the full experiment registry (Figures 1-3, Theorems 1-5, Lemma 1,
-Corollaries 1-2, the Section V-C trade-offs and the Section VI
-convolutional refinement) and prints each regenerated table with its
-shape checks — the same artifacts EXPERIMENTS.md records.
+Drives the experiment *registry* (``repro.experiments.registry``)
+through the artifact pipeline: each experiment's regenerated table and
+shape checks are printed, persisted as a JSON artifact under
+``results/`` with a provenance manifest, and served from cache on
+re-runs whose source and parameters are unchanged.  This is the same
+run machinery as ``python -m repro run-all``; pass
+``--experiments-md EXPERIMENTS.md`` (or run ``python -m repro
+report``) to also regenerate the EXPERIMENTS.md status map.
 
-Run:  python examples/reproduce_paper.py            # everything (~1 min)
-      python examples/reproduce_paper.py figure3    # one experiment
+Run:  python examples/reproduce_paper.py                # everything (~1 min)
+      python examples/reproduce_paper.py figure3        # one experiment
+      python examples/reproduce_paper.py theorem        # every theorem (tag)
+      python examples/reproduce_paper.py --force        # ignore the cache
 """
 
+import argparse
 import sys
-import time
 
-from repro.experiments import ALL_EXPERIMENTS
+from repro.artifacts import ArtifactStore
+from repro.experiments import registry
 
 
 def main(argv: list[str]) -> int:
-    wanted = argv[1:] or list(ALL_EXPERIMENTS)
-    unknown = [w for w in wanted if w not in ALL_EXPERIMENTS]
-    if unknown:
-        print(f"unknown experiment(s): {unknown}")
-        print(f"available: {', '.join(ALL_EXPERIMENTS)}")
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "filters", nargs="*",
+        help="experiment ids, tags, or anchor substrings (default: all)",
+    )
+    parser.add_argument(
+        "--force", action="store_true", help="re-run even on a cache hit"
+    )
+    parser.add_argument(
+        "--results-dir", default="results", help="artifact store root"
+    )
+    parser.add_argument(
+        "--experiments-md", default="-", metavar="PATH",
+        help="also regenerate the EXPERIMENTS.md status map at PATH "
+             "('-' skips, the default)",
+    )
+    args = parser.parse_args(argv[1:])
+
+    selected = registry.select(args.filters)
+    bad_tokens = registry.unmatched(args.filters)
+    if not selected or bad_tokens:
+        print(f"no experiment matches {bad_tokens or args.filters}")
+        print(f"available: {', '.join(registry.experiment_ids())}")
         return 2
 
+    store = ArtifactStore(args.results_dir)
     failures = []
-    for name in wanted:
-        start = time.perf_counter()
-        result = ALL_EXPERIMENTS[name]()
-        elapsed = time.perf_counter() - start
-        print(result.report())
-        print(f"  ({elapsed:.1f}s)\n")
-        if not result.passed:
-            failures.append(name)
+    for exp in selected:
+        outcome = store.run(exp, force=args.force)
+        print(outcome.result.report())
+        cached = " [cached]" if outcome.cached else ""
+        print(f"  ({outcome.wall_time_s:.1f}s{cached})\n")
+        if not outcome.passed:
+            failures.append(exp.experiment_id)
+
+    if args.experiments_md != "-":
+        from repro.analysis.reporting import write_experiments_md
+
+        path = write_experiments_md(
+            registry.all_experiments(), store, args.experiments_md
+        )
+        print(f"status map written to {path}\n")
 
     if failures:
         print(f"FAILED shape checks: {failures}")
         return 1
-    print(f"all {len(wanted)} experiments reproduced the paper's shapes.")
+    print(
+        f"all {len(selected)} experiments reproduced the paper's shapes "
+        f"(artifacts + manifest under {store.root}/)."
+    )
     return 0
 
 

@@ -1,0 +1,353 @@
+"""Artifact store: persist experiment results, cache unchanged re-runs.
+
+The registry (:mod:`repro.experiments.registry`) says *what* can run;
+this module makes every run durable and resumable:
+
+* each :class:`~repro.experiments.runner.ExperimentResult` is persisted
+  as a JSON artifact under ``<root>/artifacts/<id>.json`` (rows, shape
+  checks, metrics, notes — :meth:`ExperimentResult.to_dict`);
+* ``<root>/manifest.json`` records, per experiment, the provenance the
+  report needs: content key, git SHA, seed, dtype, wall time, the
+  shape-check outcomes, and where the artifact lives;
+* the **content key** is a hash of the experiment module's source plus
+  the call parameters.  Re-running an experiment whose source and
+  parameters are unchanged is a *cache hit*: the stored result is
+  loaded and reported as cached, nothing is executed.  Editing the
+  module (or passing different parameters, or ``force=True``)
+  invalidates exactly that experiment.
+
+``repro run-all`` drives this store over the whole registry —
+optionally in parallel over the fork-once pool — and ``repro report``
+renders the manifest into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .experiments.registry import RegisteredExperiment
+from .experiments.runner import ExperimentResult, jsonable
+
+__all__ = [
+    "ArtifactStore",
+    "RunOutcome",
+    "content_key",
+    "current_git_sha",
+    "MANIFEST_NAME",
+    "MANIFEST_VERSION",
+]
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_VERSION = 1
+
+
+def content_key(
+    exp: RegisteredExperiment, params: Optional[Mapping[str, Any]] = None
+) -> str:
+    """Cache key: experiment id + module source + call parameters.
+
+    The *module* source (not just the function) is hashed because the
+    entry point routinely leans on module-level helpers and constants;
+    shared-library changes (e.g. the campaign engine) deliberately do
+    not invalidate — ``--force`` exists for that.
+    """
+    module = sys.modules[exp.fn.__module__]
+    source = inspect.getsource(module)
+    blob = json.dumps(
+        {
+            "experiment_id": exp.experiment_id,
+            "source_sha": hashlib.sha256(source.encode()).hexdigest(),
+            "params": jsonable(dict(params or {})),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def current_git_sha(cwd: "str | Path | None" = None) -> Optional[str]:
+    """Short git SHA of the working tree, or None outside a checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=str(cwd) if cwd is not None else None,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def _default_seed(exp: RegisteredExperiment) -> Optional[int]:
+    """The experiment's seed: the entry point's ``seed=`` default."""
+    try:
+        param = inspect.signature(exp.fn).parameters.get("seed")
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return None
+    if param is None or param.default is inspect.Parameter.empty:
+        return None
+    return param.default
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """What ``ArtifactStore.run`` did for one experiment."""
+
+    experiment_id: str
+    result: ExperimentResult
+    cached: bool
+    wall_time_s: float
+    entry: Dict[str, Any]
+
+    @property
+    def passed(self) -> bool:
+        return self.result.passed
+
+    def status_line(self) -> str:
+        tag = "cached" if self.cached else ("pass" if self.passed else "FAIL")
+        line = f"[{tag:>6}] {self.experiment_id} ({self.wall_time_s:.2f}s)"
+        failing = self.result.failed_checks()
+        if failing:
+            line += f"  failing: {failing}"
+        return line
+
+
+class ArtifactStore:
+    """JSON artifacts + manifest under one ``results/`` root."""
+
+    def __init__(self, root: "str | Path" = "results"):
+        self.root = Path(root)
+        self.artifact_dir = self.root / "artifacts"
+        self.manifest_path = self.root / MANIFEST_NAME
+
+    # -- manifest ----------------------------------------------------------
+
+    def load_manifest(self) -> Dict[str, Any]:
+        if not self.manifest_path.exists():
+            return {"version": MANIFEST_VERSION, "entries": {}}
+        with open(self.manifest_path, "r", encoding="utf-8") as fh:
+            manifest = json.load(fh)
+        manifest.setdefault("version", MANIFEST_VERSION)
+        manifest.setdefault("entries", {})
+        return manifest
+
+    def _write_manifest(self, manifest: Dict[str, Any]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = self.manifest_path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        tmp.replace(self.manifest_path)
+
+    def entries(self) -> Dict[str, Dict[str, Any]]:
+        return self.load_manifest()["entries"]
+
+    # -- artifacts ---------------------------------------------------------
+
+    def artifact_path(self, experiment_id: str) -> Path:
+        return self.artifact_dir / f"{experiment_id}.json"
+
+    def load_result(self, experiment_id: str) -> ExperimentResult:
+        path = self.artifact_path(experiment_id)
+        with open(path, "r", encoding="utf-8") as fh:
+            return ExperimentResult.from_dict(json.load(fh))
+
+    def _write_artifact(self, result: ExperimentResult) -> Path:
+        self.artifact_dir.mkdir(parents=True, exist_ok=True)
+        path = self.artifact_path(result.experiment_id)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2)
+            fh.write("\n")
+        return path
+
+    # -- cache + execution -------------------------------------------------
+
+    def cached_entry(
+        self,
+        exp: RegisteredExperiment,
+        params: Optional[Mapping[str, Any]] = None,
+        *,
+        entries: Optional[Mapping[str, Dict[str, Any]]] = None,
+        key: Optional[str] = None,
+    ) -> Optional[Dict[str, Any]]:
+        """The manifest entry iff it is a valid cache hit, else None.
+
+        Batch callers pass ``entries`` (one manifest read for the whole
+        batch) and/or a precomputed ``key``.
+        """
+        if entries is None:
+            entries = self.entries()
+        entry = entries.get(exp.experiment_id)
+        if entry is None:
+            return None
+        if entry.get("key") != (key or content_key(exp, params)):
+            return None
+        if not self.artifact_path(exp.experiment_id).exists():
+            return None
+        return entry
+
+    def record(
+        self,
+        exp: RegisteredExperiment,
+        result: ExperimentResult,
+        wall_time_s: float,
+        params: Optional[Mapping[str, Any]] = None,
+        *,
+        key: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Persist ``result`` and its provenance; returns the entry."""
+        artifact = self._write_artifact(result)
+        params = dict(params or {})
+        entry = {
+            "experiment_id": exp.experiment_id,
+            "key": key or content_key(exp, params),
+            "status": "pass" if result.passed else "fail",
+            "failed_checks": result.failed_checks(),
+            "artifact": str(artifact.relative_to(self.root)),
+            "wall_time_s": round(float(wall_time_s), 4),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            # Anchor on the package source, not the process cwd — the
+            # SHA must describe the repro checkout that actually ran.
+            "git_sha": current_git_sha(Path(__file__).resolve().parent),
+            "seed": jsonable(params.get("seed", _default_seed(exp))),
+            "dtype": str(params.get("dtype", "float64")),
+            "params": jsonable(params),
+            "anchor": exp.anchor,
+            "runtime": exp.runtime,
+            "tags": list(exp.tags),
+        }
+        manifest = self.load_manifest()
+        manifest["version"] = MANIFEST_VERSION
+        manifest["entries"][exp.experiment_id] = entry
+        self._write_manifest(manifest)
+        return entry
+
+    def run(
+        self,
+        exp: RegisteredExperiment,
+        params: Optional[Mapping[str, Any]] = None,
+        *,
+        force: bool = False,
+    ) -> RunOutcome:
+        """Run ``exp`` (or serve it from cache) and persist the outcome."""
+        key = content_key(exp, params)
+        if not force:
+            entry = self.cached_entry(exp, params, key=key)
+            if entry is not None:
+                return RunOutcome(
+                    experiment_id=exp.experiment_id,
+                    result=self.load_result(exp.experiment_id),
+                    cached=True,
+                    wall_time_s=float(entry.get("wall_time_s", 0.0)),
+                    entry=entry,
+                )
+        start = time.perf_counter()
+        result = exp.run(**dict(params or {}))
+        wall = time.perf_counter() - start
+        entry = self.record(exp, result, wall, params, key=key)
+        return RunOutcome(
+            experiment_id=exp.experiment_id,
+            result=result,
+            cached=False,
+            wall_time_s=wall,
+            entry=entry,
+        )
+
+    def run_many(
+        self,
+        experiments: Sequence[RegisteredExperiment],
+        *,
+        force: bool = False,
+        n_workers: int = 0,
+        log=None,
+    ) -> List[RunOutcome]:
+        """Run a batch, optionally fanning out over the fork-once pool.
+
+        Workers only *execute* experiments (pure compute, results ship
+        back as JSON-safe payloads); the parent process owns every
+        artifact and manifest write, so there is no concurrent-write
+        hazard on the store.  Cache hits never reach the pool.
+        """
+        outcomes: Dict[str, RunOutcome] = {}
+        to_run: List[RegisteredExperiment] = []
+        manifest_entries = self.entries()  # one read for the whole batch
+        for exp in experiments:
+            if not force:
+                entry = self.cached_entry(exp, entries=manifest_entries)
+                if entry is not None:
+                    outcomes[exp.experiment_id] = RunOutcome(
+                        experiment_id=exp.experiment_id,
+                        result=self.load_result(exp.experiment_id),
+                        cached=True,
+                        wall_time_s=float(entry.get("wall_time_s", 0.0)),
+                        entry=entry,
+                    )
+                    if log:
+                        log(outcomes[exp.experiment_id].status_line())
+                    continue
+            to_run.append(exp)
+
+        if to_run and n_workers and n_workers > 1:
+            from .parallel import bounded_map, fork_once_pool
+
+            ids = [exp.experiment_id for exp in to_run]
+            by_id = {exp.experiment_id: exp for exp in to_run}
+            with fork_once_pool(
+                min(n_workers, len(to_run)), _build_worker_state
+            ) as pool:
+                for exp_id, payload, wall in bounded_map(
+                    pool, _worker_run_experiment, ids
+                ):
+                    exp = by_id[exp_id]
+                    result = ExperimentResult.from_dict(payload)
+                    entry = self.record(exp, result, wall)
+                    outcomes[exp_id] = RunOutcome(
+                        experiment_id=exp_id,
+                        result=result,
+                        cached=False,
+                        wall_time_s=wall,
+                        entry=entry,
+                    )
+                    if log:
+                        log(outcomes[exp_id].status_line())
+        else:
+            for exp in to_run:
+                outcomes[exp.experiment_id] = self.run(exp, force=force)
+                if log:
+                    log(outcomes[exp.experiment_id].status_line())
+
+        return [
+            outcomes[exp.experiment_id]
+            for exp in experiments
+            if exp.experiment_id in outcomes
+        ]
+
+
+def _build_worker_state() -> dict:  # pragma: no cover - subprocess body
+    """fork_once_pool builder: discover the registry once per worker."""
+    from .experiments import registry
+
+    return {"registry": registry.discover()}
+
+
+def _worker_run_experiment(
+    exp_id: str,
+) -> Tuple[str, Dict[str, Any], float]:  # pragma: no cover - subprocess body
+    """Job body: run one experiment, return its JSON payload + wall time."""
+    from .parallel import worker_state
+
+    exp = worker_state()["registry"][exp_id]
+    start = time.perf_counter()
+    result = exp.run()
+    wall = time.perf_counter() - start
+    return exp_id, result.to_dict(), wall

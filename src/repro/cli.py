@@ -2,9 +2,19 @@
 
 Commands
 --------
+``run-all [--filter TOKEN ...]``
+    Execute the experiment registry through the artifact pipeline:
+    results persist under ``results/`` with a provenance manifest,
+    unchanged experiments are cache hits, and EXPERIMENTS.md is
+    regenerated.  ``--filter`` selects by id, tag, or anchor substring;
+    ``--jobs N`` fans out over the fork-once worker pool.
+``report``
+    Regenerate EXPERIMENTS.md from the stored artifacts without
+    running anything.
 ``experiments [names...]``
     Run the paper-reproduction experiments (default: all) and print the
-    regenerated tables + shape checks.
+    regenerated tables + shape checks (no persistence — see ``run-all``
+    for the artifact pipeline).
 ``certify <net.npz> --epsilon E --epsilon-prime E'``
     Load a saved network and print its robustness certificate
     (crash or Byzantine mode).
@@ -34,6 +44,50 @@ def build_parser() -> argparse.ArgumentParser:
         "fault-tolerance bounds for feed-forward neural networks.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    p_all = sub.add_parser(
+        "run-all",
+        help="run the experiment registry with artifact caching",
+    )
+    p_all.add_argument(
+        "--filter", action="append", default=None, dest="filters",
+        metavar="TOKEN",
+        help="select experiments by id, tag, or anchor substring "
+             "(repeatable; default: everything)",
+    )
+    p_all.add_argument(
+        "--list", action="store_true",
+        help="list the selected experiments and exit",
+    )
+    p_all.add_argument(
+        "--force", action="store_true",
+        help="re-run even on a cache hit",
+    )
+    p_all.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="worker processes (0 = in-process)",
+    )
+    p_all.add_argument(
+        "--results-dir", default="results", metavar="DIR",
+        help="artifact store root (default: results/)",
+    )
+    p_all.add_argument(
+        "--experiments-md", default="EXPERIMENTS.md", metavar="PATH",
+        help="regenerated report path (default EXPERIMENTS.md; "
+             "'-' skips the write)",
+    )
+
+    p_rep = sub.add_parser(
+        "report", help="regenerate EXPERIMENTS.md from stored artifacts"
+    )
+    p_rep.add_argument(
+        "--results-dir", default="results", metavar="DIR",
+        help="artifact store root (default: results/)",
+    )
+    p_rep.add_argument(
+        "--output", default="EXPERIMENTS.md", metavar="PATH",
+        help="where to write the report (default EXPERIMENTS.md)",
+    )
 
     p_exp = sub.add_parser(
         "experiments", help="run paper-reproduction experiments"
@@ -112,6 +166,72 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also report the fraction of scenarios "
                             "exceeding this error")
     return parser
+
+
+def _cmd_run_all(args) -> int:
+    from .analysis.reporting import write_experiments_md
+    from .artifacts import ArtifactStore
+    from .experiments import registry
+
+    selected = registry.select(args.filters)
+    bad_tokens = registry.unmatched(args.filters)
+    if not selected or bad_tokens:
+        what = (
+            f"filter(s) match no experiment: {bad_tokens}"
+            if bad_tokens
+            else f"no experiment matches filter(s) {args.filters}"
+        )
+        print(
+            f"{what}; known ids: {', '.join(registry.experiment_ids())}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.list:
+        for exp in selected:
+            print(
+                f"{exp.experiment_id:28s} {exp.runtime:6s} {exp.anchor}"
+                f"  [{', '.join(exp.tags)}]"
+            )
+        return 0
+
+    store = ArtifactStore(args.results_dir)
+    outcomes = store.run_many(
+        selected, force=args.force, n_workers=args.jobs, log=print
+    )
+    failed = [o.experiment_id for o in outcomes if not o.passed]
+    n_cached = sum(1 for o in outcomes if o.cached)
+    executed_s = sum(o.wall_time_s for o in outcomes if not o.cached)
+    print(
+        f"{len(outcomes)} experiments: {len(outcomes) - len(failed)} pass, "
+        f"{len(failed)} fail, {n_cached} cached ({executed_s:.1f}s executed; "
+        f"manifest: {store.manifest_path})"
+    )
+    if args.experiments_md != "-":
+        path = write_experiments_md(
+            registry.all_experiments(), store, args.experiments_md
+        )
+        print(f"report written to {path}")
+    if failed:
+        print(f"FAILED: {failed}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .analysis.reporting import write_experiments_md
+    from .artifacts import ArtifactStore
+    from .experiments import registry
+
+    store = ArtifactStore(args.results_dir)
+    experiments = registry.all_experiments()
+    entries = store.entries()
+    n_stored = sum(1 for e in experiments if e.experiment_id in entries)
+    path = write_experiments_md(experiments, store, args.output)
+    print(
+        f"report written to {path} ({n_stored}/{len(experiments)} "
+        "experiments have stored artifacts)"
+    )
+    return 0
 
 
 def _cmd_experiments(args) -> int:
@@ -288,6 +408,8 @@ def _cmd_campaign(args) -> int:
 
 
 _COMMANDS = {
+    "run-all": _cmd_run_all,
+    "report": _cmd_report,
     "experiments": _cmd_experiments,
     "certify": _cmd_certify,
     "inspect": _cmd_inspect,

@@ -1,8 +1,15 @@
 """One module per paper figure/claim; each exposes ``run_*`` returning
 an :class:`repro.experiments.runner.ExperimentResult` whose shape
 checks constitute the reproduction criteria (see EXPERIMENTS.md).
+
+Every entry point registers itself with the decorator-based
+:mod:`repro.experiments.registry`; :data:`ALL_EXPERIMENTS` below is
+derived from that registry (canonical paper order), not hand-listed.
+The artifact pipeline (:mod:`repro.artifacts`) and the ``run-all`` /
+``report`` CLI commands consume the registry directly.
 """
 
+from . import registry
 from .exp_boosting import run_boosting
 from .exp_conv import run_conv
 from .exp_fep_learning import run_fep_learning
@@ -20,28 +27,13 @@ from .exp_tradeoff import run_tradeoff_k, run_tradeoff_weights
 from .fig1 import run_figure1
 from .fig2 import run_figure2
 from .fig3 import run_figure3
+from .registry import RegisteredExperiment, experiment
 from .runner import ExperimentResult, format_table
 
-#: Every experiment, keyed by paper anchor — the per-experiment index.
+#: Every experiment entry point, keyed by id, in canonical paper order.
+#: Derived from the registry — kept as the stable dict-of-callables API.
 ALL_EXPERIMENTS = {
-    "figure1": run_figure1,
-    "figure2": run_figure2,
-    "figure3": run_figure3,
-    "theorem1": run_theorem1,
-    "theorem2": run_theorem2,
-    "theorem3": run_theorem3,
-    "theorem4": run_theorem4,
-    "theorem5": run_theorem5,
-    "lemma1": run_lemma1,
-    "corollary1_overprovision": run_overprovision,
-    "corollary2_boosting": run_boosting,
-    "tradeoff_k": run_tradeoff_k,
-    "tradeoff_weights": run_tradeoff_weights,
-    "section6_conv": run_conv,
-    "extension_reliability": run_reliability,
-    "extension_fep_learning": run_fep_learning,
-    "baseline_smr": run_smr_baseline,
-    "intro_pruning": run_pruning,
+    exp.experiment_id: exp.fn for exp in registry.all_experiments()
 }
 
 
@@ -59,6 +51,9 @@ def run_all(verbose: bool = False) -> dict[str, ExperimentResult]:
 
 __all__ = [
     "ExperimentResult",
+    "RegisteredExperiment",
+    "experiment",
+    "registry",
     "format_table",
     "ALL_EXPERIMENTS",
     "run_all",

@@ -20,11 +20,20 @@ from ..core.bounds import corollary2_required_signals
 from ..core.fep import network_fep
 from ..distributed.boosting import boosting_report
 from ..network.builder import build_mlp
+from .registry import experiment
 from .runner import ExperimentResult
 
 __all__ = ["run_boosting"]
 
 
+@experiment(
+    "corollary2_boosting",
+    title="Boosting: fire after N-f signals, reset stragglers",
+    anchor="Corollary 2 / Section V-B",
+    tags=("corollary", "boosting", "distributed"),
+    runtime="medium",
+    order=110,
+)
 def run_boosting(
     *,
     epsilon: float = 0.5,

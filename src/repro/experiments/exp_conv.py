@@ -29,11 +29,20 @@ from ..core.fep import network_fep
 from ..faults.campaign import monte_carlo_campaign
 from ..faults.injector import FaultInjector
 from ..network.builder import build_conv_net, build_mlp
+from .registry import experiment
 from .runner import ExperimentResult
 
 __all__ = ["run_conv"]
 
 
+@experiment(
+    "section6_conv",
+    title="Convolutional refinement of the bounds",
+    anchor="Section VI",
+    tags=("extension", "conv", "campaign"),
+    runtime="medium",
+    order=140,
+)
 def run_conv(
     *,
     input_dim: int = 24,

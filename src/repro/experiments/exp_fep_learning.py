@@ -28,6 +28,7 @@ from ..network.builder import build_mlp
 from ..training.data import gaussian_bump, grid_inputs, sample_dataset, sup_error
 from ..training.regularizers import FepRegularizer, L2Regularizer
 from ..training.trainer import Trainer
+from .registry import experiment
 from .runner import ExperimentResult
 
 __all__ = ["run_fep_learning"]
@@ -54,6 +55,14 @@ def _train(regularizers, *, epochs, seed):
     return net, sup_error(net, target, grid), grid
 
 
+@experiment(
+    "extension_fep_learning",
+    title="Learning with Fep as a minimisation target",
+    anchor="Extension (Fep-regularised training)",
+    tags=("extension", "training"),
+    runtime="slow",
+    order=160,
+)
 def run_fep_learning(
     *,
     epochs: int = 80,

@@ -20,11 +20,20 @@ from ..core.tolerance import greedy_max_total_failures
 from ..faults.injector import FaultInjector
 from ..faults.scenarios import byzantine_scenario
 from ..network.builder import build_mlp
+from .registry import experiment
 from .runner import ExperimentResult
 
 __all__ = ["run_lemma1"]
 
 
+@experiment(
+    "lemma1",
+    title="Unbounded transmission defeats any network",
+    anchor="Lemma 1",
+    tags=("lemma", "byzantine"),
+    runtime="fast",
+    order=90,
+)
 def run_lemma1(
     *,
     capacities: tuple[float, ...] = (1.0, 4.0, 16.0, 64.0, 256.0),

@@ -28,11 +28,20 @@ from ..core.tolerance import greedy_max_total_failures
 from ..faults.adversary import adversarial_crash_scenario
 from ..faults.injector import FaultInjector
 from ..network.builder import build_mlp
+from .registry import experiment
 from .runner import ExperimentResult
 
 __all__ = ["run_pruning"]
 
 
+@experiment(
+    "intro_pruning",
+    title="Crash equals elimination: pruning as fault tolerance",
+    anchor="Introduction (pruning)",
+    tags=("baseline", "pruning"),
+    runtime="fast",
+    order=180,
+)
 def run_pruning(
     *,
     epsilon: float = 0.5,

@@ -22,17 +22,28 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.overprovision import replicate_network
+from ..faults.injector import FaultInjector
+from ..faults.masks import MaskCampaignEngine
 from ..faults.reliability import (
     certified_survival_probability,
     mission_survival_curve,
     monte_carlo_survival,
 )
 from ..network.builder import build_mlp
+from .registry import experiment
 from .runner import ExperimentResult
 
 __all__ = ["run_reliability"]
 
 
+@experiment(
+    "extension_reliability",
+    title="Certified survival under iid neuron failures",
+    anchor="Extension (Section V-A reliability)",
+    tags=("extension", "reliability", "campaign"),
+    runtime="medium",
+    order=150,
+)
 def run_reliability(
     *,
     epsilon: float = 0.5,
@@ -53,12 +64,20 @@ def run_reliability(
     )
     x = rng.random((32, 2))
 
+    # One mask engine for the whole p-grid: the weight casts, nominal
+    # forward pass and chunk buffers are shared by every survival
+    # campaign below instead of being rebuilt per grid point.
+    engine = MaskCampaignEngine(
+        FaultInjector(net, capacity=net.output_bound), x
+    )
+
     rows = []
     certified, estimated = [], []
     for p in p_grid:
         cert = certified_survival_probability(net, p, epsilon, epsilon_prime)
         est = monte_carlo_survival(
-            net, p, epsilon, epsilon_prime, x, n_trials=n_trials, seed=seed
+            net, p, epsilon, epsilon_prime, x, n_trials=n_trials, seed=seed,
+            engine=engine,
         )
         certified.append(cert)
         estimated.append(est.survival)

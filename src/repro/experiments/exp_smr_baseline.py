@@ -30,11 +30,20 @@ from ..distributed.replication import ReplicatedEnsemble, smr_neuron_cost, smr_t
 from ..faults.campaign import monte_carlo_campaign
 from ..faults.injector import FaultInjector
 from ..network.builder import build_mlp
+from .registry import experiment
 from .runner import ExperimentResult
 
 __all__ = ["run_smr_baseline"]
 
 
+@experiment(
+    "baseline_smr",
+    title="State-machine replication vs neuron-grained over-provisioning",
+    anchor="Introduction (SMR baseline)",
+    tags=("baseline", "campaign"),
+    runtime="medium",
+    order=170,
+)
 def run_smr_baseline(
     *,
     epsilon: float = 0.5,

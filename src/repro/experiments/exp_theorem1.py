@@ -24,11 +24,20 @@ from ..faults.injector import FaultInjector
 from ..faults.scenarios import crash_scenario
 from ..network.builder import build_mlp
 from .constructions import saturated_single_layer
+from .registry import experiment
 from .runner import ExperimentResult
 
 __all__ = ["run_theorem1"]
 
 
+@experiment(
+    "theorem1",
+    title="Single-layer crash tolerance bound",
+    anchor="Theorem 1",
+    tags=("theorem", "crash"),
+    runtime="fast",
+    order=40,
+)
 def run_theorem1(
     *,
     n_neurons: int = 10,

@@ -28,6 +28,7 @@ from .constructions import (
     linear_regime_probe,
     linear_regime_safety_margin,
 )
+from .registry import experiment
 from .runner import ExperimentResult
 
 __all__ = ["run_theorem2"]
@@ -67,6 +68,14 @@ def _random_soundness(rows, bounds, observed, *, n_networks, capacity, seed):
         observed.append(err)
 
 
+@experiment(
+    "theorem2",
+    title="Forward Error Propagation: soundness and exact tightness",
+    anchor="Theorem 2",
+    tags=("theorem", "byzantine"),
+    runtime="fast",
+    order=50,
+)
 def run_theorem2(
     *,
     n_networks: int = 12,

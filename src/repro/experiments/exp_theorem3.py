@@ -28,11 +28,20 @@ from ..faults.types import OffsetFault
 from ..network.builder import build_mlp
 from ..network.model import NeuronAddress
 from .constructions import linear_regime_network, linear_regime_probe
+from .registry import experiment
 from .runner import ExperimentResult
 
 __all__ = ["run_theorem3"]
 
 
+@experiment(
+    "theorem3",
+    title="Tolerated Byzantine failure distributions",
+    anchor="Theorem 3",
+    tags=("theorem", "byzantine", "campaign"),
+    runtime="medium",
+    order=60,
+)
 def run_theorem3(
     *,
     epsilon: float = 0.4,

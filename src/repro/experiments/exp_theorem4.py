@@ -24,6 +24,7 @@ from ..faults.scenarios import FailureScenario, random_synapse_scenario
 from ..faults.types import SynapseByzantineFault
 from ..network.builder import random_network
 from .constructions import linear_regime_network, linear_regime_probe
+from .registry import experiment
 from .runner import ExperimentResult
 
 __all__ = ["run_theorem4"]
@@ -33,6 +34,14 @@ class _OffsetSynapse(SynapseByzantineFault):
     """Alias: offset synapse fault (explicit lambda, no saturation)."""
 
 
+@experiment(
+    "theorem4",
+    title="Byzantine synapses: the synapse-level bound",
+    anchor="Theorem 4",
+    tags=("theorem", "byzantine", "synapse"),
+    runtime="fast",
+    order=70,
+)
 def run_theorem4(
     *,
     n_networks: int = 10,

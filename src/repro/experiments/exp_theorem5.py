@@ -26,11 +26,20 @@ from ..quantization.precision import (
     memory_savings,
     uniform_bit_allocation,
 )
+from .registry import experiment
 from .runner import ExperimentResult
 
 __all__ = ["run_theorem5"]
 
 
+@experiment(
+    "theorem5",
+    title="Memory-cost reduction by precision scaling",
+    anchor="Theorem 5 / Section V-A",
+    tags=("theorem", "quantization"),
+    runtime="fast",
+    order=80,
+)
 def run_theorem5(
     *,
     bits_grid: tuple[int, ...] = (2, 3, 4, 5, 6, 8, 10, 12),

@@ -27,6 +27,7 @@ from ..network.builder import build_mlp
 from ..training.data import gaussian_bump, grid_inputs, sample_dataset, sup_error
 from ..training.regularizers import MaxNormConstraint
 from ..training.trainer import Trainer
+from .registry import experiment
 from .runner import ExperimentResult
 
 __all__ = ["run_tradeoff_k", "run_tradeoff_weights"]
@@ -59,6 +60,14 @@ def _train_fresh(
     return net, sup_error(net, target, grid)
 
 
+@experiment(
+    "tradeoff_k",
+    title="Steep activations learn faster but tolerate less",
+    anchor="Section V-C (activation steepness)",
+    tags=("tradeoff", "training"),
+    runtime="slow",
+    order=120,
+)
 def run_tradeoff_k(
     *,
     k_grid: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0),
@@ -107,6 +116,14 @@ def run_tradeoff_k(
     )
 
 
+@experiment(
+    "tradeoff_weights",
+    title="Large weights learn faster but tolerate less",
+    anchor="Section V-C (weight magnitude)",
+    tags=("tradeoff", "training"),
+    runtime="slow",
+    order=130,
+)
 def run_tradeoff_weights(
     *,
     caps: tuple[float, ...] = (0.1, 0.2, 0.4, 0.8),

@@ -13,11 +13,20 @@ import numpy as np
 
 from ..analysis.topology import figure1_network_stats, to_graph
 from ..network.builder import build_mlp
+from .registry import experiment
 from .runner import ExperimentResult
 
 __all__ = ["run_figure1"]
 
 
+@experiment(
+    "figure1",
+    title="Example topology robustness walk-through",
+    anchor="Figure 1",
+    tags=("figure", "crash"),
+    runtime="fast",
+    order=10,
+)
 def run_figure1(seed: int = 59) -> ExperimentResult:
     """Build the Figure-1 network and verify its structure."""
     net = build_mlp(

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..analysis.lipschitz import estimate_lipschitz, sigmoid_profile, slope_at_origin
 from ..network.activations import Sigmoid
+from .registry import experiment
 from .runner import ExperimentResult
 
 __all__ = ["run_figure2", "DEFAULT_KS"]
@@ -24,6 +25,14 @@ __all__ = ["run_figure2", "DEFAULT_KS"]
 DEFAULT_KS: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 4.0)
 
 
+@experiment(
+    "figure2",
+    title="K-tuned sigmoid activation profiles",
+    anchor="Figure 2",
+    tags=("figure", "activation"),
+    runtime="fast",
+    order=20,
+)
 def run_figure2(ks: Sequence[float] = DEFAULT_KS) -> ExperimentResult:
     """Regenerate Figure 2's curves and check their analytic properties."""
     ks = tuple(float(k) for k in ks)

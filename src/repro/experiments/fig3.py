@@ -34,6 +34,7 @@ from ..faults.adversary import adversarial_crash_scenario
 from ..faults.campaign import monte_carlo_campaign, run_campaign
 from ..faults.injector import FaultInjector
 from ..network.builder import FIGURE3_SPECS, build_figure3_network
+from .registry import experiment
 from .runner import ExperimentResult
 
 __all__ = ["run_figure3", "DEFAULT_K_GRID"]
@@ -41,6 +42,14 @@ __all__ = ["run_figure3", "DEFAULT_K_GRID"]
 DEFAULT_K_GRID: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 4.0)
 
 
+@experiment(
+    "figure3",
+    title="Output error vs Lipschitz constant across eight networks",
+    anchor="Figure 3",
+    tags=("figure", "campaign"),
+    runtime="medium",
+    order=30,
+)
 def run_figure3(
     *,
     k_grid: Sequence[float] = DEFAULT_K_GRID,

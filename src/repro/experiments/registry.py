@@ -1,0 +1,221 @@
+"""Decorator-based experiment registry: the index of the reproduction.
+
+Every experiment module in this package registers its ``run_<id>``
+entry point with the :func:`experiment` decorator, attaching the
+metadata the pipeline needs to discover, select, schedule and report
+it:
+
+* ``anchor`` — where in the paper the claim lives ("Theorem 2",
+  "Figure 3", "Section V-C", ...);
+* ``tags`` — free-form selection labels (``"figure"``, ``"theorem"``,
+  ``"campaign"``, ``"training"``, ...) consumed by
+  ``repro run-all --filter``;
+* ``runtime`` — a coarse cost class (``fast`` < ``medium`` < ``slow``)
+  so callers can budget a run without executing anything;
+* ``order`` — canonical presentation order in EXPERIMENTS.md and
+  ``docs/paper_map.md`` (paper order, not import order).
+
+:func:`discover` imports every ``exp_*``/``fig*`` module in the
+package so the decorators run, then returns the registry in canonical
+order — no hand-maintained list of experiments exists anywhere;
+forgetting the decorator on a new module is caught by
+``tests/test_registry.py``.  The artifact pipeline
+(:mod:`repro.artifacts`) and the ``run-all`` / ``report`` CLI commands
+are the registry's consumers.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .runner import ExperimentResult
+
+__all__ = [
+    "RegisteredExperiment",
+    "RUNTIME_CLASSES",
+    "experiment",
+    "discover",
+    "all_experiments",
+    "get",
+    "experiment_ids",
+    "select",
+    "unmatched",
+]
+
+#: Coarse cost classes, cheapest first.  ``fast`` finishes in well under
+#: a second, ``medium`` within a few seconds, ``slow`` involves training
+#: loops and may take tens of seconds at default parameters.
+RUNTIME_CLASSES = ("fast", "medium", "slow")
+
+
+@dataclass(frozen=True)
+class RegisteredExperiment:
+    """One registered reproduction experiment and its metadata."""
+
+    experiment_id: str
+    fn: Callable[..., ExperimentResult]
+    title: str
+    anchor: str
+    tags: Tuple[str, ...] = ()
+    runtime: str = "fast"
+    order: int = 1000
+    module: str = ""
+
+    @property
+    def command(self) -> str:
+        """The CLI invocation that runs (exactly) this experiment."""
+        return f"python -m repro run-all --filter {self.experiment_id}"
+
+    def run(self, **params) -> ExperimentResult:
+        """Execute the experiment; forwards ``params`` to the entry point."""
+        return self.fn(**params)
+
+    def matches(self, token: str) -> bool:
+        """Selection predicate for ``--filter`` tokens.
+
+        A token selects this experiment when it equals the id, one of
+        the tags, or the runtime class (case-insensitively), or is a
+        substring of the id or of the paper anchor.
+        """
+        t = token.strip().lower()
+        if not t:
+            return False
+        if t == self.experiment_id.lower() or t == self.runtime:
+            return True
+        if any(t == tag.lower() for tag in self.tags):
+            return True
+        return t in self.experiment_id.lower() or t in self.anchor.lower()
+
+
+_REGISTRY: Dict[str, RegisteredExperiment] = {}
+_DISCOVERED = False
+
+
+def experiment(
+    experiment_id: str,
+    *,
+    title: str,
+    anchor: str,
+    tags: Sequence[str] = (),
+    runtime: str = "fast",
+    order: int = 1000,
+) -> Callable:
+    """Register the decorated ``run_*`` function as an experiment.
+
+    The function is returned unchanged — the decorator only records it,
+    so direct calls (tests, benchmarks, examples) are unaffected.
+    """
+    if runtime not in RUNTIME_CLASSES:
+        raise ValueError(
+            f"runtime must be one of {RUNTIME_CLASSES}, got {runtime!r}"
+        )
+    if not anchor:
+        raise ValueError(f"experiment {experiment_id!r} needs a paper anchor")
+
+    def decorator(fn: Callable[..., ExperimentResult]):
+        entry = RegisteredExperiment(
+            experiment_id=experiment_id,
+            fn=fn,
+            title=title,
+            anchor=anchor,
+            tags=tuple(tags),
+            runtime=runtime,
+            order=order,
+            module=fn.__module__,
+        )
+        existing = _REGISTRY.get(experiment_id)
+        if existing is not None and (
+            existing.module != entry.module
+            or existing.fn.__qualname__ != fn.__qualname__
+        ):
+            raise ValueError(
+                f"duplicate experiment id {experiment_id!r}: "
+                f"{existing.module}.{existing.fn.__qualname__} vs "
+                f"{entry.module}.{fn.__qualname__}"
+            )
+        _REGISTRY[experiment_id] = entry
+        return fn
+
+    return decorator
+
+
+def _iter_experiment_modules() -> List[str]:
+    """Names of the package's experiment modules (``exp_*`` / ``fig*``)."""
+    import repro.experiments as pkg
+
+    return sorted(
+        info.name
+        for info in pkgutil.iter_modules(pkg.__path__)
+        if info.name.startswith(("exp_", "fig"))
+    )
+
+
+def discover() -> Dict[str, RegisteredExperiment]:
+    """Import every experiment module so decorators run; return the registry.
+
+    Idempotent and cheap after the first call.  The returned dict is
+    ordered canonically (``order``, then id) — paper order, independent
+    of import order.
+    """
+    global _DISCOVERED
+    if not _DISCOVERED:
+        for name in _iter_experiment_modules():
+            importlib.import_module(f"repro.experiments.{name}")
+        _DISCOVERED = True
+    return dict(
+        sorted(_REGISTRY.items(), key=lambda kv: (kv[1].order, kv[0]))
+    )
+
+
+def all_experiments() -> List[RegisteredExperiment]:
+    """Every registered experiment, in canonical order."""
+    return list(discover().values())
+
+
+def experiment_ids() -> List[str]:
+    return [exp.experiment_id for exp in all_experiments()]
+
+
+def get(experiment_id: str) -> RegisteredExperiment:
+    discover()
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known ids: "
+            f"{', '.join(experiment_ids())}"
+        ) from None
+
+
+def select(
+    tokens: Optional[Sequence[str]] = None,
+) -> List[RegisteredExperiment]:
+    """Experiments matching any of the ``--filter`` tokens.
+
+    ``None`` or an empty sequence selects everything.  Tokens match
+    ids, tags, or substrings of ids/anchors (see
+    :meth:`RegisteredExperiment.matches`).
+    """
+    experiments = all_experiments()
+    if not tokens:
+        return experiments
+    return [
+        exp for exp in experiments if any(exp.matches(t) for t in tokens)
+    ]
+
+
+def unmatched(tokens: Optional[Sequence[str]]) -> List[str]:
+    """The ``--filter`` tokens that select no experiment at all.
+
+    Callers treat a non-empty return as an error: a typo next to a
+    valid token must not silently validate less than was asked for.
+    """
+    experiments = all_experiments()
+    return [
+        t
+        for t in (tokens or [])
+        if not any(exp.matches(t) for exp in experiments)
+    ]

@@ -14,7 +14,32 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
-__all__ = ["ExperimentResult", "format_table"]
+__all__ = ["ExperimentResult", "format_table", "jsonable"]
+
+
+def jsonable(value: Any) -> Any:
+    """Recursively convert a result value into plain JSON types.
+
+    Rows and metrics routinely carry numpy scalars/arrays and tuples;
+    the artifact store persists results as JSON, so everything lowers
+    to (str, int, float, bool, None, list, dict).  Non-finite floats
+    survive as strings (JSON has no inf/nan).
+    """
+    import numpy as np
+
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, float) and not np.isfinite(value):
+        return str(value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, np.ndarray):
+        return [jsonable(v) for v in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, Mapping):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    return str(value)
 
 
 @dataclass
@@ -63,6 +88,42 @@ class ExperimentResult:
                 + format_table(self.rows)
             )
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe payload — the artifact the store persists."""
+        return {
+            "experiment_id": self.experiment_id,
+            "description": self.description,
+            "rows": [jsonable(row) for row in self.rows],
+            "shape_checks": {k: bool(v) for k, v in self.shape_checks.items()},
+            "metrics": {k: jsonable(v) for k, v in self.metrics.items()},
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentResult":
+        """Inverse of :meth:`to_dict` (tuples come back as lists).
+
+        Non-finite metric values round-trip: JSON has no inf/nan, so
+        :func:`jsonable` stores them as strings and they are coerced
+        back to floats here.
+        """
+        metrics = {}
+        for k, v in payload.get("metrics", {}).items():
+            if isinstance(v, str):
+                try:
+                    v = float(v)  # "inf" / "-inf" / "nan"
+                except ValueError:
+                    pass
+            metrics[k] = v
+        return cls(
+            experiment_id=payload["experiment_id"],
+            description=payload["description"],
+            rows=[dict(row) for row in payload.get("rows", [])],
+            shape_checks=dict(payload.get("shape_checks", {})),
+            metrics=metrics,
+            notes=list(payload.get("notes", [])),
+        )
+
     def report(self) -> str:
         """Human-readable report used by the example scripts."""
         lines = [f"== {self.experiment_id}: {self.description}"]
@@ -71,7 +132,7 @@ class ExperimentResult:
         if self.metrics:
             lines.append(
                 "metrics: "
-                + ", ".join(f"{k}={v:.6g}" for k, v in sorted(self.metrics.items()))
+                + ", ".join(f"{k}={_fmt(v)}" for k, v in sorted(self.metrics.items()))
             )
         for name, ok in self.shape_checks.items():
             lines.append(f"  [{'PASS' if ok else 'FAIL'}] {name}")

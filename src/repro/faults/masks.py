@@ -542,6 +542,7 @@ def sampled_campaign_errors(
     reduction: str = "max",
     dtype: "str | np.dtype" = np.float64,
     n_workers: int = 0,
+    engine: "MaskCampaignEngine | None" = None,
 ) -> np.ndarray:
     """Sample-and-evaluate ``n_scenarios`` scenarios; returns ``(S,)`` errors.
 
@@ -552,6 +553,15 @@ def sampled_campaign_errors(
     paths (workers receive only block sizes and spawned seeds — the
     fork-once pool shipped the network at initialisation).
     ``chunk_size`` only bounds the evaluation buffers.
+
+    ``engine`` lets a caller running *several* campaigns against the
+    same network and probe batch (e.g. a survival curve over a grid of
+    failure probabilities) reuse one :class:`MaskCampaignEngine` —
+    skipping the per-campaign weight casts, nominal forward pass and
+    buffer allocation.  The engine's injector, probe batch, chunk size,
+    reduction and dtype take precedence over the corresponding
+    arguments; engine reuse is in-process only (``n_workers`` must stay
+    0/1 — workers build their own engines from the shipped network).
     """
     if n_scenarios < 0:
         raise ValueError(f"n_scenarios must be >= 0, got {n_scenarios}")
@@ -562,6 +572,23 @@ def sampled_campaign_errors(
         )
     if chunk_size <= 0:
         raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    if engine is not None:
+        if engine.network is not injector.network:
+            raise ValueError(
+                "engine was built for a different network than the injector"
+            )
+        xb_arg, _ = injector.network._as_batch(x)
+        if not np.array_equal(
+            np.asarray(xb_arg, dtype=engine.dtype), engine.xb
+        ):
+            raise ValueError(
+                "engine was built for a different probe batch than x"
+            )
+        if n_workers and n_workers > 1:
+            raise ValueError(
+                "engine reuse is in-process only; drop the engine argument "
+                "to fan out over workers"
+            )
     if n_scenarios == 0:
         return np.empty(0, dtype=np.float64)
     ss = (
@@ -595,9 +622,10 @@ def sampled_campaign_errors(
             )
         return np.concatenate(pieces)
 
-    engine = MaskCampaignEngine(
-        injector, x, chunk_size=chunk_size, reduction=reduction, dtype=dtype
-    )
+    if engine is None:
+        engine = MaskCampaignEngine(
+            injector, x, chunk_size=chunk_size, reduction=reduction, dtype=dtype
+        )
     pieces = []
     for size, child in zip(sizes, children):
         rng = np.random.default_rng(child)

@@ -26,7 +26,7 @@ from ..core.fep import fep_many
 from ..network.model import FeedForwardNetwork
 from .campaign import run_campaign
 from .injector import FaultInjector, static_fault_action
-from .masks import BernoulliSampler, sampled_campaign_errors
+from .masks import BernoulliSampler, MaskCampaignEngine, sampled_campaign_errors
 from .scenarios import FailureScenario, random_failure_scenario
 from .types import CrashFault, FaultModel
 
@@ -148,6 +148,7 @@ def monte_carlo_survival(
     n_trials: int = 500,
     seed: Optional[int] = 0,
     confidence: float = 0.95,
+    engine: "MaskCampaignEngine | None" = None,
 ) -> ReliabilityEstimate:
     """Estimate the *actual* survival probability by injection.
 
@@ -159,7 +160,12 @@ def monte_carlo_survival(
 
     Static faults (the default crash model included) draw the Bernoulli
     trial masks and evaluate on the mask-native engine; stochastic
-    faults fall back to per-trial scenario objects.
+    faults fall back to per-trial scenario objects.  Callers sweeping a
+    grid of ``p_fail`` values over the same network and probe batch
+    (survival curves) should build one
+    :class:`~repro.faults.masks.MaskCampaignEngine` and pass it as
+    ``engine`` — the weight casts, nominal forward pass and buffers are
+    then paid once for the whole sweep instead of once per grid point.
     """
     if not 0 <= p_fail <= 1:
         raise ValueError(f"p_fail must be in [0,1], got {p_fail}")
@@ -169,7 +175,24 @@ def monte_carlo_survival(
         injector_capacity: Optional[float] = network.output_bound
     else:
         injector_capacity = capacity
-    injector = FaultInjector(network, capacity=injector_capacity)
+    if engine is not None:
+        # The engine carries its own injector, probe batch and dtype —
+        # a mismatch with the explicit arguments would silently
+        # evaluate the wrong model, inputs, or fault magnitude.  (The
+        # probe batch itself is validated in sampled_campaign_errors.)
+        if engine.network is not network:
+            raise ValueError(
+                "engine was built for a different network than the one "
+                "passed to monte_carlo_survival"
+            )
+        if engine.capacity != injector_capacity:
+            raise ValueError(
+                f"engine capacity {engine.capacity} != effective "
+                f"campaign capacity {injector_capacity}"
+            )
+        injector = engine.injector
+    else:
+        injector = FaultInjector(network, capacity=injector_capacity)
 
     if static_fault_action(fault) is None:
         rng = np.random.default_rng(seed)
@@ -187,7 +210,7 @@ def monte_carlo_survival(
     else:
         errors = sampled_campaign_errors(
             injector, x, BernoulliSampler(network, p_fail, fault=fault),
-            n_trials, seed=seed,
+            n_trials, seed=seed, engine=engine,
         )
     survived = int(np.sum(errors <= budget + 1e-12))
     estimate = survived / n_trials

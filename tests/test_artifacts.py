@@ -1,0 +1,234 @@
+"""The artifact store: manifest round-trip, caching, CLI pipeline.
+
+A toy registered experiment (module-level, so ``inspect.getsource``
+works for the content key) counts its executions — the cache tests
+assert *skips*, not just equal results.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.artifacts import ArtifactStore, content_key
+from repro.cli import main
+from repro.experiments.registry import RegisteredExperiment
+from repro.experiments.runner import ExperimentResult, jsonable
+
+_TOY_CALLS = []
+
+
+def _run_toy(seed: int = 7):
+    """Toy experiment used by the store tests."""
+    _TOY_CALLS.append(seed)
+    return ExperimentResult(
+        experiment_id="toy",
+        description="toy experiment",
+        rows=[{"a": 1.5, "pair": (1, 2), "np": np.float64(0.25)}],
+        shape_checks={"ok": True},
+        metrics={"m": np.float32(2.0)},
+        notes=["a note"],
+    )
+
+
+TOY = RegisteredExperiment(
+    "toy", _run_toy, title="Toy", anchor="Toy anchor", tags=("toy",),
+    runtime="fast", order=1, module=__name__,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    _TOY_CALLS.clear()
+    return ArtifactStore(tmp_path / "results")
+
+
+class TestJsonable:
+    def test_lowering(self):
+        assert jsonable((1, 2)) == [1, 2]
+        assert jsonable(np.float64(1.5)) == 1.5
+        assert jsonable(np.array([1, 2])) == [1, 2]
+        assert jsonable({"k": np.int64(3)}) == {"k": 3}
+        assert jsonable(float("inf")) == "inf"
+
+    def test_nonfinite_metrics_round_trip_and_render(self):
+        import math
+
+        from repro.analysis.reporting import result_to_markdown
+
+        r = ExperimentResult(
+            "nf", "d", metrics={"i": float("inf"), "n": float("nan")},
+            shape_checks={"ok": True},
+        )
+        back = ExperimentResult.from_dict(json.loads(json.dumps(r.to_dict())))
+        assert back.metrics["i"] == float("inf")
+        assert math.isnan(back.metrics["n"])
+        assert "inf" in back.report()  # formatting must not raise
+        assert "inf" in result_to_markdown(back)
+
+    def test_result_round_trip(self):
+        result = _run_toy()
+        payload = json.loads(json.dumps(result.to_dict()))
+        back = ExperimentResult.from_dict(payload)
+        assert back.experiment_id == "toy"
+        assert back.shape_checks == {"ok": True}
+        assert back.passed
+        assert back.rows[0]["pair"] == [1, 2]  # tuples come back as lists
+        assert back.metrics["m"] == 2.0
+        assert back.notes == ["a note"]
+
+
+class TestStore:
+    def test_run_persists_artifact_and_manifest(self, store):
+        outcome = store.run(TOY)
+        assert not outcome.cached and outcome.passed
+        assert store.artifact_path("toy").exists()
+        entry = store.entries()["toy"]
+        assert entry["status"] == "pass"
+        assert entry["failed_checks"] == []
+        assert entry["seed"] == 7  # lifted from the entry point's default
+        assert entry["dtype"] == "float64"
+        assert entry["key"] == content_key(TOY)
+        assert entry["wall_time_s"] >= 0
+        assert entry["anchor"] == "Toy anchor"
+        loaded = store.load_result("toy")
+        assert loaded.to_dict() == outcome.result.to_dict()
+
+    def test_second_run_is_a_cache_hit(self, store):
+        first = store.run(TOY)
+        outcome = store.run(TOY)
+        assert outcome.cached
+        assert len(_TOY_CALLS) == 1  # the function did not execute again
+        assert outcome.result.to_dict() == first.result.to_dict()
+
+    def test_force_reruns(self, store):
+        store.run(TOY)
+        outcome = store.run(TOY, force=True)
+        assert not outcome.cached
+        assert len(_TOY_CALLS) == 2
+
+    def test_params_change_invalidates(self, store):
+        assert content_key(TOY) != content_key(TOY, {"seed": 9})
+        store.run(TOY)
+        outcome = store.run(TOY, params={"seed": 9})
+        assert not outcome.cached
+        assert outcome.entry["seed"] == 9
+        assert _TOY_CALLS == [7, 9]
+
+    def test_manifest_key_mismatch_invalidates(self, store):
+        store.run(TOY)
+        manifest = store.load_manifest()
+        manifest["entries"]["toy"]["key"] = "stale"
+        store._write_manifest(manifest)
+        assert store.cached_entry(TOY) is None
+        assert not store.run(TOY).cached
+
+    def test_missing_artifact_invalidates(self, store):
+        store.run(TOY)
+        store.artifact_path("toy").unlink()
+        assert store.cached_entry(TOY) is None
+
+    def test_failing_result_recorded_as_fail(self, store):
+        def run_bad():
+            """bad"""
+            return ExperimentResult(
+                "bad", "d", shape_checks={"broken": False}
+            )
+
+        bad = RegisteredExperiment(
+            "bad", run_bad, title="Bad", anchor="X", module=__name__
+        )
+        outcome = store.run(bad)
+        assert not outcome.passed
+        entry = store.entries()["bad"]
+        assert entry["status"] == "fail"
+        assert entry["failed_checks"] == ["broken"]
+
+    def test_run_many_serial_mixes_cache_and_fresh(self, store):
+        store.run(TOY)
+        lines = []
+        outcomes = store.run_many([TOY], log=lines.append)
+        assert [o.cached for o in outcomes] == [True]
+        assert "cached" in lines[0]
+        assert len(_TOY_CALLS) == 1
+
+
+class TestCli:
+    def test_run_all_filter_smoke(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        md = tmp_path / "EXPERIMENTS.md"
+        argv = [
+            "run-all", "--filter", "figure1",
+            "--results-dir", str(results), "--experiments-md", str(md),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "[  pass] figure1" in out
+        assert (results / "manifest.json").exists()
+        assert (results / "artifacts" / "figure1.json").exists()
+        text = md.read_text(encoding="utf-8")
+        assert "`figure1`" in text and "✅ pass" in text
+        # Unselected experiments still appear in the map, as not-run.
+        assert "`figure3`" in text and "⏳ not run" in text
+
+        # Second invocation: cache hit, reported as cached.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "[cached] figure1" in out
+        assert "1 cached" in out
+
+    def test_run_all_parallel_jobs(self, tmp_path, capsys):
+        assert main([
+            "run-all", "--filter", "figure1", "--filter", "lemma1",
+            "--jobs", "2", "--results-dir", str(tmp_path / "results"),
+            "--experiments-md", "-",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 experiments: 2 pass" in out
+        store = ArtifactStore(tmp_path / "results")
+        assert set(store.entries()) == {"figure1", "lemma1"}
+
+    def test_run_all_unknown_filter(self, tmp_path, capsys):
+        assert main([
+            "run-all", "--filter", "nonsense",
+            "--results-dir", str(tmp_path / "results"),
+        ]) == 2
+
+    def test_run_all_partially_unknown_filter_refuses(self, tmp_path, capsys):
+        # A typo next to a valid token must not silently validate less
+        # than the user asked for.
+        assert main([
+            "run-all", "--filter", "figure1", "--filter", "theorm2",
+            "--results-dir", str(tmp_path / "results"),
+        ]) == 2
+        assert "theorm2" in capsys.readouterr().err
+
+    def test_report_tolerates_missing_artifact(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        md = tmp_path / "EXPERIMENTS.md"
+        assert main([
+            "run-all", "--filter", "figure1",
+            "--results-dir", str(results), "--experiments-md", str(md),
+        ]) == 0
+        (results / "artifacts" / "figure1.json").unlink()
+        capsys.readouterr()
+        assert main([
+            "report", "--results-dir", str(results), "--output", str(md),
+        ]) == 0
+        text = md.read_text(encoding="utf-8")
+        assert "`figure1`" in text and "✅" not in text  # stale → not run
+
+    def test_run_all_list(self, tmp_path, capsys):
+        assert main(["run-all", "--filter", "theorem", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "theorem1" in out and "theorem5" in out
+
+    def test_report_without_running(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        md = tmp_path / "EXPERIMENTS.md"
+        assert main([
+            "report", "--results-dir", str(results), "--output", str(md),
+        ]) == 0
+        text = md.read_text(encoding="utf-8")
+        # Nothing stored: every registered experiment is listed, not run.
+        assert "`figure1`" in text and "✅" not in text

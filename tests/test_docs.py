@@ -1,0 +1,80 @@
+"""Documentation consistency gate (``make docs-check``).
+
+Fails when the generated/maintained docs drift from the experiment
+registry: a registered experiment missing from EXPERIMENTS.md or
+docs/paper_map.md, an experiment module or entry point without a
+docstring, or a README that lost its links. Runs in the tier-1 suite
+and standalone via the ``docs`` marker.
+"""
+
+import importlib
+import pkgutil
+from pathlib import Path
+
+import pytest
+
+import repro.experiments as exp_pkg
+from repro.experiments import registry
+
+pytestmark = pytest.mark.docs
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _read(relpath: str) -> str:
+    path = ROOT / relpath
+    assert path.exists(), f"{relpath} is missing (see README / Makefile)"
+    return path.read_text(encoding="utf-8")
+
+
+def test_experiments_md_lists_every_registered_experiment():
+    text = _read("EXPERIMENTS.md")
+    for exp in registry.all_experiments():
+        assert f"`{exp.experiment_id}`" in text, (
+            f"{exp.experiment_id} missing from EXPERIMENTS.md — "
+            "regenerate with `python -m repro report`"
+        )
+        assert f"`{exp.command}`" in text
+
+
+def test_paper_map_lists_every_registered_experiment():
+    text = _read("docs/paper_map.md")
+    for exp in registry.all_experiments():
+        assert f"`{exp.experiment_id}`" in text, (
+            f"{exp.experiment_id} missing from docs/paper_map.md"
+        )
+
+
+def test_paper_map_points_at_real_modules():
+    text = _read("docs/paper_map.md")
+    for exp in registry.all_experiments():
+        relpath = "src/" + exp.module.replace(".", "/") + ".py"
+        assert relpath in text, f"{relpath} missing from docs/paper_map.md"
+        assert (ROOT / relpath).exists()
+
+
+def test_readme_links_the_documentation_set():
+    text = _read("README.md")
+    for link in ("DESIGN.md", "EXPERIMENTS.md", "docs/paper_map.md"):
+        assert link in text, f"README.md lost its link to {link}"
+
+
+def test_design_md_documents_the_pipeline():
+    text = _read("DESIGN.md")
+    for needle in ("registry", "artifact", "EXPERIMENTS.md"):
+        assert needle in text
+
+
+def test_every_experiment_module_has_a_docstring():
+    for info in pkgutil.iter_modules(exp_pkg.__path__):
+        module = importlib.import_module(f"repro.experiments.{info.name}")
+        assert (module.__doc__ or "").strip(), (
+            f"repro.experiments.{info.name} has no module docstring"
+        )
+
+
+def test_every_registered_entry_point_has_a_docstring():
+    for exp in registry.all_experiments():
+        assert (exp.fn.__doc__ or "").strip(), (
+            f"{exp.experiment_id}'s entry point has no docstring"
+        )

@@ -1,0 +1,165 @@
+"""The experiment registry: completeness, metadata, selection.
+
+The registry is the index of the reproduction — these tests enforce
+that every experiment module registers itself (no silent drift between
+the package contents and the registry) and that ``--filter`` selection
+behaves as documented.
+"""
+
+import pkgutil
+
+import pytest
+
+import repro.experiments as exp_pkg
+from repro.experiments import ALL_EXPERIMENTS, registry
+from repro.experiments.registry import (
+    RUNTIME_CLASSES,
+    RegisteredExperiment,
+    experiment,
+)
+from repro.experiments.runner import ExperimentResult
+
+
+class TestCompleteness:
+    def test_every_experiment_module_registers_something(self):
+        by_module = {}
+        for exp in registry.all_experiments():
+            by_module.setdefault(exp.module.rsplit(".", 1)[-1], []).append(exp)
+        for info in pkgutil.iter_modules(exp_pkg.__path__):
+            if info.name.startswith(("exp_", "fig")):
+                assert info.name in by_module, (
+                    f"experiment module {info.name} registers no experiment "
+                    "(missing @experiment decorator?)"
+                )
+
+    def test_at_least_the_seed_experiments_exist(self):
+        assert len(registry.all_experiments()) >= 18
+
+    def test_all_experiments_mirrors_registry(self):
+        assert list(ALL_EXPERIMENTS) == registry.experiment_ids()
+        for exp_id, fn in ALL_EXPERIMENTS.items():
+            assert registry.get(exp_id).fn is fn
+
+    def test_canonical_order_is_paper_order(self):
+        ids = registry.experiment_ids()
+        assert ids.index("figure1") < ids.index("theorem1")
+        assert ids.index("theorem5") < ids.index("lemma1")
+        orders = [exp.order for exp in registry.all_experiments()]
+        assert orders == sorted(orders)
+
+
+class TestMetadata:
+    def test_metadata_populated(self):
+        for exp in registry.all_experiments():
+            assert exp.runtime in RUNTIME_CLASSES
+            assert exp.anchor and exp.title
+            assert exp.module.startswith("repro.experiments.")
+            assert (exp.fn.__doc__ or "").strip(), (
+                f"{exp.experiment_id}'s entry point has no docstring"
+            )
+
+    def test_command_names_the_id(self):
+        for exp in registry.all_experiments():
+            assert exp.experiment_id in exp.command
+            assert exp.command.startswith("python -m repro run-all")
+
+
+class TestSelection:
+    def test_no_filter_selects_everything(self):
+        assert registry.select(None) == registry.all_experiments()
+        assert registry.select([]) == registry.all_experiments()
+
+    def test_select_by_id(self):
+        (exp,) = registry.select(["figure3"])
+        assert exp.experiment_id == "figure3"
+
+    def test_select_by_tag(self):
+        ids = [e.experiment_id for e in registry.select(["theorem"])]
+        assert ids == [
+            "theorem1", "theorem2", "theorem3", "theorem4", "theorem5",
+        ]
+
+    def test_select_by_anchor_substring(self):
+        ids = [e.experiment_id for e in registry.select(["corollary"])]
+        assert "corollary1_overprovision" in ids
+        assert "corollary2_boosting" in ids
+
+    def test_select_union_of_tokens(self):
+        ids = [
+            e.experiment_id for e in registry.select(["figure1", "lemma1"])
+        ]
+        assert ids == ["figure1", "lemma1"]
+
+    def test_select_by_runtime_class(self):
+        slow = registry.select(["slow"])
+        assert slow and all(e.runtime == "slow" for e in slow)
+
+    def test_select_is_case_insensitive(self):
+        assert registry.select(["FIGURE3"]) == registry.select(["figure3"])
+
+    def test_blank_token_matches_nothing(self):
+        assert registry.select(["  "]) == []
+
+    def test_get_unknown_raises_with_known_ids(self):
+        with pytest.raises(KeyError, match="figure3"):
+            registry.get("nope")
+
+
+class TestDecorator:
+    @pytest.fixture
+    def scratch_registry(self, monkeypatch):
+        """Run decorator tests against a copy — never leak test ids."""
+        import repro.experiments.registry as reg_mod
+
+        monkeypatch.setattr(reg_mod, "_REGISTRY", dict(reg_mod._REGISTRY))
+        return reg_mod
+
+    def test_decorator_returns_fn_unchanged(self, scratch_registry):
+        def run_probe():
+            """probe"""
+            return ExperimentResult("probe_id", "d")
+
+        decorated = experiment(
+            "probe_id", title="Probe", anchor="Nowhere", order=999999
+        )(run_probe)
+        assert decorated is run_probe
+        assert scratch_registry._REGISTRY["probe_id"].fn is run_probe
+
+    def test_duplicate_id_different_fn_rejected(self, scratch_registry):
+        def run_a():
+            """a"""
+
+        def run_b():
+            """b"""
+
+        experiment("dup_id", title="A", anchor="X")(run_a)
+        with pytest.raises(ValueError, match="duplicate experiment id"):
+            experiment("dup_id", title="B", anchor="X")(run_b)
+
+    def test_reregistering_same_fn_is_idempotent(self, scratch_registry):
+        def run_c():
+            """c"""
+
+        experiment("idem_id", title="C", anchor="X")(run_c)
+        experiment("idem_id", title="C", anchor="X")(run_c)
+        assert scratch_registry._REGISTRY["idem_id"].fn is run_c
+
+    def test_bad_runtime_rejected(self):
+        with pytest.raises(ValueError, match="runtime"):
+            experiment("x", title="X", anchor="X", runtime="warp")
+
+    def test_missing_anchor_rejected(self):
+        with pytest.raises(ValueError, match="anchor"):
+            experiment("x", title="X", anchor="")
+
+    def test_matches_predicate(self):
+        exp = RegisteredExperiment(
+            "my_exp", lambda: None, title="T", anchor="Theorem 9",
+            tags=("tagged",),
+        )
+        assert exp.matches("my_exp")
+        assert exp.matches("TAGGED")
+        assert exp.matches("theorem 9")
+        assert exp.matches("my_")
+        assert not exp.matches("other")
+        assert not exp.matches("")

@@ -137,3 +137,40 @@ class TestMeanFailuresToViolation:
         )
         # Random placements survive at least as long as the worst case.
         assert empirical >= analytic
+
+
+class TestEngineReuse:
+    def test_shared_engine_matches_per_call_engines(self, robust_net, rng):
+        from repro.faults.injector import FaultInjector
+        from repro.faults.masks import MaskCampaignEngine
+
+        x = rng.random((16, robust_net.input_dim))
+        engine = MaskCampaignEngine(
+            FaultInjector(robust_net, capacity=robust_net.output_bound), x
+        )
+        for p in (0.05, 0.2):
+            direct = monte_carlo_survival(
+                robust_net, p, 0.5, 0.1, x, n_trials=120, seed=4
+            )
+            shared = monte_carlo_survival(
+                robust_net, p, 0.5, 0.1, x, n_trials=120, seed=4, engine=engine
+            )
+            assert shared == direct
+
+    def test_engine_for_other_network_rejected(self, robust_net, rng):
+        from repro.faults.injector import FaultInjector
+        from repro.faults.masks import MaskCampaignEngine
+
+        other = build_mlp(
+            2, [8, 6], activation={"name": "sigmoid", "k": 0.5},
+            init={"name": "uniform", "scale": 0.08}, output_scale=0.05,
+            seed=31,
+        )
+        x = rng.random((8, 2))
+        engine = MaskCampaignEngine(
+            FaultInjector(other, capacity=other.output_bound), x
+        )
+        with pytest.raises(ValueError, match="different network"):
+            monte_carlo_survival(
+                robust_net, 0.1, 0.5, 0.1, x, n_trials=20, engine=engine
+            )
