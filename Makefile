@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test fast-test docs-check experiments report bench
+.PHONY: test fast-test docs-check experiments report bench bench-faults
 
 test:            ## tier-1: the full pytest suite
 	$(PYTHON) -m pytest -x -q
@@ -21,3 +21,6 @@ report:          ## regenerate EXPERIMENTS.md from stored artifacts
 
 bench:           ## refresh BENCH_campaign.json
 	$(PYTHON) benchmarks/run_campaign_bench.py
+
+bench-faults:    ## the extended fault-taxonomy benchmark matrix
+	$(PYTHON) benchmarks/run_campaign_bench.py --full-matrix

@@ -9,15 +9,24 @@ trajectory:
   lowered chunk-wise through ``compile_batch`` (the object path that
   shipped with the seed repo);
 * **mask engine** — array-level sampling + streamed evaluation
-  (``repro.faults.masks``), in float64 and in the float32 fast path.
+  (``repro.faults.masks``), in float64 and in the float32 fast path;
+* **fault-taxonomy workloads** — stochastic (noise / intermittent /
+  sign-flip) and synapse-grained (crash / Byzantine / noise) faults,
+  which the seed engine could only run one scenario at a time on the
+  scalar injector, vs the widened mask engine.  The scalar reference
+  is timed on a subsample (it is ~two orders of magnitude slower) and
+  extrapolated by throughput; the JSON records both numbers.
 
 Run from the repo root::
 
     PYTHONPATH=src python benchmarks/run_campaign_bench.py
     PYTHONPATH=src python benchmarks/run_campaign_bench.py --sizes 1000 100000
+    PYTHONPATH=src python benchmarks/run_campaign_bench.py --full-matrix
 
-The acceptance target tracked here: at S=100k crash scenarios the mask
-engine must be >= 10x the seed pipeline.
+The acceptance targets tracked here, all at S=100k: the mask engine
+must be >= 10x the seed pipeline on crash scenarios, and >= 10x the
+scalar path on at least one stochastic-fault and one synapse-fault
+workload.
 """
 
 from __future__ import annotations
@@ -32,12 +41,40 @@ import numpy as np
 
 from repro.faults.campaign import run_campaign
 from repro.faults.injector import FaultInjector
-from repro.faults.masks import FixedDistributionSampler, sampled_campaign_errors
-from repro.faults.scenarios import random_failure_scenario
+from repro.faults.masks import (
+    FixedDistributionSampler,
+    FixedSynapseDistributionSampler,
+    sampled_campaign_errors,
+)
+from repro.faults.scenarios import (
+    random_failure_scenario,
+    random_synapse_scenario,
+)
+from repro.faults.types import (
+    IntermittentFault,
+    NoiseFault,
+    SignFlipFault,
+    SynapseByzantineFault,
+    SynapseCrashFault,
+    SynapseNoiseFault,
+)
 from repro.network import build_mlp
 
 DISTRIBUTION = (3, 2)
+SYNAPSE_DISTRIBUTION = (3, 2, 1)
 N_PROBES = 16
+SCALAR_REF_SCENARIOS = 2_000
+
+#: name -> (fault model, is_synapse)
+FAULT_WORKLOADS = {
+    "noise": (NoiseFault(sigma=0.1), False),
+    "intermittent": (IntermittentFault(p=0.5), False),
+    "sign-flip": (SignFlipFault(), False),
+    "synapse-crash": (SynapseCrashFault(), True),
+    "synapse-byzantine": (SynapseByzantineFault(), True),
+    "synapse-noise": (SynapseNoiseFault(sigma=0.1), True),
+}
+DEFAULT_WORKLOADS = ("noise", "synapse-byzantine")
 
 
 def bench_network():
@@ -74,15 +111,88 @@ def time_mask_engine(injector, x, n_scenarios, dtype, seed=0):
     return elapsed, float(errors.max())
 
 
+def bench_fault_workload(injector, x, name, n_scenarios, seed=0):
+    """One fault-taxonomy workload: scalar reference vs mask engine.
+
+    The scalar path is timed on ``min(S, SCALAR_REF_SCENARIOS)``
+    scenarios and extrapolated by throughput — at S=100k it would take
+    minutes per workload, which is exactly the gap this engine closes.
+    """
+    net = injector.network
+    fault, is_synapse = FAULT_WORKLOADS[name]
+    n_ref = min(n_scenarios, SCALAR_REF_SCENARIOS)
+
+    rng = np.random.default_rng(seed)
+    if is_synapse:
+        scenarios = [
+            random_synapse_scenario(
+                net, SYNAPSE_DISTRIBUTION, fault=fault, rng=rng
+            )
+            for _ in range(n_ref)
+        ]
+    else:
+        scenarios = [
+            random_failure_scenario(net, DISTRIBUTION, fault=fault, rng=rng)
+            for _ in range(n_ref)
+        ]
+    eval_rng = np.random.default_rng(seed)
+    t0 = time.perf_counter()
+    scalar = np.array(
+        [injector.output_error(x, sc, rng=eval_rng) for sc in scenarios]
+    )
+    t_scalar_ref = time.perf_counter() - t0
+    t_scalar_full = t_scalar_ref * (n_scenarios / n_ref)
+
+    if is_synapse:
+        sampler = FixedSynapseDistributionSampler(
+            net, SYNAPSE_DISTRIBUTION, fault=fault
+        )
+    else:
+        sampler = FixedDistributionSampler(net, DISTRIBUTION, fault=fault)
+    t0 = time.perf_counter()
+    errors = sampled_campaign_errors(
+        injector, x, sampler, n_scenarios, seed=seed
+    )
+    t_mask = time.perf_counter() - t0
+
+    return {
+        "workload": name,
+        "fault": repr(fault),
+        "distribution": list(
+            SYNAPSE_DISTRIBUTION if is_synapse else DISTRIBUTION
+        ),
+        "n_scenarios": n_scenarios,
+        "scalar_ref_scenarios": n_ref,
+        "scalar_ref_s": round(t_scalar_ref, 4),
+        "scalar_extrapolated_s": round(t_scalar_full, 4),
+        "mask_s": round(t_mask, 4),
+        "speedup": round(t_scalar_full / t_mask, 2),
+        "scenarios_per_s_mask": round(n_scenarios / t_mask),
+        "scenarios_per_s_scalar": round(n_ref / t_scalar_ref),
+        "max_error_scalar_ref": float(scalar.max()),
+        "max_error_mask": float(errors.max()),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--sizes", type=int, nargs="+",
                         default=[1_000, 100_000],
                         help="campaign sizes S to benchmark")
+    parser.add_argument("--workloads", nargs="+",
+                        choices=sorted(FAULT_WORKLOADS),
+                        default=list(DEFAULT_WORKLOADS),
+                        help="fault-taxonomy workloads to benchmark at "
+                             "the largest S (default: noise + "
+                             "synapse-byzantine)")
+    parser.add_argument("--full-matrix", action="store_true",
+                        help="benchmark every fault-taxonomy workload "
+                             "(the `make bench-faults` matrix)")
     parser.add_argument("--output", default=None,
                         help="output path (default: BENCH_campaign.json "
                              "next to this script's repo root)")
     args = parser.parse_args(argv)
+    workloads = sorted(FAULT_WORKLOADS) if args.full_matrix else args.workloads
 
     net = bench_network()
     injector = FaultInjector(net, capacity=1.0)
@@ -113,6 +223,18 @@ def main(argv=None) -> int:
             f"({row['speedup_float32']:5.1f}x)"
         )
 
+    big = max(args.sizes)
+    fault_rows = []
+    for name in workloads:
+        frow = bench_fault_workload(injector, x, name, big)
+        fault_rows.append(frow)
+        print(
+            f"{name:>18} @ S={big}: scalar ~{frow['scalar_extrapolated_s']:8.1f}s "
+            f"(measured {frow['scalar_ref_s']:6.2f}s @ "
+            f"{frow['scalar_ref_scenarios']}) | mask {frow['mask_s']:7.3f}s "
+            f"({frow['speedup']:6.1f}x)"
+        )
+
     payload = {
         "workload": {
             "network": "mlp 4->[16,12]->1 (throughput-bench, seed 21)",
@@ -127,6 +249,7 @@ def main(argv=None) -> int:
             "machine": platform.machine(),
         },
         "results": rows,
+        "fault_workloads": fault_rows,
     }
     out_path = Path(
         args.output
@@ -136,15 +259,22 @@ def main(argv=None) -> int:
     out_path.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {out_path}")
 
-    big = max(args.sizes)
+    status = 0
     headline = next(r for r in rows if r["n_scenarios"] == big)
     if headline["speedup_float64"] < 10:
         print(
             f"WARNING: float64 speedup at S={big} is "
             f"{headline['speedup_float64']}x (< 10x target)"
         )
-        return 1
-    return 0
+        status = 1
+    for frow in fault_rows:
+        if frow["speedup"] < 10:
+            print(
+                f"WARNING: {frow['workload']} speedup at S={big} is "
+                f"{frow['speedup']}x (< 10x target)"
+            )
+            status = 1
+    return status
 
 
 if __name__ == "__main__":

@@ -25,7 +25,12 @@ Commands
 ``campaign <net.npz> [--exhaustive N | --distribution f1,f2,...]``
     Mask-native fault-injection campaign: Monte-Carlo over a fixed
     per-layer distribution, or the exhaustive sweep of all ``C(n, N)``
-    crash configurations.
+    crash configurations.  ``--fault`` selects any model in the
+    taxonomy — static (crash / byzantine / stuck / offset), stochastic
+    (noise / intermittent / sign-flip) or synapse-grained
+    (synapse-crash / synapse-byzantine / synapse-noise, with
+    ``--distribution`` then naming per-stage synapse counts, length
+    L+1) — all on the same engine.
 """
 
 from __future__ import annotations
@@ -145,12 +150,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_cam.add_argument("--n-scenarios", type=int, default=None,
                        help="Monte-Carlo sample count (default 10000; "
                             "Monte-Carlo only)")
-    p_cam.add_argument("--fault", choices=("crash", "byzantine", "stuck"),
+    p_cam.add_argument("--fault",
+                       choices=("crash", "byzantine", "stuck", "offset",
+                                "noise", "intermittent", "sign-flip",
+                                "synapse-crash", "synapse-byzantine",
+                                "synapse-noise"),
                        default=None,
                        help="fault model (default crash; Monte-Carlo only — "
-                            "the exhaustive sweep is crash by definition)")
+                            "the exhaustive sweep is crash by definition). "
+                            "synapse-* faults read --distribution as "
+                            "per-stage synapse counts (length L+1)")
     p_cam.add_argument("--value", type=float, default=None,
-                       help="stuck-at value (--fault stuck; default 1.0)")
+                       help="fault magnitude: stuck-at value / additive "
+                            "offset (default 1.0), or the requested "
+                            "Byzantine emission / synapse offset "
+                            "(default: saturate the capacity)")
+    p_cam.add_argument("--sigma", type=float, default=0.1,
+                       help="noise std-dev for --fault noise / "
+                            "synapse-noise (default 0.1)")
+    p_cam.add_argument("--p-transient", type=float, default=0.5,
+                       help="per-evaluation hit probability for "
+                            "--fault intermittent (default 0.5)")
     p_cam.add_argument("--capacity", type=float, default=None,
                        help="transmission capacity C (default: sup phi)")
     p_cam.add_argument("--batch", type=int, default=32,
@@ -322,7 +342,18 @@ def _cmd_campaign(args) -> int:
         monte_carlo_campaign,
     )
     from .faults.injector import FaultInjector
-    from .faults.types import ByzantineFault, CrashFault, StuckAtFault
+    from .faults.types import (
+        ByzantineFault,
+        CrashFault,
+        IntermittentFault,
+        NoiseFault,
+        OffsetFault,
+        SignFlipFault,
+        StuckAtFault,
+        SynapseByzantineFault,
+        SynapseCrashFault,
+        SynapseNoiseFault,
+    )
     from .network.serialization import load_network
 
     network = load_network(args.network)
@@ -374,12 +405,20 @@ def _cmd_campaign(args) -> int:
                 return 2
             fault_name = args.fault or "crash"
             n_scenarios = args.n_scenarios if args.n_scenarios is not None else 10_000
+            value = args.value if args.value is not None else 1.0
             fault = {
                 "crash": CrashFault(),
-                "byzantine": ByzantineFault(),
-                "stuck": StuckAtFault(
-                    value=args.value if args.value is not None else 1.0
-                ),
+                # value=None / offset=None is the capacity-saturating
+                # worst case; an explicit --value requests that emission.
+                "byzantine": ByzantineFault(value=args.value),
+                "stuck": StuckAtFault(value=value),
+                "offset": OffsetFault(offset=value),
+                "noise": NoiseFault(sigma=args.sigma),
+                "intermittent": IntermittentFault(p=args.p_transient),
+                "sign-flip": SignFlipFault(),
+                "synapse-crash": SynapseCrashFault(),
+                "synapse-byzantine": SynapseByzantineFault(offset=args.value),
+                "synapse-noise": SynapseNoiseFault(sigma=args.sigma),
             }[fault_name]
             print(f"monte-carlo campaign: {n_scenarios} scenarios, "
                   f"distribution {distribution}, fault {fault_name}")

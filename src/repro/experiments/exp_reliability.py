@@ -29,6 +29,7 @@ from ..faults.reliability import (
     mission_survival_curve,
     monte_carlo_survival,
 )
+from ..faults.types import IntermittentFault, SynapseNoiseFault
 from ..network.builder import build_mlp
 from .registry import experiment
 from .runner import ExperimentResult
@@ -72,7 +73,7 @@ def run_reliability(
     )
 
     rows = []
-    certified, estimated = [], []
+    certified, estimated, estimates = [], [], {}
     for p in p_grid:
         cert = certified_survival_probability(net, p, epsilon, epsilon_prime)
         est = monte_carlo_survival(
@@ -81,10 +82,47 @@ def run_reliability(
         )
         certified.append(cert)
         estimated.append(est.survival)
+        estimates[p] = est
         rows.append(
             {
                 "p_fail": p,
                 "certified_survival": cert,
+                "mc_survival": est.survival,
+                "mc_ci": (round(est.ci_low, 3), round(est.ci_high, 3)),
+            }
+        )
+
+    # Beyond permanent crashes: the widened mask engine runs the whole
+    # fault taxonomy, so the same survival machinery (and the same
+    # shared engine) prices transient and synapse-grained failure
+    # modes.  A transient crash (hits only a fraction of evaluations)
+    # can only be gentler than a permanent one at the same p; small
+    # Gaussian noise on i.i.d.-failing synapses is gentler still.
+    p_mixed = 0.1
+    permanent = estimates.get(p_mixed) or monte_carlo_survival(
+        net, p_mixed, epsilon, epsilon_prime, x, n_trials=n_trials,
+        seed=seed, engine=engine,
+    )
+    transient = monte_carlo_survival(
+        net, p_mixed, epsilon, epsilon_prime, x,
+        fault=IntermittentFault(p=0.5), n_trials=n_trials, seed=seed,
+        engine=engine,
+    )
+    synapse_noise = monte_carlo_survival(
+        net, p_mixed, epsilon, epsilon_prime, x,
+        fault=SynapseNoiseFault(sigma=0.05),
+        capacity=net.output_bound, n_trials=n_trials, seed=seed,
+        engine=engine,
+    )
+    for label, est in (
+        (f"permanent crash @ p={p_mixed}", permanent),
+        (f"transient crash (hit 50%) @ p={p_mixed}", transient),
+        (f"synapse noise (sigma 0.05) @ p={p_mixed}", synapse_noise),
+    ):
+        rows.append(
+            {
+                "p_fail": label,
+                "certified_survival": est.certified_lower_bound,
                 "mc_survival": est.survival,
                 "mc_ci": (round(est.ci_low, 3), round(est.ci_high, 3)),
             }
@@ -126,6 +164,12 @@ def run_reliability(
             for (_, pb), (_, pr) in zip(base_curve, big_curve)
         )
         and big_curve[-1][1] > base_curve[-1][1],
+        # Transient faults dominate their permanent twin (MC noise
+        # allowance), and tiny clipped synapse noise is gentler still.
+        "transient_no_worse_than_permanent": transient.survival
+        >= permanent.survival - 0.06,
+        "synapse_noise_no_worse_than_crash": synapse_noise.survival
+        >= permanent.survival - 0.06,
     }
     return ExperimentResult(
         experiment_id="extension_reliability",

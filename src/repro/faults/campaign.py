@@ -7,13 +7,13 @@ make the experiment affordable enough to *validate* the bounds.  Two
 engines back the same API (see DESIGN.md):
 
 * the **mask-native engine** (:mod:`repro.faults.masks`) — scenarios
-  are sampled, compiled and evaluated as ``(S, N_l)`` arrays end to
-  end; static-fault Monte-Carlo and exhaustive crash campaigns route
-  here automatically;
-* the **object path** — scenarios that need the expressive
-  :class:`FailureScenario` API (synapse faults, stochastic faults) are
-  compiled per chunk by ``compile_batch`` or, failing that, run one at
-  a time on the scalar injector.
+  are sampled, compiled and evaluated as array-level mask channels end
+  to end.  The *entire* fault taxonomy routes here: static and
+  stochastic neuron faults, synapse faults, and mixed populations;
+* the **object path** — expressive :class:`FailureScenario` objects
+  are lowered per chunk by ``compile_batch`` onto the same engine; the
+  per-scenario scalar injector survives only as the fallback for
+  custom fault models outside the taxonomy.
 
 Either way chunking bounds peak memory (``chunk x batch x width``
 floats) and chunks can fan out over a fork-once process pool: the
@@ -33,14 +33,17 @@ import numpy as np
 
 from ..network.model import FeedForwardNetwork
 from ..parallel import bounded_map, fork_once_pool, worker_state
-from .injector import FaultInjector, static_fault_action
+from .injector import FaultInjector
 from .masks import (
     FixedDistributionSampler,
+    FixedSynapseDistributionSampler,
+    MaskCampaignEngine,
+    MaskSampler,
     exhaustive_crash_errors,
     sampled_campaign_errors,
 )
 from .scenarios import FailureScenario
-from .types import CrashFault, FaultModel
+from .types import CrashFault, FaultModel, SynapseFault
 
 __all__ = [
     "CampaignResult",
@@ -121,30 +124,42 @@ def _evaluate_chunk(
     chunk: Sequence[FailureScenario],
     reduction: str,
     seed: "np.random.SeedSequence | None" = None,
+    engine: "MaskCampaignEngine | None" = None,
 ) -> np.ndarray:
-    """Errors for one chunk, preferring the vectorised path.
+    """Errors for one chunk of object scenarios.
 
-    ``seed`` feeds the scalar fallback only: stochastic faults draw
-    from a per-chunk stream spawned off the campaign seed, so no two
+    Scenarios lower through ``compile_batch`` (the whole fault
+    taxonomy compiles to mask channels) and stream through the
+    campaign engine when one is supplied; the per-scenario scalar path
+    survives only as the fallback for fault models outside the
+    taxonomy.  ``seed`` drives the stochastic draws: each chunk
+    evaluates with a stream spawned off the campaign seed, so no two
     chunks replay the same noise.
     """
+    rng = np.random.default_rng(seed)
     try:
         batch = injector.compile_batch(chunk)
     except ValueError:
-        # Non-static faults or synapse faults: scalar path per scenario.
-        rng = np.random.default_rng(seed)
+        # Fault models with no mask-channel lowering (custom
+        # subclasses): scalar path per scenario.
         return np.array(
             [injector.output_error(x, sc, rng=rng, reduction=reduction) for sc in chunk]
         )
-    return injector.output_errors_many(x, batch, reduction=reduction)
+    if engine is not None:
+        return engine.evaluate(batch, rng=rng)
+    return injector.output_errors_many(x, batch, reduction=reduction, rng=rng)
 
 
-def _build_object_state(network, capacity, x, reduction):  # pragma: no cover
-    """fork_once_pool builder: the network and probe batch ship once."""
+def _build_object_state(network, capacity, x, reduction, chunk_size):  # pragma: no cover
+    """fork_once_pool builder: network, probe batch and engine ship once."""
+    injector = FaultInjector(network, capacity=capacity)
     return {
-        "injector": FaultInjector(network, capacity=capacity),
+        "injector": injector,
         "x": x,
         "reduction": reduction,
+        "engine": MaskCampaignEngine(
+            injector, x, chunk_size=chunk_size, reduction=reduction
+        ),
     }
 
 
@@ -153,7 +168,8 @@ def _worker_evaluate(job):  # pragma: no cover - subprocess body
     chunk, seed = job
     state = worker_state()
     return _evaluate_chunk(
-        state["injector"], state["x"], chunk, state["reduction"], seed
+        state["injector"], state["x"], chunk, state["reduction"], seed,
+        state["engine"],
     )
 
 
@@ -209,14 +225,21 @@ def run_campaign(
         with fork_once_pool(
             n_workers,
             _build_object_state,
-            (injector.network, injector.capacity, xb, reduction),
+            (injector.network, injector.capacity, xb, reduction, chunk_size),
         ) as pool:
             for errs in bounded_map(pool, _worker_evaluate, jobs()):
                 all_errors.append(np.asarray(errs))
     else:
+        # One engine for the whole campaign: weight casts, nominal pass
+        # and chunk buffers are paid once, every chunk streams through.
+        engine = MaskCampaignEngine(
+            injector, xb, chunk_size=chunk_size, reduction=reduction
+        )
         for chunk, chunk_seed in jobs():
             all_errors.append(
-                _evaluate_chunk(injector, xb, chunk, reduction, chunk_seed)
+                _evaluate_chunk(
+                    injector, xb, chunk, reduction, chunk_seed, engine
+                )
             )
 
     errors = (
@@ -232,6 +255,7 @@ def monte_carlo_campaign(
     *,
     n_scenarios: int = 1000,
     fault: Optional[FaultModel] = None,
+    sampler: Optional[MaskSampler] = None,
     seed: Optional[int] = None,
     chunk_size: int = 256,
     reduction: str = "max",
@@ -241,43 +265,39 @@ def monte_carlo_campaign(
     """Random scenarios with a fixed per-layer distribution ``(f_l)``.
 
     This is the Figure-3 workload: hold the failure distribution fixed,
-    sample which neurons fail, measure the output error.  Static faults
-    (crash / Byzantine / stuck-at / offset — the default and the only
-    kinds the paper's bounds address) run end-to-end on the mask-native
-    engine: per-layer masks are drawn with vectorised RNG, evaluated in
-    streamed chunks, and optionally fanned out over a fork-once worker
-    pool that receives only chunk sizes and spawned seeds.  Stochastic
-    faults fall back to the object-scenario path.
+    sample which components fail, measure the output error.  The whole
+    fault taxonomy runs end-to-end on the mask-native engine: neuron
+    faults (crash / Byzantine / stuck-at / offset / sign-flip / noise /
+    intermittent) sample per-layer mask channels, synapse faults
+    (``distribution`` then has length ``L + 1``, the per-*stage* counts
+    of Theorem 4) sample sparse weight-level channels.  Masks are drawn
+    with vectorised RNG, evaluated in streamed chunks, and optionally
+    fanned out over a fork-once worker pool that receives only chunk
+    sizes and spawned seeds; stochastic faults realise their noise from
+    the same per-block streams, so serial == parallel.
 
-    ``dtype=float32`` selects the fast evaluation path (mask engine
-    only); the default float64 matches the scalar injector exactly.
+    ``sampler`` overrides the default samplers entirely (e.g. a
+    :class:`~repro.faults.masks.MixedFaultSampler` drawing
+    heterogeneous fault populations); ``distribution`` and ``fault``
+    are then ignored.
+
+    ``dtype=float32`` selects the fast evaluation path; the default
+    float64 matches the scalar injector to float associativity.
     """
-    fault = fault if fault is not None else CrashFault()
-    if static_fault_action(fault) is None:
-        # Stochastic fault model: object path, per-scenario sampling.
-        rng = np.random.default_rng(seed)
-        from .scenarios import random_failure_scenario
-
-        scenario_stream = (
-            random_failure_scenario(
-                injector.network, distribution, fault=fault, rng=rng, name=f"mc{i}"
+    if sampler is None:
+        fault = fault if fault is not None else CrashFault()
+        if isinstance(fault, SynapseFault):
+            sampler = FixedSynapseDistributionSampler(
+                injector.network, distribution, fault=fault
             )
-            for i in range(n_scenarios)
-        )
-        return run_campaign(
-            injector,
-            x,
-            scenario_stream,
-            chunk_size=chunk_size,
-            reduction=reduction,
-            n_workers=n_workers,
-            seed=seed,
-        )
-
+        else:
+            sampler = FixedDistributionSampler(
+                injector.network, distribution, fault=fault
+            )
     errors = sampled_campaign_errors(
         injector,
         x,
-        FixedDistributionSampler(injector.network, distribution, fault=fault),
+        sampler,
         n_scenarios,
         seed=seed,
         chunk_size=chunk_size,

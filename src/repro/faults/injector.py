@@ -25,10 +25,11 @@ Two execution paths are provided:
 * :meth:`FaultInjector.run` — one scenario, batch of inputs; supports
   every fault model including stochastic ones.
 * :meth:`FaultInjector.run_many` — a *batch of scenarios* compiled to
-  per-layer masks, evaluated with one GEMM per layer for all S x B
-  (scenario, input) pairs.  It requires "static" faults (crash /
-  Byzantine / stuck-at) whose replacement value does not depend on the
-  nominal output.
+  per-layer mask channels, evaluated with one GEMM per layer for all
+  S x B (scenario, input) pairs.  The whole fault taxonomy lowers:
+  static faults as value channels, stochastic faults (noise,
+  intermittent gates) as evaluation-time draws from a threaded RNG,
+  synapse faults as sparse per-stage received-sum corrections.
 
 For large campaigns, :mod:`repro.faults.masks` provides the
 *mask-native* engine: samplers draw :class:`CompiledScenarioBatch`
@@ -40,21 +41,39 @@ object scenarios into that same mask representation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..network.model import FeedForwardNetwork
 from .scenarios import FailureScenario
-from .types import ByzantineFault, CrashFault, FaultModel, OffsetFault, StuckAtFault
+from .types import (
+    ByzantineFault,
+    CrashFault,
+    FaultModel,
+    IntermittentFault,
+    NoiseFault,
+    OffsetFault,
+    SignFlipFault,
+    StuckAtFault,
+    SynapseByzantineFault,
+    SynapseCrashFault,
+    SynapseNoiseFault,
+    fault_is_stochastic,
+    unseeded_rng,
+)
 
 __all__ = [
     "FaultInjector",
     "CompiledScenarioBatch",
+    "SynapseStageChannels",
     "static_fault_action",
+    "fault_channel_action",
+    "synapse_fault_action",
     "apply_neuron_fault",
     "apply_mask_channels",
+    "apply_synapse_corrections",
 ]
 
 
@@ -71,7 +90,8 @@ def static_fault_action(fault: FaultModel) -> Optional[tuple[str, float]]:
       ``y + delta``.
 
     Stochastic or sign-dependent faults (noise, sign flip) return
-    ``None`` and are only supported on the scalar path.
+    ``None``; :func:`fault_channel_action` covers those via the
+    stochastic mask channels.
     """
     if isinstance(fault, CrashFault):
         return ("zero", 0.0)
@@ -83,6 +103,65 @@ def static_fault_action(fault: FaultModel) -> Optional[tuple[str, float]]:
         return ("set", float(fault.value))
     if isinstance(fault, OffsetFault):
         return ("add", float(fault.offset))
+    return None
+
+
+def fault_channel_action(
+    fault: FaultModel,
+) -> Optional[tuple[str, float, float]]:
+    """The mask-channel lowering ``(kind, value, gate_p)`` of a neuron fault.
+
+    Extends :func:`static_fault_action` to the whole neuron-fault
+    taxonomy:
+
+    * ``("zero" | "set" | "add", v, p)`` — the static actions;
+    * ``("scale", s, p)`` — multiplicative faults (sign flip is
+      ``s = -1``): emission pulled toward ``s * y`` under the
+      deviation bound;
+    * ``("noise", sigma, p)`` — additive Gaussian noise, realised
+      elementwise at evaluation time, deviation clipped to ``+-C``.
+
+    ``gate_p`` is the per-element activation probability of the fault
+    (1.0 for permanent faults); :class:`IntermittentFault` lowers to
+    its wrapped fault's channel with ``gate_p`` multiplied by ``p``
+    (nested intermittents compose multiplicatively — independent
+    Bernoulli gates).  Returns ``None`` for synapse faults (see
+    :func:`synapse_fault_action`) and unknown models.
+    """
+    base = static_fault_action(fault)
+    if base is not None:
+        return (*base, 1.0)
+    if isinstance(fault, SignFlipFault):
+        return ("scale", -1.0, 1.0)
+    if isinstance(fault, NoiseFault):
+        return ("noise", float(fault.sigma), 1.0)
+    if isinstance(fault, IntermittentFault):
+        inner = fault_channel_action(fault.fault)
+        if inner is None:
+            return None
+        kind, value, gate = inner
+        return (kind, value, gate * float(fault.p))
+    return None
+
+
+def synapse_fault_action(fault: FaultModel) -> Optional[tuple[str, float]]:
+    """The weight-level lowering of a synapse fault, or ``None``.
+
+    * ``("zero", 0.0)`` — crashed synapse: delivers 0, i.e. a
+      received-sum correction ``w_ji * clip(-y_i, -C, +C)``;
+    * ``("add", delta)`` — Byzantine synapse: correction
+      ``w_ji * clip(delta, -C, +C)``; ``+-inf`` is the capacity
+      sentinel (Lemma 2's saturated worst case);
+    * ``("noise", sigma)`` — Gaussian noise on the carried emission.
+    """
+    if isinstance(fault, SynapseCrashFault):
+        return ("zero", 0.0)
+    if isinstance(fault, SynapseByzantineFault):
+        if fault.offset is None:
+            return ("add", fault.sign * np.inf)
+        return ("add", float(fault.offset))
+    if isinstance(fault, SynapseNoiseFault):
+        return ("noise", float(fault.sigma))
     return None
 
 
@@ -98,10 +177,23 @@ def apply_neuron_fault(
     ``nominal + clip(requested - nominal, -C, +C)`` (Theorem 2's
     ``y + lambda`` with ``|lambda| <= C``).  Unbounded capacity passes
     finite requests through and rejects capacity sentinels.
+
+    Intermittent faults are resolved here (not via
+    ``IntermittentFault.apply``) so the wrapped fault keeps its own
+    semantics elementwise — in particular an intermittent *crash*
+    emits exactly 0 on hit (Definition 2: crashes do not interact with
+    the capacity), where the old path clipped the crash deviation to
+    ``+-C`` like a Byzantine value.
     """
     nominal = np.asarray(nominal, dtype=np.float64)
     if isinstance(fault, CrashFault):
         return np.zeros_like(nominal)
+    if isinstance(fault, IntermittentFault):
+        if rng is None:
+            rng = unseeded_rng("apply_neuron_fault(IntermittentFault)")
+        hit = rng.random(nominal.shape) < fault.p
+        faulty = apply_neuron_fault(fault.fault, nominal, capacity, rng)
+        return np.where(hit, faulty, nominal)
     requested = fault.apply(nominal, rng=rng)
     if capacity is None:
         if not np.all(np.isfinite(requested)):
@@ -122,6 +214,13 @@ def apply_mask_channels(
     add_mask: np.ndarray,
     add_values: np.ndarray,
     capacity: Optional[float],
+    *,
+    scale_mask: Optional[np.ndarray] = None,
+    scale_values: Optional[np.ndarray] = None,
+    noise_mask: Optional[np.ndarray] = None,
+    noise_sigma: Optional[np.ndarray] = None,
+    gate_p: Optional[np.ndarray] = None,
+    rng: Optional[np.random.Generator] = None,
 ) -> np.ndarray:
     """Apply one layer's fault channels in place on ``(S, B, N)`` activations.
 
@@ -136,37 +235,277 @@ def apply_mask_channels(
       bound);
     * ``add`` cells gain the offset, clipped to ``+-C`` — which also
       resolves ``+-inf`` capacity sentinels; under unbounded capacity
-      sentinels are rejected (Lemma 1's regime).
+      sentinels are rejected (Lemma 1's regime);
+    * ``scale`` cells are pulled toward ``scale * y`` under the
+      deviation bound (sign flip is ``scale = -1``);
+    * ``noise`` cells gain elementwise Gaussian noise
+      ``clip(N(0, sigma), -C, +C)``, drawn per ``(scenario, input,
+      neuron)`` from ``rng`` — exactly the scalar injector's draw
+      distribution;
+    * ``gate_p`` (1.0 = permanent) Bernoulli-gates whichever channel a
+      cell carries, per ``(scenario, input, neuron)`` — the
+      intermittent-fault semantics.
 
-    Per scenario each neuron carries at most one fault, so the three
+    Per scenario each neuron carries at most one fault, so the
     channels touch disjoint ``(s, i)`` cells and in-place order is
-    immaterial.
+    immaterial.  Stochastic channels (noise, gates below 1) require a
+    seeded ``rng`` and raise without one — unseeded campaigns are not
+    reproducible.
+
+    Gated (intermittent) and noisy cells are processed sparsely: per
+    channel, the ``K`` affected cells are gathered through a transposed
+    ``(S, N, B)`` view, draws cost ``(K, B)`` rather than ``(S, B, N)``,
+    and the dense vectorised writes below only serve the permanent
+    cells.  Draw order is fixed (gates per channel in zero / set /
+    scale / add order, then noise), each in row-major cell order, so
+    the stream is deterministic for a given batch.
     """
+    B = Y.shape[1]
+    gated_cells = gate_p is not None and np.any(gate_p < 1.0)
+    if gated_cells and rng is None:
+        raise ValueError(
+            "gated (intermittent) mask channels need an rng; pass the "
+            "campaign generator"
+        )
+    Yt = Y.transpose(0, 2, 1)  # (S, N, B) view for per-cell gather/scatter
+
+    def split(mask: np.ndarray):
+        """Partition a channel mask into (permanent part, gated cells).
+
+        The gated part comes back as ``(rows, cols, hit)`` with ``hit``
+        the freshly drawn ``(K, B)`` Bernoulli pattern.
+        """
+        if not gated_cells:
+            return mask, None
+        g = mask & (gate_p < 1.0)
+        if not g.any():
+            return mask, None
+        rows, cols = np.nonzero(g)
+        hit = rng.random((rows.size, B)) < gate_p[rows, cols][:, None]
+        return mask & ~g, (rows, cols, hit)
+
     if zero.any():
-        np.copyto(Y, 0.0, where=zero[:, None, :])
+        dense, gated = split(zero)
+        if dense.any():
+            np.copyto(Y, 0.0, where=dense[:, None, :])
+        if gated is not None:
+            rows, cols, hit = gated
+            cells = Yt[rows, cols]
+            cells[hit] = 0.0
+            Yt[rows, cols] = cells
     if set_mask.any():
-        vals = np.broadcast_to(set_values[:, None, :], Y.shape)
-        if capacity is not None:
-            vals = np.clip(vals, Y - capacity, Y + capacity)
-        np.copyto(Y, vals, where=set_mask[:, None, :], casting="unsafe")
+        dense, gated = split(set_mask)
+        if dense.any():
+            vals = np.broadcast_to(set_values[:, None, :], Y.shape)
+            if capacity is not None:
+                vals = np.clip(vals, Y - capacity, Y + capacity)
+            np.copyto(Y, vals, where=dense[:, None, :], casting="unsafe")
+        if gated is not None:
+            rows, cols, hit = gated
+            cells = Yt[rows, cols]
+            vals = np.broadcast_to(
+                set_values[rows, cols][:, None], cells.shape
+            )
+            if capacity is not None:
+                vals = np.clip(vals, cells - capacity, cells + capacity)
+            Yt[rows, cols] = np.where(hit, vals, cells)
+    if scale_mask is not None and scale_mask.any():
+        dense, gated = split(scale_mask)
+        if dense.any():
+            vals = scale_values[:, None, :] * Y
+            if capacity is not None:
+                vals = np.clip(vals, Y - capacity, Y + capacity)
+            np.copyto(Y, vals, where=dense[:, None, :], casting="unsafe")
+        if gated is not None:
+            rows, cols, hit = gated
+            cells = Yt[rows, cols]
+            vals = scale_values[rows, cols][:, None] * cells
+            if capacity is not None:
+                vals = np.clip(vals, cells - capacity, cells + capacity)
+            Yt[rows, cols] = np.where(hit, vals, cells)
     if add_mask.any():
-        add = add_values
-        if capacity is not None:
-            add = np.clip(add, -capacity, capacity)
-        elif not np.all(np.isfinite(add[add_mask])):
+        if capacity is None and not np.all(np.isfinite(add_values[add_mask])):
             raise ValueError(
                 "capacity-saturating fault under unbounded transmission"
             )
-        np.add(Y, add[:, None, :], out=Y, where=add_mask[:, None, :],
-               casting="unsafe")
+        dense, gated = split(add_mask)
+        if dense.any():
+            add = add_values
+            if capacity is not None:
+                add = np.clip(add, -capacity, capacity)
+            np.add(Y, add[:, None, :], out=Y, where=dense[:, None, :],
+                   casting="unsafe")
+        if gated is not None:
+            rows, cols, hit = gated
+            add = add_values[rows, cols]
+            if capacity is not None:
+                add = np.clip(add, -capacity, capacity)
+            cells = Yt[rows, cols]
+            cells += np.where(hit, add[:, None], 0.0)
+            Yt[rows, cols] = cells
+    if noise_mask is not None and noise_mask.any():
+        if rng is None:
+            raise ValueError(
+                "noise mask channels need an rng; pass the campaign generator"
+            )
+        rows, cols = np.nonzero(noise_mask)
+        delta = (
+            rng.standard_normal((rows.size, B))
+            * noise_sigma[rows, cols][:, None]
+        )
+        if capacity is not None:
+            np.clip(delta, -capacity, capacity, out=delta)
+        if gated_cells:
+            gp = gate_p[rows, cols]
+            gated_idx = gp < 1.0
+            if gated_idx.any():
+                delta[gated_idx] *= (
+                    rng.random((int(gated_idx.sum()), B))
+                    < gp[gated_idx][:, None]
+                )
+        Yt[rows, cols] += delta
     return Y
+
+
+def apply_synapse_corrections(
+    pre: np.ndarray,
+    stage: "SynapseStageChannels | None",
+    source: np.ndarray,
+    weights: np.ndarray,
+    capacity: Optional[float],
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Apply one stage's synapse-fault corrections in place.
+
+    ``pre`` is the ``(S, B, N_out)`` received-sum tensor (Equation 3's
+    ``s_j`` before squashing, or the output node's weighted sum);
+    ``source`` holds the emissions the stage's synapses carry —
+    ``(S, B, N_in)`` faulty upstream activations, or ``(B, N_in)``
+    scenario-independent inputs for stage 1.  Each faulty synapse
+    ``(s, j, i)`` adds ``w_ji * clip(delivered - y_i, -C, +C)`` to
+    ``pre[s, :, j]`` — Lemma 2 / Theorem 4's per-synapse error term,
+    shared verbatim between :meth:`FaultInjector.run_many` and the
+    streaming engine.  Duplicate ``(s, j)`` targets accumulate (several
+    faulty synapses into one neuron).
+    """
+    if stage is None or stage.is_empty:
+        return pre
+    B = pre.shape[1]
+    view = pre.transpose(0, 2, 1)  # (S, N_out, B) view: scatter target
+
+    def emissions(s_idx: np.ndarray, i_idx: np.ndarray) -> np.ndarray:
+        if source.ndim == 2:  # stage 1: inputs, shared across scenarios
+            return source[:, i_idx].T
+        return source[s_idx, :, i_idx]
+
+    def bound(dev: np.ndarray) -> np.ndarray:
+        if capacity is None:
+            if not np.all(np.isfinite(dev)):
+                raise ValueError(
+                    "capacity-saturating synapse fault under unbounded "
+                    "transmission: specify an explicit offset"
+                )
+            return dev
+        return np.clip(dev, -capacity, capacity)
+
+    if stage.zero_s.size:
+        dev = bound(-emissions(stage.zero_s, stage.zero_i))
+        np.add.at(
+            view,
+            (stage.zero_s, stage.zero_j),
+            weights[stage.zero_j, stage.zero_i][:, None] * dev,
+        )
+    if stage.add_s.size:
+        dev = bound(stage.add_values)
+        np.add.at(
+            view,
+            (stage.add_s, stage.add_j),
+            (weights[stage.add_j, stage.add_i] * dev)[:, None],
+        )
+    if stage.noise_s.size:
+        if rng is None:
+            raise ValueError(
+                "synapse noise channels need an rng; pass the campaign "
+                "generator"
+            )
+        dev = bound(
+            rng.standard_normal((stage.noise_s.size, B))
+            * stage.noise_sigma[:, None]
+        )
+        np.add.at(
+            view,
+            (stage.noise_s, stage.noise_j),
+            weights[stage.noise_j, stage.noise_i][:, None] * dev,
+        )
+    return pre
+
+
+@dataclass
+class SynapseStageChannels:
+    """COO fault entries for one synapse stage (weights into one layer).
+
+    Entries are triples ``(s, j, i)`` — scenario ``s``, receiving
+    neuron ``j``, emitting neuron ``i`` — grouped by action:
+
+    * ``zero_*`` — crashed synapses (deliver 0);
+    * ``add_*`` / ``add_values`` — Byzantine synapses (additive error;
+      ``+-inf`` is the capacity sentinel, resolved at evaluation);
+    * ``noise_*`` / ``noise_sigma`` — Gaussian noise on the carried
+      emission, drawn per ``(entry, input)`` at evaluation time.
+
+    Kept sparse (a campaign rarely touches more than a handful of the
+    ``N_l x N_{l+1}`` synapses per scenario); the dense twin would cost
+    a full weight-matrix mask per scenario.
+    """
+
+    zero_s: np.ndarray = field(default_factory=lambda: np.empty(0, np.intp))
+    zero_j: np.ndarray = field(default_factory=lambda: np.empty(0, np.intp))
+    zero_i: np.ndarray = field(default_factory=lambda: np.empty(0, np.intp))
+    add_s: np.ndarray = field(default_factory=lambda: np.empty(0, np.intp))
+    add_j: np.ndarray = field(default_factory=lambda: np.empty(0, np.intp))
+    add_i: np.ndarray = field(default_factory=lambda: np.empty(0, np.intp))
+    add_values: np.ndarray = field(
+        default_factory=lambda: np.empty(0, np.float64)
+    )
+    noise_s: np.ndarray = field(default_factory=lambda: np.empty(0, np.intp))
+    noise_j: np.ndarray = field(default_factory=lambda: np.empty(0, np.intp))
+    noise_i: np.ndarray = field(default_factory=lambda: np.empty(0, np.intp))
+    noise_sigma: np.ndarray = field(
+        default_factory=lambda: np.empty(0, np.float64)
+    )
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.zero_s.size or self.add_s.size or self.noise_s.size)
+
+    @property
+    def is_stochastic(self) -> bool:
+        return bool(self.noise_s.size)
+
+    def sliced(self, lo: int, hi: int) -> "SynapseStageChannels":
+        """Entries of scenarios ``lo..hi`` with rows shifted to 0-base."""
+        def pick(s, *cols):
+            keep = (s >= lo) & (s < hi)
+            return (s[keep] - lo, *(c[keep] for c in cols))
+
+        z_s, z_j, z_i = pick(self.zero_s, self.zero_j, self.zero_i)
+        a_s, a_j, a_i, a_v = pick(
+            self.add_s, self.add_j, self.add_i, self.add_values
+        )
+        n_s, n_j, n_i, n_v = pick(
+            self.noise_s, self.noise_j, self.noise_i, self.noise_sigma
+        )
+        return SynapseStageChannels(
+            z_s, z_j, z_i, a_s, a_j, a_i, a_v, n_s, n_j, n_i, n_v
+        )
 
 
 @dataclass
 class CompiledScenarioBatch:
-    """Per-layer fault masks for a batch of static scenarios.
+    """Per-layer fault masks for a batch of scenarios.
 
-    All arrays have shape ``(S, N_{l+1})`` (0-based layer index ``l``):
+    The neuron channels are arrays of shape ``(S, N_{l+1})`` (0-based
+    layer index ``l``):
 
     * ``zero_masks`` — crashed neurons (emission exactly 0);
     * ``set_masks`` / ``set_values`` — value-pulling faults (Byzantine
@@ -176,7 +515,21 @@ class CompiledScenarioBatch:
       carry capacity sentinels (``+-inf`` meaning "deviate as much as
       allowed"); every consumer resolves them against its capacity at
       evaluation time (``compile_batch`` additionally resolves eagerly
-      when it can).
+      when it can);
+    * ``scale_masks`` / ``scale_values`` — multiplicative faults (sign
+      flip), optional (``None`` = channel absent);
+    * ``noise_masks`` / ``noise_sigma`` — Gaussian-noise faults,
+      realised at evaluation time, optional;
+    * ``gate_p`` — per-cell Bernoulli activation probability
+      (intermittent faults), optional; 1.0 means permanent;
+    * ``synapse_stages`` — per-stage sparse synapse-fault channels
+      (``depth + 1`` stages, stage ``L+1`` feeding the output node),
+      optional.
+
+    A batch whose optional channels are all ``None`` is exactly the
+    static representation of earlier revisions; stochastic channels
+    make :attr:`is_stochastic` true, and every evaluator then requires
+    a seeded RNG.
     """
 
     zero_masks: List[np.ndarray]
@@ -185,10 +538,37 @@ class CompiledScenarioBatch:
     add_masks: List[np.ndarray]
     add_values: List[np.ndarray]
     names: List[str]
+    scale_masks: Optional[List[np.ndarray]] = None
+    scale_values: Optional[List[np.ndarray]] = None
+    noise_masks: Optional[List[np.ndarray]] = None
+    noise_sigma: Optional[List[np.ndarray]] = None
+    gate_p: Optional[List[np.ndarray]] = None
+    synapse_stages: Optional[List[SynapseStageChannels]] = None
 
     @property
     def num_scenarios(self) -> int:
         return self.zero_masks[0].shape[0] if self.zero_masks else 0
+
+    @property
+    def has_synapse_faults(self) -> bool:
+        return self.synapse_stages is not None and any(
+            not stage.is_empty for stage in self.synapse_stages
+        )
+
+    @property
+    def is_stochastic(self) -> bool:
+        """Whether evaluating this batch consumes random draws."""
+        if self.noise_masks is not None and any(
+            m.any() for m in self.noise_masks
+        ):
+            return True
+        if self.gate_p is not None and any(
+            np.any(g < 1.0) for g in self.gate_p
+        ):
+            return True
+        return self.synapse_stages is not None and any(
+            stage.is_stochastic for stage in self.synapse_stages
+        )
 
 
 class FaultInjector:
@@ -271,7 +651,20 @@ class FaultInjector:
         scenario.validate(self.network)
         net = self.network
         xb, squeeze = net._as_batch(x)
-        rng = rng if rng is not None else np.random.default_rng()
+        if rng is None:
+            # Stochastic scenarios on a fresh generator silently break
+            # campaign reproducibility — warn once (the campaign layers
+            # always thread a seeded generator down to this point).
+            stochastic = any(
+                fault_is_stochastic(f)
+                for faults in (scenario.neuron_faults, scenario.synapse_faults)
+                for f in faults.values()
+            )
+            rng = (
+                unseeded_rng("FaultInjector.run")
+                if stochastic
+                else np.random.default_rng()
+            )
 
         neuron_faults = self._neuron_faults_by_layer(scenario)
         synapse_faults = self._synapse_faults_by_stage(scenario)
@@ -285,7 +678,9 @@ class FaultInjector:
                 s = s.copy()
                 for j, i, fault in synapse_faults[l0]:
                     nominal_emission = y[:, i]
-                    faulty_emission = fault.apply(nominal_emission, rng=rng)
+                    faulty_emission = fault.apply(
+                        nominal_emission, rng=rng, capacity=self.capacity
+                    )
                     deviation = self._clip_synapse_error(
                         faulty_emission - nominal_emission
                     )
@@ -304,7 +699,9 @@ class FaultInjector:
             out = out.copy()
             for j, i, fault in synapse_faults[stage]:
                 nominal_emission = y[:, i]
-                faulty_emission = fault.apply(nominal_emission, rng=rng)
+                faulty_emission = fault.apply(
+                    nominal_emission, rng=rng, capacity=self.capacity
+                )
                 deviation = self._clip_synapse_error(
                     faulty_emission - nominal_emission
                 )
@@ -344,13 +741,17 @@ class FaultInjector:
     def compile_batch(
         self, scenarios: Sequence[FailureScenario]
     ) -> CompiledScenarioBatch:
-        """Lower static neuron-fault scenarios to per-layer masks.
+        """Lower scenarios — the whole fault taxonomy — to mask channels.
 
         This is the adapter between the expressive object API and the
         mask representation shared with :mod:`repro.faults.masks`
         (whose samplers produce the same batches without ever building
-        scenario objects).  Raises when any scenario contains a synapse
-        fault or a non-static neuron fault (use :meth:`run` for those).
+        scenario objects).  Static neuron faults land in the
+        zero/set/add channels exactly as before; stochastic neuron
+        faults (noise, intermittent, sign flip) fill the optional
+        scale/noise/gate channels; synapse faults compile to sparse
+        per-stage weight-level channels.  Only fault models outside
+        the taxonomy in :mod:`repro.faults.types` are rejected.
         """
         net = self.network
         S = len(scenarios)
@@ -359,31 +760,71 @@ class FaultInjector:
         set_values = [np.zeros((S, n), dtype=np.float64) for n in net.layer_sizes]
         add_masks = [np.zeros((S, n), dtype=bool) for n in net.layer_sizes]
         add_values = [np.zeros((S, n), dtype=np.float64) for n in net.layer_sizes]
+        scale_masks = scale_values = None
+        noise_masks = noise_sigma = None
+        gate_p = None
+        # Per-stage per-kind entry lists: (s, j, i[, value]).
+        syn_entries: Optional[List[dict]] = None
         names = []
         for s_idx, scenario in enumerate(scenarios):
-            if scenario.synapse_faults:
-                raise ValueError(
-                    f"scenario {scenario.name!r} has synapse faults; the batched "
-                    "path supports neuron faults only"
-                )
             scenario.validate(net)
             names.append(scenario.name)
             for addr, fault in scenario.neuron_faults.items():
-                action = static_fault_action(fault)
+                action = fault_channel_action(fault)
                 if action is None:
                     raise ValueError(
-                        f"fault {fault!r} is not static; use FaultInjector.run"
+                        f"fault {fault!r} has no mask-channel lowering; "
+                        "extend fault_channel_action or use FaultInjector.run"
                     )
-                kind, value = action
+                kind, value, gate = action
                 l0, i = addr.layer - 1, addr.index
                 if kind == "zero":
                     zero_masks[l0][s_idx, i] = True
                 elif kind == "set":
                     set_masks[l0][s_idx, i] = True
                     set_values[l0][s_idx, i] = value
-                else:  # "add"
+                elif kind == "add":
                     add_masks[l0][s_idx, i] = True
                     add_values[l0][s_idx, i] = value
+                elif kind == "scale":
+                    if scale_masks is None:
+                        scale_masks = [
+                            np.zeros((S, n), dtype=bool) for n in net.layer_sizes
+                        ]
+                        scale_values = [
+                            np.zeros((S, n)) for n in net.layer_sizes
+                        ]
+                    scale_masks[l0][s_idx, i] = True
+                    scale_values[l0][s_idx, i] = value
+                else:  # "noise"
+                    if noise_masks is None:
+                        noise_masks = [
+                            np.zeros((S, n), dtype=bool) for n in net.layer_sizes
+                        ]
+                        noise_sigma = [
+                            np.zeros((S, n)) for n in net.layer_sizes
+                        ]
+                    noise_masks[l0][s_idx, i] = True
+                    noise_sigma[l0][s_idx, i] = value
+                if gate < 1.0:
+                    if gate_p is None:
+                        gate_p = [np.ones((S, n)) for n in net.layer_sizes]
+                    gate_p[l0][s_idx, i] = gate
+            for (l, j, i), fault in scenario.synapse_faults.items():
+                action = synapse_fault_action(fault)
+                if action is None:
+                    raise ValueError(
+                        f"synapse fault {fault!r} has no weight-level "
+                        "lowering; extend synapse_fault_action or use "
+                        "FaultInjector.run"
+                    )
+                if syn_entries is None:
+                    syn_entries = [
+                        {"zero": [], "add": [], "noise": []}
+                        for _ in range(net.depth + 1)
+                    ]
+                kind, value = action
+                syn_entries[l - 1][kind].append((s_idx, j, i, value))
         # Resolve capacity sentinels (additive +-inf -> +-C) at compile time.
         for arr in add_values:
             if self.capacity is None:
@@ -393,20 +834,59 @@ class FaultInjector:
                     )
             else:
                 np.clip(arr, -self.capacity, self.capacity, out=arr)
+        synapse_stages = None
+        if syn_entries is not None:
+            synapse_stages = [
+                self._compile_synapse_stage(entries) for entries in syn_entries
+            ]
         return CompiledScenarioBatch(
-            zero_masks, set_masks, set_values, add_masks, add_values, names
+            zero_masks, set_masks, set_values, add_masks, add_values, names,
+            scale_masks=scale_masks, scale_values=scale_values,
+            noise_masks=noise_masks, noise_sigma=noise_sigma,
+            gate_p=gate_p, synapse_stages=synapse_stages,
+        )
+
+    def _compile_synapse_stage(self, entries: dict) -> SynapseStageChannels:
+        """COO arrays (with sentinel resolution) for one stage's entries."""
+        def cols(kind: str, with_value: bool):
+            rows = entries[kind]
+            s = np.array([e[0] for e in rows], dtype=np.intp)
+            j = np.array([e[1] for e in rows], dtype=np.intp)
+            i = np.array([e[2] for e in rows], dtype=np.intp)
+            if not with_value:
+                return s, j, i
+            return s, j, i, np.array([e[3] for e in rows], dtype=np.float64)
+
+        z_s, z_j, z_i = cols("zero", with_value=False)
+        a_s, a_j, a_i, a_v = cols("add", with_value=True)
+        n_s, n_j, n_i, n_v = cols("noise", with_value=True)
+        if self.capacity is None:
+            if not np.all(np.isfinite(a_v)):
+                raise ValueError(
+                    "capacity-saturating synapse fault under unbounded "
+                    "transmission: specify an explicit offset"
+                )
+        else:
+            np.clip(a_v, -self.capacity, self.capacity, out=a_v)
+        return SynapseStageChannels(
+            z_s, z_j, z_i, a_s, a_j, a_i, a_v, n_s, n_j, n_i, n_v
         )
 
     def run_many(
         self,
         x: np.ndarray,
         batch: "CompiledScenarioBatch | Sequence[FailureScenario]",
+        *,
+        rng: Optional[np.random.Generator] = None,
     ) -> np.ndarray:
         """Faulty outputs for S scenarios x B inputs in one sweep.
 
         Returns an array of shape ``(S, B, n_outputs)``.  One GEMM per
-        layer serves every (scenario, input) pair; replacement is a
-        single vectorised ``np.where`` per layer.
+        layer serves every (scenario, input) pair; neuron faults are
+        vectorised mask writes, synapse faults sparse received-sum
+        corrections between the GEMM and the squashing.  Stochastic
+        batches (noise channels, intermittent gates) draw from ``rng``
+        — unseeded use warns once, because it is irreproducible.
         """
         if not isinstance(batch, CompiledScenarioBatch):
             batch = self.compile_batch(batch)
@@ -415,8 +895,17 @@ class FaultInjector:
         S = batch.num_scenarios
         if S == 0:
             return np.empty((0, xb.shape[0], net.n_outputs))
+        if rng is None and batch.is_stochastic:
+            rng = unseeded_rng("FaultInjector.run_many")
 
         B = xb.shape[0]
+        stages = batch.synapse_stages
+
+        def stage(l0: int) -> Optional[SynapseStageChannels]:
+            return stages[l0] if stages is not None else None
+
+        def chan(lst: Optional[List[np.ndarray]], l0: int):
+            return lst[l0] if lst is not None else None
 
         def masked(y: np.ndarray, l0: int) -> np.ndarray:
             """Apply the layer-l0 fault channels to (S, B, N) activations."""
@@ -428,17 +917,46 @@ class FaultInjector:
                 batch.add_masks[l0],
                 batch.add_values[l0],
                 self.capacity,
+                scale_mask=chan(batch.scale_masks, l0),
+                scale_values=chan(batch.scale_values, l0),
+                noise_mask=chan(batch.noise_masks, l0),
+                noise_sigma=chan(batch.noise_sigma, l0),
+                gate_p=chan(batch.gate_p, l0),
+                rng=rng,
             )
 
-        # Layer 1 is scenario-independent before masking: compute once for
-        # the B inputs, then broadcast across S scenarios (materialised —
-        # the shared mask helper works in place).
-        y = net.layers[0].forward(xb)  # (B, N_1)
-        y = masked(np.broadcast_to(y[None, :, :], (S, B, y.shape[1])).copy(), 0)
+        st0 = stage(0)
+        if st0 is not None and not st0.is_empty:
+            # Stage-1 synapse faults corrupt the input emissions: the
+            # received sums become scenario-dependent before squashing.
+            s = net.layers[0].pre_activation(xb)  # (B, N_1)
+            s = np.broadcast_to(s[None, :, :], (S, B, s.shape[1])).copy()
+            apply_synapse_corrections(
+                s, st0, xb, net.layers[0].dense_weights(), self.capacity, rng
+            )
+            y = net.layers[0].activation(s)
+        else:
+            # Layer 1 is scenario-independent before masking: compute
+            # once for the B inputs, then broadcast across S scenarios
+            # (materialised — the shared mask helper works in place).
+            y1 = net.layers[0].forward(xb)  # (B, N_1)
+            y = np.broadcast_to(y1[None, :, :], (S, B, y1.shape[1])).copy()
+        y = masked(y, 0)
         for l0, layer in enumerate(net.layers[1:], start=1):
-            y = layer.forward(y.reshape(S * B, -1)).reshape(S, B, -1)
+            st = stage(l0)
+            if st is not None and not st.is_empty:
+                s = layer.pre_activation(y.reshape(S * B, -1)).reshape(S, B, -1)
+                apply_synapse_corrections(
+                    s, st, y, layer.dense_weights(), self.capacity, rng
+                )
+                y = layer.activation(s)
+            else:
+                y = layer.forward(y.reshape(S * B, -1)).reshape(S, B, -1)
             y = masked(y, l0)
         out = y @ net.output_weights.T + net.output_bias
+        apply_synapse_corrections(
+            out, stage(net.depth), y, net.output_weights, self.capacity, rng
+        )
         return out
 
     def output_errors_many(
@@ -447,11 +965,12 @@ class FaultInjector:
         batch: "CompiledScenarioBatch | Sequence[FailureScenario]",
         *,
         reduction: str = "max",
+        rng: Optional[np.random.Generator] = None,
     ) -> np.ndarray:
         """Per-scenario output error over the input batch, shape ``(S,)``."""
         xb, _ = self.network._as_batch(x)
         nominal = self.network.forward(xb)  # (B, n_outputs)
-        faulty = self.run_many(xb, batch)  # (S, B, n_outputs)
+        faulty = self.run_many(xb, batch, rng=rng)  # (S, B, n_outputs)
         err = np.abs(faulty - nominal[None]).max(axis=2)  # (S, B)
         if reduction == "max":
             return err.max(axis=1)

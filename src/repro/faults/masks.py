@@ -45,15 +45,30 @@ from ..parallel import bounded_map, fork_once_pool, worker_state
 from .injector import (
     CompiledScenarioBatch,
     FaultInjector,
+    SynapseStageChannels,
     apply_mask_channels,
-    static_fault_action,
+    apply_synapse_corrections,
+    fault_channel_action,
+    synapse_fault_action,
 )
-from .types import CrashFault, FaultModel
+from .types import (
+    CrashFault,
+    FaultModel,
+    SynapseByzantineFault,
+    SynapseFault,
+    unseeded_rng,
+)
 
 __all__ = [
     "MaskSampler",
+    "NeuronFaultSampler",
     "FixedDistributionSampler",
     "BernoulliSampler",
+    "SynapseFaultSampler",
+    "FixedSynapseDistributionSampler",
+    "SynapseBernoulliSampler",
+    "MixedFaultSampler",
+    "merge_mask_batches",
     "empty_mask_batch",
     "combination_index_array",
     "masks_from_flat_indices",
@@ -117,7 +132,7 @@ def _sample_fixed_count_masks(
 
 
 class MaskSampler:
-    """Draws batches of static fault masks directly as arrays.
+    """Draws batches of fault masks directly as arrays.
 
     Subclasses implement :meth:`sample`; instances must be picklable so
     the fork-once worker pool can ship them to workers at initialisation
@@ -126,38 +141,24 @@ class MaskSampler:
 
     layer_sizes: tuple
 
-    def __init__(self, layer_sizes: Sequence[int], fault: Optional[FaultModel] = None):
+    def __init__(self, layer_sizes: Sequence[int]):
         self.layer_sizes = tuple(int(n) for n in layer_sizes)
         if any(n <= 0 for n in self.layer_sizes):
             raise ValueError(f"layer sizes must be positive, got {self.layer_sizes}")
-        fault = fault if fault is not None else CrashFault()
-        action = static_fault_action(fault)
-        if action is None:
-            raise ValueError(
-                f"fault {fault!r} is not static; mask sampling supports "
-                "crash / Byzantine / stuck-at / offset faults only "
-                "(use the FailureScenario object path for stochastic faults)"
-            )
-        self.fault = fault
-        self._action_kind, self._action_value = action
 
-    def _batch_from_layer_masks(
-        self, layer_masks: List[np.ndarray]
-    ) -> CompiledScenarioBatch:
-        """Route per-layer boolean masks into the fault's action channel."""
-        S = layer_masks[0].shape[0] if layer_masks else 0
-        batch = empty_mask_batch(self.layer_sizes, S)
-        kind, value = self._action_kind, self._action_value
-        for l0, mask in enumerate(layer_masks):
-            if kind == "zero":
-                batch.zero_masks[l0] = mask
-            elif kind == "set":
-                batch.set_masks[l0] = mask
-                batch.set_values[l0][mask] = value
-            else:  # "add" (capacity sentinels resolved by the engine)
-                batch.add_masks[l0] = mask
-                batch.add_values[l0][mask] = value
-        return batch
+    def check_network(self, network: FeedForwardNetwork) -> None:
+        """Raise when this sampler's batches don't fit ``network``.
+
+        Neuron samplers only carry layer-shaped masks, so matching
+        layer sizes suffice; synapse samplers override this with a
+        stronger identity check (their COO coordinates are tabulated
+        from a specific network's synapse tables).
+        """
+        if tuple(self.layer_sizes) != network.layer_sizes:
+            raise ValueError(
+                f"sampler layer sizes {self.layer_sizes} != network "
+                f"{network.layer_sizes}"
+            )
 
     def sample(
         self, n_scenarios: int, rng: np.random.Generator
@@ -166,7 +167,72 @@ class MaskSampler:
         raise NotImplementedError
 
 
-class FixedDistributionSampler(MaskSampler):
+class NeuronFaultSampler(MaskSampler):
+    """Base for samplers that attach one neuron-fault model to random
+    neuron populations.
+
+    Accepts the *entire* neuron-fault taxonomy: static faults route to
+    the zero/set/add channels, sign flip to the scale channel, noise to
+    the noise channel, and intermittent faults gate their wrapped
+    fault's channel with ``gate_p``.
+    """
+
+    def __init__(self, layer_sizes: Sequence[int], fault: Optional[FaultModel] = None):
+        super().__init__(layer_sizes)
+        fault = fault if fault is not None else CrashFault()
+        if isinstance(fault, SynapseFault):
+            raise ValueError(
+                f"{fault!r} is a synapse fault; use a SynapseFaultSampler"
+            )
+        action = fault_channel_action(fault)
+        if action is None:
+            raise ValueError(
+                f"fault {fault!r} has no mask-channel lowering; extend "
+                "fault_channel_action to cover it"
+            )
+        self.fault = fault
+        self._action_kind, self._action_value, self._action_gate = action
+
+    def _batch_from_layer_masks(
+        self, layer_masks: List[np.ndarray]
+    ) -> CompiledScenarioBatch:
+        """Route per-layer boolean masks into the fault's action channel."""
+        S = layer_masks[0].shape[0] if layer_masks else 0
+        batch = empty_mask_batch(self.layer_sizes, S)
+        kind, value = self._action_kind, self._action_value
+        if kind == "scale":
+            batch.scale_masks = [
+                np.zeros((S, n), dtype=bool) for n in self.layer_sizes
+            ]
+            batch.scale_values = [np.zeros((S, n)) for n in self.layer_sizes]
+        elif kind == "noise":
+            batch.noise_masks = [
+                np.zeros((S, n), dtype=bool) for n in self.layer_sizes
+            ]
+            batch.noise_sigma = [np.zeros((S, n)) for n in self.layer_sizes]
+        if self._action_gate < 1.0:
+            batch.gate_p = [np.ones((S, n)) for n in self.layer_sizes]
+        for l0, mask in enumerate(layer_masks):
+            if kind == "zero":
+                batch.zero_masks[l0] = mask
+            elif kind == "set":
+                batch.set_masks[l0] = mask
+                batch.set_values[l0][mask] = value
+            elif kind == "scale":
+                batch.scale_masks[l0] = mask
+                batch.scale_values[l0][mask] = value
+            elif kind == "noise":
+                batch.noise_masks[l0] = mask
+                batch.noise_sigma[l0][mask] = value
+            else:  # "add" (capacity sentinels resolved by the engine)
+                batch.add_masks[l0] = mask
+                batch.add_values[l0][mask] = value
+            if self._action_gate < 1.0:
+                batch.gate_p[l0][mask] = self._action_gate
+        return batch
+
+
+class FixedDistributionSampler(NeuronFaultSampler):
     """Uniform scenarios with exactly ``f_l`` failed neurons per layer.
 
     The array-level twin of
@@ -209,7 +275,7 @@ class FixedDistributionSampler(MaskSampler):
         return self._batch_from_layer_masks(layer_masks)
 
 
-class BernoulliSampler(MaskSampler):
+class BernoulliSampler(NeuronFaultSampler):
     """Scenarios failing every neuron independently with probability ``p``.
 
     The array-level twin of the reliability module's i.i.d. trial loop
@@ -238,6 +304,330 @@ class BernoulliSampler(MaskSampler):
             rng.random((n_scenarios, n)) < self.p_fail for n in self.layer_sizes
         ]
         return self._batch_from_layer_masks(layer_masks)
+
+
+class SynapseFaultSampler(MaskSampler):
+    """Base for samplers that fail random *synapses* (Theorem 4 / Lemma 2).
+
+    The network's physical synapses are tabulated once per stage
+    (``depth + 1`` stages; the last feeds the output node): stage ``l``
+    keeps the ``(j, i)`` coordinates of its existing synapses, so a
+    draw over "which synapses fail" is a draw over flat physical
+    indices — the same batched machinery as the neuron samplers — then
+    a cheap gather into sparse :class:`SynapseStageChannels`.
+    """
+
+    def __init__(
+        self,
+        network: FeedForwardNetwork,
+        fault: Optional[FaultModel] = None,
+    ):
+        super().__init__(network.layer_sizes)
+        fault = fault if fault is not None else SynapseByzantineFault()
+        action = synapse_fault_action(fault)
+        if action is None:
+            raise ValueError(
+                f"fault {fault!r} has no weight-level lowering; synapse "
+                "samplers support crash / Byzantine / noise synapse faults"
+            )
+        self.fault = fault
+        self._action_kind, self._action_value = action
+        self.depth = network.depth
+        self.input_dim = network.input_dim
+        self.n_outputs = network.n_outputs
+        self._stage_j: List[np.ndarray] = []
+        self._stage_i: List[np.ndarray] = []
+        for layer in network.layers:
+            js, is_ = np.nonzero(layer.synapse_mask())
+            self._stage_j.append(js.astype(np.intp))
+            self._stage_i.append(is_.astype(np.intp))
+        js, is_ = np.nonzero(
+            np.ones((network.n_outputs, network.layer_sizes[-1]), dtype=bool)
+        )
+        self._stage_j.append(js.astype(np.intp))
+        self._stage_i.append(is_.astype(np.intp))
+
+    def check_network(self, network: FeedForwardNetwork) -> None:
+        """The COO ``(j, i)`` tables address one concrete network: two
+        networks with identical layer sizes can still differ in
+        input dimension, output count or (conv) synapse topology, and a
+        mismatched scatter would silently corrupt the wrong weights."""
+        super().check_network(network)
+        if (network.input_dim, network.n_outputs) != (
+            self.input_dim, self.n_outputs
+        ):
+            raise ValueError(
+                f"sampler synapse tables were built for input_dim="
+                f"{self.input_dim}, n_outputs={self.n_outputs}; network has "
+                f"input_dim={network.input_dim}, n_outputs={network.n_outputs}"
+            )
+        for l0, layer in enumerate(network.layers):
+            js, is_ = np.nonzero(layer.synapse_mask())
+            if not (
+                np.array_equal(js, self._stage_j[l0])
+                and np.array_equal(is_, self._stage_i[l0])
+            ):
+                raise ValueError(
+                    f"sampler synapse table for stage {l0 + 1} does not "
+                    "match the network's physical synapses"
+                )
+
+    @property
+    def stage_synapse_counts(self) -> tuple:
+        """Number of physical synapses per stage ``1..L+1``."""
+        return tuple(j.size for j in self._stage_j)
+
+    def _stage_from_hits(self, hits: np.ndarray, stage: int) -> SynapseStageChannels:
+        """Lower an ``(S, n_physical)`` hit mask into one stage's channels."""
+        s, k = np.nonzero(hits)
+        s = s.astype(np.intp)
+        j, i = self._stage_j[stage][k], self._stage_i[stage][k]
+        kind, value = self._action_kind, self._action_value
+        if kind == "zero":
+            return SynapseStageChannels(zero_s=s, zero_j=j, zero_i=i)
+        if kind == "add":
+            return SynapseStageChannels(
+                add_s=s, add_j=j, add_i=i,
+                add_values=np.full(s.size, value, dtype=np.float64),
+            )
+        return SynapseStageChannels(
+            noise_s=s, noise_j=j, noise_i=i,
+            noise_sigma=np.full(s.size, value, dtype=np.float64),
+        )
+
+    def _batch_from_hits(self, hit_masks: List[np.ndarray]) -> CompiledScenarioBatch:
+        S = hit_masks[0].shape[0] if hit_masks else 0
+        batch = empty_mask_batch(self.layer_sizes, S)
+        batch.synapse_stages = [
+            self._stage_from_hits(hits, stage)
+            for stage, hits in enumerate(hit_masks)
+        ]
+        return batch
+
+
+class FixedSynapseDistributionSampler(SynapseFaultSampler):
+    """Uniform scenarios failing exactly ``f_l`` synapses per stage.
+
+    The array-level twin of
+    :func:`repro.faults.scenarios.random_synapse_scenario`:
+    ``distribution`` has length ``L + 1`` (the ``Nfail`` of Theorem 4),
+    every ``f_l``-subset of a stage's physical synapses equally
+    likely, stages independent.
+    """
+
+    def __init__(
+        self,
+        network: FeedForwardNetwork,
+        distribution: Sequence[int],
+        *,
+        fault: Optional[FaultModel] = None,
+    ):
+        super().__init__(network, fault)
+        self.distribution = tuple(int(f) for f in distribution)
+        counts = self.stage_synapse_counts
+        if len(self.distribution) != len(counts):
+            raise ValueError(
+                f"distribution length {len(self.distribution)} != L+1 = "
+                f"{len(counts)}"
+            )
+        for f, n in zip(self.distribution, counts):
+            if not 0 <= f <= n:
+                raise ValueError(
+                    f"synapse failure counts {self.distribution} outside "
+                    f"stage synapse counts {counts}"
+                )
+
+    def sample(self, n_scenarios, rng):
+        hits = [
+            _sample_fixed_count_masks(rng, n_scenarios, n, f)
+            for n, f in zip(self.stage_synapse_counts, self.distribution)
+        ]
+        return self._batch_from_hits(hits)
+
+
+class SynapseBernoulliSampler(SynapseFaultSampler):
+    """Scenarios failing every physical synapse independently with ``p``."""
+
+    def __init__(
+        self,
+        network: FeedForwardNetwork,
+        p_fail: float,
+        *,
+        fault: Optional[FaultModel] = None,
+    ):
+        super().__init__(network, fault)
+        if not 0 <= p_fail <= 1:
+            raise ValueError(f"p_fail must be in [0,1], got {p_fail}")
+        self.p_fail = float(p_fail)
+
+    def sample(self, n_scenarios, rng):
+        hits = [
+            rng.random((n_scenarios, n)) < self.p_fail
+            for n in self.stage_synapse_counts
+        ]
+        return self._batch_from_hits(hits)
+
+
+def _ensure_channel(batch: CompiledScenarioBatch, masks_attr: str,
+                    values_attr: str, layer_sizes, S: int) -> None:
+    if getattr(batch, masks_attr) is None:
+        setattr(
+            batch, masks_attr,
+            [np.zeros((S, n), dtype=bool) for n in layer_sizes],
+        )
+        setattr(batch, values_attr, [np.zeros((S, n)) for n in layer_sizes])
+
+
+def _merged_stage(stages: List[SynapseStageChannels]) -> SynapseStageChannels:
+    """Concatenate stage entries; on duplicate ``(s, j, i)`` the entry
+    from the *latest* contributing batch wins (scenario-dict semantics)."""
+    s_parts, j_parts, i_parts, kind_parts, val_parts = [], [], [], [], []
+    for st in stages:
+        for kind_code, (s, j, i, v) in enumerate(
+            (
+                (st.zero_s, st.zero_j, st.zero_i, None),
+                (st.add_s, st.add_j, st.add_i, st.add_values),
+                (st.noise_s, st.noise_j, st.noise_i, st.noise_sigma),
+            )
+        ):
+            if s.size:
+                s_parts.append(s)
+                j_parts.append(j)
+                i_parts.append(i)
+                kind_parts.append(np.full(s.size, kind_code, dtype=np.intp))
+                val_parts.append(
+                    np.zeros(s.size) if v is None else np.asarray(v, np.float64)
+                )
+    if not s_parts:
+        return SynapseStageChannels()
+    s = np.concatenate(s_parts)
+    j = np.concatenate(j_parts)
+    i = np.concatenate(i_parts)
+    kind = np.concatenate(kind_parts)
+    val = np.concatenate(val_parts)
+    # Keep-last dedupe on (s, j, i): reverse, take first occurrences.
+    key = np.stack([s[::-1], j[::-1], i[::-1]], axis=1)
+    _, first = np.unique(key, axis=0, return_index=True)
+    keep = (s.size - 1) - first
+    s, j, i, kind, val = s[keep], j[keep], i[keep], kind[keep], val[keep]
+    z, a, n = kind == 0, kind == 1, kind == 2
+    return SynapseStageChannels(
+        s[z], j[z], i[z], s[a], j[a], i[a], val[a], s[n], j[n], i[n], val[n]
+    )
+
+
+def merge_mask_batches(
+    layer_sizes: Sequence[int], batches: Sequence[CompiledScenarioBatch]
+) -> CompiledScenarioBatch:
+    """Per-scenario union of several mask batches.
+
+    Scenario ``s`` of the result carries scenario ``s``'s faults from
+    *every* input batch; where two batches target the same neuron cell
+    or synapse, the later batch wins (the array-level analogue of
+    ``FailureScenario.merged_with``).
+    """
+    sizes = tuple(int(n) for n in layer_sizes)
+    if not batches:
+        return empty_mask_batch(sizes, 0)
+    S = batches[0].num_scenarios
+    out = empty_mask_batch(sizes, S)
+    for b in batches:
+        if b.num_scenarios != S:
+            raise ValueError(
+                f"cannot merge batches of {b.num_scenarios} and {S} scenarios"
+            )
+        for l0 in range(len(sizes)):
+            occupied = b.zero_masks[l0] | b.set_masks[l0] | b.add_masks[l0]
+            if b.scale_masks is not None:
+                occupied |= b.scale_masks[l0]
+            if b.noise_masks is not None:
+                occupied |= b.noise_masks[l0]
+            if occupied.any():
+                out.zero_masks[l0] &= ~occupied
+                out.set_masks[l0] &= ~occupied
+                out.add_masks[l0] &= ~occupied
+                if out.scale_masks is not None:
+                    out.scale_masks[l0] &= ~occupied
+                if out.noise_masks is not None:
+                    out.noise_masks[l0] &= ~occupied
+                if out.gate_p is not None:
+                    out.gate_p[l0][occupied] = 1.0
+            out.zero_masks[l0] |= b.zero_masks[l0]
+            out.set_masks[l0] |= b.set_masks[l0]
+            np.copyto(out.set_values[l0], b.set_values[l0],
+                      where=b.set_masks[l0])
+            out.add_masks[l0] |= b.add_masks[l0]
+            np.copyto(out.add_values[l0], b.add_values[l0],
+                      where=b.add_masks[l0])
+            if b.scale_masks is not None and b.scale_masks[l0].any():
+                _ensure_channel(out, "scale_masks", "scale_values", sizes, S)
+                out.scale_masks[l0] |= b.scale_masks[l0]
+                np.copyto(out.scale_values[l0], b.scale_values[l0],
+                          where=b.scale_masks[l0])
+            if b.noise_masks is not None and b.noise_masks[l0].any():
+                _ensure_channel(out, "noise_masks", "noise_sigma", sizes, S)
+                out.noise_masks[l0] |= b.noise_masks[l0]
+                np.copyto(out.noise_sigma[l0], b.noise_sigma[l0],
+                          where=b.noise_masks[l0])
+            if b.gate_p is not None and np.any(b.gate_p[l0] < 1.0):
+                if out.gate_p is None:
+                    out.gate_p = [np.ones((S, n)) for n in sizes]
+                np.copyto(out.gate_p[l0], b.gate_p[l0],
+                          where=b.gate_p[l0] < 1.0)
+    if any(b.synapse_stages is not None for b in batches):
+        n_stages = max(
+            len(b.synapse_stages)
+            for b in batches
+            if b.synapse_stages is not None
+        )
+        out.synapse_stages = [
+            _merged_stage(
+                [
+                    b.synapse_stages[stage]
+                    for b in batches
+                    if b.synapse_stages is not None
+                ]
+            )
+            for stage in range(n_stages)
+        ]
+    return out
+
+
+class MixedFaultSampler(MaskSampler):
+    """Heterogeneous fault populations per scenario.
+
+    Each component sampler draws its own population for every scenario
+    and the per-scenario union is one deployment — e.g. two crashed
+    neurons + one Byzantine neuron + Bernoulli synapse noise, the
+    "realistic mixed deployment" the reliability and boosting
+    experiments model.  Components draw sequentially from the shared
+    generator, so a mixed campaign is exactly as reproducible as its
+    parts; on the rare cell targeted by two components, the later
+    component wins (scenario-dict merge semantics).
+    """
+
+    def __init__(self, components: Sequence[MaskSampler]):
+        components = list(components)
+        if not components:
+            raise ValueError("MixedFaultSampler needs at least one component")
+        super().__init__(components[0].layer_sizes)
+        for c in components[1:]:
+            if tuple(c.layer_sizes) != self.layer_sizes:
+                raise ValueError(
+                    f"component layer sizes {c.layer_sizes} != "
+                    f"{self.layer_sizes}"
+                )
+        self.components = components
+
+    def check_network(self, network: FeedForwardNetwork) -> None:
+        for c in self.components:
+            c.check_network(network)
+
+    def sample(self, n_scenarios, rng):
+        return merge_mask_batches(
+            self.layer_sizes,
+            [c.sample(n_scenarios, rng) for c in self.components],
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -356,6 +746,12 @@ class MaskCampaignEngine:
         self.reduction = reduction
 
         xb, _ = self.network._as_batch(x)
+        # The float64 original is kept alongside the engine-dtype cast:
+        # the engine-reuse guard in sampled_campaign_errors compares
+        # probe batches in float64, so two distinct float64 batches
+        # that collide at float32 cannot silently pass on a float32
+        # engine.
+        self.xb64 = np.array(xb, dtype=np.float64)
         self.xb = np.ascontiguousarray(xb, dtype=self.dtype)
         self.batch_size = self.xb.shape[0]
 
@@ -389,6 +785,7 @@ class MaskCampaignEngine:
 
         self._buffers: Optional[List[np.ndarray]] = None
         self._out_buffer: Optional[np.ndarray] = None
+        self._base_pre1: Optional[np.ndarray] = None
 
     # -- internals ---------------------------------------------------------
 
@@ -397,6 +794,24 @@ class MaskCampaignEngine:
         if self._biases[l0] is not None:
             s += self._biases[l0]
         return self.network.layers[l0].activation.evaluate_into(s, s)
+
+    def _stage_weights(self, stage: int) -> np.ndarray:
+        """Dense ``(N_out, N_in)`` weights of synapse stage ``stage``
+        (0-based; ``depth`` is the output stage), in the engine dtype."""
+        if stage == self.network.depth:
+            return self._out_weights_t.T
+        return self._weights_t[stage].T
+
+    def _ensure_base_pre1(self) -> np.ndarray:
+        """Cached layer-1 *pre-activation* sums ``(B, N_1)``; needed only
+        by scenarios with stage-1 synapse faults, where the received
+        sums must be corrected before squashing."""
+        if self._base_pre1 is None:
+            s = self.xb @ self._weights_t[0]
+            if self._biases[0] is not None:
+                s += self._biases[0]
+            self._base_pre1 = s
+        return self._base_pre1
 
     def _ensure_buffers(self) -> None:
         if self._buffers is not None:
@@ -411,10 +826,20 @@ class MaskCampaignEngine:
         )
 
     def _apply_masks(
-        self, Y: np.ndarray, batch: CompiledScenarioBatch, l0: int, lo: int, hi: int
+        self,
+        Y: np.ndarray,
+        batch: CompiledScenarioBatch,
+        l0: int,
+        lo: int,
+        hi: int,
+        rng: "np.random.Generator | None" = None,
     ) -> None:
         """In-place fault application on ``(S, B, N_l)`` activations,
         through the semantics shared with ``FaultInjector.run_many``."""
+
+        def chan(lst):
+            return lst[l0][lo:hi] if lst is not None else None
+
         apply_mask_channels(
             Y,
             batch.zero_masks[l0][lo:hi],
@@ -423,25 +848,61 @@ class MaskCampaignEngine:
             batch.add_masks[l0][lo:hi],
             batch.add_values[l0][lo:hi],
             self.capacity,
+            scale_mask=chan(batch.scale_masks),
+            scale_values=chan(batch.scale_values),
+            noise_mask=chan(batch.noise_masks),
+            noise_sigma=chan(batch.noise_sigma),
+            gate_p=chan(batch.gate_p),
+            rng=rng,
         )
 
     def _evaluate_slice(
-        self, batch: CompiledScenarioBatch, lo: int, hi: int, want_outputs: bool
+        self,
+        batch: CompiledScenarioBatch,
+        lo: int,
+        hi: int,
+        want_outputs: bool,
+        rng: "np.random.Generator | None" = None,
     ) -> np.ndarray:
         self._ensure_buffers()
         S, B = hi - lo, self.batch_size
         net = self.network
+        stages = batch.synapse_stages
+
+        def stage(l0: int):
+            if stages is None or stages[l0].is_empty:
+                return None
+            st = stages[l0].sliced(lo, hi)
+            return None if st.is_empty else st
+
         Y = self._buffers[0][:S]
-        Y[...] = self._base_first  # broadcast (B, N_1) over S scenarios
-        self._apply_masks(Y, batch, 0, lo, hi)
+        st0 = stage(0)
+        if st0 is not None:
+            # Stage-1 synapse faults corrupt the received sums of layer
+            # 1: broadcast the cached pre-activations, correct, squash.
+            Y[...] = self._ensure_base_pre1()
+            apply_synapse_corrections(
+                Y, st0, self.xb, self._stage_weights(0), self.capacity, rng
+            )
+            Y2 = Y.reshape(S * B, -1)
+            net.layers[0].activation.evaluate_into(Y2, Y2)
+        else:
+            Y[...] = self._base_first  # broadcast (B, N_1) over S scenarios
+        self._apply_masks(Y, batch, 0, lo, hi, rng)
         for l0 in range(1, net.depth):
             src = self._buffers[l0 - 1][:S].reshape(S * B, -1)
             dst = self._buffers[l0][:S].reshape(S * B, -1)
             np.matmul(src, self._weights_t[l0], out=dst)
             if self._biases[l0] is not None:
                 dst += self._biases[l0]
+            st = stage(l0)
+            if st is not None:
+                apply_synapse_corrections(
+                    self._buffers[l0][:S], st, self._buffers[l0 - 1][:S],
+                    self._stage_weights(l0), self.capacity, rng,
+                )
             net.layers[l0].activation.evaluate_into(dst, dst)
-            self._apply_masks(self._buffers[l0][:S], batch, l0, lo, hi)
+            self._apply_masks(self._buffers[l0][:S], batch, l0, lo, hi, rng)
         out2d = self._out_buffer[:S].reshape(S * B, -1)
         np.matmul(
             self._buffers[net.depth - 1][:S].reshape(S * B, -1),
@@ -450,6 +911,12 @@ class MaskCampaignEngine:
         )
         out2d += self._out_bias
         out = self._out_buffer[:S]
+        st = stage(net.depth)
+        if st is not None:
+            apply_synapse_corrections(
+                out, st, self._buffers[net.depth - 1][:S],
+                self._stage_weights(net.depth), self.capacity, rng,
+            )
         if want_outputs:
             return out.copy()
         err = np.abs(out - self._nominal[None]).max(axis=2)  # (S, B)
@@ -457,27 +924,56 @@ class MaskCampaignEngine:
             return err.max(axis=1)
         return err.mean(axis=1)
 
+    def _resolve_rng(
+        self, batch: CompiledScenarioBatch, rng: "np.random.Generator | None"
+    ) -> "np.random.Generator | None":
+        if rng is None and batch.is_stochastic:
+            rng = unseeded_rng("MaskCampaignEngine.evaluate")
+        return rng
+
     # -- public API --------------------------------------------------------
 
-    def evaluate(self, batch: CompiledScenarioBatch) -> np.ndarray:
-        """Per-scenario output errors, shape ``(S,)``, streamed in chunks."""
+    def evaluate(
+        self,
+        batch: CompiledScenarioBatch,
+        *,
+        rng: "np.random.Generator | None" = None,
+    ) -> np.ndarray:
+        """Per-scenario output errors, shape ``(S,)``, streamed in chunks.
+
+        Stochastic batches (noise channels, intermittent gates, synapse
+        noise) realise their draws from ``rng``, slice by slice;
+        omitting it on such a batch warns once and falls back to fresh
+        entropy (irreproducible).
+        """
         S = batch.num_scenarios
         if S == 0:
             return np.empty(0, dtype=np.float64)
+        rng = self._resolve_rng(batch, rng)
         pieces = [
-            self._evaluate_slice(batch, lo, min(lo + self.chunk_size, S), False)
+            self._evaluate_slice(
+                batch, lo, min(lo + self.chunk_size, S), False, rng
+            )
             for lo in range(0, S, self.chunk_size)
         ]
         return np.concatenate(pieces).astype(np.float64, copy=False)
 
-    def outputs(self, batch: CompiledScenarioBatch) -> np.ndarray:
+    def outputs(
+        self,
+        batch: CompiledScenarioBatch,
+        *,
+        rng: "np.random.Generator | None" = None,
+    ) -> np.ndarray:
         """Faulty outputs ``(S, B, n_outputs)`` (materialised; prefer
         :meth:`evaluate` for large campaigns)."""
         S = batch.num_scenarios
         if S == 0:
             return np.empty((0, self.batch_size, self.network.n_outputs))
+        rng = self._resolve_rng(batch, rng)
         pieces = [
-            self._evaluate_slice(batch, lo, min(lo + self.chunk_size, S), True)
+            self._evaluate_slice(
+                batch, lo, min(lo + self.chunk_size, S), True, rng
+            )
             for lo in range(0, S, self.chunk_size)
         ]
         return np.concatenate(pieces)
@@ -504,12 +1000,17 @@ def _build_campaign_state(  # pragma: no cover - subprocess body
 
 
 def _worker_sample_and_evaluate(job):  # pragma: no cover - subprocess body
-    """Job payload: ``(n_scenarios, SeedSequence)`` — nothing else."""
+    """Job payload: ``(n_scenarios, SeedSequence)`` — nothing else.
+
+    The block's generator first drives the sampler, then (for
+    stochastic fault models) the evaluation-time draws — the same
+    stream discipline as the serial path, so serial == parallel.
+    """
     size, seed_seq = job
     state = worker_state()
     rng = np.random.default_rng(seed_seq)
     batch = state["sampler"].sample(size, rng)
-    return state["engine"].evaluate(batch)
+    return state["engine"].evaluate(batch, rng=rng)
 
 
 def _worker_evaluate_flat(flat):  # pragma: no cover - subprocess body
@@ -549,10 +1050,16 @@ def sampled_campaign_errors(
     Sampling happens in fixed blocks of :data:`SAMPLE_BLOCK` scenarios;
     block ``c`` always draws from the ``c``-th spawned child of
     ``SeedSequence(seed)``.  Results are therefore reproducible and
-    *identical* across chunk sizes and between the serial and parallel
-    paths (workers receive only block sizes and spawned seeds — the
-    fork-once pool shipped the network at initialisation).
-    ``chunk_size`` only bounds the evaluation buffers.
+    identical between the serial and parallel paths (workers receive
+    only block sizes and spawned seeds — the fork-once pool shipped the
+    network at initialisation).  For *deterministic* fault models they
+    are additionally identical across chunk sizes, which only bound the
+    evaluation buffers; *stochastic* models (noise channels,
+    intermittent gates) realise their draws slice by slice, so their
+    per-scenario values are reproducible for a fixed ``(seed,
+    chunk_size)`` — and a reused ``engine`` carries its own chunk size
+    — while only the stream alignment, never the error distribution,
+    depends on the chunking.
 
     ``engine`` lets a caller running *several* campaigns against the
     same network and probe batch (e.g. a survival curve over a grid of
@@ -565,11 +1072,7 @@ def sampled_campaign_errors(
     """
     if n_scenarios < 0:
         raise ValueError(f"n_scenarios must be >= 0, got {n_scenarios}")
-    if tuple(sampler.layer_sizes) != injector.network.layer_sizes:
-        raise ValueError(
-            f"sampler layer sizes {sampler.layer_sizes} != network "
-            f"{injector.network.layer_sizes}"
-        )
+    sampler.check_network(injector.network)
     if chunk_size <= 0:
         raise ValueError(f"chunk_size must be positive, got {chunk_size}")
     if engine is not None:
@@ -578,9 +1081,11 @@ def sampled_campaign_errors(
                 "engine was built for a different network than the injector"
             )
         xb_arg, _ = injector.network._as_batch(x)
-        if not np.array_equal(
-            np.asarray(xb_arg, dtype=engine.dtype), engine.xb
-        ):
+        # Compare probe batches in float64: casting to the engine dtype
+        # first would let two distinct float64 batches that collide at
+        # float32 slip past the guard on a float32 engine.
+        if not np.array_equal(np.asarray(xb_arg, dtype=np.float64),
+                              engine.xb64):
             raise ValueError(
                 "engine was built for a different probe batch than x"
             )
@@ -629,7 +1134,9 @@ def sampled_campaign_errors(
     pieces = []
     for size, child in zip(sizes, children):
         rng = np.random.default_rng(child)
-        pieces.append(engine.evaluate(sampler.sample(size, rng)))
+        # One generator per block: sampling consumes it first, then any
+        # stochastic evaluation draws — identical to the worker path.
+        pieces.append(engine.evaluate(sampler.sample(size, rng), rng=rng))
     return np.concatenate(pieces)
 
 

@@ -24,11 +24,15 @@ from scipy import stats as sps
 
 from ..core.fep import fep_many
 from ..network.model import FeedForwardNetwork
-from .campaign import run_campaign
-from .injector import FaultInjector, static_fault_action
-from .masks import BernoulliSampler, MaskCampaignEngine, sampled_campaign_errors
-from .scenarios import FailureScenario, random_failure_scenario
-from .types import CrashFault, FaultModel
+from .injector import FaultInjector
+from .masks import (
+    BernoulliSampler,
+    MaskCampaignEngine,
+    SynapseBernoulliSampler,
+    sampled_campaign_errors,
+)
+from .scenarios import FailureScenario
+from .types import CrashFault, FaultModel, IntermittentFault, SynapseFault
 
 __all__ = [
     "certified_survival_probability",
@@ -152,26 +156,34 @@ def monte_carlo_survival(
 ) -> ReliabilityEstimate:
     """Estimate the *actual* survival probability by injection.
 
-    Each trial fails every neuron independently with ``p_fail``
+    Each trial fails every component independently with ``p_fail``
     (Bernoulli), injects, and checks the output error over the probe
     batch against the budget.  Reports a Wilson interval and, when the
     count grid is affordable, attaches the certified lower bound —
     the Monte-Carlo estimate must dominate it.
 
-    Static faults (the default crash model included) draw the Bernoulli
-    trial masks and evaluate on the mask-native engine; stochastic
-    faults fall back to per-trial scenario objects.  Callers sweeping a
-    grid of ``p_fail`` values over the same network and probe batch
-    (survival curves) should build one
-    :class:`~repro.faults.masks.MaskCampaignEngine` and pass it as
-    ``engine`` — the weight casts, nominal forward pass and buffers are
-    then paid once for the whole sweep instead of once per grid point.
+    Every fault model evaluates on the mask-native engine: neuron
+    faults (including stochastic ones — transient/intermittent crashes,
+    Gaussian noise) Bernoulli-sample neurons, synapse faults Bernoulli-
+    sample the physical synapses (per-mission synapse reliability, the
+    Theorem-4 granularity).  Callers sweeping a grid of ``p_fail``
+    values over the same network and probe batch (survival curves)
+    should build one :class:`~repro.faults.masks.MaskCampaignEngine`
+    and pass it as ``engine`` — the weight casts, nominal forward pass
+    and buffers are then paid once for the whole sweep instead of once
+    per grid point.
     """
     if not 0 <= p_fail <= 1:
         raise ValueError(f"p_fail must be in [0,1], got {p_fail}")
     budget = epsilon - epsilon_prime
     fault = fault if fault is not None else CrashFault()
-    if capacity is None and isinstance(fault, CrashFault):
+    # An intermittent fault behaves like its wrapped fault where it
+    # hits; capacity defaults and the certificate mode follow the
+    # innermost model.
+    effective = fault
+    while isinstance(effective, IntermittentFault):
+        effective = effective.fault
+    if capacity is None and isinstance(effective, CrashFault):
         injector_capacity: Optional[float] = network.output_bound
     else:
         injector_capacity = capacity
@@ -194,32 +206,25 @@ def monte_carlo_survival(
     else:
         injector = FaultInjector(network, capacity=injector_capacity)
 
-    if static_fault_action(fault) is None:
-        rng = np.random.default_rng(seed)
-        scenarios = []
-        for t in range(n_trials):
-            faults = {}
-            for l, width in enumerate(network.layer_sizes, start=1):
-                hit = np.nonzero(rng.random(width) < p_fail)[0]
-                for i in hit:
-                    faults[(l, int(i))] = fault
-            scenarios.append(FailureScenario(faults, name=f"trial{t}"))
-        errors = run_campaign(
-            injector, x, scenarios, keep_names=False, seed=seed
-        ).errors
-    else:
-        errors = sampled_campaign_errors(
-            injector, x, BernoulliSampler(network, p_fail, fault=fault),
-            n_trials, seed=seed, engine=engine,
+    if isinstance(fault, SynapseFault):
+        sampler: BernoulliSampler | SynapseBernoulliSampler = (
+            SynapseBernoulliSampler(network, p_fail, fault=fault)
         )
+    else:
+        sampler = BernoulliSampler(network, p_fail, fault=fault)
+    errors = sampled_campaign_errors(
+        injector, x, sampler, n_trials, seed=seed, engine=engine,
+    )
     survived = int(np.sum(errors <= budget + 1e-12))
     estimate = survived / n_trials
     lo, hi = _wilson_interval(survived, n_trials, confidence)
 
     certified = None
     grid_size = int(np.prod([n + 1 for n in network.layer_sizes]))
-    if grid_size <= 200_000:
-        mode = "crash" if isinstance(fault, CrashFault) else "byzantine"
+    # The count-grid certificate speaks about neuron failure counts
+    # (Theorem 3); synapse-grained campaigns have no such bound here.
+    if grid_size <= 200_000 and not isinstance(fault, SynapseFault):
+        mode = "crash" if isinstance(effective, CrashFault) else "byzantine"
         try:
             certified = certified_survival_probability(
                 network, p_fail, epsilon, epsilon_prime,

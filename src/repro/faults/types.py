@@ -25,6 +25,7 @@ paper's bounds.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -44,7 +45,45 @@ __all__ = [
     "SynapseCrashFault",
     "SynapseByzantineFault",
     "SynapseNoiseFault",
+    "UnseededFaultWarning",
+    "fault_is_stochastic",
 ]
+
+
+class UnseededFaultWarning(UserWarning):
+    """A stochastic fault drew from a fresh, unseeded RNG.
+
+    Campaign results that hit this path are not reproducible: every
+    call draws fresh OS entropy.  Thread a seeded
+    ``np.random.Generator`` (the campaign layers all do) to silence it.
+    """
+
+
+_unseeded_warned = False
+
+
+def unseeded_rng(context: str) -> np.random.Generator:
+    """A fresh unseeded generator, warning (once per process) that the
+    caller has left the reproducible path."""
+    global _unseeded_warned
+    if not _unseeded_warned:
+        _unseeded_warned = True
+        warnings.warn(
+            f"{context} with rng=None draws from fresh OS entropy; results "
+            "are not reproducible. Pass a seeded np.random.Generator.",
+            UnseededFaultWarning,
+            stacklevel=3,
+        )
+    return np.random.default_rng()
+
+
+def fault_is_stochastic(fault: "FaultModel") -> bool:
+    """Whether evaluating ``fault`` consumes random draws."""
+    if isinstance(fault, (NoiseFault, SynapseNoiseFault)):
+        return True
+    if isinstance(fault, IntermittentFault):
+        return fault.p < 1.0 or fault_is_stochastic(fault.fault)
+    return False
 
 
 class FaultModel:
@@ -60,12 +99,16 @@ class FaultModel:
         nominal: np.ndarray,
         *,
         rng: Optional[np.random.Generator] = None,
+        capacity: Optional[float] = None,
     ) -> np.ndarray:
         """Map nominal emitted value(s) to faulty value(s).
 
         ``nominal`` is an array (any shape — typically ``(B,)`` over a
         batch of inputs); the result must have the same shape.  The
-        injector clips the result to the transmission capacity.
+        injector clips the result to the transmission capacity;
+        ``capacity`` lets capacity-*saturating* models resolve their
+        worst case eagerly (and fail loudly when it is unbounded)
+        instead of returning an infinite sentinel.
         """
         raise NotImplementedError
 
@@ -106,7 +149,7 @@ class CrashFault(NeuronFault):
 
     kind: str = field(default="crash", init=False)
 
-    def apply(self, nominal, *, rng=None):
+    def apply(self, nominal, *, rng=None, capacity=None):
         return np.zeros_like(np.asarray(nominal, dtype=np.float64))
 
 
@@ -140,7 +183,7 @@ class ByzantineFault(NeuronFault):
         if self.sign not in (-1, 1):
             raise ValueError(f"sign must be +-1, got {self.sign}")
 
-    def apply(self, nominal, *, rng=None):
+    def apply(self, nominal, *, rng=None, capacity=None):
         nominal = np.asarray(nominal, dtype=np.float64)
         if self.value is None:
             # Sentinel: the injector replaces infinities by +-capacity.
@@ -155,7 +198,7 @@ class StuckAtFault(NeuronFault):
     value: float = 1.0
     kind: str = field(default="stuck_at", init=False)
 
-    def apply(self, nominal, *, rng=None):
+    def apply(self, nominal, *, rng=None, capacity=None):
         nominal = np.asarray(nominal, dtype=np.float64)
         return np.full_like(nominal, float(self.value))
 
@@ -174,7 +217,7 @@ class OffsetFault(NeuronFault):
     offset: float = 0.0
     kind: str = field(default="offset", init=False)
 
-    def apply(self, nominal, *, rng=None):
+    def apply(self, nominal, *, rng=None, capacity=None):
         return np.asarray(nominal, dtype=np.float64) + float(self.offset)
 
 
@@ -189,9 +232,9 @@ class NoiseFault(NeuronFault):
         if self.sigma < 0:
             raise ValueError(f"sigma must be >= 0, got {self.sigma}")
 
-    def apply(self, nominal, *, rng=None):
+    def apply(self, nominal, *, rng=None, capacity=None):
         nominal = np.asarray(nominal, dtype=np.float64)
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else unseeded_rng("NoiseFault.apply")
         return nominal + rng.normal(0.0, self.sigma, size=nominal.shape)
 
 
@@ -218,11 +261,11 @@ class IntermittentFault(NeuronFault):
         if not isinstance(self.fault, NeuronFault):
             raise TypeError(f"wrapped fault must be a NeuronFault, got {self.fault!r}")
 
-    def apply(self, nominal, *, rng=None):
+    def apply(self, nominal, *, rng=None, capacity=None):
         nominal = np.asarray(nominal, dtype=np.float64)
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else unseeded_rng("IntermittentFault.apply")
         hit = rng.random(nominal.shape) < self.p
-        faulty = self.fault.apply(nominal, rng=rng)
+        faulty = self.fault.apply(nominal, rng=rng, capacity=capacity)
         return np.where(hit, faulty, nominal)
 
 
@@ -232,7 +275,7 @@ class SignFlipFault(NeuronFault):
 
     kind: str = field(default="sign_flip", init=False)
 
-    def apply(self, nominal, *, rng=None):
+    def apply(self, nominal, *, rng=None, capacity=None):
         return -np.asarray(nominal, dtype=np.float64)
 
 
@@ -248,7 +291,7 @@ class SynapseCrashFault(SynapseFault):
 
     kind: str = field(default="synapse_crash", init=False)
 
-    def apply(self, nominal, *, rng=None):
+    def apply(self, nominal, *, rng=None, capacity=None):
         return np.zeros_like(np.asarray(nominal, dtype=np.float64))
 
 
@@ -258,7 +301,12 @@ class SynapseByzantineFault(SynapseFault):
 
     ``offset=None`` saturates the capacity (``lambda = sign * C``),
     mirroring the Lemma-2 / Theorem-4 worst case (received-sum error
-    ``w_ji * C``).
+    ``w_ji * C``): ``apply`` needs the effective ``capacity`` to
+    resolve it, and raises when the capacity is unbounded — an
+    unbounded Byzantine synapse has no well-defined worst value
+    (previously this path returned ``nominal ± inf``, which leaked
+    ``inf``/``NaN`` into campaign errors instead of the Lemma-2
+    saturated worst case).
     """
 
     offset: Optional[float] = None
@@ -269,10 +317,16 @@ class SynapseByzantineFault(SynapseFault):
         if self.sign not in (-1, 1):
             raise ValueError(f"sign must be +-1, got {self.sign}")
 
-    def apply(self, nominal, *, rng=None):
+    def apply(self, nominal, *, rng=None, capacity=None):
         nominal = np.asarray(nominal, dtype=np.float64)
         if self.offset is None:
-            return nominal + self.sign * np.inf
+            if capacity is None:
+                raise ValueError(
+                    "capacity-saturating synapse fault (offset=None) under "
+                    "unbounded transmission: pass a finite capacity or an "
+                    "explicit offset"
+                )
+            return nominal + self.sign * float(capacity)
         return nominal + float(self.offset)
 
 
@@ -287,7 +341,7 @@ class SynapseNoiseFault(SynapseFault):
         if self.sigma < 0:
             raise ValueError(f"sigma must be >= 0, got {self.sigma}")
 
-    def apply(self, nominal, *, rng=None):
+    def apply(self, nominal, *, rng=None, capacity=None):
         nominal = np.asarray(nominal, dtype=np.float64)
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else unseeded_rng("SynapseNoiseFault.apply")
         return nominal + rng.normal(0.0, self.sigma, size=nominal.shape)

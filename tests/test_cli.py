@@ -110,6 +110,43 @@ class TestCommands:
             )
             assert code == 0
 
+    def test_campaign_full_fault_taxonomy(self, saved_net, capsys):
+        """Every fault model in the taxonomy runs from the CLI — the
+        stochastic and synapse kinds included (synapse faults read the
+        distribution as per-stage counts, length L+1)."""
+        cases = (
+            ("noise", "1,1"),
+            ("intermittent", "1,1"),
+            ("sign-flip", "1,1"),
+            ("offset", "1,1"),
+            ("synapse-crash", "1,1,1"),
+            ("synapse-byzantine", "1,1,1"),
+            ("synapse-noise", "1,1,1"),
+        )
+        for fault, dist in cases:
+            code = main(
+                [
+                    "campaign", saved_net, "--distribution", dist,
+                    "--n-scenarios", "30", "--batch", "4",
+                    "--fault", fault, "--sigma", "0.05",
+                ]
+            )
+            assert code == 0, fault
+            assert "CampaignResult(n=30" in capsys.readouterr().out
+
+    def test_campaign_synapse_distribution_length_checked(
+        self, saved_net, capsys
+    ):
+        code = main(
+            [
+                "campaign", saved_net, "--distribution", "1,1",
+                "--fault", "synapse-crash", "--n-scenarios", "5",
+                "--batch", "2",
+            ]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
     def test_campaign_bad_distribution(self, saved_net, capsys):
         assert main(
             ["campaign", saved_net, "--distribution", "a,b"]

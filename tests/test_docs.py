@@ -78,3 +78,62 @@ def test_every_registered_entry_point_has_a_docstring():
         assert (exp.fn.__doc__ or "").strip(), (
             f"{exp.experiment_id}'s entry point has no docstring"
         )
+
+
+def _concrete_fault_models():
+    import repro.faults.types as types_mod
+    from repro.faults.types import FaultModel, NeuronFault, SynapseFault
+
+    abstract = {FaultModel, NeuronFault, SynapseFault}
+
+    def walk(cls):
+        for sub in cls.__subclasses__():
+            yield from walk(sub)
+        if cls not in abstract and cls.__module__ == types_mod.__name__:
+            yield cls
+
+    return sorted(set(walk(FaultModel)), key=lambda c: c.__name__)
+
+
+def test_every_fault_model_is_mask_supported_or_documented_scalar_only():
+    """Taxonomy gate: a new FaultModel subclass must either lower onto
+    the mask campaign engine (fault_channel_action / synapse_fault_action)
+    or be explicitly documented as scalar-only in DESIGN.md."""
+    import re
+
+    from repro.faults.injector import fault_channel_action, synapse_fault_action
+
+    design = _read("DESIGN.md")
+    models = _concrete_fault_models()
+    assert models, "no concrete fault models found in repro.faults.types"
+    for cls in models:
+        instance = cls()  # every taxonomy model has total defaults
+        supported = (
+            fault_channel_action(instance) is not None
+            or synapse_fault_action(instance) is not None
+        )
+        # Anchor on taxonomy-table rows ("| `ClassName` | ..."), not bare
+        # substrings — CrashFault must not pass via SynapseCrashFault's
+        # row, and "scalar-only" must appear on the model's own line.
+        table_row = re.search(
+            rf"^\|\s*`{cls.__name__}`\s*\|.*$", design, flags=re.M
+        )
+        if supported:
+            assert table_row, (
+                f"{cls.__name__} is mask-supported but has no row in "
+                "DESIGN.md's fault-taxonomy table"
+            )
+        else:
+            assert table_row and "scalar-only" in table_row.group(0), (
+                f"{cls.__name__} has no mask-channel lowering and no "
+                "'scalar-only' row in DESIGN.md's fault-taxonomy table"
+            )
+
+
+def test_paper_map_documents_the_fault_taxonomy():
+    text = _read("docs/paper_map.md")
+    for needle in (
+        "SynapseByzantineFault", "IntermittentFault", "Lemma 2 / Theorem 4",
+        "MixedFaultSampler",
+    ):
+        assert needle in text, f"{needle} missing from docs/paper_map.md"

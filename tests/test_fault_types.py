@@ -71,8 +71,20 @@ class TestSynapseFaultModels:
             SynapseByzantineFault(offset=0.3).apply(NOMINAL), NOMINAL + 0.3
         )
 
-    def test_byzantine_sentinel(self):
-        assert np.all(np.isposinf(SynapseByzantineFault().apply(NOMINAL) - NOMINAL))
+    def test_byzantine_saturates_against_capacity(self):
+        """Regression: offset=None used to return nominal +- inf; under
+        unbounded capacity nothing clipped it downstream and campaign
+        errors went inf/NaN.  It now saturates to the Lemma-2 worst
+        case when the capacity is known, and raises loudly otherwise."""
+        out = SynapseByzantineFault().apply(NOMINAL, capacity=0.4)
+        np.testing.assert_allclose(out, NOMINAL + 0.4)
+        out = SynapseByzantineFault(sign=-1).apply(NOMINAL, capacity=0.4)
+        np.testing.assert_allclose(out, NOMINAL - 0.4)
+        assert np.all(np.isfinite(out))
+
+    def test_byzantine_sentinel_rejected_without_capacity(self):
+        with pytest.raises(ValueError, match="unbounded"):
+            SynapseByzantineFault().apply(NOMINAL)
 
     def test_noise(self):
         rng = np.random.default_rng(1)

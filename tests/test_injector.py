@@ -178,16 +178,31 @@ class TestBatchedPath:
         for e, sc in zip(errs, scenarios):
             assert e == pytest.approx(inj.output_error(batch, sc))
 
-    def test_compile_rejects_synapse_faults(self, small_net):
+    def test_compile_lowers_synapse_faults(self, small_net, batch):
         inj = FaultInjector(small_net, capacity=1.0)
         sc = FailureScenario(synapse_faults={(1, 0, 0): SynapseCrashFault()})
-        with pytest.raises(ValueError, match="synapse"):
-            inj.compile_batch([sc])
+        compiled = inj.compile_batch([sc])
+        assert compiled.has_synapse_faults
+        err = inj.output_errors_many(batch, compiled)
+        assert err[0] == pytest.approx(inj.output_error(batch, sc))
 
-    def test_compile_rejects_dynamic_faults(self, small_net):
+    def test_compile_lowers_dynamic_faults(self, small_net):
         inj = FaultInjector(small_net, capacity=1.0)
         sc = FailureScenario({NeuronAddress(1, 0): NoiseFault()})
-        with pytest.raises(ValueError, match="not static"):
+        compiled = inj.compile_batch([sc])
+        assert compiled.is_stochastic
+        assert compiled.noise_masks[0][0, 0]
+
+    def test_compile_rejects_unknown_fault_models(self, small_net):
+        from repro.faults.types import NeuronFault
+
+        class WeirdFault(NeuronFault):
+            def apply(self, nominal, *, rng=None, capacity=None):
+                return nominal * 0.5  # pragma: no cover
+
+        inj = FaultInjector(small_net, capacity=1.0)
+        sc = FailureScenario({NeuronAddress(1, 0): WeirdFault()})
+        with pytest.raises(ValueError, match="lowering"):
             inj.compile_batch([sc])
 
     def test_empty_batch(self, small_net, batch):

@@ -22,18 +22,24 @@ from repro.faults.injector import FaultInjector
 from repro.faults.masks import (
     BernoulliSampler,
     FixedDistributionSampler,
+    FixedSynapseDistributionSampler,
     MaskCampaignEngine,
+    MixedFaultSampler,
+    SynapseBernoulliSampler,
     combination_index_array,
     masks_from_flat_indices,
+    merge_mask_batches,
     sampled_campaign_errors,
 )
 from repro.faults.scenarios import (
     exhaustive_crash_scenarios,
     random_failure_scenario,
+    random_synapse_scenario,
 )
 from repro.faults.types import (
     ByzantineFault,
     CrashFault,
+    IntermittentFault,
     NoiseFault,
     OffsetFault,
     StuckAtFault,
@@ -215,9 +221,27 @@ class TestSamplers:
         for mask in batch.zero_masks:
             assert abs(mask.mean() - 0.3) < 0.02
 
-    def test_rejects_stochastic_and_bad_args(self, small_net):
-        with pytest.raises(ValueError, match="not static"):
-            FixedDistributionSampler(small_net, (1, 0), fault=NoiseFault())
+    def test_stochastic_faults_fill_their_channels(self, small_net, rng):
+        batch = FixedDistributionSampler(
+            small_net, (2, 1), fault=NoiseFault(sigma=0.3)
+        ).sample(6, rng)
+        assert batch.is_stochastic
+        np.testing.assert_array_equal(batch.noise_masks[0].sum(axis=1), 2)
+        assert np.all(batch.noise_sigma[0][batch.noise_masks[0]] == 0.3)
+        gated = FixedDistributionSampler(
+            small_net, (1, 1), fault=IntermittentFault(p=0.25)
+        ).sample(6, rng)
+        assert gated.is_stochastic
+        assert np.all(gated.gate_p[0][gated.zero_masks[0]] == 0.25)
+        assert np.all(gated.gate_p[0][~gated.zero_masks[0]] == 1.0)
+
+    def test_rejects_bad_args(self, small_net):
+        from repro.faults.types import SynapseCrashFault
+
+        with pytest.raises(ValueError, match="synapse"):
+            FixedDistributionSampler(
+                small_net, (1, 0), fault=SynapseCrashFault()
+            )
         with pytest.raises(ValueError, match="length"):
             FixedDistributionSampler(small_net, (1,))
         with pytest.raises(ValueError):
@@ -301,25 +325,374 @@ class TestSampledCampaigns:
         assert result.num_scenarios == 30
         assert result.scenario_names == []  # mask path carries no names
 
-    def test_monte_carlo_stochastic_fallback_keeps_names(self, injector, batch):
+    def test_monte_carlo_stochastic_runs_on_mask_engine(self, injector, batch):
+        """Stochastic fault models no longer fall back to the ~25x
+        slower object path: they sample mask channels like everything
+        else (and therefore carry no per-scenario names)."""
         result = monte_carlo_campaign(
             injector, batch, (1, 0), n_scenarios=4, seed=1,
             fault=NoiseFault(sigma=0.05),
         )
-        assert result.scenario_names == [f"mc{i}" for i in range(4)]
+        assert result.num_scenarios == 4
+        assert result.scenario_names == []
         assert result.max_error > 0
 
     def test_stochastic_chunks_draw_independent_noise(self, injector, batch):
-        """Regression: the scalar fallback used a fixed rng(0) per chunk,
-        replaying identical noise in every chunk."""
+        """Regression: the seed-era scalar fallback used a fixed rng(0)
+        per chunk, replaying identical noise in every chunk."""
         result = monte_carlo_campaign(
             injector, batch, (1, 1), n_scenarios=8, seed=0, chunk_size=1,
             fault=NoiseFault(sigma=0.5),
         )
         assert np.unique(result.errors).size == result.errors.size
 
+    def test_monte_carlo_synapse_distribution(self, injector, batch):
+        from repro.faults.types import SynapseByzantineFault
+
+        result = monte_carlo_campaign(
+            injector, batch, (2, 1, 1), n_scenarios=16, seed=3,
+            fault=SynapseByzantineFault(),
+        )
+        assert result.num_scenarios == 16
+        assert np.all(np.isfinite(result.errors))
+        assert result.max_error > 0
+
     def test_sampler_network_mismatch_rejected(self, injector, batch):
         other = build_mlp(3, [4, 4], seed=9)
         sampler = FixedDistributionSampler(other, (1, 1))
         with pytest.raises(ValueError, match="layer sizes"):
             sampled_campaign_errors(injector, batch, sampler, 10)
+
+    def test_engine_reuse_guard_compares_probes_in_float64(
+        self, injector, batch
+    ):
+        """Regression: the probe-batch guard used to cast to the engine
+        dtype first, so two distinct float64 batches colliding at
+        float32 slipped past on a float32 engine."""
+        engine = MaskCampaignEngine(injector, batch, dtype="float32")
+        # One float64 ulp away: == batch at float32, != at float64.
+        other = np.nextafter(batch, np.inf)
+        assert np.array_equal(
+            other.astype(np.float32), batch.astype(np.float32)
+        )
+        sampler = FixedDistributionSampler(injector.network, (1, 1))
+        with pytest.raises(ValueError, match="different probe batch"):
+            sampled_campaign_errors(
+                injector, other, sampler, 8, seed=0, engine=engine
+            )
+        # The true probe batch still passes.
+        errs = sampled_campaign_errors(
+            injector, batch, sampler, 8, seed=0, engine=engine
+        )
+        assert errs.shape == (8,)
+
+
+# ---------------------------------------------------------------------------
+# Full fault-taxonomy coverage (stochastic + synapse channels)
+# ---------------------------------------------------------------------------
+
+
+def _scalar_errors(injector, x, scenarios, seed=1234):
+    rng = np.random.default_rng(seed)
+    return np.array(
+        [injector.output_error(x, sc, rng=rng) for sc in scenarios]
+    )
+
+
+class TestTaxonomyEquivalence:
+    """Satellite: statistical-equivalence suite between the scalar
+    injector and the new mask channels, for every fault kind."""
+
+    from repro.faults.types import (  # noqa: PLC0415 - parametrization aid
+        SignFlipFault,
+        SynapseByzantineFault,
+        SynapseCrashFault,
+        SynapseNoiseFault,
+    )
+
+    def test_sign_flip_matches_scalar_exactly(self, small_net, injector,
+                                              batch, rng):
+        scenarios = [
+            random_failure_scenario(
+                small_net, (2, 1), fault=self.SignFlipFault(), rng=rng
+            )
+            for _ in range(20)
+        ]
+        compiled = injector.compile_batch(scenarios)
+        engine = MaskCampaignEngine(injector, batch, chunk_size=7)
+        np.testing.assert_allclose(
+            engine.evaluate(compiled), _scalar_errors(injector, batch, scenarios),
+            rtol=1e-10,
+        )
+
+    @pytest.mark.parametrize(
+        "fault",
+        [SynapseCrashFault(), SynapseByzantineFault(),
+         SynapseByzantineFault(offset=0.4, sign=-1)],
+    )
+    def test_deterministic_synapse_faults_match_scalar_exactly(
+        self, small_net, injector, batch, rng, fault
+    ):
+        scenarios = [
+            random_synapse_scenario(small_net, (2, 1, 1), fault=fault, rng=rng)
+            for _ in range(16)
+        ]
+        compiled = injector.compile_batch(scenarios)
+        engine = MaskCampaignEngine(injector, batch, chunk_size=5)
+        scalar = _scalar_errors(injector, batch, scenarios)
+        np.testing.assert_allclose(engine.evaluate(compiled), scalar, rtol=1e-9)
+        np.testing.assert_allclose(
+            injector.output_errors_many(batch, compiled), scalar, rtol=1e-9
+        )
+
+    @staticmethod
+    def _assert_statistically_equivalent(scalar, mask):
+        from scipy import stats as sps
+
+        ks = sps.ks_2samp(scalar, mask)
+        assert ks.pvalue > 1e-3, (
+            f"KS test rejects equivalence (p={ks.pvalue:.2e}): "
+            f"scalar mean {scalar.mean():.4f} vs mask mean {mask.mean():.4f}"
+        )
+        spread = max(scalar.std(), 1e-6)
+        assert abs(scalar.mean() - mask.mean()) < 0.25 * spread
+        for q in (0.25, 0.5, 0.75):
+            assert abs(
+                np.quantile(scalar, q) - np.quantile(mask, q)
+            ) < 0.35 * spread
+
+    @pytest.mark.parametrize(
+        "fault",
+        [
+            NoiseFault(sigma=0.3),
+            IntermittentFault(p=0.4),
+            IntermittentFault(p=0.6, fault=ByzantineFault(value=0.9)),
+            IntermittentFault(p=0.5, fault=NoiseFault(sigma=0.4)),
+        ],
+    )
+    def test_stochastic_neuron_faults_match_scalar_statistically(
+        self, small_net, injector, batch, rng, fault
+    ):
+        S = 400
+        scenarios = [
+            random_failure_scenario(small_net, (2, 1), fault=fault, rng=rng)
+            for _ in range(S)
+        ]
+        compiled = injector.compile_batch(scenarios)
+        assert compiled.is_stochastic
+        engine = MaskCampaignEngine(injector, batch)
+        scalar = _scalar_errors(injector, batch, scenarios, seed=11)
+        mask = engine.evaluate(compiled, rng=np.random.default_rng(12))
+        self._assert_statistically_equivalent(scalar, mask)
+
+    def test_synapse_noise_matches_scalar_statistically(
+        self, small_net, injector, batch, rng
+    ):
+        S = 400
+        scenarios = [
+            random_synapse_scenario(
+                small_net, (3, 2, 1), fault=self.SynapseNoiseFault(sigma=0.4),
+                rng=rng,
+            )
+            for _ in range(S)
+        ]
+        compiled = injector.compile_batch(scenarios)
+        assert compiled.is_stochastic
+        engine = MaskCampaignEngine(injector, batch)
+        scalar = _scalar_errors(injector, batch, scenarios, seed=21)
+        mask = engine.evaluate(compiled, rng=np.random.default_rng(22))
+        self._assert_statistically_equivalent(scalar, mask)
+
+    def test_stochastic_sampler_matches_scalar_statistically(
+        self, small_net, injector, batch
+    ):
+        """Sampler-native stochastic campaigns (no scenario objects at
+        all) draw from the same per-layer distribution as the scalar
+        twin."""
+        fault = NoiseFault(sigma=0.25)
+        sampler = FixedDistributionSampler(small_net, (2, 1), fault=fault)
+        mask = sampled_campaign_errors(
+            injector, batch, sampler, 400, seed=5
+        )
+        rng = np.random.default_rng(6)
+        scenarios = [
+            random_failure_scenario(small_net, (2, 1), fault=fault, rng=rng)
+            for _ in range(400)
+        ]
+        scalar = _scalar_errors(injector, batch, scenarios, seed=7)
+        self._assert_statistically_equivalent(scalar, mask)
+
+    def test_intermittent_crash_emits_exact_zero_on_hit(self, small_net, batch):
+        """Scalar-path bugfix: an intermittent *crash* is a crash where
+        it hits (exactly 0 — Definition 2), not a Byzantine value whose
+        deviation is clipped to the capacity."""
+        from repro.faults.injector import apply_neuron_fault
+        from repro.faults.types import IntermittentFault
+
+        nominal = np.full(2000, 5.0)
+        out = apply_neuron_fault(
+            IntermittentFault(p=0.5), nominal, capacity=0.5,
+            rng=np.random.default_rng(0),
+        )
+        hit = out != 5.0
+        assert 0.4 < hit.mean() < 0.6
+        np.testing.assert_array_equal(out[hit], 0.0)  # not 4.5
+
+    def test_stochastic_serial_matches_parallel(self, injector, batch):
+        sampler = FixedDistributionSampler(
+            injector.network, (2, 1), fault=NoiseFault(sigma=0.3)
+        )
+        serial = sampled_campaign_errors(
+            injector, batch, sampler, 96, seed=7, chunk_size=32
+        )
+        parallel = sampled_campaign_errors(
+            injector, batch, sampler, 96, seed=7, chunk_size=32, n_workers=2
+        )
+        np.testing.assert_array_equal(serial, parallel)
+
+    def test_synapse_sampler_serial_matches_parallel(self, injector, batch):
+        from repro.faults.types import SynapseNoiseFault
+
+        sampler = SynapseBernoulliSampler(
+            injector.network, 0.05, fault=SynapseNoiseFault(sigma=0.2)
+        )
+        serial = sampled_campaign_errors(
+            injector, batch, sampler, 96, seed=9, chunk_size=32
+        )
+        parallel = sampled_campaign_errors(
+            injector, batch, sampler, 96, seed=9, chunk_size=32, n_workers=2
+        )
+        np.testing.assert_array_equal(serial, parallel)
+
+    def test_stochastic_campaign_reproducible_by_seed(self, injector, batch):
+        sampler = BernoulliSampler(
+            injector.network, 0.2, fault=NoiseFault(sigma=0.3)
+        )
+        a = sampled_campaign_errors(injector, batch, sampler, 64, seed=3)
+        b = sampled_campaign_errors(injector, batch, sampler, 64, seed=3)
+        c = sampled_campaign_errors(injector, batch, sampler, 64, seed=4)
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_unseeded_stochastic_evaluation_warns_once(
+        self, injector, batch, rng, monkeypatch
+    ):
+        import repro.faults.types as types_mod
+        from repro.faults.types import UnseededFaultWarning
+
+        monkeypatch.setattr(types_mod, "_unseeded_warned", False)
+        sampler = FixedDistributionSampler(
+            injector.network, (1, 0), fault=NoiseFault(sigma=0.2)
+        )
+        compiled = sampler.sample(4, rng)
+        engine = MaskCampaignEngine(injector, batch)
+        with pytest.warns(UnseededFaultWarning):
+            engine.evaluate(compiled)
+
+
+class TestSynapseSamplers:
+    def test_fixed_counts_exact(self, small_net, rng):
+        sampler = FixedSynapseDistributionSampler(small_net, (3, 2, 1))
+        batch = sampler.sample(50, rng)
+        stages = batch.synapse_stages
+        assert [np.bincount(st.add_s, minlength=50).tolist()
+                for st in stages] == [[3] * 50, [2] * 50, [1] * 50]
+
+    def test_counts_validated_against_physical_synapses(self, small_net):
+        with pytest.raises(ValueError, match="synapse counts"):
+            FixedSynapseDistributionSampler(small_net, (10_000, 0, 0))
+        with pytest.raises(ValueError, match="L\\+1"):
+            FixedSynapseDistributionSampler(small_net, (1, 1))
+
+    def test_bernoulli_rates(self, small_net, rng):
+        sampler = SynapseBernoulliSampler(small_net, 0.3)
+        batch = sampler.sample(2000, rng)
+        for st, n_phys in zip(
+            batch.synapse_stages, sampler.stage_synapse_counts
+        ):
+            rate = st.add_s.size / (2000 * n_phys)
+            assert abs(rate - 0.3) < 0.03
+
+    def test_rejects_neuron_faults(self, small_net):
+        with pytest.raises(ValueError, match="weight-level"):
+            SynapseBernoulliSampler(small_net, 0.1, fault=CrashFault())
+
+    def test_network_identity_checked_beyond_layer_sizes(
+        self, small_net, injector, batch
+    ):
+        """Regression: two networks with identical layer sizes can
+        differ in input_dim — the sampler's COO synapse tables would
+        then scatter into the wrong (or non-existent) weights."""
+        other = build_mlp(5, list(small_net.layer_sizes), seed=4)
+        assert other.layer_sizes == small_net.layer_sizes
+        sampler = SynapseBernoulliSampler(other, 0.1)
+        with pytest.raises(ValueError, match="input_dim"):
+            sampled_campaign_errors(injector, batch, sampler, 8)
+        # Mixed samplers delegate the check to their components.
+        mixed = MixedFaultSampler([sampler])
+        with pytest.raises(ValueError, match="input_dim"):
+            sampled_campaign_errors(injector, batch, mixed, 8)
+
+
+class TestMixedFaultSampler:
+    def test_union_of_components(self, small_net, rng):
+        from repro.faults.types import SynapseNoiseFault
+
+        mixed = MixedFaultSampler(
+            [
+                FixedDistributionSampler(small_net, (2, 0)),
+                FixedDistributionSampler(
+                    small_net, (0, 1), fault=ByzantineFault(value=0.8)
+                ),
+                SynapseBernoulliSampler(
+                    small_net, 0.1, fault=SynapseNoiseFault(sigma=0.1)
+                ),
+            ]
+        )
+        batch = mixed.sample(40, rng)
+        np.testing.assert_array_equal(batch.zero_masks[0].sum(axis=1), 2)
+        np.testing.assert_array_equal(batch.set_masks[1].sum(axis=1), 1)
+        assert batch.has_synapse_faults and batch.is_stochastic
+
+    def test_later_component_wins_on_collisions(self, small_net, rng):
+        """Both components fail the whole first layer: every cell
+        collides, and the later (Byzantine) component must own them —
+        the FailureScenario.merged_with semantics."""
+        width = small_net.layer_sizes[0]
+        mixed = MixedFaultSampler(
+            [
+                FixedDistributionSampler(small_net, (width, 0)),
+                FixedDistributionSampler(
+                    small_net, (width, 0), fault=StuckAtFault(0.7)
+                ),
+            ]
+        )
+        batch = mixed.sample(5, rng)
+        assert not batch.zero_masks[0].any()
+        assert batch.set_masks[0].all()
+
+    def test_mixed_campaign_evaluates(self, injector, batch, rng):
+        mixed = MixedFaultSampler(
+            [
+                FixedDistributionSampler(injector.network, (1, 1)),
+                SynapseBernoulliSampler(injector.network, 0.05),
+            ]
+        )
+        errs = sampled_campaign_errors(injector, batch, mixed, 64, seed=2)
+        assert errs.shape == (64,) and np.all(np.isfinite(errs))
+
+    def test_rejects_mismatched_components(self, small_net):
+        other = build_mlp(3, [4, 4], seed=9)
+        with pytest.raises(ValueError, match="layer sizes"):
+            MixedFaultSampler(
+                [
+                    FixedDistributionSampler(small_net, (1, 0)),
+                    FixedDistributionSampler(other, (1, 0)),
+                ]
+            )
+        with pytest.raises(ValueError, match="at least one"):
+            MixedFaultSampler([])
+
+    def test_merge_empty_list(self, small_net):
+        merged = merge_mask_batches(small_net.layer_sizes, [])
+        assert merged.num_scenarios == 0
