@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test fast-test docs-check experiments report bench bench-faults
+.PHONY: test fast-test docs-check experiments report bench bench-faults bench-chaos
 
 test:            ## tier-1: the full pytest suite
 	$(PYTHON) -m pytest -x -q
@@ -24,3 +24,6 @@ bench:           ## refresh BENCH_campaign.json
 
 bench-faults:    ## the extended fault-taxonomy benchmark matrix
 	$(PYTHON) benchmarks/run_campaign_bench.py --full-matrix
+
+bench-chaos:     ## the temporal chaos campaign vs a scalar epoch loop
+	$(PYTHON) benchmarks/run_chaos_bench.py

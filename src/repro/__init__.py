@@ -23,11 +23,13 @@ Subpackages
 - :mod:`repro.training` — backprop trainer (incl. Fep regulariser);
 - :mod:`repro.faults` — fault models, injection, campaigns;
 - :mod:`repro.distributed` — process-per-neuron simulator, boosting;
+- :mod:`repro.chaos` — temporal chaos campaigns over deployed fleets;
 - :mod:`repro.quantization` — Theorem-5 precision reduction;
 - :mod:`repro.analysis` — Lipschitz/topology/statistics utilities;
 - :mod:`repro.experiments` — one module per paper figure/claim.
 """
 
+from .chaos import ChaosReport, run_chaos_campaign
 from .core import (
     BoundCheck,
     RobustnessCertificate,
@@ -96,4 +98,7 @@ __all__ = [
     "random_failure_scenario",
     "worst_case_crash_scenario",
     "monte_carlo_campaign",
+    # chaos (the deployment-lifecycle subsystem)
+    "ChaosReport",
+    "run_chaos_campaign",
 ]

@@ -1,0 +1,85 @@
+"""Temporal chaos campaigns: the deployment-lifecycle subsystem.
+
+Where :mod:`repro.faults` evaluates *static snapshots* (sample S
+i.i.d. scenarios, evaluate, aggregate), this package simulates a
+*deployed* fleet of network replicas serving request traffic over
+discrete epochs while a fault schedule evolves — faults arrive,
+accumulate, get detected, and get repaired, the Section-V deployment
+story made executable:
+
+* :mod:`~repro.chaos.processes` — stochastic fault arrival/lifetime
+  processes (Poisson arrivals, exponential/Weibull lifetimes,
+  transient bursts, correlated layer blasts);
+* :mod:`~repro.chaos.deployment` — the fleet state and its lowering
+  of a whole epochs × replicas window onto one
+  :class:`~repro.faults.masks.MaskCampaignEngine` evaluation;
+* :mod:`~repro.chaos.traffic` — request streams (constant, diurnal,
+  bursty Pareto) weighting the SLO statistics;
+* :mod:`~repro.chaos.detectors` — error-drift detectors (threshold,
+  CUSUM, the Fep-certified preventive alarm);
+* :mod:`~repro.chaos.policies` — repair/mitigation policies (none,
+  boosted rejuvenation, detector-triggered repair, spare activation);
+* :mod:`~repro.chaos.campaign` — :func:`run_chaos_campaign`, the
+  orchestrator producing a :class:`ChaosReport` SLO summary with
+  fork-once parallelism across replica blocks.
+
+See DESIGN.md's fifth-subsystem section for the data flow.
+"""
+
+from .campaign import REPLICA_BLOCK, ChaosReport, run_chaos_campaign
+from .deployment import DeployedNetwork, EpochWindow, FleetState
+from .detectors import (
+    CertifiedAlarmDetector,
+    CUSUMDetector,
+    DriftDetector,
+    ThresholdDetector,
+)
+from .policies import (
+    DetectorRepairPolicy,
+    NoRepairPolicy,
+    PeriodicRejuvenationPolicy,
+    RepairPolicy,
+    SpareActivationPolicy,
+    recommended_spares,
+)
+from .processes import (
+    ComponentLifetimeProcess,
+    CorrelatedBlastProcess,
+    FaultProcess,
+    PoissonArrivalProcess,
+    TransientBurstProcess,
+)
+from .traffic import (
+    ConstantTraffic,
+    DiurnalTraffic,
+    ParetoBurstyTraffic,
+    TrafficModel,
+)
+
+__all__ = [
+    "REPLICA_BLOCK",
+    "ChaosReport",
+    "run_chaos_campaign",
+    "DeployedNetwork",
+    "EpochWindow",
+    "FleetState",
+    "DriftDetector",
+    "ThresholdDetector",
+    "CUSUMDetector",
+    "CertifiedAlarmDetector",
+    "RepairPolicy",
+    "NoRepairPolicy",
+    "PeriodicRejuvenationPolicy",
+    "DetectorRepairPolicy",
+    "SpareActivationPolicy",
+    "recommended_spares",
+    "FaultProcess",
+    "PoissonArrivalProcess",
+    "ComponentLifetimeProcess",
+    "TransientBurstProcess",
+    "CorrelatedBlastProcess",
+    "TrafficModel",
+    "ConstantTraffic",
+    "DiurnalTraffic",
+    "ParetoBurstyTraffic",
+]

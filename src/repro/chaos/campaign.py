@@ -1,0 +1,485 @@
+"""The chaos orchestrator: lifecycle simulation → streamed SLO report.
+
+``run_chaos_campaign`` is the fifth subsystem's entry point.  Per
+epoch it (1) applies due repairs, (2) steps every fault process over
+the whole replica fleet, (3) snapshots the fleet into the window
+buffers; per *window* of ``epochs_chunk`` epochs it compiles one
+:class:`~repro.faults.injector.CompiledScenarioBatch` of ``W * R``
+scenario rows and streams it through a single
+:class:`~repro.faults.masks.MaskCampaignEngine` evaluation — the hot
+loop contains zero per-scenario Python.  Detectors consume the
+evaluated errors, policies schedule repairs from the firings, and the
+aggregate becomes a :class:`ChaosReport`: availability (plain and
+request-weighted), the time-to-first-violation distribution, MTBF /
+MTTR, and per-detector precision/recall against ground truth.
+
+Determinism and parallelism follow the repo's campaign discipline
+(DESIGN.md): replicas are partitioned into fixed blocks of
+:data:`REPLICA_BLOCK`; block ``b`` always simulates with the ``b+1``-th
+spawned child of ``SeedSequence(seed)`` (child 0 drives the traffic
+draw), and the fork-once pool ships the network, probe batch, traffic
+series, processes, detectors and policy to each worker exactly once —
+jobs carry only ``(block size, seed)``.  The serial path iterates the
+same blocks with the same seeds, so the fault schedule, detector
+firings and SLO report are bitwise identical, serial == parallel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..faults.injector import FaultInjector
+from ..faults.masks import MaskCampaignEngine
+from ..network.model import FeedForwardNetwork
+from ..parallel import bounded_map, fork_once_pool, worker_state
+from .deployment import DeployedNetwork
+from .detectors import DriftDetector
+from .policies import NoRepairPolicy, RepairPolicy
+from .processes import FaultProcess
+from .traffic import TrafficModel
+
+__all__ = ["ChaosReport", "run_chaos_campaign", "REPLICA_BLOCK"]
+
+#: Fixed parallel quantum: replica block ``b`` always covers replicas
+#: ``[b * REPLICA_BLOCK, ...)`` and always simulates with the same
+#: spawned seed, regardless of worker count — campaign results depend
+#: only on the seed (the chaos twin of ``masks.SAMPLE_BLOCK``).
+REPLICA_BLOCK = 16
+
+
+@dataclass
+class ChaosReport:
+    """SLO summary of one chaos campaign.
+
+    ``availability`` counts every (epoch, replica) cell that served
+    within the error budget and was not in repair downtime;
+    ``weighted_availability`` weighs cells by the epoch's request
+    traffic.  ``mtbf`` / ``mttr`` are measured in epochs over
+    violation *episodes* (maximal runs of consecutive violating
+    epochs per replica).  ``detector_stats`` scores each detector's
+    firings against ground truth (violating, in-service cells).
+    """
+
+    n_replicas: int
+    epochs: int
+    epsilon: float
+    epsilon_prime: float
+    availability: float
+    weighted_availability: float
+    violation_fraction: float
+    downtime_fraction: float
+    time_to_first_violation: np.ndarray
+    n_violation_episodes: int
+    mtbf: float
+    mttr: float
+    detector_stats: Dict[str, dict] = field(default_factory=dict)
+    policy_stats: Dict[str, object] = field(default_factory=dict)
+    requests: Optional[np.ndarray] = None
+    errors: Optional[np.ndarray] = None
+
+    @property
+    def budget(self) -> float:
+        return self.epsilon - self.epsilon_prime
+
+    def survival_curve(self) -> np.ndarray:
+        """Empirical survival by mission time: entry ``m`` is the
+        fraction of replicas with no violation during their first ``m``
+        epochs, shape ``(epochs + 1,)`` (``curve[0] == 1``).
+
+        The chaos twin of
+        :func:`~repro.faults.reliability.mission_survival_curve`: under
+        a no-repair policy and exponential lifetimes it must dominate
+        the certified bound at every mission time ``m * dt``.
+        """
+        t = np.arange(self.epochs + 1)
+        first = np.asarray(self.time_to_first_violation)
+        return (first[None, :] >= t[:, None]).mean(axis=1)
+
+    def to_dict(self) -> dict:
+        from ..experiments.runner import jsonable
+
+        payload = {
+            k: jsonable(v)
+            for k, v in self.__dict__.items()
+            if k != "errors"
+        }
+        payload["budget"] = self.budget
+        return payload
+
+    def summary(self) -> str:
+        lines = [
+            f"ChaosReport(replicas={self.n_replicas}, epochs={self.epochs}, "
+            f"budget={self.budget:.4g})",
+            f"  availability:          {self.availability:.4f}"
+            f"  (request-weighted {self.weighted_availability:.4f})",
+            f"  violations:            {self.violation_fraction:.4f} of cells"
+            f" in {self.n_violation_episodes} episodes",
+            f"  MTBF / MTTR (epochs):  {self.mtbf:.4g} / {self.mttr:.4g}",
+            f"  downtime:              {self.downtime_fraction:.4f} of cells",
+            "  median epochs to first violation: "
+            f"{float(np.median(self.time_to_first_violation)):.4g}",
+        ]
+        for name, stats in self.detector_stats.items():
+            lines.append(
+                f"  detector {name}: fired {stats['firings']}, "
+                f"precision {stats['precision']:.3f}, "
+                f"recall {stats['recall']:.3f}"
+            )
+        if self.policy_stats:
+            pretty = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.policy_stats.items())
+                if k != "name"
+            )
+            lines.append(
+                f"  policy {self.policy_stats.get('name', '?')}: {pretty}"
+            )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Block simulation (the unit of parallelism)
+# ---------------------------------------------------------------------------
+
+
+def _episode_stats(viol: np.ndarray) -> tuple:
+    """``(episodes, violating_epochs)`` over a ``(E, R)`` violation grid.
+
+    An episode is a maximal run of consecutive violating epochs of one
+    replica; onsets are cells violating with a healthy predecessor.
+    """
+    if viol.size == 0:
+        return 0, 0
+    onsets = viol.copy()
+    onsets[1:] &= ~viol[:-1]
+    return int(onsets.sum()), int(viol.sum())
+
+
+def _simulate_block(
+    engine: MaskCampaignEngine,
+    processes: Sequence[FaultProcess],
+    detectors: Sequence[DriftDetector],
+    policy: RepairPolicy,
+    n_replicas: int,
+    epochs: int,
+    epochs_chunk: int,
+    budget: float,
+    probe_counts: Optional[np.ndarray],
+    seed: np.random.SeedSequence,
+    keep_errors: bool,
+) -> dict:
+    """Full lifecycle of one replica block; returns aggregate arrays.
+
+    The process/detector/policy objects are reset here (the worker and
+    the serial path reuse the same pickled objects across blocks), so
+    a block's trajectory depends only on its seed.
+    """
+    rng = np.random.default_rng(seed)
+    network = engine.network
+    fleet = DeployedNetwork(
+        network, engine.xb64, n_replicas, window=epochs_chunk, engine=engine
+    )
+    state = fleet.state
+    for proc in processes:
+        proc.reset(n_replicas, network.layer_sizes)
+    for det in detectors:
+        det.reset(n_replicas)
+    policy.reset(network, n_replicas)
+
+    viol = np.zeros((epochs, n_replicas), dtype=bool)
+    down = np.zeros((epochs, n_replicas), dtype=bool)
+    fired = {
+        det.name: np.zeros((epochs, n_replicas), dtype=bool)
+        for det in detectors
+    }
+    errors_mat = (
+        np.zeros((epochs, n_replicas), dtype=np.float64)
+        if keep_errors
+        else None
+    )
+
+    epoch = 0
+    while epoch < epochs:
+        w = min(epochs_chunk, epochs - epoch)
+        fleet.window.clear()
+        for k in range(w):
+            state.begin_epoch(epoch + k)
+            policy.apply(state, processes, detectors, rng)
+            for proc in processes:
+                proc.step(state, rng)
+            fleet.window.snapshot(state)
+            state.advance_ages()
+        counts = (
+            probe_counts[epoch : epoch + w]
+            if probe_counts is not None
+            else None
+        )
+        errors = fleet.evaluate_window(rng, counts)  # (w, R)
+        down_w = fleet.window.down
+        viol_w = (errors > budget + 1e-12) & ~down_w
+        # Monitoring sees nothing from an out-of-service replica: its
+        # error reads as freshly-repaired (0) for the detectors.
+        observed = np.where(down_w, 0.0, errors)
+        firings_w = {
+            det.name: det.update(observed, epoch) for det in detectors
+        }
+        policy.observe(state, errors, firings_w, epoch)
+        viol[epoch : epoch + w] = viol_w
+        down[epoch : epoch + w] = down_w
+        for name, grid in firings_w.items():
+            fired[name][epoch : epoch + w] = grid
+        if errors_mat is not None:
+            errors_mat[epoch : epoch + w] = errors
+        epoch += w
+
+    any_viol = viol.any(axis=0)
+    first = np.where(any_viol, viol.argmax(axis=0), epochs)
+    episodes, violating = _episode_stats(viol)
+    confusion = {}
+    for name, grid in fired.items():
+        in_service = ~down
+        tp = int((grid & viol & in_service).sum())
+        fp = int((grid & ~viol & in_service).sum())
+        fn = int((~grid & viol & in_service).sum())
+        confusion[name] = {
+            "firings": int((grid & in_service).sum()),
+            "tp": tp, "fp": fp, "fn": fn,
+        }
+    return {
+        "n_replicas": n_replicas,
+        "viol_cells": int(viol.sum()),
+        "down_cells": int(down.sum()),
+        "good_by_epoch": (~viol & ~down).sum(axis=1),  # (E,)
+        "first_violation": first,
+        "episodes": episodes,
+        "violating_epochs": violating,
+        "confusion": confusion,
+        "policy_stats": policy.stats(),
+        "errors": errors_mat,
+    }
+
+
+def _build_chaos_state(  # pragma: no cover - subprocess body
+    network, capacity, xb, chunk_size, dtype, processes, detectors, policy,
+    epochs, epochs_chunk, budget, probe_counts, keep_errors,
+):
+    injector = FaultInjector(network, capacity=capacity)
+    engine = MaskCampaignEngine(
+        injector, xb, chunk_size=chunk_size, dtype=dtype
+    )
+    return {
+        "engine": engine,
+        "processes": processes,
+        "detectors": detectors,
+        "policy": policy,
+        "epochs": epochs,
+        "epochs_chunk": epochs_chunk,
+        "budget": budget,
+        "probe_counts": probe_counts,
+        "keep_errors": keep_errors,
+    }
+
+
+def _worker_simulate_block(job):  # pragma: no cover - subprocess body
+    """Job payload: ``(block replica count, SeedSequence)`` — nothing else."""
+    size, seed = job
+    s = worker_state()
+    return _simulate_block(
+        s["engine"], s["processes"], s["detectors"], s["policy"],
+        size, s["epochs"], s["epochs_chunk"], s["budget"],
+        s["probe_counts"], seed, s["keep_errors"],
+    )
+
+
+def run_chaos_campaign(
+    network: FeedForwardNetwork,
+    x: np.ndarray,
+    processes: Sequence[FaultProcess],
+    *,
+    epochs: int,
+    n_replicas: int,
+    epsilon: float,
+    epsilon_prime: float,
+    traffic: Optional[TrafficModel] = None,
+    detectors: Sequence[DriftDetector] = (),
+    policy: Optional[RepairPolicy] = None,
+    capacity: Optional[float] = None,
+    seed: "int | np.random.SeedSequence | None" = 0,
+    epochs_chunk: int = 32,
+    chunk_size: Optional[int] = None,
+    dtype: "str | np.dtype" = np.float64,
+    n_workers: int = 0,
+    keep_errors: bool = False,
+) -> ChaosReport:
+    """Simulate a deployed fleet under temporal chaos; return the SLO report.
+
+    Parameters mirror the static campaigns where they overlap
+    (``capacity`` defaults to ``sup phi``; ``dtype=float32`` selects
+    the engine's fast path; ``n_workers > 1`` fans replica blocks out
+    over the fork-once pool).  ``epochs_chunk`` is the evaluation
+    window: each engine call covers ``epochs_chunk * block`` scenario
+    rows, and detection/repair scheduling happens at window
+    granularity (a real monitoring pipeline's aggregation interval).
+    Larger windows amortise better; smaller windows tighten the
+    repair feedback loop.
+    """
+    if epochs < 1:
+        raise ValueError(f"epochs must be >= 1, got {epochs}")
+    if n_replicas < 1:
+        raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
+    if epochs_chunk < 1:
+        raise ValueError(f"epochs_chunk must be >= 1, got {epochs_chunk}")
+    if not (0 < epsilon_prime <= epsilon):
+        raise ValueError("need 0 < epsilon_prime <= epsilon")
+    if not processes:
+        raise ValueError("need at least one fault process")
+    names = [d.name for d in detectors]
+    if len(set(names)) != len(names):
+        raise ValueError(f"detector names must be unique, got {names}")
+    budget = epsilon - epsilon_prime
+    policy = policy if policy is not None else NoRepairPolicy()
+    wanted = getattr(policy, "detector", None)
+    if wanted is not None and wanted not in names:
+        raise ValueError(
+            f"policy {policy.name!r} triggers on detector {wanted!r}, but "
+            f"the campaign runs {names or 'no detectors'}"
+        )
+    if policy.suggested_window is not None and not detectors:
+        # suggested_window marks closed-loop policies: without a firing
+        # source they would silently never repair.
+        raise ValueError(
+            f"closed-loop policy {policy.name!r} needs at least one "
+            "detector to trigger on"
+        )
+    capacity = capacity if capacity is not None else network.output_bound
+    epochs = int(epochs)
+    epochs_chunk = min(int(epochs_chunk), epochs)
+    if policy.suggested_window is not None:
+        # Closed-loop policies schedule repairs from evaluated windows;
+        # cap the window so their feedback loop can actually close.
+        epochs_chunk = min(epochs_chunk, int(policy.suggested_window))
+
+    ss = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+    sizes = [REPLICA_BLOCK] * (n_replicas // REPLICA_BLOCK)
+    if n_replicas % REPLICA_BLOCK:
+        sizes.append(n_replicas % REPLICA_BLOCK)
+    children = ss.spawn(len(sizes) + 1)
+    traffic_rng = np.random.default_rng(children[0])
+    requests = (
+        traffic.requests(epochs, traffic_rng) if traffic is not None else None
+    )
+
+    xb, _ = network._as_batch(x)
+    probe_counts = None
+    if traffic is not None and traffic.modulate_probes:
+        probe_counts = traffic.probe_counts(requests, xb.shape[0])
+    chunk = chunk_size or max(epochs_chunk * REPLICA_BLOCK, 1)
+
+    if n_workers and n_workers > 1:
+        with fork_once_pool(
+            n_workers,
+            _build_chaos_state,
+            (
+                network, capacity, xb, chunk, np.dtype(dtype).name,
+                tuple(processes), tuple(detectors), policy,
+                epochs, epochs_chunk, budget, probe_counts, keep_errors,
+            ),
+        ) as pool:
+            results = list(
+                bounded_map(
+                    pool, _worker_simulate_block, zip(sizes, children[1:])
+                )
+            )
+    else:
+        engine = MaskCampaignEngine(
+            FaultInjector(network, capacity=capacity), xb,
+            chunk_size=chunk, dtype=dtype,
+        )
+        results = [
+            _simulate_block(
+                engine, tuple(processes), tuple(detectors), policy,
+                size, epochs, epochs_chunk, budget, probe_counts,
+                child, keep_errors,
+            )
+            for size, child in zip(sizes, children[1:])
+        ]
+
+    # -- aggregate (block order is fixed: serial == parallel) --------------
+    total_cells = epochs * n_replicas
+    viol_cells = sum(r["viol_cells"] for r in results)
+    down_cells = sum(r["down_cells"] for r in results)
+    good_by_epoch = np.sum([r["good_by_epoch"] for r in results], axis=0)
+    first = np.concatenate([r["first_violation"] for r in results])
+    episodes = sum(r["episodes"] for r in results)
+    violating = sum(r["violating_epochs"] for r in results)
+
+    availability = float(good_by_epoch.sum()) / total_cells
+    if requests is not None and requests.sum() > 0:
+        weighted = float(
+            (good_by_epoch / n_replicas * requests).sum() / requests.sum()
+        )
+    else:
+        weighted = availability
+
+    detector_stats = {}
+    for det in detectors:
+        tp = sum(r["confusion"][det.name]["tp"] for r in results)
+        fp = sum(r["confusion"][det.name]["fp"] for r in results)
+        fn = sum(r["confusion"][det.name]["fn"] for r in results)
+        firings = sum(r["confusion"][det.name]["firings"] for r in results)
+        detector_stats[det.name] = {
+            "firings": firings,
+            "tp": tp,
+            "fp": fp,
+            "fn": fn,
+            "precision": tp / (tp + fp) if tp + fp else 1.0,
+            "recall": tp / (tp + fn) if tp + fn else 1.0,
+        }
+
+    policy_stats: Dict[str, object] = {"name": policy.name}
+    for r in results:
+        for k, v in r["policy_stats"].items():
+            if isinstance(v, (int, np.integer)):
+                policy_stats[k] = int(policy_stats.get(k, 0)) + int(v)
+            elif isinstance(v, float):
+                acc = policy_stats.setdefault(k, [])
+                if isinstance(acc, list):
+                    acc.append(v)
+            elif v is not None:
+                policy_stats.setdefault(k, v)
+    for k, v in list(policy_stats.items()):
+        if isinstance(v, list):
+            policy_stats[k] = float(np.mean(v)) if v else None
+
+    errors = None
+    if keep_errors:
+        errors = np.concatenate([r["errors"] for r in results], axis=1)
+
+    return ChaosReport(
+        n_replicas=n_replicas,
+        epochs=epochs,
+        epsilon=float(epsilon),
+        epsilon_prime=float(epsilon_prime),
+        availability=availability,
+        weighted_availability=weighted,
+        violation_fraction=viol_cells / total_cells,
+        downtime_fraction=down_cells / total_cells,
+        time_to_first_violation=first,
+        n_violation_episodes=episodes,
+        mtbf=(
+            float((total_cells - violating - down_cells) / episodes)
+            if episodes
+            else float("inf")
+        ),
+        mttr=float(violating / episodes) if episodes else 0.0,
+        detector_stats=detector_stats,
+        policy_stats=policy_stats,
+        requests=requests,
+        errors=errors,
+    )

@@ -1,0 +1,313 @@
+"""Deployed-fleet state and its lowering onto the campaign engine.
+
+A chaos campaign watches ``R`` independent replicas of one trained
+network serve traffic over discrete epochs while fault processes
+(:mod:`repro.chaos.processes`) degrade them and repair policies
+(:mod:`repro.chaos.policies`) heal them.  Two classes carry that
+story:
+
+* :class:`FleetState` — the mutable health of the fleet at one epoch:
+  cumulative crash masks, component ages, per-epoch transient gates,
+  per-epoch boosted-reset masks (rejuvenation) and repair downtime.
+  Everything is an ``(R, N_l)`` array, mutated in place by processes
+  and policies — no per-replica Python objects;
+* :class:`EpochWindow` — the bridge to the engine: it snapshots the
+  fleet once per epoch into preallocated ``(W, R, N_l)`` buffers and
+  compiles a window of ``W`` epochs into **one**
+  :class:`~repro.faults.injector.CompiledScenarioBatch` of
+  ``W * R`` scenario rows (epoch-major), so the whole fleet × time
+  grid streams through a single
+  :class:`~repro.faults.masks.MaskCampaignEngine` evaluation — never
+  per-scenario Python.
+
+Everything temporal lowers onto exactly two engine channels: permanent
+damage (crashes, blasts) and rejuvenation resets are crash (``zero``)
+masks; transient bursts are crash masks Bernoulli-gated by ``gate_p``.
+That is what keeps the chaos subsystem a thin layer: the fault
+*semantics* live in one place (``apply_mask_channels``), shared with
+every other campaign in the repo.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..faults.injector import CompiledScenarioBatch, FaultInjector
+from ..faults.masks import MaskCampaignEngine, empty_mask_batch
+from ..network.model import FeedForwardNetwork
+
+__all__ = ["FleetState", "EpochWindow", "DeployedNetwork"]
+
+
+class FleetState:
+    """Health of ``R`` replicas at the current epoch.
+
+    Attributes
+    ----------
+    crash:
+        ``crash[l0]`` is the ``(R, N_{l+1})`` boolean mask of
+        permanently failed components (cumulative until repaired).
+    age:
+        Epochs since each component's birth or last repair (drives
+        Weibull wear-out).
+    transient_p / has_transients:
+        Per-epoch intermittent faults: ``transient_p`` is each cell's
+        probability of emitting 0 per evaluation (0 = healthy), gated
+        at evaluation time through the engine's ``gate_p`` channel.
+        Cleared every epoch; burst processes re-arm the cells while a
+        burst lasts, and overlapping bursts superpose as independent
+        Bernoulli hits (``1 - (1-p1)(1-p2)``).
+    reset_zero:
+        Per-epoch boosted-reset masks: a rejuvenating replica serves
+        its restart epoch with these components reading 0 (Corollary
+        2's reset semantics), cleared afterwards.
+    down_until:
+        Replica ``r`` is out of service (repair downtime) while
+        ``epoch < down_until[r]``.
+    """
+
+    def __init__(self, layer_sizes: Sequence[int], n_replicas: int):
+        if n_replicas < 1:
+            raise ValueError(f"need >= 1 replica, got {n_replicas}")
+        self.layer_sizes = tuple(int(n) for n in layer_sizes)
+        self.n_replicas = int(n_replicas)
+        R = self.n_replicas
+        self.crash: List[np.ndarray] = [
+            np.zeros((R, n), dtype=bool) for n in self.layer_sizes
+        ]
+        self.age: List[np.ndarray] = [
+            np.zeros((R, n), dtype=np.float64) for n in self.layer_sizes
+        ]
+        self.transient_p: List[np.ndarray] = [
+            np.zeros((R, n), dtype=np.float64) for n in self.layer_sizes
+        ]
+        self.reset_zero: List[np.ndarray] = [
+            np.zeros((R, n), dtype=bool) for n in self.layer_sizes
+        ]
+        self.down_until = np.zeros(R, dtype=np.int64)
+        self.epoch = 0
+        self.has_transients = False
+        self.has_resets = False
+
+    # -- epoch lifecycle ---------------------------------------------------
+
+    def begin_epoch(self, epoch: int) -> None:
+        """Clear the per-epoch channels and move the clock."""
+        self.epoch = int(epoch)
+        if self.has_transients:
+            for g in self.transient_p:
+                g.fill(0.0)
+            self.has_transients = False
+        if self.has_resets:
+            for z in self.reset_zero:
+                z.fill(False)
+            self.has_resets = False
+
+    def advance_ages(self) -> None:
+        """Every component ages one epoch (called once per epoch)."""
+        for a in self.age:
+            a += 1.0
+
+    # -- mutation API (processes / policies) -------------------------------
+
+    def set_transient(self, l0: int, cells: np.ndarray, hit_p: float) -> None:
+        """Mark ``cells`` intermittent for this epoch: each emits 0
+        with probability ``hit_p`` per evaluation.  A cell hit by
+        several transients superposes them as independent Bernoulli
+        gates (``p <- 1 - (1-p)(1-hit_p)``), matching nested
+        ``IntermittentFault`` composition."""
+        if cells.any():
+            p = self.transient_p[l0]
+            # First fault on a cell keeps hit_p exact; only genuine
+            # overlaps pay the superposition arithmetic.
+            combined = np.where(
+                p == 0.0, float(hit_p), 1.0 - (1.0 - p) * (1.0 - float(hit_p))
+            )
+            np.copyto(p, combined, where=cells)
+            self.has_transients = True
+
+    def set_resets(self, replica: int, reset_masks: Sequence[np.ndarray]) -> None:
+        """Apply one replica's boosted-restart reset masks for this epoch."""
+        for l0, mask in enumerate(reset_masks):
+            self.reset_zero[l0][replica] |= mask
+        self.has_resets = True
+
+    def repair(self, replicas: np.ndarray) -> None:
+        """Fully repair ``replicas`` (boolean ``(R,)`` mask): all
+        components healthy, ages reset."""
+        if not replicas.any():
+            return
+        for l0 in range(len(self.layer_sizes)):
+            self.crash[l0][replicas] = False
+            self.age[l0][replicas] = 0.0
+
+    @property
+    def down_now(self) -> np.ndarray:
+        """Replicas in repair downtime at the current epoch."""
+        return self.epoch < self.down_until
+
+    def failed_fraction(self) -> np.ndarray:
+        """Per-replica fraction of permanently failed components."""
+        dead = sum(c.sum(axis=1) for c in self.crash)
+        total = sum(self.layer_sizes)
+        return dead / float(total)
+
+
+class EpochWindow:
+    """Preallocated ``(W, R, N_l)`` snapshot buffers for one window.
+
+    ``snapshot`` copies the fleet's current health into row ``w``;
+    ``compile`` reshapes the filled rows into a ``(w * R, N_l)``
+    mask batch (epoch-major: scenario ``k`` is epoch ``k // R``,
+    replica ``k % R``) without touching per-scenario Python.
+    """
+
+    def __init__(self, layer_sizes: Sequence[int], window: int, n_replicas: int):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.layer_sizes = tuple(int(n) for n in layer_sizes)
+        self.window = int(window)
+        self.n_replicas = int(n_replicas)
+        W, R = self.window, self.n_replicas
+        self._zero = [
+            np.zeros((W, R, n), dtype=bool) for n in self.layer_sizes
+        ]
+        self._gate = [
+            np.ones((W, R, n), dtype=np.float64) for n in self.layer_sizes
+        ]
+        self._down = np.zeros((W, R), dtype=bool)
+        self.count = 0
+        self._any_gate = False
+
+    def clear(self) -> None:
+        self.count = 0
+        if self._any_gate:
+            for g in self._gate:
+                g.fill(1.0)
+        self._any_gate = False
+
+    def snapshot(self, state: FleetState) -> None:
+        """Record the fleet's health for the current epoch."""
+        w = self.count
+        if w >= self.window:
+            raise RuntimeError("window buffers full; call clear() first")
+        for l0 in range(len(self.layer_sizes)):
+            zero = self._zero[l0][w]
+            np.logical_or(state.crash[l0], state.reset_zero[l0], out=zero)
+            if state.has_transients:
+                gated = state.transient_p[l0] > 0.0
+                # Permanent damage wins on overlap: a crashed component
+                # is not "intermittently" dead.
+                gated &= ~zero
+                if gated.any():
+                    zero |= gated
+                    # The engine's gate_p is the fault's per-evaluation
+                    # activation probability (1.0 = permanent), exactly
+                    # the transient hit probability stored in the state.
+                    gate = self._gate[l0][w]
+                    np.copyto(gate, state.transient_p[l0], where=gated)
+                    self._any_gate = True
+        self._down[w] = state.down_now
+        self.count += 1
+
+    def compile(self) -> CompiledScenarioBatch:
+        """The filled rows as one mask batch of ``count * R`` scenarios."""
+        w, R = self.count, self.n_replicas
+        S = w * R
+        sizes = self.layer_sizes
+        batch = empty_mask_batch(sizes, S)
+        batch.zero_masks = [
+            self._zero[l0][:w].reshape(S, n) for l0, n in enumerate(sizes)
+        ]
+        if self._any_gate:
+            batch.gate_p = [
+                self._gate[l0][:w].reshape(S, n) for l0, n in enumerate(sizes)
+            ]
+        return batch
+
+    @property
+    def down(self) -> np.ndarray:
+        """Downtime cells of the filled rows, shape ``(count, R)``."""
+        return self._down[: self.count]
+
+
+class DeployedNetwork:
+    """One replica fleet wired to a streaming engine.
+
+    Owns the :class:`FleetState`, the :class:`EpochWindow` buffers and
+    the :class:`~repro.faults.masks.MaskCampaignEngine` (built once —
+    weight casts, nominal pass and chunk buffers are paid per fleet,
+    not per epoch).  ``evaluate_window`` turns the buffered epochs
+    into per-cell output errors, optionally reduced over a per-epoch
+    probe count (traffic modulation).
+    """
+
+    def __init__(
+        self,
+        network: FeedForwardNetwork,
+        x: np.ndarray,
+        n_replicas: int,
+        *,
+        capacity: "float | None" = None,
+        window: int = 32,
+        chunk_size: Optional[int] = None,
+        dtype: "str | np.dtype" = np.float64,
+        engine: Optional[MaskCampaignEngine] = None,
+    ):
+        self.network = network
+        if engine is None:
+            capacity = capacity if capacity is not None else network.output_bound
+            injector = FaultInjector(network, capacity=capacity)
+            engine = MaskCampaignEngine(
+                injector,
+                x,
+                chunk_size=chunk_size or max(int(window) * int(n_replicas), 1),
+                dtype=dtype,
+            )
+        elif engine.network is not network:
+            raise ValueError("engine was built for a different network")
+        self.engine = engine
+        self.state = FleetState(network.layer_sizes, n_replicas)
+        self.window = EpochWindow(network.layer_sizes, window, n_replicas)
+
+    @property
+    def n_replicas(self) -> int:
+        return self.state.n_replicas
+
+    def evaluate_window(
+        self,
+        rng: np.random.Generator,
+        probe_counts: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Errors of the buffered epochs, shape ``(count, R)``.
+
+        ``probe_counts`` (per buffered epoch, values in ``1..B``)
+        restricts each epoch's error reduction to its first ``n_e``
+        probes — the traffic-modulated probe batch.  Without it the
+        engine's streamed reduction over the full probe batch is used
+        (the fast path).
+        """
+        w, R = self.window.count, self.n_replicas
+        batch = self.window.compile()
+        if probe_counts is None:
+            return self.engine.evaluate(batch, rng=rng).reshape(w, R)
+        counts = np.asarray(probe_counts, dtype=np.intp)
+        if counts.shape != (w,):
+            raise ValueError(
+                f"probe_counts shape {counts.shape} != ({w},)"
+            )
+        B = self.engine.batch_size
+        if counts.min() < 1 or counts.max() > B:
+            raise ValueError(
+                f"probe counts must lie in 1..{B}, got "
+                f"[{counts.min()}, {counts.max()}]"
+            )
+        outs = self.engine.outputs(batch, rng=rng)  # (S, B, n_out)
+        err = np.abs(
+            outs - np.asarray(self.engine.nominal, dtype=np.float64)[None]
+        ).max(axis=2)  # (S, B)
+        live = np.arange(B)[None, :] < np.repeat(counts, R)[:, None]
+        err[~live] = -np.inf
+        return err.max(axis=1).reshape(w, R)

@@ -1,0 +1,215 @@
+"""Error-drift detectors: the monitoring side of a chaos campaign.
+
+A deployed fleet does not get to read its own fault masks — it
+observes the *error series* its monitoring probes report and must
+decide when the epsilon-guarantee is in danger.  Detectors consume
+each evaluated window's per-epoch, per-replica errors (all replicas
+vectorised; state is ``(R,)`` arrays) and emit boolean firing grids
+that the campaign scores against ground truth (precision / recall)
+and that repair policies may act on.
+
+Three classical detector shapes:
+
+* :class:`ThresholdDetector` — fire the epoch the observed error
+  exceeds a threshold (default: the ``epsilon - epsilon'`` budget) —
+  zero-latency, but blind to slow drift below the line;
+* :class:`CUSUMDetector` — Page's cumulative-sum test on the error
+  series: accumulates ``error - drift`` and fires when the sum climbs
+  past a threshold, catching sustained degradation long before any
+  single epoch breaches the budget;
+* :class:`CertifiedAlarmDetector` — the *model-driven* alarm this repo
+  can uniquely provide: invert
+  :func:`~repro.faults.reliability.certified_survival_probability`
+  under the mission lifetime model to the first epoch where the
+  certified survival drops below a confidence target, and fire then —
+  a preventive-maintenance alarm derived from Theorem 3, needing no
+  observations at all.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..faults.reliability import certified_survival_probability
+from ..network.model import FeedForwardNetwork
+
+__all__ = [
+    "DriftDetector",
+    "ThresholdDetector",
+    "CUSUMDetector",
+    "CertifiedAlarmDetector",
+]
+
+
+class DriftDetector:
+    """Base detector; subclasses are picklable and fleet-vectorised."""
+
+    name = "detector"
+
+    def reset(self, n_replicas: int) -> None:
+        self.n_replicas = int(n_replicas)
+
+    def update(self, errors: np.ndarray, first_epoch: int) -> np.ndarray:
+        """Consume a ``(W, R)`` window of epoch errors (epoch
+        ``first_epoch + k`` in row ``k``); return a same-shaped boolean
+        firing grid."""
+        raise NotImplementedError
+
+    def on_repair(self, replicas: np.ndarray, epoch: int) -> None:
+        """Notification that ``replicas`` (boolean mask) were repaired
+        at ``epoch``; stateful detectors re-arm."""
+
+
+class ThresholdDetector(DriftDetector):
+    """Fire wherever the epoch error exceeds ``threshold``."""
+
+    name = "threshold"
+
+    def __init__(self, threshold: float):
+        if threshold < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold}")
+        self.threshold = float(threshold)
+
+    def update(self, errors, first_epoch):
+        return errors > self.threshold
+
+
+class CUSUMDetector(DriftDetector):
+    """One-sided CUSUM on the epoch error series.
+
+    ``s <- max(0, s + error - drift)``; fire when ``s > threshold``,
+    then re-arm (``s <- 0``).  ``drift`` is the tolerated per-epoch
+    error level (healthy noise floor); the threshold trades detection
+    latency against false alarms, as usual for Page's test.
+    """
+
+    name = "cusum"
+
+    def __init__(self, drift: float, threshold: float):
+        if drift < 0:
+            raise ValueError(f"drift must be >= 0, got {drift}")
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        self.drift = float(drift)
+        self.threshold = float(threshold)
+
+    def reset(self, n_replicas):
+        super().reset(n_replicas)
+        self.s = np.zeros(self.n_replicas, dtype=np.float64)
+
+    def update(self, errors, first_epoch):
+        fired = np.zeros(errors.shape, dtype=bool)
+        for k in range(errors.shape[0]):  # epochs in the window, not cells
+            np.maximum(0.0, self.s + errors[k] - self.drift, out=self.s)
+            hit = self.s > self.threshold
+            fired[k] = hit
+            self.s[hit] = 0.0
+        return fired
+
+    def on_repair(self, replicas, epoch):
+        self.s[replicas] = 0.0
+
+
+class CertifiedAlarmDetector(DriftDetector):
+    """Fep-certified preventive alarm (Theorem 3, open loop).
+
+    Under per-component exponential lifetimes with ``failure_rate``,
+    the certified survival probability at mission time ``t`` is
+    ``P[(F_1..F_L) tolerated]`` with ``F_l ~ Binomial(N_l, 1 -
+    exp(-rate * t))``.  This detector computes, once, the first epoch
+    at which that bound drops below ``p_threshold``, and fires for
+    each replica when its time-since-last-repair reaches that epoch —
+    the certified "rejuvenate by now or lose the guarantee" alarm.
+    """
+
+    name = "certified"
+
+    def __init__(
+        self,
+        network: FeedForwardNetwork,
+        failure_rate: float,
+        epsilon: float,
+        epsilon_prime: float,
+        *,
+        p_threshold: float = 0.9,
+        dt: float = 1.0,
+        capacity: Optional[float] = None,
+        mode: str = "crash",
+        max_epochs: int = 1_000_000,
+    ):
+        if failure_rate < 0:
+            raise ValueError(f"failure_rate must be >= 0, got {failure_rate}")
+        if not 0 < p_threshold <= 1:
+            raise ValueError(
+                f"p_threshold must be in (0,1], got {p_threshold}"
+            )
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        self.p_threshold = float(p_threshold)
+        self.alarm_epoch = self._solve_alarm_epoch(
+            network, failure_rate, epsilon, epsilon_prime,
+            dt=dt, capacity=capacity, mode=mode, max_epochs=max_epochs,
+        )
+
+    def _solve_alarm_epoch(
+        self, network, rate, epsilon, epsilon_prime,
+        *, dt, capacity, mode, max_epochs,
+    ) -> Optional[int]:
+        """Smallest epoch with certified survival below the threshold
+        (``None`` when the bound never drops that far)."""
+
+        def certified(epoch: int) -> float:
+            p = 1.0 - float(np.exp(-rate * epoch * dt))
+            return certified_survival_probability(
+                network, p, epsilon, epsilon_prime,
+                capacity=capacity, mode=mode,
+            )
+
+        if certified(0) < self.p_threshold:
+            return 0
+        if rate == 0.0 or certified(max_epochs) >= self.p_threshold:
+            return None
+        # Exponential bracket + bisection: the bound is nonincreasing
+        # in mission time, so the crossing epoch is well defined.
+        hi = 1
+        while certified(hi) >= self.p_threshold:
+            hi *= 2
+        lo = hi // 2
+        while lo + 1 < hi:
+            mid = (lo + hi) // 2
+            if certified(mid) >= self.p_threshold:
+                lo = mid
+            else:
+                hi = mid
+        return hi
+
+    def reset(self, n_replicas):
+        super().reset(n_replicas)
+        self.last_repair = np.zeros(self.n_replicas, dtype=np.int64)
+        self._repair_log: list = []
+
+    def update(self, errors, first_epoch):
+        """Each epoch is judged against the replica's repair clock *as
+        of that epoch*: repairs land mid-window (policies apply them at
+        epoch start, before evaluation), so they are logged by
+        :meth:`on_repair` and replayed here in epoch order rather than
+        read from the end-of-window state."""
+        fired = np.zeros(errors.shape, dtype=bool)
+        pending = sorted(self._repair_log, key=lambda item: item[0])
+        self._repair_log = []
+        idx = 0
+        for k in range(errors.shape[0]):
+            epoch = first_epoch + k
+            while idx < len(pending) and pending[idx][0] <= epoch:
+                self.last_repair[pending[idx][1]] = pending[idx][0]
+                idx += 1
+            if self.alarm_epoch is not None:
+                fired[k] = (epoch - self.last_repair) == self.alarm_epoch
+        for repair_epoch, mask in pending[idx:]:
+            self.last_repair[mask] = repair_epoch
+        return fired
+
+    def on_repair(self, replicas, epoch):
+        self._repair_log.append((int(epoch), replicas.copy()))

@@ -1,0 +1,137 @@
+"""Request-stream generators: the traffic a deployed fleet serves.
+
+A chaos campaign is not just "do faults break the network" but "do
+faults break the network *while it matters*": an epoch serving the
+diurnal peak weighs more than one serving the 4am trough, and a
+Pareto burst landing on a degraded fleet is the scenario capacity
+planning exists for.  A :class:`TrafficModel` emits one request count
+per epoch; the campaign uses them to
+
+* **weight the SLO statistics** — request-weighted availability counts
+  a violating epoch by the traffic it failed, not by wall-clock; and
+* optionally **modulate the probe batch** — with
+  ``modulate_probes=True`` an epoch's error is reduced over a probe
+  count proportional to its traffic (light epochs sample the input
+  space more thinly, the monitoring-coverage effect).
+
+Traffic draws come from a dedicated spawned generator in the campaign
+parent, so every replica block (serial or parallel) observes the same
+fleet-wide request series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "TrafficModel",
+    "ConstantTraffic",
+    "DiurnalTraffic",
+    "ParetoBurstyTraffic",
+]
+
+
+class TrafficModel:
+    """Per-epoch request counts for the whole fleet.
+
+    ``modulate_probes`` opts the model into probe-batch modulation
+    (see module docstring); weighting of the SLO statistics always
+    happens.
+    """
+
+    modulate_probes: bool = False
+
+    def requests(self, n_epochs: int, rng: np.random.Generator) -> np.ndarray:
+        """``(n_epochs,)`` nonnegative request counts."""
+        raise NotImplementedError
+
+    def probe_counts(
+        self, requests: np.ndarray, batch_size: int
+    ) -> np.ndarray:
+        """Per-epoch probe counts in ``1..batch_size``, proportional to
+        traffic (peak traffic probes the full batch)."""
+        requests = np.asarray(requests, dtype=np.float64)
+        peak = float(requests.max()) if requests.size else 0.0
+        if peak <= 0:
+            return np.ones(requests.shape, dtype=np.intp)
+        counts = np.ceil(batch_size * requests / peak).astype(np.intp)
+        return np.clip(counts, 1, batch_size)
+
+
+class ConstantTraffic(TrafficModel):
+    """A flat request stream: every epoch carries ``rate`` requests."""
+
+    def __init__(self, rate: float = 1000.0):
+        if rate < 0:
+            raise ValueError(f"rate must be >= 0, got {rate}")
+        self.rate = float(rate)
+
+    def requests(self, n_epochs, rng):
+        return np.full(int(n_epochs), self.rate, dtype=np.float64)
+
+
+class DiurnalTraffic(TrafficModel):
+    """A sinusoidal day/night cycle around a base rate.
+
+    ``rate(t) = base * (1 + amplitude * sin(2 pi (t + phase) / period))``,
+    clipped at 0 — the classic diurnal load curve; rejuvenation
+    policies should schedule restarts into its troughs.
+    """
+
+    def __init__(
+        self,
+        base: float = 1000.0,
+        *,
+        amplitude: float = 0.5,
+        period: int = 24,
+        phase: float = 0.0,
+        modulate_probes: bool = False,
+    ):
+        if base < 0:
+            raise ValueError(f"base must be >= 0, got {base}")
+        if not 0 <= amplitude <= 1:
+            raise ValueError(f"amplitude must be in [0,1], got {amplitude}")
+        if period < 1:
+            raise ValueError(f"period must be >= 1, got {period}")
+        self.base = float(base)
+        self.amplitude = float(amplitude)
+        self.period = int(period)
+        self.phase = float(phase)
+        self.modulate_probes = bool(modulate_probes)
+
+    def requests(self, n_epochs, rng):
+        t = np.arange(int(n_epochs), dtype=np.float64)
+        wave = 1.0 + self.amplitude * np.sin(
+            2.0 * np.pi * (t + self.phase) / self.period
+        )
+        return np.maximum(0.0, self.base * wave)
+
+
+class ParetoBurstyTraffic(TrafficModel):
+    """Heavy-tailed bursts: ``base`` scaled by i.i.d. Pareto draws.
+
+    ``rate(t) = base * Pareto(alpha)`` with the standard Lomax+1 form
+    (mean ``alpha / (alpha - 1)`` for ``alpha > 1``) — most epochs sit
+    near ``base``, a few carry multi-x bursts.  The burst epochs are
+    where weighted availability diverges from the unweighted one.
+    """
+
+    def __init__(
+        self,
+        base: float = 1000.0,
+        *,
+        alpha: float = 2.5,
+        modulate_probes: bool = False,
+    ):
+        if base < 0:
+            raise ValueError(f"base must be >= 0, got {base}")
+        if alpha <= 1:
+            raise ValueError(
+                f"alpha must be > 1 (finite mean), got {alpha}"
+            )
+        self.base = float(base)
+        self.alpha = float(alpha)
+        self.modulate_probes = bool(modulate_probes)
+
+    def requests(self, n_epochs, rng):
+        return self.base * (1.0 + rng.pareto(self.alpha, int(n_epochs)))

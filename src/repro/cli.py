@@ -31,6 +31,12 @@ Commands
     (synapse-crash / synapse-byzantine / synapse-noise, with
     ``--distribution`` then naming per-stage synapse counts, length
     L+1) — all on the same engine.
+``chaos <net.npz> --process poisson --rate R --policy rejuvenate --epochs N``
+    Temporal chaos campaign (the deployment-lifecycle subsystem): a
+    fleet of replicas serves traffic over discrete epochs while fault
+    processes degrade it, detectors watch the error series, and a
+    repair policy heals it; prints the SLO report (availability,
+    time-to-first-violation, MTBF/MTTR, detector precision/recall).
 """
 
 from __future__ import annotations
@@ -40,6 +46,33 @@ import sys
 from typing import Optional, Sequence
 
 __all__ = ["main", "build_parser"]
+
+
+def _bounded(cast, minimum, message):
+    """An argparse type: ``cast`` the token, reject values < ``minimum``
+    with ``message`` (the shared shape of every numeric CLI guard)."""
+
+    kind = "an integer" if cast is int else "a number"
+
+    def parse(text: str):
+        try:
+            value = cast(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"expected {kind}, got {text!r}"
+            )
+        if value < minimum:
+            raise argparse.ArgumentTypeError(f"{message}, got {value}")
+        return value
+
+    return parse
+
+
+_positive_int = _bounded(int, 1, "expected a positive integer")
+_nonneg_int = _bounded(int, 0, "expected a nonnegative integer")
+_nonneg_float = _bounded(float, 0, "expected a nonnegative number")
+#: Worker counts: 0 means in-process, negatives are an error.
+_workers_count = _bounded(int, 0, "worker count must be >= 0 (0 = in-process)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -69,7 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-run even on a cache hit",
     )
     p_all.add_argument(
-        "--jobs", type=int, default=0, metavar="N",
+        "--jobs", type=_workers_count, default=0, metavar="N",
         help="worker processes (0 = in-process)",
     )
     p_all.add_argument(
@@ -147,7 +180,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--exhaustive", type=int, metavar="N_FAIL",
         help="evaluate every configuration of exactly N_FAIL crashes",
     )
-    p_cam.add_argument("--n-scenarios", type=int, default=None,
+    p_cam.add_argument("--n-scenarios", type=_positive_int, default=None,
                        help="Monte-Carlo sample count (default 10000; "
                             "Monte-Carlo only)")
     p_cam.add_argument("--fault",
@@ -173,11 +206,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "--fault intermittent (default 0.5)")
     p_cam.add_argument("--capacity", type=float, default=None,
                        help="transmission capacity C (default: sup phi)")
-    p_cam.add_argument("--batch", type=int, default=32,
+    p_cam.add_argument("--batch", type=_positive_int, default=32,
                        help="random probe inputs to sweep (default 32)")
     p_cam.add_argument("--seed", type=int, default=0)
-    p_cam.add_argument("--chunk-size", type=int, default=1024)
-    p_cam.add_argument("--workers", type=int, default=0,
+    p_cam.add_argument("--chunk-size", type=_positive_int, default=1024)
+    p_cam.add_argument("--workers", type=_workers_count, default=0,
                        help="worker processes (0 = in-process)")
     p_cam.add_argument("--dtype", choices=("float32", "float64"),
                        default="float64",
@@ -185,6 +218,75 @@ def build_parser() -> argparse.ArgumentParser:
     p_cam.add_argument("--threshold", type=float, default=None,
                        help="also report the fraction of scenarios "
                             "exceeding this error")
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="temporal chaos campaign over a deployed replica fleet",
+    )
+    p_chaos.add_argument("network", help="path to a save_network() .npz archive")
+    add_eps(p_chaos)
+    p_chaos.add_argument(
+        "--process", action="append", dest="processes",
+        choices=("lifetime", "weibull", "poisson", "bursts", "blasts"),
+        default=None,
+        help="fault process (repeatable; default: lifetime — exponential "
+             "component lifetimes at --rate)",
+    )
+    p_chaos.add_argument("--rate", type=_nonneg_float, default=0.02,
+                         help="per-epoch fault rate: component hazard "
+                              "(lifetime/weibull), arrivals per layer "
+                              "(poisson), or event probability "
+                              "(bursts/blasts) (default 0.02)")
+    p_chaos.add_argument("--weibull-shape", type=_nonneg_float, default=2.0,
+                         help="Weibull shape for --process weibull "
+                              "(default 2.0, wear-out)")
+    p_chaos.add_argument("--epochs", type=_positive_int, default=50,
+                         help="mission length in epochs (default 50)")
+    p_chaos.add_argument("--replicas", type=_positive_int, default=32,
+                         help="fleet size (default 32)")
+    p_chaos.add_argument(
+        "--policy", choices=("none", "rejuvenate", "repair", "spare"),
+        default="none",
+        help="repair policy (default none; rejuvenate = periodic boosted "
+             "restarts, repair = detector-triggered with latency, spare "
+             "= warm-spare activation)",
+    )
+    p_chaos.add_argument("--period", type=_positive_int, default=10,
+                         help="rejuvenation period in epochs (default 10)")
+    p_chaos.add_argument("--latency", type=_nonneg_int, default=2,
+                         help="repair latency in epochs for --policy "
+                              "repair (default 2)")
+    p_chaos.add_argument("--spares", type=_nonneg_int, default=4,
+                         help="warm spares per 16-replica block for "
+                              "--policy spare (zone-local pools; "
+                              "default 4)")
+    p_chaos.add_argument(
+        "--detector", action="append", dest="detectors",
+        choices=("threshold", "cusum", "certified"),
+        default=None,
+        help="error-drift detector (repeatable; default: threshold at "
+             "the epsilon budget)",
+    )
+    p_chaos.add_argument(
+        "--traffic", choices=("constant", "diurnal", "bursty"),
+        default="constant",
+        help="request-stream model weighting the SLO statistics "
+             "(default constant)",
+    )
+    p_chaos.add_argument("--batch", type=_positive_int, default=32,
+                         help="random probe inputs (default 32)")
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument("--epochs-chunk", type=_positive_int, default=32,
+                         help="epochs per streamed engine evaluation "
+                              "(detection granularity; default 32)")
+    p_chaos.add_argument("--workers", type=_workers_count, default=0,
+                         help="worker processes over replica blocks "
+                              "(0 = in-process)")
+    p_chaos.add_argument("--dtype", choices=("float32", "float64"),
+                         default="float64",
+                         help="evaluation precision (float32 = fast path)")
+    p_chaos.add_argument("--capacity", type=float, default=None,
+                         help="transmission capacity C (default: sup phi)")
     return parser
 
 
@@ -446,6 +548,105 @@ def _cmd_campaign(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    import numpy as np
+
+    from .chaos import (
+        CertifiedAlarmDetector,
+        ComponentLifetimeProcess,
+        ConstantTraffic,
+        CorrelatedBlastProcess,
+        CUSUMDetector,
+        DetectorRepairPolicy,
+        DiurnalTraffic,
+        NoRepairPolicy,
+        ParetoBurstyTraffic,
+        PeriodicRejuvenationPolicy,
+        PoissonArrivalProcess,
+        SpareActivationPolicy,
+        ThresholdDetector,
+        TransientBurstProcess,
+        run_chaos_campaign,
+    )
+    from .core.tolerance import greedy_max_total_failures
+    from .network.serialization import load_network
+
+    network = load_network(args.network)
+    budget = args.epsilon - args.epsilon_prime
+    rng = np.random.default_rng(args.seed)
+    x = rng.random((args.batch, network.input_dim))
+
+    process_factories = {
+        "lifetime": lambda: ComponentLifetimeProcess(args.rate),
+        "weibull": lambda: ComponentLifetimeProcess(
+            args.rate, shape=max(args.weibull_shape, 1e-9)
+        ),
+        "poisson": lambda: PoissonArrivalProcess(args.rate),
+        "bursts": lambda: TransientBurstProcess(min(args.rate, 1.0)),
+        "blasts": lambda: CorrelatedBlastProcess(min(args.rate, 1.0)),
+    }
+    detector_factories = {
+        "threshold": lambda: ThresholdDetector(budget),
+        "cusum": lambda: CUSUMDetector(budget / 2.0, 2.0 * budget),
+        "certified": lambda: CertifiedAlarmDetector(
+            network, args.rate, args.epsilon, args.epsilon_prime,
+            capacity=args.capacity,
+        ),
+    }
+    try:
+        processes = [
+            process_factories[name]()
+            for name in (args.processes or ["lifetime"])
+        ]
+        detectors = [
+            detector_factories[name]()
+            for name in (args.detectors or ["threshold"])
+        ]
+        if args.policy == "rejuvenate":
+            tolerated = greedy_max_total_failures(
+                network, args.epsilon, args.epsilon_prime
+            )
+            policy = PeriodicRejuvenationPolicy(args.period, tolerated)
+        elif args.policy == "repair":
+            policy = DetectorRepairPolicy(latency=args.latency)
+        elif args.policy == "spare":
+            policy = SpareActivationPolicy(args.spares)
+        else:
+            policy = NoRepairPolicy()
+        traffic = {
+            "constant": ConstantTraffic,
+            "diurnal": DiurnalTraffic,
+            "bursty": ParetoBurstyTraffic,
+        }[args.traffic]()
+        print(
+            f"chaos campaign: {args.replicas} replicas x {args.epochs} "
+            f"epochs, processes {args.processes or ['lifetime']}, "
+            f"policy {args.policy}"
+        )
+        report = run_chaos_campaign(
+            network,
+            x,
+            processes,
+            traffic=traffic,
+            detectors=detectors,
+            policy=policy,
+            epochs=args.epochs,
+            n_replicas=args.replicas,
+            epsilon=args.epsilon,
+            epsilon_prime=args.epsilon_prime,
+            capacity=args.capacity,
+            seed=args.seed,
+            epochs_chunk=args.epochs_chunk,
+            n_workers=args.workers,
+            dtype=args.dtype,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    return 0
+
+
 _COMMANDS = {
     "run-all": _cmd_run_all,
     "report": _cmd_report,
@@ -454,6 +655,7 @@ _COMMANDS = {
     "inspect": _cmd_inspect,
     "survival": _cmd_survival,
     "campaign": _cmd_campaign,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -30,7 +30,13 @@ from ..faults.scenarios import FailureScenario, crash_scenario
 from ..faults.injector import FaultInjector
 from ..network.model import FeedForwardNetwork, NeuronAddress
 
-__all__ = ["LatencyModel", "BoostingResult", "simulate_boosted_run", "boosting_report"]
+__all__ = [
+    "LatencyModel",
+    "BoostingResult",
+    "boosted_reset_masks",
+    "simulate_boosted_run",
+    "boosting_report",
+]
 
 
 @dataclass
@@ -168,6 +174,54 @@ def _boosted_timing(
     return baseline_times, boosted_times, reset_sets
 
 
+def _validate_boost_args(
+    network: FeedForwardNetwork,
+    latency: LatencyModel,
+    tolerated: Sequence[int],
+) -> tuple[int, ...]:
+    """Shared precondition check for the boosted-run entry points."""
+    latency.validate(network)
+    tolerated = tuple(int(f) for f in tolerated)
+    if len(tolerated) != network.depth:
+        raise ValueError(
+            f"tolerated length {len(tolerated)} != depth {network.depth}"
+        )
+    for f, n in zip(tolerated, network.layer_sizes):
+        if not 0 <= f < n:
+            raise ValueError(f"straggler budget {tolerated} outside [0, N_l)")
+    return tolerated
+
+
+def boosted_reset_masks(
+    network: FeedForwardNetwork,
+    latency: LatencyModel,
+    tolerated: Sequence[int],
+) -> tuple[List[np.ndarray], float, float]:
+    """Reset sets of one boosted run, as per-layer boolean masks.
+
+    The mask-level face of :func:`simulate_boosted_run`: the same
+    timing model picks which ``f_l`` stragglers each layer resets, but
+    the result is returned as ``(reset_masks, baseline_makespan,
+    boosted_makespan)`` — ``reset_masks[l0]`` is the ``(N_{l+1},)``
+    boolean mask of neurons whose values read 0 during the boosted
+    pass.  This is what the chaos subsystem's rejuvenation policy
+    lowers straight onto the campaign engine's crash channel: a
+    rejuvenating replica serves its restart epoch in boosted mode, the
+    reset set *is* its fault mask for that epoch, and the makespans
+    price the restart (Section V-B's latency accounting).
+    """
+    tolerated = _validate_boost_args(network, latency, tolerated)
+    baseline_times, boosted_times, reset_sets = _boosted_timing(
+        network, latency, tolerated
+    )
+    masks = []
+    for n, resets in zip(network.layer_sizes, reset_sets):
+        mask = np.zeros(n, dtype=bool)
+        mask[resets] = True
+        masks.append(mask)
+    return masks, baseline_times[-1], boosted_times[-1]
+
+
 def simulate_boosted_run(
     network: FeedForwardNetwork,
     x: np.ndarray,
@@ -187,15 +241,7 @@ def simulate_boosted_run(
     quota was met; the baseline waits for the max instead of the
     quota-th order statistic.
     """
-    latency.validate(network)
-    tolerated = tuple(int(f) for f in tolerated)
-    if len(tolerated) != network.depth:
-        raise ValueError(
-            f"tolerated length {len(tolerated)} != depth {network.depth}"
-        )
-    for f, n in zip(tolerated, network.layer_sizes):
-        if not 0 <= f < n:
-            raise ValueError(f"straggler budget {tolerated} outside [0, N_l)")
+    tolerated = _validate_boost_args(network, latency, tolerated)
 
     baseline_times, boosted_times, reset_sets = _boosted_timing(
         network, latency, tolerated

@@ -11,6 +11,8 @@ The artifact pipeline (:mod:`repro.artifacts`) and the ``run-all`` /
 
 from . import registry
 from .exp_boosting import run_boosting
+from .exp_chaos_rejuvenation import run_chaos_rejuvenation
+from .exp_chaos_survival import run_chaos_survival
 from .exp_conv import run_conv
 from .exp_fep_learning import run_fep_learning
 from .exp_lemma1 import run_lemma1

@@ -29,6 +29,7 @@ from .masks import (
     BernoulliSampler,
     MaskCampaignEngine,
     SynapseBernoulliSampler,
+    empty_mask_batch,
     sampled_campaign_errors,
 )
 from .scenarios import FailureScenario
@@ -255,30 +256,67 @@ def mission_survival_curve(
     *,
     capacity: Optional[float] = None,
     mode: str = "crash",
-) -> list[tuple[float, float]]:
+    x: Optional[np.ndarray] = None,
+    n_trials: int = 0,
+    fault: Optional[FaultModel] = None,
+    seed: Optional[int] = 0,
+    engine: "MaskCampaignEngine | None" = None,
+) -> "list[tuple[float, float]] | list[tuple[float, float, float]]":
     """Certified survival over mission time with exponential lifetimes.
 
     Each neuron fails by time ``t`` with ``p(t) = 1 - exp(-rate * t)``;
     the curve is ``[(t, certified_survival(p(t)))]``.  This is the
     deployment-facing face of over-provisioning: more budget = flatter
     curve.
+
+    Passing a probe batch ``x`` with ``n_trials > 0`` additionally
+    Monte-Carlo-estimates the *actual* survival at every grid point
+    and returns ``(t, certified, estimated)`` triples.  The whole
+    mission grid shares **one**
+    :class:`~repro.faults.masks.MaskCampaignEngine` (built here when
+    ``engine`` is omitted, exactly like
+    :func:`monte_carlo_survival`'s defaults), so the weight casts,
+    nominal forward pass and chunk buffers are paid once for the
+    curve, not once per mission time.
     """
     if failure_rate < 0:
         raise ValueError(f"failure_rate must be >= 0, got {failure_rate}")
-    curve = []
+    if n_trials < 0:
+        raise ValueError(f"n_trials must be >= 0, got {n_trials}")
+    estimate = n_trials > 0
+    if estimate and x is None:
+        raise ValueError("Monte-Carlo estimation (n_trials > 0) needs x")
+    if estimate and engine is None:
+        # The same capacity defaulting monte_carlo_survival applies: a
+        # (possibly wrapped) crash fault caps emissions at sup phi.
+        effective = fault if fault is not None else CrashFault()
+        while isinstance(effective, IntermittentFault):
+            effective = effective.fault
+        engine_capacity = (
+            network.output_bound
+            if capacity is None and isinstance(effective, CrashFault)
+            else capacity
+        )
+        engine = MaskCampaignEngine(
+            FaultInjector(network, capacity=engine_capacity), x
+        )
+    curve: list = []
     for t in mission_times:
         if t < 0:
             raise ValueError(f"mission times must be >= 0, got {t}")
         p = 1.0 - float(np.exp(-failure_rate * t))
-        curve.append(
-            (
-                float(t),
-                certified_survival_probability(
-                    network, p, epsilon, epsilon_prime,
-                    capacity=capacity, mode=mode,
-                ),
-            )
+        certified = certified_survival_probability(
+            network, p, epsilon, epsilon_prime, capacity=capacity, mode=mode,
         )
+        if not estimate:
+            curve.append((float(t), certified))
+            continue
+        est = monte_carlo_survival(
+            network, p, epsilon, epsilon_prime, x,
+            fault=fault, capacity=capacity, n_trials=n_trials, seed=seed,
+            engine=engine,
+        )
+        curve.append((float(t), certified, est.survival))
     return curve
 
 
@@ -290,6 +328,8 @@ def mean_failures_to_violation(
     *,
     n_trials: int = 200,
     seed: Optional[int] = 0,
+    engine: "MaskCampaignEngine | None" = None,
+    trials_per_chunk: Optional[int] = None,
 ) -> float:
     """Empirical mean number of sequential crashes until epsilon breaks.
 
@@ -299,7 +339,87 @@ def mean_failures_to_violation(
     counterpart is the greedy tolerance of
     :func:`repro.core.tolerance.greedy_max_total_failures`, which this
     empirical count must (weakly) exceed.
+
+    A trial's sequential crash accumulation is a *prefix-mask batch*:
+    row ``k`` of the trial crashes the first ``k + 1`` neurons of the
+    trial's permutation, so one streamed engine evaluation replaces
+    ``num_neurons`` scalar ``injector.output_error`` calls and the
+    first row whose error exceeds the budget is the trial's count.
+    Trials are chunked (``trials_per_chunk`` rows of ``num_neurons``
+    scenarios each) to bound the mask batch; ``engine`` lets callers
+    sharing a network/probe batch reuse one campaign engine.  The
+    scalar path survives as :func:`_mean_failures_to_violation_scalar`
+    — the test oracle this path must reproduce permutation for
+    permutation.
     """
+    if n_trials < 1:
+        raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+    budget = epsilon - epsilon_prime
+    if engine is None:
+        injector = FaultInjector(network, capacity=network.output_bound)
+        engine = MaskCampaignEngine(injector, x)
+    else:
+        if engine.network is not network:
+            raise ValueError(
+                "engine was built for a different network than the one "
+                "passed to mean_failures_to_violation"
+            )
+        if engine.capacity != network.output_bound:
+            raise ValueError(
+                f"engine capacity {engine.capacity} != sup phi = "
+                f"{network.output_bound} (the crash-campaign capacity)"
+            )
+        xb, _ = network._as_batch(x)
+        if not np.array_equal(np.asarray(xb, dtype=np.float64), engine.xb64):
+            raise ValueError(
+                "engine was built for a different probe batch than x"
+            )
+    rng = np.random.default_rng(seed)
+    total = network.num_neurons
+    sizes = network.layer_sizes
+    offsets = np.concatenate([[0], np.cumsum(sizes)])
+    if trials_per_chunk is None:
+        # ~4M mask cells per chunk keeps the batch comfortably small.
+        trials_per_chunk = max(1, 4_000_000 // (total * total))
+    steps = np.arange(total)
+    counts: list[np.ndarray] = []
+    done = 0
+    while done < n_trials:
+        m = min(int(trials_per_chunk), n_trials - done)
+        # Same draw sequence as the scalar oracle: one permutation per
+        # trial, in trial order.
+        perms = np.stack([rng.permutation(total) for _ in range(m)])
+        # rank[t, j] = step at which trial t crashes flat neuron j;
+        # prefix row k of trial t crashes every j with rank <= k.
+        ranks = np.argsort(perms, axis=1)
+        masks = ranks[:, None, :] <= steps[None, :, None]  # (m, total, total)
+        flat = masks.reshape(m * total, total)
+        batch = empty_mask_batch(sizes, m * total)
+        batch.zero_masks = [
+            np.ascontiguousarray(flat[:, offsets[l0] : offsets[l0 + 1]])
+            for l0 in range(len(sizes))
+        ]
+        errors = engine.evaluate(batch).reshape(m, total)
+        exceed = errors > budget + 1e-12
+        counts.append(
+            np.where(exceed.any(axis=1), exceed.argmax(axis=1) + 1, total)
+        )
+        done += m
+    return float(np.mean(np.concatenate(counts)))
+
+
+def _mean_failures_to_violation_scalar(
+    network: FeedForwardNetwork,
+    epsilon: float,
+    epsilon_prime: float,
+    x: np.ndarray,
+    *,
+    n_trials: int = 200,
+    seed: Optional[int] = 0,
+) -> float:
+    """The original one-crash-at-a-time loop — kept verbatim as the
+    oracle :func:`mean_failures_to_violation` must match (same seed,
+    same permutations, same counts)."""
     budget = epsilon - epsilon_prime
     injector = FaultInjector(network, capacity=network.output_bound)
     rng = np.random.default_rng(seed)
@@ -311,8 +431,6 @@ def mean_failures_to_violation(
         violated_at = len(addresses)
         for step, idx in enumerate(order, start=1):
             faults[addresses[idx]] = CrashFault()
-            # Keep at least one correct neuron per layer — past that the
-            # computation is gone anyway.
             scenario = FailureScenario(dict(faults))
             err = injector.output_error(x, scenario)
             if err > budget + 1e-12:

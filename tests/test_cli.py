@@ -155,3 +155,113 @@ class TestCommands:
     def test_campaign_requires_mode(self, saved_net):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["campaign", saved_net])
+
+    def test_chaos_default_run(self, saved_net, capsys):
+        code = main(
+            [
+                "chaos", saved_net, "--epsilon", "0.5",
+                "--epsilon-prime", "0.1", "--epochs", "12",
+                "--replicas", "8", "--rate", "0.1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ChaosReport(replicas=8, epochs=12" in out
+        assert "availability" in out and "MTBF" in out
+        assert "detector threshold" in out
+
+    def test_chaos_policies_and_processes(self, saved_net, capsys):
+        cases = (
+            ["--policy", "rejuvenate", "--period", "4",
+             "--process", "poisson"],
+            ["--policy", "repair", "--process", "bursts",
+             "--detector", "cusum"],
+            ["--policy", "spare", "--spares", "2", "--process", "blasts",
+             "--traffic", "bursty"],
+            ["--process", "weibull", "--traffic", "diurnal",
+             "--detector", "certified", "--workers", "2"],
+        )
+        for extra in cases:
+            code = main(
+                [
+                    "chaos", saved_net, "--epsilon", "0.5",
+                    "--epsilon-prime", "0.1", "--epochs", "10",
+                    "--replicas", "6", "--rate", "0.1",
+                ]
+                + extra
+            )
+            assert code == 0, extra
+            assert "ChaosReport" in capsys.readouterr().out
+
+
+class TestArgumentHardening:
+    """Invalid worker counts / epochs / rates die as argparse errors
+    (exit code 2 with a clear message), across every command."""
+
+    def _expect_argparse_error(self, capsys, argv, needle):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        assert needle in capsys.readouterr().err
+
+    def test_campaign_rejects_negative_workers(self, saved_net, capsys):
+        self._expect_argparse_error(
+            capsys,
+            ["campaign", saved_net, "--distribution", "1,1",
+             "--workers", "-1"],
+            "worker count must be >= 0",
+        )
+
+    def test_run_all_rejects_negative_jobs(self, capsys):
+        self._expect_argparse_error(
+            capsys, ["run-all", "--jobs", "-3"], "worker count must be >= 0"
+        )
+
+    def test_chaos_rejects_negative_workers(self, saved_net, capsys):
+        self._expect_argparse_error(
+            capsys,
+            ["chaos", saved_net, "--epsilon", "0.5", "--epsilon-prime",
+             "0.1", "--workers", "-2"],
+            "worker count must be >= 0",
+        )
+
+    def test_chaos_rejects_nonpositive_epochs(self, saved_net, capsys):
+        for bad in ("-5", "0"):
+            self._expect_argparse_error(
+                capsys,
+                ["chaos", saved_net, "--epsilon", "0.5",
+                 "--epsilon-prime", "0.1", "--epochs", bad],
+                "positive integer",
+            )
+
+    def test_chaos_rejects_negative_rate(self, saved_net, capsys):
+        self._expect_argparse_error(
+            capsys,
+            ["chaos", saved_net, "--epsilon", "0.5", "--epsilon-prime",
+             "0.1", "--rate", "-0.5"],
+            "nonnegative",
+        )
+
+    def test_campaign_rejects_nonpositive_scenario_counts(
+        self, saved_net, capsys
+    ):
+        self._expect_argparse_error(
+            capsys,
+            ["campaign", saved_net, "--distribution", "1,1",
+             "--n-scenarios", "0"],
+            "positive integer",
+        )
+        self._expect_argparse_error(
+            capsys,
+            ["campaign", saved_net, "--distribution", "1,1",
+             "--chunk-size", "-8"],
+            "positive integer",
+        )
+
+    def test_non_integer_worker_count(self, saved_net, capsys):
+        self._expect_argparse_error(
+            capsys,
+            ["campaign", saved_net, "--distribution", "1,1",
+             "--workers", "two"],
+            "expected an integer",
+        )

@@ -54,7 +54,7 @@ class TestRunner:
         assert format_table([]) == "(no rows)"
 
     def test_registry_is_complete(self):
-        assert len(ALL_EXPERIMENTS) == 18
+        assert len(ALL_EXPERIMENTS) == 20
 
 
 class TestFigures:
@@ -111,6 +111,18 @@ class TestApplications:
         from repro.experiments import run_reliability
 
         run_reliability(n_trials=80).assert_passed()
+
+    def test_chaos_survival(self):
+        from repro.experiments import run_chaos_survival
+
+        run_chaos_survival(epochs=30, n_replicas=48).assert_passed()
+
+    def test_chaos_rejuvenation(self):
+        from repro.experiments import run_chaos_rejuvenation
+
+        run_chaos_rejuvenation(
+            epochs=40, n_replicas=32, periods=(5, 10)
+        ).assert_passed()
 
     def test_pruning(self):
         from repro.experiments import run_pruning

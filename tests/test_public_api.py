@@ -73,6 +73,7 @@ class TestTopLevelPromises:
             "section6_conv",
             "intro_pruning", "baseline_smr",
             "extension_reliability", "extension_fep_learning",
+            "chaos_survival", "chaos_rejuvenation",
         }
         assert set(ALL_EXPERIMENTS) == expected
 

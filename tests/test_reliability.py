@@ -126,6 +126,45 @@ class TestMissionCurve:
             mission_survival_curve(robust_net, -0.1, [1.0], 0.5, 0.1)
         with pytest.raises(ValueError):
             mission_survival_curve(robust_net, 0.1, [-1.0], 0.5, 0.1)
+        with pytest.raises(ValueError, match="needs x"):
+            mission_survival_curve(
+                robust_net, 0.1, [1.0], 0.5, 0.1, n_trials=10
+            )
+
+    def test_monte_carlo_triples_share_one_engine(self, robust_net, rng):
+        """With x/n_trials the curve gains an estimated column; a shared
+        engine reproduces the per-point monte_carlo_survival results."""
+        x = rng.random((12, 2))
+        times = [0.0, 5.0, 20.0]
+        curve = mission_survival_curve(
+            robust_net, 0.02, times, 0.5, 0.1, x=x, n_trials=60, seed=9
+        )
+        assert [t for t, *_ in curve] == times
+        for t, certified, estimated in curve:
+            p = 1.0 - float(np.exp(-0.02 * t))
+            direct = monte_carlo_survival(
+                robust_net, p, 0.5, 0.1, x, n_trials=60, seed=9
+            )
+            assert estimated == direct.survival
+            assert estimated >= certified - 0.06
+
+    def test_explicit_engine_reused_across_grid(self, robust_net, rng):
+        from repro.faults.injector import FaultInjector
+        from repro.faults.masks import MaskCampaignEngine
+
+        x = rng.random((8, 2))
+        engine = MaskCampaignEngine(
+            FaultInjector(robust_net, capacity=robust_net.output_bound), x
+        )
+        with_engine = mission_survival_curve(
+            robust_net, 0.05, [0.0, 10.0], 0.5, 0.1,
+            x=x, n_trials=40, seed=4, engine=engine,
+        )
+        without = mission_survival_curve(
+            robust_net, 0.05, [0.0, 10.0], 0.5, 0.1,
+            x=x, n_trials=40, seed=4,
+        )
+        assert with_engine == without
 
 
 class TestMeanFailuresToViolation:
@@ -137,6 +176,76 @@ class TestMeanFailuresToViolation:
         )
         # Random placements survive at least as long as the worst case.
         assert empirical >= analytic
+
+    def test_matches_scalar_oracle(self, robust_net, rng):
+        """The prefix-mask engine path reproduces the sequential scalar
+        loop exactly: same seed, same permutations, same counts."""
+        from repro.faults.reliability import (
+            _mean_failures_to_violation_scalar,
+        )
+
+        x = rng.random((12, 2))
+        for eps_prime in (0.45, 0.3):
+            fast = mean_failures_to_violation(
+                robust_net, 0.5, eps_prime, x, n_trials=25, seed=3
+            )
+            oracle = _mean_failures_to_violation_scalar(
+                robust_net, 0.5, eps_prime, x, n_trials=25, seed=3
+            )
+            assert fast == oracle
+
+    def test_chunking_does_not_change_results(self, robust_net, rng):
+        x = rng.random((8, 2))
+        a = mean_failures_to_violation(
+            robust_net, 0.5, 0.4, x, n_trials=11, seed=1, trials_per_chunk=2
+        )
+        b = mean_failures_to_violation(
+            robust_net, 0.5, 0.4, x, n_trials=11, seed=1, trials_per_chunk=64
+        )
+        assert a == b
+
+    def test_engine_reuse(self, robust_net, rng):
+        from repro.faults.injector import FaultInjector
+        from repro.faults.masks import MaskCampaignEngine
+
+        x = rng.random((8, 2))
+        engine = MaskCampaignEngine(
+            FaultInjector(robust_net, capacity=robust_net.output_bound), x
+        )
+        shared = mean_failures_to_violation(
+            robust_net, 0.5, 0.4, x, n_trials=10, seed=2, engine=engine
+        )
+        fresh = mean_failures_to_violation(
+            robust_net, 0.5, 0.4, x, n_trials=10, seed=2
+        )
+        assert shared == fresh
+
+    def test_engine_capacity_mismatch_rejected(self, robust_net, rng):
+        from repro.faults.injector import FaultInjector
+        from repro.faults.masks import MaskCampaignEngine
+
+        x = rng.random((8, 2))
+        engine = MaskCampaignEngine(
+            FaultInjector(robust_net, capacity=0.123), x
+        )
+        with pytest.raises(ValueError, match="capacity"):
+            mean_failures_to_violation(
+                robust_net, 0.5, 0.4, x, n_trials=5, engine=engine
+            )
+
+    def test_engine_probe_batch_mismatch_rejected(self, robust_net, rng):
+        from repro.faults.injector import FaultInjector
+        from repro.faults.masks import MaskCampaignEngine
+
+        engine = MaskCampaignEngine(
+            FaultInjector(robust_net, capacity=robust_net.output_bound),
+            rng.random((8, 2)),
+        )
+        with pytest.raises(ValueError, match="probe batch"):
+            mean_failures_to_violation(
+                robust_net, 0.5, 0.4, rng.random((8, 2)), n_trials=5,
+                engine=engine,
+            )
 
 
 class TestEngineReuse:
