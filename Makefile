@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test fast-test docs-check experiments report bench bench-faults bench-chaos
+.PHONY: test fast-test docs-check spec-roundtrip experiments report bench bench-faults bench-chaos
 
 test:            ## tier-1: the full pytest suite
 	$(PYTHON) -m pytest -x -q
@@ -10,8 +10,11 @@ test:            ## tier-1: the full pytest suite
 fast-test:       ## skip the slow training-loop tests
 	$(PYTHON) -m pytest -x -q -m "not slow" tests
 
-docs-check:      ## registry <-> EXPERIMENTS.md <-> paper map stay in sync
+docs-check:      ## registry <-> EXPERIMENTS.md <-> paper map <-> docs/api.md stay in sync
 	$(PYTHON) -m pytest -q -m docs tests/test_docs.py
+
+spec-roundtrip:  ## golden spec fixtures round-trip (schema compatibility gate)
+	$(PYTHON) -m pytest -q tests/test_spec_fixtures.py
 
 experiments:     ## run the experiment registry through the artifact pipeline
 	$(PYTHON) -m repro run-all

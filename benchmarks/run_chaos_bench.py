@@ -34,7 +34,8 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.chaos import ComponentLifetimeProcess, run_chaos_campaign
+from repro.chaos import ComponentLifetimeProcess
+from repro.chaos.campaign import _run_chaos_campaign
 from repro.chaos.deployment import FleetState
 from repro.faults.injector import FaultInjector
 from repro.faults.scenarios import crash_scenario
@@ -60,7 +61,7 @@ def bench_network():
 
 def time_chaos_engine(net, x, n_replicas, epochs, seed=0):
     t0 = time.perf_counter()
-    report = run_chaos_campaign(
+    report = _run_chaos_campaign(
         net, x, [ComponentLifetimeProcess(RATE)],
         epochs=epochs, n_replicas=n_replicas,
         epsilon=EPSILON, epsilon_prime=EPSILON_PRIME,

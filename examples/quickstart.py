@@ -12,14 +12,28 @@ The 60-second tour of the library — and of the paper's core insight:
    function is bit-identical, but every w_m shrinks — and suddenly a
    whole distribution of crashes is certified;
 4. audit the certificate by fault injection — the observed worst-case
-   error never exceeds the analytic bound.
+   error never exceeds the analytic bound;
+5. describe the same stress test as a *run spec* — the declarative,
+   JSON-round-trippable, content-hashable workload description that
+   `repro.run` executes on the mask-native campaign engine (and that
+   the CLI's `--spec`/`--dump-spec` persist and replay).
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import build_mlp, certify, empirical_audit
+from repro import (
+    CampaignSpec,
+    FaultSpec,
+    NetworkRef,
+    SamplerSpec,
+    build_mlp,
+    certify,
+    empirical_audit,
+    run,
+    save_network,
+)
 from repro.core import replicate_network
 from repro.training import (
     MaxNormConstraint,
@@ -77,6 +91,30 @@ def main() -> None:
     assert sum(cert.maximal_distribution) > sum(cert0.maximal_distribution)
     print("\nOK: over-provisioning turned zero tolerance into a certified "
           f"{sum(cert.maximal_distribution)}-crash budget.")
+
+    # -- 5. the same workload as declarative data ------------------------
+    import tempfile
+    from pathlib import Path
+
+    with tempfile.TemporaryDirectory() as tmp:
+        net_path = save_network(big, Path(tmp) / "big.npz")
+        spec = CampaignSpec(
+            network=NetworkRef(path=str(net_path)),
+            sampler=SamplerSpec(
+                kind="fixed", distribution=cert.maximal_distribution
+            ),
+            fault=FaultSpec(kind="crash"),
+            n_scenarios=300,
+            batch=16,
+            seed=1,
+        )
+        result = run(spec)  # the spec twin of the audit above
+    assert result.max_error <= cert.budget + 1e-9
+    print(
+        f"\nspec {spec.content_hash()} (CampaignSpec, "
+        f"{spec.n_scenarios} scenarios) replayed via repro.run: "
+        f"max error {result.max_error:.4f} within budget {cert.budget:.4f}"
+    )
 
 
 if __name__ == "__main__":

@@ -10,11 +10,19 @@ learning.
 Quickstart
 ----------
 >>> import numpy as np
->>> from repro import build_mlp, certify, FaultInjector, random_failure_scenario
+>>> from repro import build_mlp, certify, CampaignSpec, FaultSpec, NetworkRef, SamplerSpec, run
 >>> net = build_mlp(2, [16, 8], activation={"name": "sigmoid", "k": 0.5}, seed=0)
 >>> cert = certify(net, epsilon=0.3, epsilon_prime=0.1, mode="crash")
->>> inj = FaultInjector(net, capacity=1.0)
->>> sc = random_failure_scenario(net, cert.maximal_distribution)
+>>> spec = CampaignSpec(
+...     network=NetworkRef(builder="mlp", params={"input_dim": 2, "hidden": [16, 8], "seed": 0}),
+...     sampler=SamplerSpec(kind="fixed", distribution=(2, 1)),
+...     fault=FaultSpec(kind="crash"), n_scenarios=1000)
+>>> result = run(spec)                                     # doctest: +SKIP
+
+Every campaign, survival and chaos study is a *spec* — a frozen,
+JSON-round-trippable, content-hashable dataclass — executed by the
+single dispatcher :func:`repro.run` (see :mod:`repro.specs` and
+docs/api.md).
 
 Subpackages
 -----------
@@ -24,6 +32,7 @@ Subpackages
 - :mod:`repro.faults` — fault models, injection, campaigns;
 - :mod:`repro.distributed` — process-per-neuron simulator, boosting;
 - :mod:`repro.chaos` — temporal chaos campaigns over deployed fleets;
+- :mod:`repro.specs` — the declarative run-spec layer + ``repro.run``;
 - :mod:`repro.quantization` — Theorem-5 precision reduction;
 - :mod:`repro.analysis` — Lipschitz/topology/statistics utilities;
 - :mod:`repro.experiments` — one module per paper figure/claim.
@@ -63,6 +72,25 @@ from .network import (
     load_network,
     save_network,
 )
+from .specs import (
+    SPEC_VERSION,
+    CampaignSpec,
+    ChaosSpec,
+    DetectorSpec,
+    EngineSpec,
+    FaultSpec,
+    NetworkRef,
+    PolicySpec,
+    ProcessSpec,
+    SamplerSpec,
+    SpecError,
+    SurvivalSpec,
+    TrafficSpec,
+    load_spec,
+    run,
+    save_spec,
+    spec_from_dict,
+)
 
 __version__ = "1.0.0"
 
@@ -101,4 +129,22 @@ __all__ = [
     # chaos (the deployment-lifecycle subsystem)
     "ChaosReport",
     "run_chaos_campaign",
+    # the declarative run-spec layer (the stable public API)
+    "run",
+    "SPEC_VERSION",
+    "SpecError",
+    "NetworkRef",
+    "FaultSpec",
+    "SamplerSpec",
+    "EngineSpec",
+    "CampaignSpec",
+    "SurvivalSpec",
+    "ProcessSpec",
+    "DetectorSpec",
+    "PolicySpec",
+    "TrafficSpec",
+    "ChaosSpec",
+    "spec_from_dict",
+    "load_spec",
+    "save_spec",
 ]

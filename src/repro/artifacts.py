@@ -52,19 +52,38 @@ MANIFEST_VERSION = 1
 def content_key(
     exp: RegisteredExperiment, params: Optional[Mapping[str, Any]] = None
 ) -> str:
-    """Cache key: experiment id + module source + call parameters.
+    """Cache key: experiment id + workload identity + call parameters.
 
-    The *module* source (not just the function) is hashed because the
-    entry point routinely leans on module-level helpers and constants;
-    shared-library changes (e.g. the campaign engine) deliberately do
-    not invalidate — ``--force`` exists for that.
+    Spec-declaring experiments (``@experiment(..., spec=...)``) key on
+    the declared spec's **content hash** plus the entry point's
+    signature defaults: the cache survives module refactors and
+    replays whenever the *workload* — the versioned, serializable run
+    spec and the parameter defaults the entry point sweeps with — is
+    unchanged.  (The defaults matter: an experiment like
+    ``chaos_rejuvenation`` sweeps ``periods=(5, 10, 20)`` around its
+    canonical spec, and changing that sweep must invalidate.)
+    Experiments without a spec fall back to hashing the *module*
+    source (not just the function, because entry points routinely lean
+    on module-level helpers); shared-library changes (e.g. the
+    campaign engine) deliberately do not invalidate either key —
+    ``--force`` exists for that.
     """
-    module = sys.modules[exp.fn.__module__]
-    source = inspect.getsource(module)
+    spec_hash = exp.spec_hash()
+    if spec_hash is not None:
+        identity = {
+            "spec_hash": spec_hash,
+            "defaults": jsonable(_signature_defaults(exp)),
+        }
+    else:
+        module = sys.modules[exp.fn.__module__]
+        source = inspect.getsource(module)
+        identity = {
+            "source_sha": hashlib.sha256(source.encode()).hexdigest()
+        }
     blob = json.dumps(
         {
             "experiment_id": exp.experiment_id,
-            "source_sha": hashlib.sha256(source.encode()).hexdigest(),
+            **identity,
             "params": jsonable(dict(params or {})),
         },
         sort_keys=True,
@@ -86,6 +105,20 @@ def current_git_sha(cwd: "str | Path | None" = None) -> Optional[str]:
         return None
     sha = proc.stdout.strip()
     return sha if proc.returncode == 0 and sha else None
+
+
+def _signature_defaults(exp: RegisteredExperiment) -> Dict[str, Any]:
+    """The entry point's keyword defaults — the swept workload
+    parameters a declared spec doesn't capture by itself."""
+    try:
+        parameters = inspect.signature(exp.fn).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return {}
+    return {
+        name: p.default
+        for name, p in parameters.items()
+        if p.default is not inspect.Parameter.empty
+    }
 
 
 def _default_seed(exp: RegisteredExperiment) -> Optional[int]:
@@ -221,6 +254,9 @@ class ArtifactStore:
             "git_sha": current_git_sha(Path(__file__).resolve().parent),
             "seed": jsonable(params.get("seed", _default_seed(exp))),
             "dtype": str(params.get("dtype", "float64")),
+            # Spec-declaring experiments also record the replayable
+            # workload identity (the spec's content hash) explicitly.
+            "spec_hash": exp.spec_hash(),
             "params": jsonable(params),
             "anchor": exp.anchor,
             "runtime": exp.runtime,

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..deprecation import warn_spec_deprecation
 from ..faults.injector import FaultInjector
 from ..faults.masks import MaskCampaignEngine
 from ..network.model import FeedForwardNetwork
@@ -294,6 +295,55 @@ def _worker_simulate_block(job):  # pragma: no cover - subprocess body
 
 
 def run_chaos_campaign(
+    network: FeedForwardNetwork,
+    x: np.ndarray,
+    processes: Sequence[FaultProcess],
+    *,
+    epochs: int,
+    n_replicas: int,
+    epsilon: float,
+    epsilon_prime: float,
+    traffic: Optional[TrafficModel] = None,
+    detectors: Sequence[DriftDetector] = (),
+    policy: Optional[RepairPolicy] = None,
+    capacity: Optional[float] = None,
+    seed: "int | np.random.SeedSequence | None" = 0,
+    epochs_chunk: int = 32,
+    chunk_size: Optional[int] = None,
+    dtype: "str | np.dtype" = np.float64,
+    n_workers: int = 0,
+    keep_errors: bool = False,
+) -> ChaosReport:
+    """Deprecated direct-kwargs shim over :func:`_run_chaos_campaign`.
+
+    Build a :class:`repro.ChaosSpec` and pass it to ``repro.run()``
+    instead — the spec form is serializable, content-hashable, and
+    replayable.  This shim warns once per process and forwards
+    unchanged.
+    """
+    warn_spec_deprecation("run_chaos_campaign", "repro.ChaosSpec")
+    return _run_chaos_campaign(
+        network,
+        x,
+        processes,
+        epochs=epochs,
+        n_replicas=n_replicas,
+        epsilon=epsilon,
+        epsilon_prime=epsilon_prime,
+        traffic=traffic,
+        detectors=detectors,
+        policy=policy,
+        capacity=capacity,
+        seed=seed,
+        epochs_chunk=epochs_chunk,
+        chunk_size=chunk_size,
+        dtype=dtype,
+        n_workers=n_workers,
+        keep_errors=keep_errors,
+    )
+
+
+def _run_chaos_campaign(
     network: FeedForwardNetwork,
     x: np.ndarray,
     processes: Sequence[FaultProcess],

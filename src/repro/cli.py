@@ -37,6 +37,15 @@ Commands
     processes degrade it, detectors watch the error series, and a
     repair policy heals it; prints the SLO report (availability,
     time-to-first-violation, MTBF/MTTR, detector precision/recall).
+
+The ``campaign``, ``survival`` and ``chaos`` commands are thin shells
+over the declarative run-spec layer (:mod:`repro.specs`): argparse
+flags build a spec, ``repro.run(spec)`` executes it.  Each carries
+``--dump-spec`` (print the spec JSON instead of running — the exact
+workload as versioned, hashable data) and ``--spec FILE`` (run from a
+stored spec; a positional network path overrides the spec's network).
+``--dump-spec`` output round-trips byte-identically through
+``--spec``.
 """
 
 from __future__ import annotations
@@ -141,11 +150,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write a Markdown report to PATH",
     )
 
-    def add_eps(p):
-        p.add_argument("--epsilon", type=float, required=True,
-                       help="required accuracy eps")
-        p.add_argument("--epsilon-prime", type=float, required=True,
+    def add_eps(p, required=True):
+        p.add_argument("--epsilon", type=float, required=required,
+                       default=None, help="required accuracy eps")
+        p.add_argument("--epsilon-prime", type=float, required=required,
+                       default=None,
                        help="achieved over-provisioned accuracy eps' (< eps)")
+
+    def add_spec_io(p):
+        """The declarative escape hatch every workload command carries:
+        run from a stored spec, or print the spec argparse would build."""
+        p.add_argument(
+            "--spec", metavar="FILE", default=None,
+            help="run from a JSON run-spec file instead of flags: the "
+                 "file defines the whole workload (explicit workload "
+                 "flags are rejected, remaining flags ignored); a "
+                 "positional network path, if given, overrides the "
+                 "spec's network",
+        )
+        p.add_argument(
+            "--dump-spec", action="store_true",
+            help="print the run spec as JSON and exit without running "
+                 "(the --spec input format; round-trips byte-identically)",
+        )
 
     p_cert = sub.add_parser("certify", help="certify a saved network")
     p_cert.add_argument("network", help="path to a save_network() .npz archive")
@@ -160,18 +187,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_sur = sub.add_parser(
         "survival", help="certified survival probability under iid failures"
     )
-    p_sur.add_argument("network", help="path to a save_network() .npz archive")
-    add_eps(p_sur)
-    p_sur.add_argument("--p-fail", type=float, required=True,
+    p_sur.add_argument("network", nargs="?", default=None,
+                       help="path to a save_network() .npz archive")
+    add_eps(p_sur, required=False)
+    p_sur.add_argument("--p-fail", type=float, default=None,
                        help="per-neuron failure probability")
     p_sur.add_argument("--mode", choices=("crash", "byzantine"), default="crash")
     p_sur.add_argument("--capacity", type=float, default=None)
+    add_spec_io(p_sur)
 
     p_cam = sub.add_parser(
         "campaign", help="mask-native fault-injection campaign"
     )
-    p_cam.add_argument("network", help="path to a save_network() .npz archive")
-    group = p_cam.add_mutually_exclusive_group(required=True)
+    p_cam.add_argument("network", nargs="?", default=None,
+                       help="path to a save_network() .npz archive")
+    group = p_cam.add_mutually_exclusive_group()
     group.add_argument(
         "--distribution", metavar="f1,f2,...",
         help="per-layer failure counts for a Monte-Carlo campaign",
@@ -218,13 +248,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_cam.add_argument("--threshold", type=float, default=None,
                        help="also report the fraction of scenarios "
                             "exceeding this error")
+    add_spec_io(p_cam)
 
     p_chaos = sub.add_parser(
         "chaos",
         help="temporal chaos campaign over a deployed replica fleet",
     )
-    p_chaos.add_argument("network", help="path to a save_network() .npz archive")
-    add_eps(p_chaos)
+    p_chaos.add_argument("network", nargs="?", default=None,
+                         help="path to a save_network() .npz archive")
+    add_eps(p_chaos, required=False)
     p_chaos.add_argument(
         "--process", action="append", dest="processes",
         choices=("lifetime", "weibull", "poisson", "bursts", "blasts"),
@@ -287,6 +319,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="evaluation precision (float32 = fast path)")
     p_chaos.add_argument("--capacity", type=float, default=None,
                          help="transmission capacity C (default: sup phi)")
+    add_spec_io(p_chaos)
     return parser
 
 
@@ -416,230 +449,307 @@ def _cmd_inspect(args) -> int:
     return 0
 
 
-def _cmd_survival(args) -> int:
-    from .faults.reliability import certified_survival_probability
-    from .network.serialization import load_network
+def _campaign_spec_from_args(args):
+    """Lower the ``campaign`` argparse namespace to a CampaignSpec."""
+    from . import specs
 
-    network = load_network(args.network)
-    p = certified_survival_probability(
-        network,
-        args.p_fail,
-        args.epsilon,
-        args.epsilon_prime,
+    if args.exhaustive is not None:
+        ignored = [
+            name
+            for name, value in (
+                ("--fault", args.fault),
+                ("--value", args.value),
+                ("--n-scenarios", args.n_scenarios),
+            )
+            if value is not None
+        ]
+        if ignored:
+            raise ValueError(
+                f"{', '.join(ignored)} only appl"
+                f"{'ies' if len(ignored) == 1 else 'y'} to Monte-Carlo "
+                "campaigns (--distribution); the exhaustive sweep "
+                "enumerates crash configurations"
+            )
+        sampler = specs.SamplerSpec(kind="exhaustive", n_fail=args.exhaustive)
+        fault = specs.FaultSpec()
+    elif args.distribution is not None:
+        try:
+            distribution = tuple(
+                int(v) for v in args.distribution.split(",") if v.strip() != ""
+            )
+        except ValueError:
+            raise ValueError(f"bad distribution {args.distribution!r}") from None
+        sampler = specs.SamplerSpec(kind="fixed", distribution=distribution)
+        kind = (args.fault or "crash").replace("-", "_")
+        fault = specs.FaultSpec(
+            kind=kind,
+            # value=None is the capacity-saturating worst case for the
+            # Byzantine kinds and the 1.0 default for stuck/offset.
+            value=(
+                args.value
+                if kind in ("byzantine", "stuck", "offset", "synapse_byzantine")
+                else None
+            ),
+            sigma=args.sigma,
+            p=args.p_transient,
+        )
+    else:
+        raise ValueError(
+            "one of --distribution or --exhaustive is required "
+            "(or run from a stored --spec FILE)"
+        )
+    n_scenarios = args.n_scenarios if args.n_scenarios is not None else 10_000
+    return specs.CampaignSpec(
+        network=specs.NetworkRef(path=args.network),
+        sampler=sampler,
+        fault=fault,
+        n_scenarios=n_scenarios,
+        batch=args.batch,
+        seed=args.seed,
+        capacity=args.capacity,
+        threshold=args.threshold,
+        engine=specs.EngineSpec(
+            chunk_size=args.chunk_size,
+            dtype=args.dtype,
+            workers=args.workers,
+        ),
+    )
+
+
+def _survival_spec_from_args(args):
+    """Lower the ``survival`` argparse namespace to a SurvivalSpec."""
+    from . import specs
+
+    missing = [
+        flag
+        for flag, value in (
+            ("--p-fail", args.p_fail),
+            ("--epsilon", args.epsilon),
+            ("--epsilon-prime", args.epsilon_prime),
+        )
+        if value is None
+    ]
+    if missing:
+        raise ValueError(
+            f"{', '.join(missing)} required (or run from a stored "
+            "--spec FILE)"
+        )
+    return specs.SurvivalSpec(
+        network=specs.NetworkRef(path=args.network),
+        p_fail=args.p_fail,
+        epsilon=args.epsilon,
+        epsilon_prime=args.epsilon_prime,
         mode=args.mode,
         capacity=args.capacity,
     )
-    print(
-        f"certified P[eps-guarantee survives | p_fail={args.p_fail}] >= {p:.6f}"
+
+
+def _chaos_spec_from_args(args):
+    """Lower the ``chaos`` argparse namespace to a ChaosSpec."""
+    from . import specs
+
+    if args.epsilon is None or args.epsilon_prime is None:
+        raise ValueError(
+            "--epsilon and --epsilon-prime required (or run from a "
+            "stored --spec FILE)"
+        )
+    process_specs = {
+        "lifetime": lambda: specs.ProcessSpec(kind="lifetime", rate=args.rate),
+        "weibull": lambda: specs.ProcessSpec(
+            kind="lifetime", rate=args.rate,
+            shape=max(args.weibull_shape, 1e-9),
+        ),
+        "poisson": lambda: specs.ProcessSpec(kind="poisson", rate=args.rate),
+        "bursts": lambda: specs.ProcessSpec(
+            kind="bursts", rate=min(args.rate, 1.0)
+        ),
+        "blasts": lambda: specs.ProcessSpec(
+            kind="blasts", rate=min(args.rate, 1.0)
+        ),
+    }
+    policy_specs = {
+        "none": lambda: specs.PolicySpec(),
+        # tolerated=None derives the straggler budget from the
+        # certificate at lowering (greedy_max_total_failures).
+        "rejuvenate": lambda: specs.PolicySpec(
+            kind="rejuvenate", period=args.period
+        ),
+        "repair": lambda: specs.PolicySpec(
+            kind="repair", latency=args.latency
+        ),
+        "spare": lambda: specs.PolicySpec(kind="spare", spares=args.spares),
+    }
+    return specs.ChaosSpec(
+        network=specs.NetworkRef(path=args.network),
+        epsilon=args.epsilon,
+        epsilon_prime=args.epsilon_prime,
+        processes=tuple(
+            process_specs[name]()
+            for name in (args.processes or ["lifetime"])
+        ),
+        detectors=tuple(
+            specs.DetectorSpec(kind=name)
+            for name in (args.detectors or ["threshold"])
+        ),
+        policy=policy_specs[args.policy](),
+        traffic=specs.TrafficSpec(kind=args.traffic),
+        epochs=args.epochs,
+        replicas=args.replicas,
+        batch=args.batch,
+        seed=args.seed,
+        epochs_chunk=args.epochs_chunk,
+        capacity=args.capacity,
+        engine=specs.EngineSpec(dtype=args.dtype, workers=args.workers),
     )
+
+
+#: Workload flags (all defaulting to None) that must not be combined
+#: with ``--spec`` — a stored spec is edited, not partially overridden,
+#: so an explicitly-typed flag silently losing to the file is a trap.
+_SPEC_CONFLICTS = {
+    "campaign": (
+        ("--distribution", "distribution"),
+        ("--exhaustive", "exhaustive"),
+        ("--fault", "fault"),
+        ("--value", "value"),
+        ("--n-scenarios", "n_scenarios"),
+        ("--threshold", "threshold"),
+        ("--capacity", "capacity"),
+    ),
+    "survival": (
+        ("--p-fail", "p_fail"),
+        ("--epsilon", "epsilon"),
+        ("--epsilon-prime", "epsilon_prime"),
+        ("--capacity", "capacity"),
+    ),
+    "chaos": (
+        ("--epsilon", "epsilon"),
+        ("--epsilon-prime", "epsilon_prime"),
+        ("--process", "processes"),
+        ("--detector", "detectors"),
+        ("--capacity", "capacity"),
+    ),
+}
+
+
+def _resolve_spec(args, build, spec_class):
+    """The shared ``--spec FILE`` / argparse-builder shell.
+
+    Loads the stored spec (type-checked against the command) or builds
+    one from the flags; a positional network path overrides the stored
+    spec's network reference, and any other explicit workload flag is
+    rejected (edit the spec file instead of half-overriding it).
+    """
+    from . import specs
+
+    if args.spec is not None:
+        passed = [
+            flag
+            for flag, attr in _SPEC_CONFLICTS[spec_class.spec_tag]
+            if getattr(args, attr, None) is not None
+        ]
+        if passed:
+            raise ValueError(
+                f"{', '.join(passed)} cannot be combined with --spec — "
+                "the stored spec defines the workload (edit the file, "
+                "or rebuild it with --dump-spec); only a positional "
+                "network path overrides"
+            )
+        try:
+            spec = specs.load_spec(args.spec)
+        except OSError as exc:
+            raise ValueError(f"cannot read spec file: {exc}") from None
+        if not isinstance(spec, spec_class):
+            raise ValueError(
+                f"{args.spec} holds a {spec.spec_tag!r} spec; this "
+                f"command runs {spec_class.spec_tag!r} specs"
+            )
+        if args.network is not None:
+            spec = spec.replace(network=specs.NetworkRef(path=args.network))
+        return spec
+    if args.network is None:
+        raise ValueError("network archive required (or pass --spec FILE)")
+    return build(args)
+
+
+def _describe_sampler(spec) -> str:
+    sampler = spec.sampler
+    if sampler.kind == "fixed":
+        return f"distribution {sampler.distribution}, fault {spec.fault.kind}"
+    if sampler.kind == "bernoulli":
+        return f"p_fail {sampler.p_fail}, fault {spec.fault.kind}"
+    return f"mixed population ({len(sampler.components)} components)"
+
+
+def _cmd_survival(args) -> int:
+    from . import specs
+
+    try:
+        spec = _resolve_spec(args, _survival_spec_from_args, specs.SurvivalSpec)
+        if args.dump_spec:
+            print(spec.to_json(), end="")
+            return 0
+        outcome = specs.run(spec)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if spec.method == "certified":
+        print(
+            "certified P[eps-guarantee survives | "
+            f"p_fail={spec.p_fail}] >= {outcome:.6f}"
+        )
+    else:
+        print(f"monte-carlo survival: {outcome!r}")
     return 0
 
 
 def _cmd_campaign(args) -> int:
-    import numpy as np
+    from . import specs
 
-    from .faults.campaign import (
-        count_crash_configurations,
-        exhaustive_crash_campaign,
-        monte_carlo_campaign,
-    )
-    from .faults.injector import FaultInjector
-    from .faults.types import (
-        ByzantineFault,
-        CrashFault,
-        IntermittentFault,
-        NoiseFault,
-        OffsetFault,
-        SignFlipFault,
-        StuckAtFault,
-        SynapseByzantineFault,
-        SynapseCrashFault,
-        SynapseNoiseFault,
-    )
-    from .network.serialization import load_network
-
-    network = load_network(args.network)
     try:
-        capacity = (
-            args.capacity if args.capacity is not None else network.output_bound
-        )
-        injector = FaultInjector(network, capacity=capacity)
-        rng = np.random.default_rng(args.seed)
-        x = rng.random((max(1, args.batch), network.input_dim))
-
-        if args.exhaustive is not None:
-            ignored = [
-                name
-                for name, value in (
-                    ("--fault", args.fault),
-                    ("--value", args.value),
-                    ("--n-scenarios", args.n_scenarios),
-                )
-                if value is not None
-            ]
-            if ignored:
-                print(
-                    f"error: {', '.join(ignored)} only appl"
-                    f"{'ies' if len(ignored) == 1 else 'y'} to Monte-Carlo "
-                    "campaigns (--distribution); the exhaustive sweep "
-                    "enumerates crash configurations",
-                    file=sys.stderr,
-                )
-                return 2
-            total = count_crash_configurations(network, args.exhaustive)
-            print(f"exhaustive sweep: {total} configurations of "
-                  f"{args.exhaustive} crashes")
-            result = exhaustive_crash_campaign(
-                injector,
-                x,
-                args.exhaustive,
-                chunk_size=args.chunk_size,
-                n_workers=args.workers,
-                dtype=args.dtype,
-            )
-        else:
-            try:
-                distribution = tuple(
-                    int(v) for v in args.distribution.split(",") if v.strip() != ""
-                )
-            except ValueError:
-                print(f"bad distribution {args.distribution!r}", file=sys.stderr)
-                return 2
-            fault_name = args.fault or "crash"
-            n_scenarios = args.n_scenarios if args.n_scenarios is not None else 10_000
-            value = args.value if args.value is not None else 1.0
-            fault = {
-                "crash": CrashFault(),
-                # value=None / offset=None is the capacity-saturating
-                # worst case; an explicit --value requests that emission.
-                "byzantine": ByzantineFault(value=args.value),
-                "stuck": StuckAtFault(value=value),
-                "offset": OffsetFault(offset=value),
-                "noise": NoiseFault(sigma=args.sigma),
-                "intermittent": IntermittentFault(p=args.p_transient),
-                "sign-flip": SignFlipFault(),
-                "synapse-crash": SynapseCrashFault(),
-                "synapse-byzantine": SynapseByzantineFault(offset=args.value),
-                "synapse-noise": SynapseNoiseFault(sigma=args.sigma),
-            }[fault_name]
-            print(f"monte-carlo campaign: {n_scenarios} scenarios, "
-                  f"distribution {distribution}, fault {fault_name}")
-            result = monte_carlo_campaign(
-                injector,
-                x,
-                distribution,
-                n_scenarios=n_scenarios,
-                fault=fault,
-                seed=args.seed,
-                chunk_size=args.chunk_size,
-                n_workers=args.workers,
-                dtype=args.dtype,
-            )
-    except ValueError as exc:
+        spec = _resolve_spec(args, _campaign_spec_from_args, specs.CampaignSpec)
+        if args.dump_spec:
+            print(spec.to_json(), end="")
+            return 0
         # Domain errors (combinatorial-explosion guard, bad distribution
         # shape/counts) should read as CLI errors, not tracebacks.
+        if spec.sampler.kind == "exhaustive":
+            from .faults.campaign import count_crash_configurations
+
+            total = count_crash_configurations(
+                spec.network.resolve(), spec.sampler.n_fail
+            )
+            print(f"exhaustive sweep: {total} configurations of "
+                  f"{spec.sampler.n_fail} crashes")
+        else:
+            print(f"monte-carlo campaign: {spec.n_scenarios} scenarios, "
+                  f"{_describe_sampler(spec)}")
+        result = specs.run(spec)
+    except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(result.summary())
     print(f"  p50={result.quantile(0.5):.6g}  p99={result.quantile(0.99):.6g}")
-    if args.threshold is not None:
-        frac = result.fraction_exceeding(args.threshold)
-        print(f"  fraction exceeding {args.threshold:g}: {frac:.4f}")
+    if spec.threshold is not None:
+        frac = result.fraction_exceeding(spec.threshold)
+        print(f"  fraction exceeding {spec.threshold:g}: {frac:.4f}")
     return 0
 
 
 def _cmd_chaos(args) -> int:
-    import numpy as np
+    from . import specs
 
-    from .chaos import (
-        CertifiedAlarmDetector,
-        ComponentLifetimeProcess,
-        ConstantTraffic,
-        CorrelatedBlastProcess,
-        CUSUMDetector,
-        DetectorRepairPolicy,
-        DiurnalTraffic,
-        NoRepairPolicy,
-        ParetoBurstyTraffic,
-        PeriodicRejuvenationPolicy,
-        PoissonArrivalProcess,
-        SpareActivationPolicy,
-        ThresholdDetector,
-        TransientBurstProcess,
-        run_chaos_campaign,
-    )
-    from .core.tolerance import greedy_max_total_failures
-    from .network.serialization import load_network
-
-    network = load_network(args.network)
-    budget = args.epsilon - args.epsilon_prime
-    rng = np.random.default_rng(args.seed)
-    x = rng.random((args.batch, network.input_dim))
-
-    process_factories = {
-        "lifetime": lambda: ComponentLifetimeProcess(args.rate),
-        "weibull": lambda: ComponentLifetimeProcess(
-            args.rate, shape=max(args.weibull_shape, 1e-9)
-        ),
-        "poisson": lambda: PoissonArrivalProcess(args.rate),
-        "bursts": lambda: TransientBurstProcess(min(args.rate, 1.0)),
-        "blasts": lambda: CorrelatedBlastProcess(min(args.rate, 1.0)),
-    }
-    detector_factories = {
-        "threshold": lambda: ThresholdDetector(budget),
-        "cusum": lambda: CUSUMDetector(budget / 2.0, 2.0 * budget),
-        "certified": lambda: CertifiedAlarmDetector(
-            network, args.rate, args.epsilon, args.epsilon_prime,
-            capacity=args.capacity,
-        ),
-    }
     try:
-        processes = [
-            process_factories[name]()
-            for name in (args.processes or ["lifetime"])
-        ]
-        detectors = [
-            detector_factories[name]()
-            for name in (args.detectors or ["threshold"])
-        ]
-        if args.policy == "rejuvenate":
-            tolerated = greedy_max_total_failures(
-                network, args.epsilon, args.epsilon_prime
-            )
-            policy = PeriodicRejuvenationPolicy(args.period, tolerated)
-        elif args.policy == "repair":
-            policy = DetectorRepairPolicy(latency=args.latency)
-        elif args.policy == "spare":
-            policy = SpareActivationPolicy(args.spares)
-        else:
-            policy = NoRepairPolicy()
-        traffic = {
-            "constant": ConstantTraffic,
-            "diurnal": DiurnalTraffic,
-            "bursty": ParetoBurstyTraffic,
-        }[args.traffic]()
+        spec = _resolve_spec(args, _chaos_spec_from_args, specs.ChaosSpec)
+        if args.dump_spec:
+            print(spec.to_json(), end="")
+            return 0
         print(
-            f"chaos campaign: {args.replicas} replicas x {args.epochs} "
-            f"epochs, processes {args.processes or ['lifetime']}, "
-            f"policy {args.policy}"
+            f"chaos campaign: {spec.replicas} replicas x {spec.epochs} "
+            f"epochs, processes {[p.kind for p in spec.processes]}, "
+            f"policy {spec.policy.kind}"
         )
-        report = run_chaos_campaign(
-            network,
-            x,
-            processes,
-            traffic=traffic,
-            detectors=detectors,
-            policy=policy,
-            epochs=args.epochs,
-            n_replicas=args.replicas,
-            epsilon=args.epsilon,
-            epsilon_prime=args.epsilon_prime,
-            capacity=args.capacity,
-            seed=args.seed,
-            epochs_chunk=args.epochs_chunk,
-            n_workers=args.workers,
-            dtype=args.dtype,
-        )
+        report = specs.run(spec)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

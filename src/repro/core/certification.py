@@ -180,7 +180,7 @@ def empirical_audit(
         adversarial_byzantine_scenario,
         adversarial_crash_scenario,
     )
-    from ..faults.campaign import monte_carlo_campaign, run_campaign
+    from ..faults.campaign import _monte_carlo_campaign, run_campaign
     from ..faults.injector import FaultInjector
     from ..faults.types import ByzantineFault, CrashFault
 
@@ -198,7 +198,7 @@ def empirical_audit(
         fault = ByzantineFault()
         injector = FaultInjector(network, capacity=certificate.capacity)
 
-    result = monte_carlo_campaign(
+    result = _monte_carlo_campaign(
         injector,
         x,
         dist,

@@ -1,0 +1,42 @@
+"""Warn-once plumbing for the pre-spec entry points.
+
+The declarative run-spec layer (:mod:`repro.specs`) is the stable way
+to launch campaigns, survival studies and chaos runs; the historical
+direct-kwargs entry points (``monte_carlo_campaign``,
+``run_chaos_campaign``) keep working as thin shims but announce their
+replacement exactly once per process — loud enough to steer new code,
+quiet enough not to flood a 100k-scenario campaign log.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Set
+
+__all__ = ["warn_spec_deprecation", "reset_spec_deprecation_warnings"]
+
+_WARNED: Set[str] = set()
+
+
+def warn_spec_deprecation(name: str, spec_class: str) -> None:
+    """Emit one :class:`DeprecationWarning` per process for ``name``.
+
+    ``spec_class`` names the spec type that replaces the direct-kwargs
+    call (e.g. ``"repro.CampaignSpec"``); the message points at
+    ``repro.run`` as the dispatcher.
+    """
+    if name in _WARNED:
+        return
+    _WARNED.add(name)
+    warnings.warn(
+        f"{name}(...) is a deprecated direct-kwargs entry point; build a "
+        f"{spec_class} and pass it to repro.run(spec) instead "
+        "(see docs/api.md). This warning is emitted once per process.",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def reset_spec_deprecation_warnings() -> None:
+    """Forget which entry points already warned (test hook)."""
+    _WARNED.clear()

@@ -19,7 +19,7 @@ import numpy as np
 from ..core.bounds import corollary2_required_signals
 from ..core.fep import network_fep
 from ..distributed.boosting import boosting_report
-from ..faults.campaign import monte_carlo_campaign
+from ..faults.campaign import _monte_carlo_campaign
 from ..faults.injector import FaultInjector
 from ..faults.masks import (
     FixedDistributionSampler,
@@ -105,7 +105,7 @@ def run_boosting(
             ),
         ]
     )
-    mixed = monte_carlo_campaign(
+    mixed = _monte_carlo_campaign(
         FaultInjector(net, capacity=net.output_bound),
         x,
         distribution,

@@ -9,6 +9,13 @@ bounded by ``Fep(tolerated)``, which the certificate keeps inside the
 epsilon budget — so rejuvenation trades a *bounded, certified* error
 blip against the *unbounded* error of accumulated wear-out faults.
 
+Every campaign in the sweep is *declared*:
+:func:`chaos_rejuvenation_spec` builds the
+:class:`~repro.specs.ChaosSpec` for one rejuvenation period (``None``
+= the no-repair baseline), the registry stores the canonical sweep
+spec, and the entry point executes each through ``repro.run`` — the
+artifact store keys caching/replay on the spec's content hash.
+
 This experiment sweeps the rejuvenation period over a fleet whose
 components wear out (Weibull lifetimes, ``shape > 1``) and validates
 the trade:
@@ -26,21 +33,79 @@ the trade:
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
-from ..chaos import (
-    ComponentLifetimeProcess,
-    NoRepairPolicy,
-    PeriodicRejuvenationPolicy,
-    run_chaos_campaign,
-)
 from ..core.fep import network_fep
 from ..core.tolerance import greedy_max_total_failures
-from ..network.builder import build_mlp
+from ..specs import (
+    ChaosSpec,
+    NetworkRef,
+    PolicySpec,
+    ProcessSpec,
+    run as run_spec,
+)
 from .registry import experiment
 from .runner import ExperimentResult
 
-__all__ = ["run_chaos_rejuvenation"]
+__all__ = ["run_chaos_rejuvenation", "chaos_rejuvenation_spec"]
+
+#: Same deterministic topology recipe as `chaos_survival`.
+_NETWORK = NetworkRef(
+    builder="mlp",
+    params={
+        "input_dim": 2,
+        "hidden": [12, 10],
+        "activation": {"name": "sigmoid", "k": 1.0},
+        "init": {"name": "uniform", "scale": 0.4},
+        "output_scale": 0.3,
+        "seed": 5,
+    },
+)
+
+
+def chaos_rejuvenation_spec(
+    *,
+    period: Optional[int] = 10,
+    epsilon: float = 0.5,
+    epsilon_prime: float = 0.1,
+    failure_rate: float = 0.04,
+    weibull_shape: float = 1.6,
+    epochs: int = 60,
+    n_replicas: int = 48,
+    seed: int = 13,
+    keep_errors: bool = False,
+) -> ChaosSpec:
+    """One wear-out rejuvenation campaign as a declarative spec.
+
+    ``period=None`` is the no-repair baseline; otherwise the policy
+    rejuvenates every ``period`` epochs with the straggler budget
+    derived from the certificate at lowering (``tolerated=None``).
+    """
+    policy = (
+        PolicySpec()
+        if period is None
+        else PolicySpec(kind="rejuvenate", period=int(period))
+    )
+    return ChaosSpec(
+        network=_NETWORK,
+        epsilon=epsilon,
+        epsilon_prime=epsilon_prime,
+        processes=(
+            ProcessSpec(
+                kind="lifetime", rate=failure_rate, shape=weibull_shape
+            ),
+        ),
+        detectors=(),
+        policy=policy,
+        epochs=epochs,
+        replicas=n_replicas,
+        batch=16,
+        seed=seed,
+        probe_seed=5,
+        keep_errors=keep_errors,
+    )
 
 
 @experiment(
@@ -50,6 +115,7 @@ __all__ = ["run_chaos_rejuvenation"]
     tags=("extension", "chaos", "campaign", "boosting"),
     runtime="medium",
     order=161,
+    spec=chaos_rejuvenation_spec(),
 )
 def run_chaos_rejuvenation(
     *,
@@ -63,34 +129,27 @@ def run_chaos_rejuvenation(
     seed: int = 13,
 ) -> ExperimentResult:
     """Sweep availability vs rejuvenation period, the boosting trade-off."""
-    net = build_mlp(
-        2,
-        [12, 10],
-        activation={"name": "sigmoid", "k": 1.0},
-        init={"name": "uniform", "scale": 0.4},
-        output_scale=0.3,
-        seed=5,
-    )
-    x = np.random.default_rng(5).random((16, 2))
+    net = _NETWORK.resolve()
     # The straggler budget the certificate tolerates: resets drawn from
     # it keep every restart blip inside the epsilon budget.
     tolerated = greedy_max_total_failures(net, epsilon, epsilon_prime)
     fep_bound = network_fep(net, tolerated, mode="crash")
 
-    def campaign(policy):
-        return run_chaos_campaign(
-            net,
-            x,
-            [ComponentLifetimeProcess(failure_rate, shape=weibull_shape)],
-            policy=policy,
-            epochs=epochs,
-            n_replicas=n_replicas,
-            epsilon=epsilon,
-            epsilon_prime=epsilon_prime,
-            seed=seed,
+    def campaign(period: Optional[int]):
+        return run_spec(
+            chaos_rejuvenation_spec(
+                period=period,
+                epsilon=epsilon,
+                epsilon_prime=epsilon_prime,
+                failure_rate=failure_rate,
+                weibull_shape=weibull_shape,
+                epochs=epochs,
+                n_replicas=n_replicas,
+                seed=seed,
+            )
         )
 
-    baseline = campaign(NoRepairPolicy())
+    baseline = campaign(None)
     rows = [
         {
             "period": "none",
@@ -103,7 +162,7 @@ def run_chaos_rejuvenation(
     ]
     sweeps = []
     for period in periods:
-        rep = campaign(PeriodicRejuvenationPolicy(int(period), tolerated))
+        rep = campaign(int(period))
         sweeps.append((int(period), rep))
         rows.append(
             {
@@ -121,17 +180,18 @@ def run_chaos_rejuvenation(
     # Corollary-2 blip audit on a fault-free fleet: with a zero failure
     # rate every nonzero error is a rejuvenation reset blip, so the
     # worst epoch error must sit under the analytic Fep bound.
-    quiet = run_chaos_campaign(
-        net,
-        x,
-        [ComponentLifetimeProcess(0.0)],
-        policy=PeriodicRejuvenationPolicy(5, tolerated),
-        epochs=20,
-        n_replicas=16,
-        epsilon=epsilon,
-        epsilon_prime=epsilon_prime,
-        seed=seed,
-        keep_errors=True,
+    quiet = run_spec(
+        chaos_rejuvenation_spec(
+            period=5,
+            epsilon=epsilon,
+            epsilon_prime=epsilon_prime,
+            failure_rate=0.0,
+            weibull_shape=1.0,
+            epochs=20,
+            n_replicas=16,
+            seed=seed,
+            keep_errors=True,
+        )
     )
     worst_blip = float(quiet.errors.max())
 
@@ -164,10 +224,13 @@ def run_chaos_rejuvenation(
             "worst_restart_blip": worst_blip,
             "fep_bound": fep_bound,
             "tolerated_total": float(sum(tolerated)),
+            "spec_hash": chaos_rejuvenation_spec().content_hash(),
         },
         notes=[
             "extension: rejuvenation = full repair + one boosted-mode "
             "epoch whose reset set is a Corollary-2 straggler draw; the "
-            "trade is a certified blip vs unbounded wear-out error"
+            "trade is a certified blip vs unbounded wear-out error",
+            "every swept campaign is a ChaosSpec; the canonical "
+            "period=10 spec keys the artifact cache",
         ],
     )

@@ -13,6 +13,13 @@ error never exceeded the budget by epoch ``t``) must weakly dominate
 the certified bound at every mission time, because Monte-Carlo
 placements also credit lucky configurations the worst case forbids.
 
+The campaign itself is *declared*, not wired: :func:`chaos_survival_spec`
+builds the :class:`~repro.specs.ChaosSpec` (the experiment's workload
+as versioned, hashable data), the registry stores it, and the entry
+point executes it through ``repro.run`` — so the artifact store keys
+caching/replay on the spec's content hash, and replaying the stored
+spec (``repro chaos --spec ...``) reproduces the identical report.
+
 Validation protocol:
 
 * empirical survival curve >= certified bound at every mission grid
@@ -21,25 +28,64 @@ Validation protocol:
   survival curve is monotone nonincreasing;
 * the budget-threshold detector is exact against ground truth
   (precision = recall = 1 by construction — firing *is* violating);
-* deterministic replay: the same seed reproduces the identical SLO
-  report.
+* deterministic replay: re-running the *stored spec* reproduces the
+  identical SLO report.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..chaos import (
-    ComponentLifetimeProcess,
-    ThresholdDetector,
-    run_chaos_campaign,
-)
 from ..faults.reliability import mission_survival_curve
-from ..network.builder import build_mlp
+from ..specs import (
+    ChaosSpec,
+    DetectorSpec,
+    NetworkRef,
+    ProcessSpec,
+    run as run_spec,
+)
 from .registry import experiment
 from .runner import ExperimentResult
 
-__all__ = ["run_chaos_survival"]
+__all__ = ["run_chaos_survival", "chaos_survival_spec"]
+
+#: The probe/topology recipe both chaos experiments share (a builder
+#: ref hashes stably, so the spec is replayable with no file on disk).
+_NETWORK = NetworkRef(
+    builder="mlp",
+    params={
+        "input_dim": 2,
+        "hidden": [12, 10],
+        "activation": {"name": "sigmoid", "k": 1.0},
+        "init": {"name": "uniform", "scale": 0.4},
+        "output_scale": 0.3,
+        "seed": 5,
+    },
+)
+
+
+def chaos_survival_spec(
+    *,
+    epsilon: float = 0.5,
+    epsilon_prime: float = 0.1,
+    failure_rate: float = 0.03,
+    epochs: int = 40,
+    n_replicas: int = 64,
+    seed: int = 11,
+) -> ChaosSpec:
+    """The no-repair mission-survival campaign as a declarative spec."""
+    return ChaosSpec(
+        network=_NETWORK,
+        epsilon=epsilon,
+        epsilon_prime=epsilon_prime,
+        processes=(ProcessSpec(kind="lifetime", rate=failure_rate),),
+        detectors=(DetectorSpec(kind="threshold"),),
+        epochs=epochs,
+        replicas=n_replicas,
+        batch=16,
+        seed=seed,
+        probe_seed=5,
+    )
 
 
 @experiment(
@@ -49,6 +95,7 @@ __all__ = ["run_chaos_survival"]
     tags=("extension", "chaos", "campaign", "reliability"),
     runtime="medium",
     order=160,
+    spec=chaos_survival_spec(),
 )
 def run_chaos_survival(
     *,
@@ -60,28 +107,17 @@ def run_chaos_survival(
     seed: int = 11,
 ) -> ExperimentResult:
     """No-repair chaos runs converge on the certified survival bound."""
-    net = build_mlp(
-        2,
-        [12, 10],
-        activation={"name": "sigmoid", "k": 1.0},
-        init={"name": "uniform", "scale": 0.4},
-        output_scale=0.3,
-        seed=5,
-    )
-    x = np.random.default_rng(5).random((16, 2))
-    budget = epsilon - epsilon_prime
-
-    report = run_chaos_campaign(
-        net,
-        x,
-        [ComponentLifetimeProcess(failure_rate)],
-        detectors=[ThresholdDetector(budget)],
-        epochs=epochs,
-        n_replicas=n_replicas,
+    spec = chaos_survival_spec(
         epsilon=epsilon,
         epsilon_prime=epsilon_prime,
+        failure_rate=failure_rate,
+        epochs=epochs,
+        n_replicas=n_replicas,
         seed=seed,
     )
+    net = spec.network.resolve()
+
+    report = run_spec(spec)
     empirical = report.survival_curve()  # (epochs + 1,)
 
     grid = sorted({0, epochs // 4, epochs // 2, epochs})
@@ -98,17 +134,9 @@ def run_chaos_survival(
         for (t, cert) in ((int(t), c) for t, c in certified)
     ]
 
-    replay = run_chaos_campaign(
-        net,
-        x,
-        [ComponentLifetimeProcess(failure_rate)],
-        detectors=[ThresholdDetector(budget)],
-        epochs=epochs,
-        n_replicas=n_replicas,
-        epsilon=epsilon,
-        epsilon_prime=epsilon_prime,
-        seed=seed,
-    )
+    # Replay-for-free: the stored spec round-trips through JSON and
+    # reproduces the identical report (what `repro chaos --spec` does).
+    replay = run_spec(ChaosSpec.from_dict(spec.to_dict()))
 
     det = report.detector_stats["threshold"]
     checks = {
@@ -143,10 +171,14 @@ def run_chaos_survival(
             ),
             "mtbf": report.mtbf,
             "mttr": report.mttr,
+            "spec_hash": chaos_survival_spec().content_hash(),
         },
         notes=[
             "extension: the chaos fleet replays Section V-A's mission "
             "lifetime model forward in time on the campaign engine; the "
-            "certified curve is its analytic lower envelope"
+            "certified curve is its analytic lower envelope",
+            "workload declared as a ChaosSpec: the artifact is keyed on "
+            "the spec's content hash and replayable via "
+            "`repro chaos --spec`",
         ],
     )

@@ -26,7 +26,7 @@ import numpy as np
 from ..analysis.stats import dominance_ratio
 from ..core.conv import bound_reduction_factor, receptive_field_fep
 from ..core.fep import network_fep
-from ..faults.campaign import monte_carlo_campaign
+from ..faults.campaign import _monte_carlo_campaign
 from ..faults.injector import FaultInjector
 from ..network.builder import build_conv_net, build_mlp
 from .registry import experiment
@@ -68,7 +68,7 @@ def run_conv(
     reduction = bound_reduction_factor(conv, distribution, mode="crash")
 
     injector = FaultInjector(conv, capacity=conv.output_bound)
-    campaign = monte_carlo_campaign(
+    campaign = _monte_carlo_campaign(
         injector, x, distribution, n_scenarios=n_scenarios, seed=seed
     )
 

@@ -22,7 +22,7 @@ import numpy as np
 
 from ..core.fep import network_fep
 from ..core.tolerance import greedy_max_total_failures
-from ..faults.campaign import monte_carlo_campaign
+from ..faults.campaign import _monte_carlo_campaign
 from ..faults.injector import FaultInjector
 from ..network.builder import build_mlp
 from ..training.data import gaussian_bump, grid_inputs, sample_dataset, sup_error
@@ -85,7 +85,7 @@ def run_fep_learning(
         fep = network_fep(net, TARGET_DISTRIBUTION, mode="crash")
         dist = greedy_max_total_failures(net, epsilon, epsilon_prime, mode="crash")
         injector = FaultInjector(net, capacity=net.output_bound)
-        campaign = monte_carlo_campaign(
+        campaign = _monte_carlo_campaign(
             injector, grid[::4], TARGET_DISTRIBUTION,
             n_scenarios=n_scenarios, seed=seed,
         )

@@ -27,7 +27,7 @@ import numpy as np
 from ..core.overprovision import replicate_network
 from ..core.tolerance import greedy_max_total_failures
 from ..distributed.replication import ReplicatedEnsemble, smr_neuron_cost, smr_tolerance
-from ..faults.campaign import monte_carlo_campaign
+from ..faults.campaign import _monte_carlo_campaign
 from ..faults.injector import FaultInjector
 from ..network.builder import build_mlp
 from .registry import experiment
@@ -98,7 +98,7 @@ def run_smr_baseline(
         net = replicate_network(base, r)
         dist = greedy_max_total_failures(net, epsilon, epsilon_prime, mode="crash")
         injector = FaultInjector(net, capacity=net.output_bound)
-        campaign = monte_carlo_campaign(
+        campaign = _monte_carlo_campaign(
             injector, x, dist, n_scenarios=n_scenarios, seed=seed
         )
         paper_ok &= campaign.max_error <= budget + 1e-9

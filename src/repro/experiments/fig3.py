@@ -31,7 +31,7 @@ import numpy as np
 from ..analysis.stats import dominance_ratio, is_monotone, loglog_slope
 from ..core.fep import network_fep
 from ..faults.adversary import adversarial_crash_scenario
-from ..faults.campaign import monte_carlo_campaign, run_campaign
+from ..faults.campaign import _monte_carlo_campaign, run_campaign
 from ..faults.injector import FaultInjector
 from ..network.builder import FIGURE3_SPECS, build_figure3_network
 from .registry import experiment
@@ -98,7 +98,7 @@ def run_figure3(
             dist = [0] * depth
             dist[0] = min(n_fail, net.layer_sizes[0] - 1)
             injector = FaultInjector(net, capacity=net.output_bound)
-            mc = monte_carlo_campaign(
+            mc = _monte_carlo_campaign(
                 injector,
                 x,
                 dist,

@@ -63,6 +63,17 @@ class RegisteredExperiment:
     runtime: str = "fast"
     order: int = 1000
     module: str = ""
+    #: The declared run spec (:class:`repro.specs.Spec`), when the
+    #: experiment's workload is spec-expressible.  Spec-declaring
+    #: experiments are cache-keyed on the spec's content hash instead
+    #: of the module source (see :func:`repro.artifacts.content_key`),
+    #: so refactoring the module body no longer invalidates artifacts —
+    #: only changing the *workload* does.
+    spec: Optional[object] = None
+
+    def spec_hash(self) -> Optional[str]:
+        """The declared spec's content hash (None without a spec)."""
+        return None if self.spec is None else self.spec.content_hash()
 
     @property
     def command(self) -> str:
@@ -102,11 +113,15 @@ def experiment(
     tags: Sequence[str] = (),
     runtime: str = "fast",
     order: int = 1000,
+    spec: Optional[object] = None,
 ) -> Callable:
     """Register the decorated ``run_*`` function as an experiment.
 
     The function is returned unchanged — the decorator only records it,
     so direct calls (tests, benchmarks, examples) are unaffected.
+    ``spec`` optionally declares the experiment's workload as a
+    :class:`repro.specs.Spec`; the artifact store then keys caching and
+    replay on the spec's content hash instead of the module source.
     """
     if runtime not in RUNTIME_CLASSES:
         raise ValueError(
@@ -114,6 +129,11 @@ def experiment(
         )
     if not anchor:
         raise ValueError(f"experiment {experiment_id!r} needs a paper anchor")
+    if spec is not None and not hasattr(spec, "content_hash"):
+        raise ValueError(
+            f"experiment {experiment_id!r} spec must be a repro.specs "
+            f"Spec (content-hashable), got {type(spec).__name__}"
+        )
 
     def decorator(fn: Callable[..., ExperimentResult]):
         entry = RegisteredExperiment(
@@ -125,6 +145,7 @@ def experiment(
             runtime=runtime,
             order=order,
             module=fn.__module__,
+            spec=spec,
         )
         existing = _REGISTRY.get(experiment_id)
         if existing is not None and (

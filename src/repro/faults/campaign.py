@@ -31,6 +31,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
+from ..deprecation import warn_spec_deprecation
 from ..network.model import FeedForwardNetwork
 from ..parallel import bounded_map, fork_once_pool, worker_state
 from .injector import FaultInjector
@@ -249,6 +250,43 @@ def run_campaign(
 
 
 def monte_carlo_campaign(
+    injector: FaultInjector,
+    x: np.ndarray,
+    distribution: Sequence[int],
+    *,
+    n_scenarios: int = 1000,
+    fault: Optional[FaultModel] = None,
+    sampler: Optional[MaskSampler] = None,
+    seed: Optional[int] = None,
+    chunk_size: int = 256,
+    reduction: str = "max",
+    n_workers: int = 0,
+    dtype: "str | np.dtype" = np.float64,
+) -> CampaignResult:
+    """Deprecated direct-kwargs shim over :func:`_monte_carlo_campaign`.
+
+    Build a :class:`repro.CampaignSpec` and pass it to ``repro.run()``
+    instead — the spec form is serializable, content-hashable, and
+    replayable.  This shim warns once per process and forwards
+    unchanged.
+    """
+    warn_spec_deprecation("monte_carlo_campaign", "repro.CampaignSpec")
+    return _monte_carlo_campaign(
+        injector,
+        x,
+        distribution,
+        n_scenarios=n_scenarios,
+        fault=fault,
+        sampler=sampler,
+        seed=seed,
+        chunk_size=chunk_size,
+        reduction=reduction,
+        n_workers=n_workers,
+        dtype=dtype,
+    )
+
+
+def _monte_carlo_campaign(
     injector: FaultInjector,
     x: np.ndarray,
     distribution: Sequence[int],

@@ -1,0 +1,79 @@
+"""Declarative run specs: every workload as versioned, hashable data.
+
+This package is the stable public API under every campaign, survival
+and chaos entry point (see docs/api.md for the full field reference):
+
+>>> from repro import CampaignSpec, FaultSpec, NetworkRef, SamplerSpec, run
+>>> spec = CampaignSpec(
+...     network=NetworkRef(path="net.npz"),
+...     sampler=SamplerSpec(kind="fixed", distribution=(2, 1)),
+...     fault=FaultSpec(kind="noise", sigma=0.1),
+...     n_scenarios=10_000,
+... )
+>>> result = run(spec)                      # doctest: +SKIP
+>>> spec == type(spec).from_dict(spec.to_dict())
+True
+
+Specs are frozen dataclasses validated eagerly at construction,
+round-trip through JSON byte-identically (``--dump-spec`` /
+``--spec`` on the CLI), and content-hash canonically — the
+:class:`~repro.artifacts.ArtifactStore` keys caching and replay on
+those hashes for experiments that declare their spec.
+"""
+
+from .dispatch import build_detector, build_policy, build_sampler, run
+from .model import (
+    FAULT_KINDS,
+    DETECTOR_KINDS,
+    POLICY_KINDS,
+    PROCESS_KINDS,
+    SAMPLER_KINDS,
+    SPEC_VERSION,
+    TRAFFIC_KINDS,
+    CampaignSpec,
+    ChaosSpec,
+    DetectorSpec,
+    EngineSpec,
+    FaultSpec,
+    NetworkRef,
+    PolicySpec,
+    ProcessSpec,
+    SamplerSpec,
+    Spec,
+    SpecError,
+    SurvivalSpec,
+    TrafficSpec,
+    load_spec,
+    save_spec,
+    spec_from_dict,
+)
+
+__all__ = [
+    "SPEC_VERSION",
+    "SpecError",
+    "Spec",
+    "NetworkRef",
+    "FaultSpec",
+    "SamplerSpec",
+    "EngineSpec",
+    "CampaignSpec",
+    "SurvivalSpec",
+    "ProcessSpec",
+    "DetectorSpec",
+    "PolicySpec",
+    "TrafficSpec",
+    "ChaosSpec",
+    "run",
+    "spec_from_dict",
+    "load_spec",
+    "save_spec",
+    "build_sampler",
+    "build_detector",
+    "build_policy",
+    "FAULT_KINDS",
+    "SAMPLER_KINDS",
+    "PROCESS_KINDS",
+    "DETECTOR_KINDS",
+    "POLICY_KINDS",
+    "TRAFFIC_KINDS",
+]

@@ -152,9 +152,12 @@ class TestCommands:
             ["campaign", saved_net, "--distribution", "a,b"]
         ) == 2
 
-    def test_campaign_requires_mode(self, saved_net):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["campaign", saved_net])
+    def test_campaign_requires_mode(self, saved_net, capsys):
+        """Without --spec, one of --distribution/--exhaustive is still
+        required — the check moved from argparse into the spec builder."""
+        assert main(["campaign", saved_net]) == 2
+        err = capsys.readouterr().err
+        assert "--distribution" in err and "--exhaustive" in err
 
     def test_chaos_default_run(self, saved_net, capsys):
         code = main(

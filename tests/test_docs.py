@@ -55,8 +55,56 @@ def test_paper_map_points_at_real_modules():
 
 def test_readme_links_the_documentation_set():
     text = _read("README.md")
-    for link in ("DESIGN.md", "EXPERIMENTS.md", "docs/paper_map.md"):
+    for link in ("DESIGN.md", "EXPERIMENTS.md", "docs/paper_map.md",
+                 "docs/api.md"):
         assert link in text, f"README.md lost its link to {link}"
+
+
+def test_api_md_documents_every_exported_spec_class():
+    """docs/api.md is the spec reference: every spec class exported by
+    repro.specs must appear in its reference tables, plus the
+    dispatcher itself."""
+    import repro.specs as specs_pkg
+
+    text = _read("docs/api.md")
+    spec_classes = [
+        name
+        for name in specs_pkg.__all__
+        if name[0].isupper() and name.isidentifier() and not name.isupper()
+    ]
+    assert spec_classes, "repro.specs exports no spec classes?"
+    for name in spec_classes:
+        assert f"`{name}`" in text, (
+            f"docs/api.md is missing exported spec class {name} — every "
+            "spec in the public API must be documented"
+        )
+    assert "repro.run" in text, "docs/api.md lost the dispatcher reference"
+
+
+def test_api_md_documents_every_spec_field():
+    """The reference table covers every field of every spec dataclass
+    (field name appearing in backticks) — a new field must document its
+    default and which engine channel it lowers to."""
+    import dataclasses
+
+    from repro.specs.model import _SPEC_TYPES
+
+    text = _read("docs/api.md")
+    for tag, cls in sorted(_SPEC_TYPES.items()):
+        for f in dataclasses.fields(cls):
+            assert f"`{f.name}`" in text, (
+                f"docs/api.md is missing field {cls.__name__}.{f.name}"
+            )
+
+
+def test_readme_quickstart_uses_the_spec_api():
+    text = _read("README.md")
+    assert "repro.run" in text or "run(spec" in text, (
+        "README quickstart no longer shows the spec-layer entry point"
+    )
+    assert "--dump-spec" in text and "--spec" in text, (
+        "README lost the CLI spec round-trip story"
+    )
 
 
 def test_design_md_documents_the_pipeline():

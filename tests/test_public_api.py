@@ -15,7 +15,23 @@ SUBPACKAGES = [
     "repro.quantization",
     "repro.analysis",
     "repro.experiments",
+    "repro.specs",
     "repro.cli",
+]
+
+#: The spec family `repro.__init__` promises (and docs/api.md documents).
+SPEC_EXPORTS = [
+    "NetworkRef",
+    "FaultSpec",
+    "SamplerSpec",
+    "EngineSpec",
+    "CampaignSpec",
+    "SurvivalSpec",
+    "ProcessSpec",
+    "DetectorSpec",
+    "PolicySpec",
+    "TrafficSpec",
+    "ChaosSpec",
 ]
 
 
@@ -89,6 +105,45 @@ class TestTopLevelPromises:
                 and p.kind is not inspect.Parameter.VAR_KEYWORD
             ]
             assert not required, f"{name} requires positional args"
+
+
+class TestSpecLayerPromises:
+    """The declarative run-spec layer is the stable public API: the
+    whole family plus run() is exported at the top level (the drift
+    this test previously allowed is what docs/api.md now gates)."""
+
+    def test_spec_family_is_top_level(self):
+        import repro
+
+        for name in SPEC_EXPORTS + ["run", "SPEC_VERSION", "SpecError",
+                                    "spec_from_dict", "load_spec",
+                                    "save_spec"]:
+            assert hasattr(repro, name), f"repro.{name} not exported"
+            assert name in repro.__all__, f"repro.{name} missing from __all__"
+
+    def test_specs_are_frozen_dataclasses(self):
+        import dataclasses
+
+        import repro
+
+        for name in SPEC_EXPORTS:
+            cls = getattr(repro, name)
+            assert dataclasses.is_dataclass(cls), f"{name} is not a dataclass"
+            assert cls.__dataclass_params__.frozen, f"{name} is not frozen"
+
+    def test_run_dispatches_every_runnable_spec(self):
+        """run()'s docstring promises the three workload returns."""
+        import repro
+
+        doc = repro.run.__doc__ or ""
+        for name in ("CampaignSpec", "SurvivalSpec", "ChaosSpec"):
+            assert name in doc
+
+    def test_deprecated_entry_points_still_exported(self):
+        import repro
+
+        assert "monte_carlo_campaign" in repro.__all__
+        assert "run_chaos_campaign" in repro.__all__
 
 
 class TestDocstringCoverage:

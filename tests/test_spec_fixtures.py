@@ -1,0 +1,135 @@
+"""Golden spec fixtures: the CI ``spec-roundtrip`` gate.
+
+``tests/fixtures/specs/*.json`` holds one committed spec per workload
+family — every fault-taxonomy kind, every sampler family, both
+survival methods, each chaos process/policy/detector combination the
+CLI offers, and the exact stored workloads of the spec-declaring
+registered experiments.  The gate round-trips every fixture through
+``from_dict(to_dict(...))`` and fails on unknown/missing keys,
+``spec_version`` mismatches, or any byte-level drift of the
+``--dump-spec`` format — i.e. it is the schema-compatibility contract
+for stored specs.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.specs import (
+    FAULT_KINDS,
+    SPEC_VERSION,
+    CampaignSpec,
+    ChaosSpec,
+    SurvivalSpec,
+    load_spec,
+    spec_from_dict,
+)
+
+FIXTURE_DIR = Path(__file__).resolve().parent / "fixtures" / "specs"
+FIXTURES = sorted(FIXTURE_DIR.glob("*.json"))
+
+
+def fixture_ids():
+    return [p.stem for p in FIXTURES]
+
+
+def test_fixture_directory_is_populated():
+    assert len(FIXTURES) >= 18, (
+        f"expected the golden spec corpus under {FIXTURE_DIR}, found "
+        f"{len(FIXTURES)} files"
+    )
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=fixture_ids())
+def test_fixture_round_trips_exactly(path):
+    """from_dict(to_dict(...)) is the identity on every golden spec."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    spec = spec_from_dict(payload)
+    assert spec.to_dict() == payload, (
+        f"{path.name}: to_dict(from_dict(...)) drifted from the stored "
+        "payload — unknown/missing keys or changed defaults"
+    )
+    assert spec_from_dict(spec.to_dict()) == spec
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=fixture_ids())
+def test_fixture_bytes_match_dump_spec_format(path):
+    """The committed file is byte-identical to ``spec.to_json()`` — the
+    ``--dump-spec`` output format never silently reformats."""
+    spec = load_spec(path)
+    assert path.read_text(encoding="utf-8") == spec.to_json()
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=fixture_ids())
+def test_fixture_is_current_schema_version(path):
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    assert payload.get("spec_version") == SPEC_VERSION
+    # Nested specs carry the version too; a partial bump must fail loud.
+    def versions(node):
+        if isinstance(node, dict):
+            if "spec" in node:
+                yield node.get("spec_version")
+            for v in node.values():
+                yield from versions(v)
+        elif isinstance(node, list):
+            for v in node:
+                yield from versions(v)
+
+    assert set(versions(payload)) == {SPEC_VERSION}
+
+
+def test_corpus_covers_the_fault_taxonomy():
+    """One campaign fixture per fault kind — a new FaultModel kind must
+    commit its golden spec."""
+    campaign_faults = set()
+    for path in FIXTURES:
+        spec = load_spec(path)
+        if isinstance(spec, CampaignSpec):
+            campaign_faults.add(spec.fault.kind)
+            if spec.sampler.kind == "mixed":
+                for comp in spec.sampler.components:
+                    campaign_faults.add(comp.fault.kind)
+    assert campaign_faults >= set(FAULT_KINDS), (
+        f"fault kinds without a golden campaign fixture: "
+        f"{sorted(set(FAULT_KINDS) - campaign_faults)}"
+    )
+
+
+def test_corpus_covers_experiment_and_cli_chaos_combos():
+    """Every chaos process/policy/detector kind reachable from the CLI
+    (and both registered chaos experiments' stored specs) appears."""
+    processes, policies, detectors = set(), set(), set()
+    for path in FIXTURES:
+        spec = load_spec(path)
+        if isinstance(spec, ChaosSpec):
+            processes |= {p.kind for p in spec.processes}
+            policies.add(spec.policy.kind)
+            detectors |= {d.kind for d in spec.detectors}
+    assert processes >= {"lifetime", "poisson", "bursts", "blasts"}
+    assert policies >= {"none", "rejuvenate", "repair", "spare"}
+    assert detectors >= {"threshold", "cusum", "certified"}
+    methods = {
+        spec.method
+        for spec in map(load_spec, FIXTURES)
+        if isinstance(spec, SurvivalSpec)
+    }
+    assert methods == {"certified", "monte_carlo"}
+
+
+def test_experiment_fixtures_match_declared_specs():
+    """The committed experiment fixtures ARE the registry's stored
+    workloads: replaying the fixture replays the experiment."""
+    from repro.experiments import registry
+
+    for exp_id, fixture in (
+        ("chaos_survival", "chaos_survival_experiment.json"),
+        ("chaos_rejuvenation", "chaos_rejuvenation_experiment.json"),
+    ):
+        stored = load_spec(FIXTURE_DIR / fixture)
+        declared = registry.get(exp_id).spec
+        assert stored == declared, (
+            f"{fixture} drifted from {exp_id}'s declared spec — "
+            "regenerate the fixture"
+        )
+        assert stored.content_hash() == declared.content_hash()
