@@ -16,6 +16,11 @@ trajectory:
   scalar injector, vs the widened mask engine.  The scalar reference
   is timed on a subsample (it is ~two orders of magnitude slower) and
   extrapolated by throughput; the JSON records both numbers.
+* **engine backends** (``--full-matrix`` only) — the same taxonomy
+  workloads through every registered engine backend (numpy reference,
+  threaded tiling, quantized-int8 / float16 probe tiers), emitted as
+  the ``backends`` section and schema-checked by
+  ``benchmarks/test_bench_shapes.py``.
 
 Run from the repo root::
 
@@ -174,6 +179,56 @@ def bench_fault_workload(injector, x, name, n_scenarios, seed=0):
     }
 
 
+def bench_backend_matrix(injector, x, workloads, n_scenarios, seed=0):
+    """Every fault-taxonomy workload through every engine backend.
+
+    The same sampled campaign (same seed, same sampler family) runs on
+    one prebuilt engine per backend; ``max_error`` makes the precision
+    cost of the quantized tiers visible next to their throughput.
+    """
+    from repro.backends import available_backends, build_engine
+
+    net = injector.network
+    rows = []
+    for name in workloads:
+        fault, is_synapse = FAULT_WORKLOADS[name]
+        if is_synapse:
+            sampler = FixedSynapseDistributionSampler(
+                net, SYNAPSE_DISTRIBUTION, fault=fault
+            )
+        else:
+            sampler = FixedDistributionSampler(net, DISTRIBUTION, fault=fault)
+        for backend in available_backends():
+            engine = build_engine(backend, injector, x)
+            # Warm the buffers/pool so the row times steady state.
+            sampled_campaign_errors(
+                injector, x, sampler, 2_000, seed=seed, engine=engine
+            )
+            t0 = time.perf_counter()
+            errors = sampled_campaign_errors(
+                injector, x, sampler, n_scenarios, seed=seed, engine=engine
+            )
+            elapsed = time.perf_counter() - t0
+            if hasattr(engine, "close"):
+                engine.close()
+            rows.append(
+                {
+                    "workload": name,
+                    "backend": backend,
+                    "n_scenarios": n_scenarios,
+                    "seconds": round(elapsed, 4),
+                    "scenarios_per_s": round(n_scenarios / elapsed),
+                    "max_error": float(errors.max()),
+                }
+            )
+            print(
+                f"{name:>18} [{backend:>14}] @ S={n_scenarios}: "
+                f"{elapsed:7.3f}s ({rows[-1]['scenarios_per_s']:>9,} "
+                "scenarios/s)"
+            )
+    return rows
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--sizes", type=int, nargs="+",
@@ -235,6 +290,10 @@ def main(argv=None) -> int:
             f"({frow['speedup']:6.1f}x)"
         )
 
+    backend_rows = None
+    if args.full_matrix:
+        backend_rows = bench_backend_matrix(injector, x, workloads, big)
+
     payload = {
         "workload": {
             "network": "mlp 4->[16,12]->1 (throughput-bench, seed 21)",
@@ -251,11 +310,22 @@ def main(argv=None) -> int:
         "results": rows,
         "fault_workloads": fault_rows,
     }
+    if backend_rows is not None:
+        payload["backends"] = backend_rows
     out_path = Path(
         args.output
         if args.output is not None
         else Path(__file__).resolve().parent.parent / "BENCH_campaign.json"
     )
+    # Merge over sections other tools own (run_chaos_bench writes
+    # "chaos" into the same file) instead of dropping them.
+    if out_path.exists():
+        try:
+            existing = json.loads(out_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            existing = {}
+        for key, value in existing.items():
+            payload.setdefault(key, value)
     out_path.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {out_path}")
 

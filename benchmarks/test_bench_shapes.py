@@ -1,0 +1,101 @@
+"""CI shape-check for the committed ``BENCH_campaign.json``.
+
+The benchmark scripts (``run_campaign_bench.py`` / ``run_chaos_bench.
+py``) own the numbers; this gate owns the *schema* — a PR that renames
+or drops a section silently breaks the perf trajectory the repo
+tracks, so the committed payload must always carry the headline
+results, the full fault-taxonomy matrix, the chaos section, and the
+engine-backend matrix with one row per (workload, backend) pair.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_campaign.json"
+
+RESULT_KEYS = {
+    "n_scenarios",
+    "seed_pipeline_s",
+    "mask_float64_s",
+    "mask_float32_s",
+    "speedup_float64",
+    "scenarios_per_s_float64",
+}
+FAULT_ROW_KEYS = {
+    "workload",
+    "n_scenarios",
+    "scalar_extrapolated_s",
+    "mask_s",
+    "speedup",
+    "scenarios_per_s_mask",
+    "max_error_mask",
+}
+BACKEND_ROW_KEYS = {
+    "workload",
+    "backend",
+    "n_scenarios",
+    "seconds",
+    "scenarios_per_s",
+    "max_error",
+}
+TAXONOMY_WORKLOADS = {
+    "noise",
+    "intermittent",
+    "sign-flip",
+    "synapse-crash",
+    "synapse-byzantine",
+    "synapse-noise",
+}
+ENGINE_BACKENDS = {"numpy", "threaded", "quantized-int8", "float16"}
+
+
+@pytest.fixture(scope="module")
+def payload():
+    assert BENCH_PATH.exists(), (
+        "BENCH_campaign.json is missing — regenerate with "
+        "`make bench-faults`"
+    )
+    return json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+
+
+def test_payload_has_all_sections(payload):
+    for key in ("workload", "platform", "results", "fault_workloads",
+                "chaos", "backends"):
+        assert key in payload, f"BENCH_campaign.json lost section {key!r}"
+
+
+def test_headline_results_shape(payload):
+    rows = payload["results"]
+    assert rows, "empty results section"
+    for row in rows:
+        assert RESULT_KEYS <= set(row)
+
+
+def test_fault_workload_matrix_covers_taxonomy(payload):
+    rows = payload["fault_workloads"]
+    assert {r["workload"] for r in rows} >= TAXONOMY_WORKLOADS
+    for row in rows:
+        assert FAULT_ROW_KEYS <= set(row)
+
+
+def test_backend_matrix_covers_workloads_and_backends(payload):
+    rows = payload["backends"]
+    assert rows, "empty backends section — regenerate with --full-matrix"
+    for row in rows:
+        assert BACKEND_ROW_KEYS <= set(row)
+    pairs = {(r["workload"], r["backend"]) for r in rows}
+    expected = {
+        (w, b) for w in TAXONOMY_WORKLOADS for b in ENGINE_BACKENDS
+    }
+    assert pairs >= expected, (
+        f"backend matrix is missing pairs: {sorted(expected - pairs)}"
+    )
+
+
+def test_backend_matrix_throughput_recorded(payload):
+    for row in payload["backends"]:
+        assert row["seconds"] > 0
+        assert row["scenarios_per_s"] > 0
+        assert row["max_error"] >= 0

@@ -1,0 +1,188 @@
+"""The ``threaded`` backend: chunk evaluation tiled over a thread pool.
+
+The hot campaign loop — GEMM, segment-sum synapse corrections, mask
+channels — spends nearly all its time inside NumPy calls that release
+the GIL, so a thread pool scales it without the fork-once machinery's
+per-process network copies.  :class:`ThreadedMaskEngine` keeps one
+:class:`~repro.faults.masks.MaskCampaignEngine` per pool thread (each
+with its own activation buffers and workspace), splits every batch
+into fixed tiles, and evaluates tiles concurrently.
+
+Determinism contract: the tile layout and the per-tile generators
+depend only on the batch size and the engine's tile width — never on
+the pool size or scheduling order — so results are identical across
+worker counts (``serial == threaded``).  Deterministic fault batches
+are additionally bitwise-identical to the ``numpy`` backend evaluated
+at the same slice layout (``chunk_size == tile``); across layouts
+they agree to float associativity, exactly like the serial engine
+across chunk sizes.  Stochastic batches draw from per-tile spawned
+generators, so they are reproducible for a fixed seed but follow a
+different (equally distributed) stream than the serial engine.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional
+
+import numpy as np
+
+from ..faults.masks import MaskCampaignEngine
+from . import register_backend
+
+__all__ = ["ThreadedMaskEngine"]
+
+#: Default tile width: small enough to keep all threads busy on one
+#: SAMPLE_BLOCK-sized batch, large enough to amortise slice overhead.
+DEFAULT_TILE = 256
+
+
+class ThreadedMaskEngine:
+    """Evaluates mask batches by tiling slices over a thread pool.
+
+    Drop-in for :class:`MaskCampaignEngine` wherever an ``engine=`` is
+    accepted: exposes the same evaluation methods and the attributes
+    the campaign runners guard on.  ``workers=0`` sizes the pool from
+    ``os.cpu_count()``.
+
+    When :attr:`profile` is set the tiles run serially on one member
+    engine (phase timers are not thread-safe); the tile layout and
+    draw streams are unchanged, so profiling never changes results.
+    """
+
+    def __init__(
+        self,
+        injector,
+        x: np.ndarray,
+        *,
+        chunk_size: int = 1024,
+        reduction: str = "max",
+        dtype: "str | np.dtype" = np.float64,
+        workers: int = 0,
+        tile: Optional[int] = None,
+    ):
+        n = int(workers) if workers else (os.cpu_count() or 1)
+        self.workers = max(1, min(n, 32))
+        self._engines: List[MaskCampaignEngine] = [
+            MaskCampaignEngine(
+                injector, x, chunk_size=chunk_size, reduction=reduction,
+                dtype=dtype,
+            )
+            for _ in range(self.workers)
+        ]
+        lead = self._engines[0]
+        self.injector = lead.injector
+        self.network = lead.network
+        self.capacity = lead.capacity
+        self.chunk_size = lead.chunk_size
+        self.reduction = lead.reduction
+        self.dtype = lead.dtype
+        self.xb64 = lead.xb64
+        self.xb = lead.xb
+        self.batch_size = lead.batch_size
+        self.tile = int(tile) if tile else min(DEFAULT_TILE, self.chunk_size)
+        if self.tile < 1:
+            raise ValueError(f"tile must be >= 1, got {self.tile}")
+        self.profile = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        # Engines are borrowed through this queue; the pool never runs
+        # more than ``workers`` tasks at once, so a get() always finds
+        # a free engine without blocking.
+        self._idle: "queue.SimpleQueue[MaskCampaignEngine]" = queue.SimpleQueue()
+        for eng in self._engines:
+            self._idle.put(eng)
+
+    # -- internals ---------------------------------------------------------
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="mask-engine",
+            )
+        return self._pool
+
+    def _tiles(self, S: int):
+        return [(lo, min(lo + self.tile, S)) for lo in range(0, S, self.tile)]
+
+    def _tile_rngs(self, batch, rng, n_tiles):
+        """Per-tile generators for stochastic batches (spawned in tile
+        order, so the streams depend only on the layout), else Nones."""
+        if not batch.is_stochastic:
+            return [None] * n_tiles
+        rng = self._engines[0]._resolve_rng(batch, rng)
+        return rng.spawn(n_tiles)
+
+    def _eval_tile(self, batch, lo, hi, trng, want_outputs):
+        eng = self._idle.get()
+        try:
+            return eng._evaluate_slice(batch, lo, hi, want_outputs, trng)
+        finally:
+            self._idle.put(eng)
+
+    def _run(self, batch, want_outputs, rng):
+        S = batch.num_scenarios
+        tiles = self._tiles(S)
+        rngs = self._tile_rngs(batch, rng, len(tiles))
+        if self.profile is not None or self.workers == 1 or len(tiles) == 1:
+            lead = self._engines[0]
+            prev = lead.profile
+            lead.profile = self.profile
+            try:
+                return [
+                    lead._evaluate_slice(batch, lo, hi, want_outputs, trng)
+                    for (lo, hi), trng in zip(tiles, rngs)
+                ]
+            finally:
+                lead.profile = prev
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(self._eval_tile, batch, lo, hi, trng, want_outputs)
+            for (lo, hi), trng in zip(tiles, rngs)
+        ]
+        return [f.result() for f in futures]
+
+    # -- public API --------------------------------------------------------
+
+    def evaluate(self, batch, *, rng=None) -> np.ndarray:
+        """Per-scenario output errors ``(S,)``; tile-parallel."""
+        if batch.num_scenarios == 0:
+            return np.empty(0, dtype=np.float64)
+        pieces = self._run(batch, False, rng)
+        return np.concatenate(pieces).astype(np.float64, copy=False)
+
+    def outputs(self, batch, *, rng=None) -> np.ndarray:
+        """Faulty outputs ``(S, B, n_outputs)``; tile-parallel."""
+        if batch.num_scenarios == 0:
+            return np.empty((0, self.batch_size, self.network.n_outputs))
+        return np.concatenate(self._run(batch, True, rng))
+
+    @property
+    def nominal(self) -> np.ndarray:
+        return self._engines[0].nominal
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent); the engine stays usable —
+        the next evaluation simply rebuilds the pool."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+def _threaded_engine(injector, x, *, chunk_size, reduction, dtype, workers):
+    return ThreadedMaskEngine(
+        injector, x, chunk_size=chunk_size, reduction=reduction, dtype=dtype,
+        workers=workers,
+    )
+
+
+register_backend("threaded", _threaded_engine)

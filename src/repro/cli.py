@@ -84,6 +84,14 @@ _nonneg_float = _bounded(float, 0, "expected a nonnegative number")
 _workers_count = _bounded(int, 0, "worker count must be >= 0 (0 = in-process)")
 
 
+def _engine_backends():
+    """The spec layer's backend names (pure data — safe at parser-build
+    time, no numerical imports)."""
+    from .specs.model import ENGINE_BACKENDS
+
+    return ENGINE_BACKENDS
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -245,6 +253,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_cam.add_argument("--dtype", choices=("float32", "float64"),
                        default="float64",
                        help="evaluation precision (float32 = fast path)")
+    p_cam.add_argument("--backend", choices=_engine_backends(),
+                       default="numpy",
+                       help="evaluation engine backend: numpy (reference), "
+                            "threaded (thread-pool tiling), or a "
+                            "reduced-precision probe tier "
+                            "(quantized-int8 / float16)")
+    p_cam.add_argument("--profile", action="store_true",
+                       help="report per-phase wall time (sampling / "
+                            "compile / gemm / corrections / reduction; "
+                            "in-process only)")
     p_cam.add_argument("--threshold", type=float, default=None,
                        help="also report the fraction of scenarios "
                             "exceeding this error")
@@ -512,6 +530,7 @@ def _campaign_spec_from_args(args):
             chunk_size=args.chunk_size,
             dtype=args.dtype,
             workers=args.workers,
+            backend=args.backend,
         ),
     )
 
@@ -724,7 +743,12 @@ def _cmd_campaign(args) -> int:
         else:
             print(f"monte-carlo campaign: {spec.n_scenarios} scenarios, "
                   f"{_describe_sampler(spec)}")
-        result = specs.run(spec)
+        profile = None
+        if args.profile:
+            from .profiling import PhaseProfile
+
+            profile = PhaseProfile()
+        result = specs.run(spec, profile=profile)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -733,6 +757,8 @@ def _cmd_campaign(args) -> int:
     if spec.threshold is not None:
         frac = result.fraction_exceeding(spec.threshold)
         print(f"  fraction exceeding {spec.threshold:g}: {frac:.4f}")
+    if profile is not None:
+        print(profile.report())
     return 0
 
 

@@ -18,6 +18,7 @@ from .exp_fep_learning import run_fep_learning
 from .exp_lemma1 import run_lemma1
 from .exp_overprovision import run_overprovision
 from .exp_pruning import run_pruning
+from .exp_quantized_probes import run_quantized_probes
 from .exp_reliability import run_reliability
 from .exp_smr_baseline import run_smr_baseline
 from .exp_theorem1 import run_theorem1
@@ -77,4 +78,5 @@ __all__ = [
     "run_fep_learning",
     "run_smr_baseline",
     "run_pruning",
+    "run_quantized_probes",
 ]

@@ -365,6 +365,8 @@ def exhaustive_crash_campaign(
     reduction: str = "max",
     n_workers: int = 0,
     dtype: "str | np.dtype" = np.float64,
+    engine=None,
+    profile=None,
 ) -> CampaignResult:
     """Every configuration of exactly ``n_fail`` crashed neurons.
 
@@ -373,6 +375,11 @@ def exhaustive_crash_campaign(
     explosion observation.  Within budget, the sweep is compiled to
     combination index arrays in bulk (no per-configuration Python
     objects) and streamed through the mask engine.
+
+    ``engine`` reuses a prebuilt evaluation engine (any backend built
+    for this injector and probe batch) and ``profile`` accumulates
+    per-phase wall time — both in-process only, forwarded to
+    :func:`~repro.faults.masks.exhaustive_crash_errors`.
     """
     total = count_crash_configurations(injector.network, n_fail)
     if total > max_configurations:
@@ -390,5 +397,7 @@ def exhaustive_crash_campaign(
         dtype=dtype,
         n_workers=n_workers,
         max_configurations=max_configurations,
+        engine=engine,
+        profile=profile,
     )
     return CampaignResult(errors, [], reduction)

@@ -67,6 +67,7 @@ from .types import (
 __all__ = [
     "FaultInjector",
     "CompiledScenarioBatch",
+    "MaskWorkspace",
     "SynapseStageChannels",
     "static_fault_action",
     "fault_channel_action",
@@ -74,7 +75,55 @@ __all__ = [
     "apply_neuron_fault",
     "apply_mask_channels",
     "apply_synapse_corrections",
+    "apply_synapse_corrections_reference",
 ]
+
+#: Synapse-correction kernel selector.  ``"segment"`` (the default)
+#: routes through the precompiled per-stage segment plans below;
+#: ``"scatter"`` retains the original ``np.add.at`` scatter as the
+#: bitwise reference.  The equivalence tests flip this module global to
+#: prove the two paths agree bit for bit.
+SYNAPSE_KERNEL = "segment"
+
+#: A channel write goes through the sparse gather/scatter kernel when
+#: the affected cells cover at most ``1 / _SPARSE_ROWS_LIMIT`` of the
+#: ``(S, N)`` mask; denser masks keep the vectorised masked write.
+#: Both kernels are bitwise-identical, so the threshold is purely a
+#: throughput heuristic.
+_SPARSE_ROWS_LIMIT = 4
+
+
+class MaskWorkspace:
+    """Reusable scratch buffers for the per-chunk mask kernels.
+
+    The gate (intermittent) kernels draw ``(K, B)`` uniforms per
+    channel; drawing them into one growable buffer via
+    ``Generator.random(out=...)`` produces the same stream as a fresh
+    allocation while skipping the per-channel allocations.  One
+    workspace per engine — it is not thread-safe, so the threaded
+    backend gives each worker engine its own.
+    """
+
+    __slots__ = ("_uniform",)
+
+    def __init__(self) -> None:
+        self._uniform: Optional[np.ndarray] = None
+
+    def uniform(self, rng: np.random.Generator, k: int, b: int) -> np.ndarray:
+        """A ``(k, b)`` float64 uniform draw backed by the shared buffer.
+
+        The returned view is invalidated by the next call; callers
+        consume it immediately (comparisons materialise fresh bools).
+        """
+        buf = self._uniform
+        if buf is None or buf.shape[0] < k or buf.shape[1] != b:
+            rows = k if buf is None or buf.shape[1] != b else max(
+                k, 2 * buf.shape[0]
+            )
+            buf = self._uniform = np.empty((rows, b))
+        out = buf[:k]
+        rng.random(out=out)
+        return out
 
 
 def static_fault_action(fault: FaultModel) -> Optional[tuple[str, float]]:
@@ -221,6 +270,7 @@ def apply_mask_channels(
     noise_sigma: Optional[np.ndarray] = None,
     gate_p: Optional[np.ndarray] = None,
     rng: Optional[np.random.Generator] = None,
+    workspace: Optional[MaskWorkspace] = None,
 ) -> np.ndarray:
     """Apply one layer's fault channels in place on ``(S, B, N)`` activations.
 
@@ -258,7 +308,13 @@ def apply_mask_channels(
     and the dense vectorised writes below only serve the permanent
     cells.  Draw order is fixed (gates per channel in zero / set /
     scale / add order, then noise), each in row-major cell order, so
-    the stream is deterministic for a given batch.
+    the stream is deterministic for a given batch.  A ``workspace``
+    lets the gate draws reuse one growable buffer across chunks (same
+    stream, fewer allocations).  Permanent ``set``/``scale``/``add``
+    cells below the :data:`_SPARSE_ROWS_LIMIT` density additionally go
+    through a gather/compute/scatter kernel on the ``(K, B)`` cells
+    instead of full ``(S, B, N)`` arithmetic — elementwise identical,
+    so results are bitwise-equal either way.
     """
     B = Y.shape[1]
     gated_cells = gate_p is not None and np.any(gate_p < 1.0)
@@ -268,6 +324,11 @@ def apply_mask_channels(
             "campaign generator"
         )
     Yt = Y.transpose(0, 2, 1)  # (S, N, B) view for per-cell gather/scatter
+
+    def draw_uniform(k: int) -> np.ndarray:
+        if workspace is not None:
+            return workspace.uniform(rng, k, B)
+        return rng.random((k, B))
 
     def split(mask: np.ndarray):
         """Partition a channel mask into (permanent part, gated cells).
@@ -281,8 +342,15 @@ def apply_mask_channels(
         if not g.any():
             return mask, None
         rows, cols = np.nonzero(g)
-        hit = rng.random((rows.size, B)) < gate_p[rows, cols][:, None]
+        hit = draw_uniform(rows.size) < gate_p[rows, cols][:, None]
         return mask & ~g, (rows, cols, hit)
+
+    def sparse_rows(dense: np.ndarray):
+        """Cell coordinates when the mask is sparse enough, else None."""
+        k = np.count_nonzero(dense)
+        if k == 0 or k * _SPARSE_ROWS_LIMIT > dense.size:
+            return None
+        return np.nonzero(dense)
 
     if zero.any():
         dense, gated = split(zero)
@@ -296,10 +364,21 @@ def apply_mask_channels(
     if set_mask.any():
         dense, gated = split(set_mask)
         if dense.any():
-            vals = np.broadcast_to(set_values[:, None, :], Y.shape)
-            if capacity is not None:
-                vals = np.clip(vals, Y - capacity, Y + capacity)
-            np.copyto(Y, vals, where=dense[:, None, :], casting="unsafe")
+            sparse = sparse_rows(dense)
+            if sparse is not None:
+                rows, cols = sparse
+                cells = Yt[rows, cols]
+                vals = np.broadcast_to(
+                    set_values[rows, cols][:, None], cells.shape
+                )
+                if capacity is not None:
+                    vals = np.clip(vals, cells - capacity, cells + capacity)
+                Yt[rows, cols] = vals
+            else:
+                vals = np.broadcast_to(set_values[:, None, :], Y.shape)
+                if capacity is not None:
+                    vals = np.clip(vals, Y - capacity, Y + capacity)
+                np.copyto(Y, vals, where=dense[:, None, :], casting="unsafe")
         if gated is not None:
             rows, cols, hit = gated
             cells = Yt[rows, cols]
@@ -312,10 +391,19 @@ def apply_mask_channels(
     if scale_mask is not None and scale_mask.any():
         dense, gated = split(scale_mask)
         if dense.any():
-            vals = scale_values[:, None, :] * Y
-            if capacity is not None:
-                vals = np.clip(vals, Y - capacity, Y + capacity)
-            np.copyto(Y, vals, where=dense[:, None, :], casting="unsafe")
+            sparse = sparse_rows(dense)
+            if sparse is not None:
+                rows, cols = sparse
+                cells = Yt[rows, cols]
+                vals = scale_values[rows, cols][:, None] * cells
+                if capacity is not None:
+                    vals = np.clip(vals, cells - capacity, cells + capacity)
+                Yt[rows, cols] = vals
+            else:
+                vals = scale_values[:, None, :] * Y
+                if capacity is not None:
+                    vals = np.clip(vals, Y - capacity, Y + capacity)
+                np.copyto(Y, vals, where=dense[:, None, :], casting="unsafe")
         if gated is not None:
             rows, cols, hit = gated
             cells = Yt[rows, cols]
@@ -330,11 +418,21 @@ def apply_mask_channels(
             )
         dense, gated = split(add_mask)
         if dense.any():
-            add = add_values
-            if capacity is not None:
-                add = np.clip(add, -capacity, capacity)
-            np.add(Y, add[:, None, :], out=Y, where=dense[:, None, :],
-                   casting="unsafe")
+            sparse = sparse_rows(dense)
+            if sparse is not None:
+                rows, cols = sparse
+                add = add_values[rows, cols]
+                if capacity is not None:
+                    add = np.clip(add, -capacity, capacity)
+                cells = Yt[rows, cols]
+                cells += add[:, None]
+                Yt[rows, cols] = cells
+            else:
+                add = add_values
+                if capacity is not None:
+                    add = np.clip(add, -capacity, capacity)
+                np.add(Y, add[:, None, :], out=Y, where=dense[:, None, :],
+                       casting="unsafe")
         if gated is not None:
             rows, cols, hit = gated
             add = add_values[rows, cols]
@@ -360,11 +458,203 @@ def apply_mask_channels(
             gated_idx = gp < 1.0
             if gated_idx.any():
                 delta[gated_idx] *= (
-                    rng.random((int(gated_idx.sum()), B))
+                    draw_uniform(int(gated_idx.sum()))
                     < gp[gated_idx][:, None]
                 )
         Yt[rows, cols] += delta
     return Y
+
+
+def _synapse_emissions(
+    source: np.ndarray, s_idx: np.ndarray, i_idx: np.ndarray
+) -> np.ndarray:
+    """The ``(K, B)`` emissions carried by a stage's faulty synapses.
+
+    Always a fresh gather copy (fancy indexing), so callers may mutate
+    the result in place.
+    """
+    if source.ndim == 2:  # stage 1: inputs, shared across scenarios
+        return source.T[i_idx]
+    return source[s_idx, :, i_idx]
+
+
+def _bound_deviation(
+    dev: np.ndarray, capacity: Optional[float]
+) -> np.ndarray:
+    """Clip a deviation to ``+-C``; reject non-finite under ``C=None``."""
+    if capacity is None:
+        if not np.all(np.isfinite(dev)):
+            raise ValueError(
+                "capacity-saturating synapse fault under unbounded "
+                "transmission: specify an explicit offset"
+            )
+        return dev
+    return np.clip(dev, -capacity, capacity)
+
+
+class _SynapseStagePlan:
+    """Precompiled scatter plan for one stage's COO fault entries.
+
+    Built once per ``(stage, N_out)`` and cached on the stage: the
+    entries are concatenated in channel order (zero, add, noise) —
+    exactly the reference kernel's application order — and
+    stable-sorted by the key ``scenario * N_out + receiving neuron``
+    into CSR-style segments.  Each target's *first* occurrence lands in
+    one buffered fancy-index ``+=`` over the unique ``(u_s, u_j)``
+    cells; the duplicate tail (``rest``, a few percent of entries at
+    most) is finished by ``np.add.at``, whose per-entry sequential
+    accumulation — first occurrence already applied, later occurrences
+    in stable-sorted (= entry) order — reproduces the reference
+    ``np.add.at`` bit for bit on every cell (batched segment reductions
+    like ``np.add.reduceat`` use pairwise summation and do *not*).
+    Sampler-lowered single-kind stages arrive already key-sorted, so
+    the argsort is usually skipped outright (``first is None`` encodes
+    the identity), and the ``w_ji`` gather is cached per weight matrix
+    identity, so steady-state chunks pay no index arithmetic at all.
+    """
+
+    __slots__ = (
+        "cat_s", "cat_j", "u_s", "u_j",
+        "first", "rest", "rest_s", "rest_j", "rest_rows", "_w_cache"
+    )
+
+    def __init__(self, stage: "SynapseStageChannels", n_out: int):
+        s = np.concatenate((stage.zero_s, stage.add_s, stage.noise_s))
+        j = np.concatenate((stage.zero_j, stage.add_j, stage.noise_j))
+        self.cat_s = s
+        self.cat_j = j
+        self._w_cache = None
+        self.first = self.rest = None
+        self.rest_s = self.rest_j = self.rest_rows = None
+        key = s * n_out + j
+        k = key.size
+        nxt, prv = key[1:], key[:-1]
+        if bool(np.all(nxt > prv)):
+            # Strictly increasing: already sorted, every target unique —
+            # the identity plan, no index arithmetic at all.
+            self.u_s = s
+            self.u_j = j
+            return
+        if bool(np.all(nxt >= prv)):
+            order = None  # sorted with duplicates: skip the argsort
+            key_sorted = key
+        else:
+            order = np.argsort(key, kind="stable")
+            key_sorted = key[order]
+        head = np.empty(k, dtype=bool)  # True at each segment head
+        head[0] = True
+        np.not_equal(key_sorted[1:], key_sorted[:-1], out=head[1:])
+        heads = np.flatnonzero(head)
+        first = heads if order is None else order[heads]
+        self.u_s = s[first]  # unique (scenario, neuron) targets,
+        self.u_j = j[first]  # in sorted-key order
+        if heads.size == k:
+            # Unique targets that merely arrived unsorted: ``first``
+            # permutes contributions into target order for the stage-1
+            # gather kernel; the dense apply stays single-pass.
+            self.first = order
+            return
+        self.first = first
+        tail = np.flatnonzero(~head)  # non-head sorted slots, in order
+        rest = tail if order is None else order[tail]
+        self.rest = rest
+        self.rest_s = s[rest]
+        self.rest_j = j[rest]
+        seg_id = np.cumsum(head) - 1  # segment index per sorted slot
+        self.rest_rows = seg_id[tail]
+
+    def gathered_weights(self, stage, weights):
+        """Per-channel ``w_ji`` gathers, cached by weight-matrix identity."""
+        cached = self._w_cache
+        if cached is not None and cached[0] is weights:
+            return cached[1]
+        gathered = (
+            weights[stage.zero_j, stage.zero_i],
+            weights[stage.add_j, stage.add_i],
+            weights[stage.noise_j, stage.noise_i],
+        )
+        self._w_cache = (weights, gathered)
+        return gathered
+
+
+def _stage_plan(stage: "SynapseStageChannels", n_out: int) -> _SynapseStagePlan:
+    """The (cached) segment plan of a stage for a given fan-in width."""
+    plan = stage._plans.get(n_out)
+    if plan is None:
+        plan = stage._plans[n_out] = _SynapseStagePlan(stage, n_out)
+    return plan
+
+
+def _stage_contributions(
+    stage: "SynapseStageChannels",
+    plan: _SynapseStagePlan,
+    source: np.ndarray,
+    weights: np.ndarray,
+    capacity: Optional[float],
+    rng: Optional[np.random.Generator],
+    B: int,
+) -> np.ndarray:
+    """The correction rows ``w_ji * clip(delivered - y_i, -C, +C)``.
+
+    Returned in the plan's channel concatenation order (zero, add,
+    noise); elementwise identical to the reference kernel's values —
+    only the scatter strategy differs.  Shape is ``(K, B)``, except an
+    add-only stage returns ``(K, 1)`` (the reference broadcasts the
+    same column too).
+    """
+    w_zero, w_add, w_noise = plan.gathered_weights(stage, weights)
+
+    def bound_inplace(dev: np.ndarray) -> np.ndarray:
+        # In-place twin of _bound_deviation for freshly-gathered/drawn
+        # buffers; elementwise identical (clip is not order-sensitive).
+        if capacity is None:
+            if not np.all(np.isfinite(dev)):
+                raise ValueError(
+                    "capacity-saturating synapse fault under unbounded "
+                    "transmission: specify an explicit offset"
+                )
+            return dev
+        return np.clip(dev, -capacity, capacity, out=dev)
+
+    parts = []
+    if stage.zero_s.size:
+        dev = _synapse_emissions(source, stage.zero_s, stage.zero_i)
+        np.negative(dev, out=dev)
+        bound_inplace(dev)
+        np.multiply(dev, w_zero[:, None], out=dev)
+        parts.append(dev)
+    if stage.add_s.size:
+        dev = _bound_deviation(stage.add_values, capacity)
+        parts.append((w_add * dev)[:, None])
+    if stage.noise_s.size:
+        if rng is None:
+            raise ValueError(
+                "synapse noise channels need an rng; pass the campaign "
+                "generator"
+            )
+        dev = rng.standard_normal((stage.noise_s.size, B))
+        np.multiply(dev, stage.noise_sigma[:, None], out=dev)
+        bound_inplace(dev)
+        np.multiply(dev, w_noise[:, None], out=dev)
+        parts.append(dev)
+    if len(parts) == 1:
+        return parts[0]
+    return np.concatenate(
+        [np.broadcast_to(p, (p.shape[0], B)) for p in parts], axis=0
+    )
+
+
+def _apply_plan_to_view(
+    view: np.ndarray, plan: _SynapseStagePlan, contrib: np.ndarray
+) -> None:
+    """Scatter-add the contributions onto the ``(S, N_out, B)`` view."""
+    if plan.rest is None:
+        # Unique targets: one buffered fancy ``+=`` (any entry order —
+        # disjoint cells — so no permutation needed).
+        view[plan.cat_s, plan.cat_j] += contrib
+    else:
+        view[plan.u_s, plan.u_j] += contrib[plan.first]
+        np.add.at(view, (plan.rest_s, plan.rest_j), contrib[plan.rest])
 
 
 def apply_synapse_corrections(
@@ -387,36 +677,54 @@ def apply_synapse_corrections(
     shared verbatim between :meth:`FaultInjector.run_many` and the
     streaming engine.  Duplicate ``(s, j)`` targets accumulate (several
     faulty synapses into one neuron).
+
+    Dispatches on :data:`SYNAPSE_KERNEL`: the default ``"segment"``
+    kernel goes through the precompiled :class:`_SynapseStagePlan`
+    (buffered fancy-index scatter, cached gathers); ``"scatter"``
+    retains the original per-entry ``np.add.at``.  Both are
+    bitwise-identical (same RNG draw order, same per-target
+    accumulation order).
     """
+    if stage is None or stage.is_empty:
+        return pre
+    if SYNAPSE_KERNEL != "segment":
+        return apply_synapse_corrections_reference(
+            pre, stage, source, weights, capacity, rng
+        )
+    plan = _stage_plan(stage, pre.shape[2])
+    contrib = _stage_contributions(
+        stage, plan, source, weights, capacity, rng, pre.shape[1]
+    )
+    _apply_plan_to_view(pre.transpose(0, 2, 1), plan, contrib)
+    return pre
+
+
+def apply_synapse_corrections_reference(
+    pre: np.ndarray,
+    stage: "SynapseStageChannels | None",
+    source: np.ndarray,
+    weights: np.ndarray,
+    capacity: Optional[float],
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """The original ``np.add.at`` scatter kernel, kept as the bitwise
+    reference for the segment plan (see :data:`SYNAPSE_KERNEL`)."""
     if stage is None or stage.is_empty:
         return pre
     B = pre.shape[1]
     view = pre.transpose(0, 2, 1)  # (S, N_out, B) view: scatter target
 
-    def emissions(s_idx: np.ndarray, i_idx: np.ndarray) -> np.ndarray:
-        if source.ndim == 2:  # stage 1: inputs, shared across scenarios
-            return source[:, i_idx].T
-        return source[s_idx, :, i_idx]
-
-    def bound(dev: np.ndarray) -> np.ndarray:
-        if capacity is None:
-            if not np.all(np.isfinite(dev)):
-                raise ValueError(
-                    "capacity-saturating synapse fault under unbounded "
-                    "transmission: specify an explicit offset"
-                )
-            return dev
-        return np.clip(dev, -capacity, capacity)
-
     if stage.zero_s.size:
-        dev = bound(-emissions(stage.zero_s, stage.zero_i))
+        dev = _bound_deviation(
+            -_synapse_emissions(source, stage.zero_s, stage.zero_i), capacity
+        )
         np.add.at(
             view,
             (stage.zero_s, stage.zero_j),
             weights[stage.zero_j, stage.zero_i][:, None] * dev,
         )
     if stage.add_s.size:
-        dev = bound(stage.add_values)
+        dev = _bound_deviation(stage.add_values, capacity)
         np.add.at(
             view,
             (stage.add_s, stage.add_j),
@@ -428,9 +736,10 @@ def apply_synapse_corrections(
                 "synapse noise channels need an rng; pass the campaign "
                 "generator"
             )
-        dev = bound(
+        dev = _bound_deviation(
             rng.standard_normal((stage.noise_s.size, B))
-            * stage.noise_sigma[:, None]
+            * stage.noise_sigma[:, None],
+            capacity,
         )
         np.add.at(
             view,
@@ -472,6 +781,12 @@ class SynapseStageChannels:
     noise_i: np.ndarray = field(default_factory=lambda: np.empty(0, np.intp))
     noise_sigma: np.ndarray = field(
         default_factory=lambda: np.empty(0, np.float64)
+    )
+    #: Lazily-built :class:`_SynapseStagePlan` per fan-in width; plans
+    #: are pure functions of the (immutable) entries, so a benign
+    #: last-writer-wins race under concurrent builders is acceptable.
+    _plans: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
     )
 
     @property
@@ -544,10 +859,43 @@ class CompiledScenarioBatch:
     noise_sigma: Optional[List[np.ndarray]] = None
     gate_p: Optional[List[np.ndarray]] = None
     synapse_stages: Optional[List[SynapseStageChannels]] = None
+    # Cached answer to :attr:`neuron_channels_clear`; synapse samplers
+    # stamp it True at construction (their neuron arrays are untouched
+    # ``empty_mask_batch`` zeros), everyone else pays one scan.
+    _neuron_clear: Optional[bool] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def num_scenarios(self) -> int:
         return self.zero_masks[0].shape[0] if self.zero_masks else 0
+
+    @property
+    def neuron_channels_clear(self) -> bool:
+        """True when no neuron mask channel can touch any activation.
+
+        Every channel of :func:`apply_mask_channels` is ``.any()``
+        guarded and draws randomness only inside those guards, so a
+        clear batch makes the whole mask pass a scan-only no-op that
+        consumes zero RNG draws — evaluators may skip it per layer and
+        stay bitwise-identical.  The scan runs once per batch (cached),
+        replacing per-chunk-per-layer channel scans on the hot
+        synapse-only path.
+        """
+        if self._neuron_clear is None:
+            clear = not (
+                any(m.any() for m in self.zero_masks)
+                or any(m.any() for m in self.set_masks)
+                or any(m.any() for m in self.add_masks)
+            )
+            if clear and self.scale_masks is not None:
+                clear = not any(m.any() for m in self.scale_masks)
+            if clear and self.noise_masks is not None:
+                clear = not any(m.any() for m in self.noise_masks)
+            if clear and self.gate_p is not None:
+                clear = not any(np.any(g < 1.0) for g in self.gate_p)
+            self._neuron_clear = clear
+        return self._neuron_clear
 
     @property
     def has_synapse_faults(self) -> bool:

@@ -36,16 +36,21 @@ representation this engine consumes.
 from __future__ import annotations
 
 import math
+from time import perf_counter as _perf_counter
 from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
 from ..network.model import FeedForwardNetwork
 from ..parallel import bounded_map, fork_once_pool, worker_state
+from . import injector as _injector_mod
 from .injector import (
     CompiledScenarioBatch,
     FaultInjector,
+    MaskWorkspace,
     SynapseStageChannels,
+    _stage_contributions,
+    _stage_plan,
     apply_mask_channels,
     apply_synapse_corrections,
     fault_channel_action,
@@ -107,15 +112,32 @@ def _slice_masks(arrays: List[np.ndarray], lo: int, hi: int) -> List[np.ndarray]
 
 
 def _sample_fixed_count_masks(
-    rng: np.random.Generator, n_scenarios: int, width: int, count: int
+    rng: np.random.Generator,
+    n_scenarios: int,
+    width: int,
+    count: int,
+    keys: "np.ndarray | None" = None,
 ) -> np.ndarray:
     """``(S, width)`` boolean masks with exactly ``count`` True per row,
     each row a uniform random ``count``-subset.
 
-    Batched ``argpartition`` over i.i.d. uniform keys: the positions of
-    the ``count`` smallest keys in a row are exchangeable, hence a
-    uniform subset — the array-level equivalent of ``rng.choice(width,
-    count, replace=False)`` per scenario.
+    Batched partition over i.i.d. uniform keys: the positions of the
+    ``count`` smallest keys in a row are exchangeable, hence a uniform
+    subset — the array-level equivalent of ``rng.choice(width, count,
+    replace=False)`` per scenario.  The selection is realised by
+    thresholding each row at its ``count``-th order statistic
+    (``np.partition`` + one comparison), which is ~2x faster than the
+    ``argpartition`` index scatter and picks the identical subset
+    whenever the row's keys are distinct (almost surely).  Rows with a
+    tie at the threshold — measure-zero, but guarded — fall back to
+    ``argpartition``.
+
+    ``keys`` optionally supplies the uniform key block (one ``(S,
+    width)`` draw) — samplers with several fixed-count stages fuse the
+    per-stage draws into a single generator call, which consumes the
+    stream identically to sequential ``rng.random((S, width))`` calls
+    and therefore picks bitwise-identical subsets.  Degenerate stages
+    (``count`` of 0 or ``width``) never draw, with or without fusion.
     """
     if count > width:
         raise ValueError(f"cannot fail {count} neurons in a layer of width {width}")
@@ -125,9 +147,30 @@ def _sample_fixed_count_masks(
     if count == width:
         masks[:] = True
         return masks
-    keys = rng.random((n_scenarios, width))
-    picks = np.argpartition(keys, count - 1, axis=1)[:, :count]
-    masks[np.arange(n_scenarios)[:, None], picks] = True
+    if keys is None:
+        keys = rng.random((n_scenarios, width))
+    # The count-th order statistic per row.  For tiny counts, iterative
+    # extraction (argmin the running minimum away, then one final min)
+    # beats introselect by ~2x on wide rows; all branches produce the
+    # exact same value, ties included.
+    if count == 1:
+        kth = keys.min(axis=1)
+    elif count == 2:
+        scratch = keys.copy()
+        scratch[np.arange(n_scenarios), scratch.argmin(axis=1)] = np.inf
+        kth = scratch.min(axis=1)
+    else:
+        kth = np.partition(keys, count - 1, axis=1)[:, count - 1]
+    np.less_equal(keys, kth[:, None], out=masks)
+    # Threshold ties (duplicate keys): each row selects >= count cells
+    # by construction, so the flat total equals S*count iff every row
+    # is exact — one full reduction instead of a per-row axis sum.
+    if np.count_nonzero(masks) != n_scenarios * count:
+        bad = masks.sum(axis=1) != count
+        rows = np.nonzero(bad)[0]
+        masks[rows] = False
+        picks = np.argpartition(keys[rows], count - 1, axis=1)[:, :count]
+        masks[rows[:, None], picks] = True
     return masks
 
 
@@ -165,6 +208,53 @@ class MaskSampler:
     ) -> CompiledScenarioBatch:
         """Draw ``n_scenarios`` scenarios as a mask batch."""
         raise NotImplementedError
+
+    def _fused_fixed_count_masks(
+        self,
+        rng: np.random.Generator,
+        n_scenarios: int,
+        widths: Sequence[int],
+        counts: Sequence[int],
+    ) -> List[np.ndarray]:
+        """Per-stage exact-``count`` masks off one fused key draw.
+
+        The uniform keys of every non-degenerate stage come from a
+        single ``rng.random(out=...)`` call into a buffer reused across
+        chunks — the generator stream (hence every selected subset) is
+        bitwise-identical to sequential per-stage draws, but a campaign
+        pays one draw call and no fresh key allocations per chunk.
+        """
+        active = [
+            (idx, w)
+            for idx, (w, c) in enumerate(zip(widths, counts))
+            if 0 < c < w
+        ]
+        keymap = {}
+        if active and n_scenarios:
+            total = n_scenarios * sum(w for _, w in active)
+            buf = getattr(self, "_key_buf", None)
+            if buf is None or buf.size < total:
+                buf = self._key_buf = np.empty(total, dtype=np.float64)
+            flat = buf[:total]
+            rng.random(out=flat)
+            off = 0
+            for idx, w in active:
+                block = n_scenarios * w
+                keymap[idx] = flat[off:off + block].reshape(n_scenarios, w)
+                off += block
+        return [
+            _sample_fixed_count_masks(
+                rng, n_scenarios, w, c, keys=keymap.get(idx)
+            )
+            for idx, (w, c) in enumerate(zip(widths, counts))
+        ]
+
+    def __getstate__(self):
+        # The fused-draw key buffer is a per-process scratch: drop it
+        # when the fork pool pickles samplers out to workers.
+        state = self.__dict__.copy()
+        state.pop("_key_buf", None)
+        return state
 
 
 class NeuronFaultSampler(MaskSampler):
@@ -268,10 +358,9 @@ class FixedDistributionSampler(NeuronFaultSampler):
                 )
 
     def sample(self, n_scenarios, rng):
-        layer_masks = [
-            _sample_fixed_count_masks(rng, n_scenarios, n, f)
-            for n, f in zip(self.layer_sizes, self.distribution)
-        ]
+        layer_masks = self._fused_fixed_count_masks(
+            rng, n_scenarios, self.layer_sizes, self.distribution
+        )
         return self._batch_from_layer_masks(layer_masks)
 
 
@@ -379,8 +468,11 @@ class SynapseFaultSampler(MaskSampler):
 
     def _stage_from_hits(self, hits: np.ndarray, stage: int) -> SynapseStageChannels:
         """Lower an ``(S, n_physical)`` hit mask into one stage's channels."""
-        s, k = np.nonzero(hits)
-        s = s.astype(np.intp)
+        # flatnonzero + divmod walks the raveled mask once — ~7x faster
+        # than np.nonzero's coordinate-tuple path, with identical
+        # (row-major) ordering of the recovered (s, k) pairs.
+        flat = np.flatnonzero(hits)
+        s, k = np.divmod(flat, hits.shape[1])
         j, i = self._stage_j[stage][k], self._stage_i[stage][k]
         kind, value = self._action_kind, self._action_value
         if kind == "zero":
@@ -402,6 +494,7 @@ class SynapseFaultSampler(MaskSampler):
             self._stage_from_hits(hits, stage)
             for stage, hits in enumerate(hit_masks)
         ]
+        batch._neuron_clear = True  # only synapse channels were populated
         return batch
 
 
@@ -438,10 +531,9 @@ class FixedSynapseDistributionSampler(SynapseFaultSampler):
                 )
 
     def sample(self, n_scenarios, rng):
-        hits = [
-            _sample_fixed_count_masks(rng, n_scenarios, n, f)
-            for n, f in zip(self.stage_synapse_counts, self.distribution)
-        ]
+        hits = self._fused_fixed_count_masks(
+            rng, n_scenarios, self.stage_synapse_counts, self.distribution
+        )
         return self._batch_from_hits(hits)
 
 
@@ -786,6 +878,11 @@ class MaskCampaignEngine:
         self._buffers: Optional[List[np.ndarray]] = None
         self._out_buffer: Optional[np.ndarray] = None
         self._base_pre1: Optional[np.ndarray] = None
+        self._base_pre1_t: Optional[np.ndarray] = None
+        self._workspace = MaskWorkspace()
+        #: Optional :class:`~repro.profiling.PhaseProfile`; when set,
+        #: :meth:`_evaluate_slice` charges wall time to its buckets.
+        self.profile = None
 
     # -- internals ---------------------------------------------------------
 
@@ -793,7 +890,17 @@ class MaskCampaignEngine:
         s = y @ self._weights_t[l0]
         if self._biases[l0] is not None:
             s += self._biases[l0]
-        return self.network.layers[l0].activation.evaluate_into(s, s)
+        out = self.network.layers[l0].activation.evaluate_into(s, s)
+        self._post_activation(l0, out)
+        return out
+
+    def _post_activation(self, l0: int, arr: np.ndarray) -> None:
+        """Hook on every layer's post-activation values (in place).
+
+        A no-op here; quantized backends override it to round emissions
+        to their wire precision before faults corrupt them — see
+        :class:`repro.backends.quantized.QuantizedMaskEngine`.
+        """
 
     def _stage_weights(self, stage: int) -> np.ndarray:
         """Dense ``(N_out, N_in)`` weights of synapse stage ``stage``
@@ -811,6 +918,9 @@ class MaskCampaignEngine:
             if self._biases[0] is not None:
                 s += self._biases[0]
             self._base_pre1 = s
+            # Contiguous (N_1, B) twin: the sparse stage-1 kernel
+            # gathers per-neuron rows, which is fastest off this layout.
+            self._base_pre1_t = np.ascontiguousarray(s.T)
         return self._base_pre1
 
     def _ensure_buffers(self) -> None:
@@ -836,6 +946,8 @@ class MaskCampaignEngine:
     ) -> None:
         """In-place fault application on ``(S, B, N_l)`` activations,
         through the semantics shared with ``FaultInjector.run_many``."""
+        if batch.neuron_channels_clear:
+            return  # scan-free, draw-free skip (see CompiledScenarioBatch)
 
         def chan(lst):
             return lst[l0][lo:hi] if lst is not None else None
@@ -854,7 +966,44 @@ class MaskCampaignEngine:
             noise_sigma=chan(batch.noise_sigma),
             gate_p=chan(batch.gate_p),
             rng=rng,
+            workspace=self._workspace,
         )
+
+    def _corrected_first_layer(
+        self,
+        Y: np.ndarray,
+        st0: SynapseStageChannels,
+        rng: "np.random.Generator | None",
+    ) -> None:
+        """Stage-1 synapse corrections via the sparse segment plan.
+
+        Only the ``T`` distinct ``(scenario, neuron)`` targets differ
+        from the nominal first layer, so instead of broadcasting and
+        re-squashing all ``S x B x N_1`` received sums, gather the
+        cached base pre-activations of the targets, accumulate the
+        corrections there (same per-target order as the dense
+        reference), squash the ``(T, B)`` cells, and scatter them over
+        the broadcast nominal activations.  Elementwise identical to
+        the dense path — untouched cells squash the identical base sums
+        — hence bitwise-equal results.
+        """
+        plan = _stage_plan(st0, Y.shape[2])
+        contrib = _stage_contributions(
+            st0, plan, self.xb, self._stage_weights(0), self.capacity, rng,
+            self.batch_size,
+        )
+        self._ensure_base_pre1()
+        tgt = self._base_pre1_t[plan.u_j]  # (T, B) gather-copy
+        if plan.first is None:
+            tgt += contrib  # identity plan: entries already in target order
+        else:
+            tgt += contrib[plan.first]
+        if plan.rest is not None:
+            np.add.at(tgt, plan.rest_rows, contrib[plan.rest])
+        self.network.layers[0].activation.evaluate_into(tgt, tgt)
+        self._post_activation(0, tgt)
+        Y[...] = self._base_first  # broadcast (B, N_1) over S scenarios
+        Y.transpose(0, 2, 1)[plan.u_s, plan.u_j] = tgt
 
     def _evaluate_slice(
         self,
@@ -868,41 +1017,68 @@ class MaskCampaignEngine:
         S, B = hi - lo, self.batch_size
         net = self.network
         stages = batch.synapse_stages
+        prof = self.profile
+        tick = prof.timer() if prof is not None else None
 
         def stage(l0: int):
             if stages is None or stages[l0].is_empty:
                 return None
+            if lo == 0 and hi >= batch.num_scenarios:
+                return stages[l0]  # full cover: keep the cached plan
             st = stages[l0].sliced(lo, hi)
             return None if st.is_empty else st
 
         Y = self._buffers[0][:S]
         st0 = stage(0)
+        if tick is not None:
+            tick("compile")
         if st0 is not None:
-            # Stage-1 synapse faults corrupt the received sums of layer
-            # 1: broadcast the cached pre-activations, correct, squash.
-            Y[...] = self._ensure_base_pre1()
-            apply_synapse_corrections(
-                Y, st0, self.xb, self._stage_weights(0), self.capacity, rng
-            )
-            Y2 = Y.reshape(S * B, -1)
-            net.layers[0].activation.evaluate_into(Y2, Y2)
+            # Stage-1 synapse faults corrupt the received sums of layer 1.
+            if _injector_mod.SYNAPSE_KERNEL == "segment":
+                self._corrected_first_layer(Y, st0, rng)
+            else:
+                # Reference path: broadcast the cached pre-activations,
+                # correct densely, squash everything.
+                Y[...] = self._ensure_base_pre1()
+                apply_synapse_corrections(
+                    Y, st0, self.xb, self._stage_weights(0), self.capacity,
+                    rng,
+                )
+                Y2 = Y.reshape(S * B, -1)
+                net.layers[0].activation.evaluate_into(Y2, Y2)
+                self._post_activation(0, Y2)
+            if tick is not None:
+                tick("corrections")
         else:
             Y[...] = self._base_first  # broadcast (B, N_1) over S scenarios
+            if tick is not None:
+                tick("gemm")
         self._apply_masks(Y, batch, 0, lo, hi, rng)
+        if tick is not None:
+            tick("corrections")
         for l0 in range(1, net.depth):
             src = self._buffers[l0 - 1][:S].reshape(S * B, -1)
             dst = self._buffers[l0][:S].reshape(S * B, -1)
             np.matmul(src, self._weights_t[l0], out=dst)
             if self._biases[l0] is not None:
                 dst += self._biases[l0]
+            if tick is not None:
+                tick("gemm")
             st = stage(l0)
             if st is not None:
                 apply_synapse_corrections(
                     self._buffers[l0][:S], st, self._buffers[l0 - 1][:S],
                     self._stage_weights(l0), self.capacity, rng,
                 )
+                if tick is not None:
+                    tick("corrections")
             net.layers[l0].activation.evaluate_into(dst, dst)
+            self._post_activation(l0, dst)
+            if tick is not None:
+                tick("gemm")
             self._apply_masks(self._buffers[l0][:S], batch, l0, lo, hi, rng)
+            if tick is not None:
+                tick("corrections")
         out2d = self._out_buffer[:S].reshape(S * B, -1)
         np.matmul(
             self._buffers[net.depth - 1][:S].reshape(S * B, -1),
@@ -910,6 +1086,8 @@ class MaskCampaignEngine:
             out=out2d,
         )
         out2d += self._out_bias
+        if tick is not None:
+            tick("gemm")
         out = self._out_buffer[:S]
         st = stage(net.depth)
         if st is not None:
@@ -917,12 +1095,16 @@ class MaskCampaignEngine:
                 out, st, self._buffers[net.depth - 1][:S],
                 self._stage_weights(net.depth), self.capacity, rng,
             )
+            if tick is not None:
+                tick("corrections")
         if want_outputs:
             return out.copy()
         err = np.abs(out - self._nominal[None]).max(axis=2)  # (S, B)
-        if self.reduction == "max":
-            return err.max(axis=1)
-        return err.mean(axis=1)
+        result = err.max(axis=1) if self.reduction == "max" else err.mean(axis=1)
+        if tick is not None:
+            tick("reduction")
+            prof.scenarios += S
+        return result
 
     def _resolve_rng(
         self, batch: CompiledScenarioBatch, rng: "np.random.Generator | None"
@@ -1044,6 +1226,7 @@ def sampled_campaign_errors(
     dtype: "str | np.dtype" = np.float64,
     n_workers: int = 0,
     engine: "MaskCampaignEngine | None" = None,
+    profile=None,
 ) -> np.ndarray:
     """Sample-and-evaluate ``n_scenarios`` scenarios; returns ``(S,)`` errors.
 
@@ -1069,12 +1252,21 @@ def sampled_campaign_errors(
     reduction and dtype take precedence over the corresponding
     arguments; engine reuse is in-process only (``n_workers`` must stay
     0/1 — workers build their own engines from the shipped network).
+
+    ``profile`` (a :class:`~repro.profiling.PhaseProfile`) accumulates
+    per-phase wall time — sampling here, the evaluation phases inside
+    the engine.  In-process only, like engine reuse.
     """
     if n_scenarios < 0:
         raise ValueError(f"n_scenarios must be >= 0, got {n_scenarios}")
     sampler.check_network(injector.network)
     if chunk_size <= 0:
         raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    if profile is not None and n_workers and n_workers > 1:
+        raise ValueError(
+            "profiling is in-process only; drop the profile argument to "
+            "fan out over workers"
+        )
     if engine is not None:
         if engine.network is not injector.network:
             raise ValueError(
@@ -1131,13 +1323,25 @@ def sampled_campaign_errors(
         engine = MaskCampaignEngine(
             injector, x, chunk_size=chunk_size, reduction=reduction, dtype=dtype
         )
-    pieces = []
-    for size, child in zip(sizes, children):
-        rng = np.random.default_rng(child)
-        # One generator per block: sampling consumes it first, then any
-        # stochastic evaluation draws — identical to the worker path.
-        pieces.append(engine.evaluate(sampler.sample(size, rng), rng=rng))
-    return np.concatenate(pieces)
+    prev_profile = getattr(engine, "profile", None)
+    if profile is not None:
+        engine.profile = profile
+    try:
+        pieces = []
+        for size, child in zip(sizes, children):
+            rng = np.random.default_rng(child)
+            # One generator per block: sampling consumes it first, then
+            # any stochastic evaluation draws — same as the worker path.
+            if profile is not None:
+                t0 = _perf_counter()
+                mask_batch = sampler.sample(size, rng)
+                profile.add("sampling", _perf_counter() - t0)
+            else:
+                mask_batch = sampler.sample(size, rng)
+            pieces.append(engine.evaluate(mask_batch, rng=rng))
+        return np.concatenate(pieces)
+    finally:
+        engine.profile = prev_profile
 
 
 def exhaustive_crash_errors(
@@ -1150,6 +1354,8 @@ def exhaustive_crash_errors(
     dtype: "str | np.dtype" = np.float64,
     n_workers: int = 0,
     max_configurations: int = 2_000_000,
+    engine: "MaskCampaignEngine | None" = None,
+    profile=None,
 ) -> np.ndarray:
     """Errors for every configuration of exactly ``n_fail`` crashes.
 
@@ -1157,6 +1363,12 @@ def exhaustive_crash_errors(
     index array in bulk; chunks of rows are scattered into crash masks
     and streamed through the engine.  Parallel workers receive only
     index blocks (the network went out once, via the pool initializer).
+
+    ``engine`` reuses a prebuilt evaluation engine (any backend built
+    for this injector), in-process only — mirroring
+    :func:`sampled_campaign_errors`; its chunk size then bounds the
+    mask blocks.  ``profile`` accumulates per-phase wall time (the
+    combination-table scatter counts as ``compile``).
 
     Refuses beyond ``max_configurations`` — the table is materialised
     up front, so an unguarded call on a large network would try to
@@ -1166,6 +1378,29 @@ def exhaustive_crash_errors(
     not.
     """
     net = injector.network
+    if engine is not None:
+        if engine.network is not net:
+            raise ValueError(
+                "engine was built for a different network than the injector"
+            )
+        xb_arg, _ = net._as_batch(x)
+        if not np.array_equal(
+            np.asarray(xb_arg, dtype=np.float64), engine.xb64
+        ):
+            raise ValueError(
+                "engine was built for a different probe batch than x"
+            )
+        if n_workers and n_workers > 1:
+            raise ValueError(
+                "engine reuse is in-process only; drop the engine argument "
+                "to fan out over workers"
+            )
+        chunk_size = int(engine.chunk_size)
+    if profile is not None and n_workers and n_workers > 1:
+        raise ValueError(
+            "profiling is in-process only; drop the profile argument to "
+            "fan out over workers"
+        )
     total = math.comb(net.num_neurons, int(n_fail))
     cells = total * max(1, int(n_fail))
     if total > max_configurations or cells > 8 * max_configurations:
@@ -1200,11 +1435,23 @@ def exhaustive_crash_errors(
             pieces = list(bounded_map(pool, _worker_evaluate_flat, blocks))
         return np.concatenate(pieces)
 
-    engine = MaskCampaignEngine(
-        injector, x, chunk_size=chunk_size, reduction=reduction, dtype=dtype
-    )
-    pieces = [
-        engine.evaluate(masks_from_flat_indices(net.layer_sizes, block))
-        for block in blocks
-    ]
-    return np.concatenate(pieces)
+    if engine is None:
+        engine = MaskCampaignEngine(
+            injector, x, chunk_size=chunk_size, reduction=reduction, dtype=dtype
+        )
+    prev_profile = getattr(engine, "profile", None)
+    if profile is not None:
+        engine.profile = profile
+    try:
+        pieces = []
+        for block in blocks:
+            if profile is not None:
+                t0 = _perf_counter()
+                mask_batch = masks_from_flat_indices(net.layer_sizes, block)
+                profile.add("compile", _perf_counter() - t0)
+            else:
+                mask_batch = masks_from_flat_indices(net.layer_sizes, block)
+            pieces.append(engine.evaluate(mask_batch))
+        return np.concatenate(pieces)
+    finally:
+        engine.profile = prev_profile

@@ -12,6 +12,7 @@ from .precision import (
 )
 from .quantizers import (
     FixedPointQuantizer,
+    HalfPrecisionQuantizer,
     QuantizedNetwork,
     Quantizer,
     StochasticRoundingQuantizer,
@@ -23,6 +24,7 @@ __all__ = [
     "FixedPointQuantizer",
     "UniformQuantizer",
     "StochasticRoundingQuantizer",
+    "HalfPrecisionQuantizer",
     "QuantizedNetwork",
     "layer_error_coefficients",
     "uniform_bit_allocation",

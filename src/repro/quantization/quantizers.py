@@ -27,6 +27,7 @@ __all__ = [
     "FixedPointQuantizer",
     "UniformQuantizer",
     "StochasticRoundingQuantizer",
+    "HalfPrecisionQuantizer",
     "QuantizedNetwork",
 ]
 
@@ -131,6 +132,31 @@ class StochasticRoundingQuantizer(Quantizer):
     @property
     def bits(self) -> int:
         return self._bits
+
+
+class HalfPrecisionQuantizer(Quantizer):
+    """IEEE binary16 round-trip: ``float64 -> float16 -> float64``.
+
+    On the sigmoid activation range ``[0, 1]`` the widest binade is
+    ``[0.5, 1)`` with spacing ``2**-11``, so round-to-nearest gives
+    ``max_error = 2**-12``; smaller values round tighter.  This is the
+    ``float16`` probe tier of the engine backend seam.
+    """
+
+    name = "float16"
+
+    def __init__(self):
+        self.max_error = 2.0 ** -12
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x, dtype=np.float64).astype(np.float16).astype(np.float64)
+
+    @property
+    def bits(self) -> int:
+        return 16
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "HalfPrecisionQuantizer()"
 
 
 class QuantizedNetwork:

@@ -23,6 +23,7 @@ those hashes for experiments that declare their spec.
 
 from .dispatch import build_detector, build_policy, build_sampler, run
 from .model import (
+    ENGINE_BACKENDS,
     FAULT_KINDS,
     DETECTOR_KINDS,
     POLICY_KINDS,
@@ -72,6 +73,7 @@ __all__ = [
     "build_policy",
     "FAULT_KINDS",
     "SAMPLER_KINDS",
+    "ENGINE_BACKENDS",
     "PROCESS_KINDS",
     "DETECTOR_KINDS",
     "POLICY_KINDS",

@@ -183,7 +183,7 @@ def build_policy(spec: PolicySpec, chaos: ChaosSpec, network):
     return NoRepairPolicy()
 
 
-def _run_campaign(spec: CampaignSpec, engine, workers):
+def _run_campaign(spec: CampaignSpec, engine, workers, profile):
     from ..faults.campaign import CampaignResult, exhaustive_crash_campaign
     from ..faults.injector import FaultInjector
     from ..faults.masks import sampled_campaign_errors
@@ -215,30 +215,56 @@ def _run_campaign(spec: CampaignSpec, engine, workers):
     n_workers = workers if workers is not None else spec.engine.workers
     chunk = spec.engine.chunk_size if spec.engine.chunk_size else 1024
 
-    if spec.sampler.kind == "exhaustive":
-        return exhaustive_crash_campaign(
+    owned_engine = None
+    if engine is None and spec.engine.backend != "numpy":
+        # The backend seam: a non-default backend builds its engine
+        # through the registry; the campaign runners then treat it
+        # exactly like a caller-supplied engine (in-process — the
+        # threaded backend owns its own parallelism, so the process
+        # fan-out stays off).
+        from ..backends import build_engine
+
+        engine = owned_engine = build_engine(
+            spec.engine.backend,
             injector,
             x,
-            spec.sampler.n_fail,
             chunk_size=chunk,
             reduction=spec.engine.reduction,
-            n_workers=n_workers,
             dtype=spec.engine.dtype,
+            workers=n_workers,
         )
-    sampler = build_sampler(spec.sampler, spec.fault, network)
-    errors = sampled_campaign_errors(
-        injector,
-        x,
-        sampler,
-        spec.n_scenarios,
-        seed=spec.seed,
-        chunk_size=chunk,
-        reduction=spec.engine.reduction,
-        dtype=spec.engine.dtype,
-        n_workers=n_workers,
-        engine=engine,
-    )
-    return CampaignResult(errors, [], spec.engine.reduction)
+        n_workers = 0
+    try:
+        if spec.sampler.kind == "exhaustive":
+            return exhaustive_crash_campaign(
+                injector,
+                x,
+                spec.sampler.n_fail,
+                chunk_size=chunk,
+                reduction=spec.engine.reduction,
+                n_workers=n_workers,
+                dtype=spec.engine.dtype,
+                engine=engine,
+                profile=profile,
+            )
+        sampler = build_sampler(spec.sampler, spec.fault, network)
+        errors = sampled_campaign_errors(
+            injector,
+            x,
+            sampler,
+            spec.n_scenarios,
+            seed=spec.seed,
+            chunk_size=chunk,
+            reduction=spec.engine.reduction,
+            dtype=spec.engine.dtype,
+            n_workers=n_workers,
+            engine=engine,
+            profile=profile,
+        )
+        return CampaignResult(errors, [], spec.engine.reduction)
+    finally:
+        if owned_engine is not None and hasattr(owned_engine, "close"):
+            owned_engine.close()
 
 
 def _run_survival(spec: SurvivalSpec, engine, workers):
@@ -294,6 +320,12 @@ def _run_chaos(spec: ChaosSpec, engine, workers):
             "engine= reuse only applies to static campaign specs; the "
             "chaos orchestrator owns its engine per replica block"
         )
+    if spec.engine.backend != "numpy":
+        raise SpecError(
+            "engine backends only route static campaign specs; the chaos "
+            "orchestrator owns its engines per replica block (got "
+            f"backend={spec.engine.backend!r})"
+        )
     network = spec.network.resolve()
     x = _probe_batch(spec, network)
     processes = [p.build() for p in spec.processes]
@@ -327,6 +359,7 @@ def run(
     *,
     engine=None,
     workers: Optional[int] = None,
+    profile=None,
 ):
     """Execute any run spec on the engines; THE entry point.
 
@@ -338,11 +371,16 @@ def run(
       :class:`~repro.faults.reliability.ReliabilityEstimate` (monte_carlo)
     * :class:`ChaosSpec`    -> :class:`~repro.chaos.campaign.ChaosReport`
 
-    ``engine`` optionally reuses a prebuilt
-    :class:`~repro.faults.masks.MaskCampaignEngine` across sampled
-    campaign/survival specs sharing a network and probe batch (a
-    survival curve over a p-grid pays weight casts once).  ``workers``
-    overrides the spec's ``engine.workers`` without rewriting the spec.
+    Campaign specs route through the engine backend seam: a spec whose
+    ``engine.backend`` is not ``"numpy"`` builds its engine via the
+    :mod:`repro.backends` registry.  ``engine`` optionally reuses a
+    prebuilt engine (any backend) across sampled campaign/survival
+    specs sharing a network and probe batch (a survival curve over a
+    p-grid pays weight casts once) — it takes precedence over the
+    spec's ``backend``.  ``workers`` overrides the spec's
+    ``engine.workers`` without rewriting the spec.  ``profile`` (a
+    :class:`~repro.profiling.PhaseProfile`) accumulates per-phase wall
+    time for campaign specs — the CLI's ``--profile`` flag.
     """
     if isinstance(spec, (str, Path)):
         spec = load_spec(spec)
@@ -350,8 +388,13 @@ def run(
         spec = spec_from_dict(spec)
     if workers is not None and workers < 0:
         raise SpecError(f"workers must be >= 0, got {workers}")
+    if profile is not None and not isinstance(spec, CampaignSpec):
+        raise SpecError(
+            "profile= only applies to campaign specs (per-phase timing "
+            "instruments the mask campaign engine)"
+        )
     if isinstance(spec, CampaignSpec):
-        return _run_campaign(spec, engine, workers)
+        return _run_campaign(spec, engine, workers, profile)
     if isinstance(spec, SurvivalSpec):
         return _run_survival(spec, engine, workers)
     if isinstance(spec, ChaosSpec):

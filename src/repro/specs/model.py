@@ -55,6 +55,7 @@ __all__ = [
     "save_spec",
     "FAULT_KINDS",
     "SAMPLER_KINDS",
+    "ENGINE_BACKENDS",
     "PROCESS_KINDS",
     "DETECTOR_KINDS",
     "POLICY_KINDS",
@@ -583,6 +584,14 @@ SamplerSpec._nested_tuples = {"components": SamplerSpec}
 # Engine
 # ---------------------------------------------------------------------------
 
+#: Evaluation backends the engine seam can route a campaign through.
+#: ``numpy`` is the reference in-process engine; ``threaded`` tiles
+#: chunk evaluation over a thread pool (the GEMM + segment-sum path
+#: releases the GIL); ``quantized-int8`` / ``float16`` are reduced-
+#: precision probe tiers built on :class:`~repro.quantization.
+#: quantizers.QuantizedNetwork`.
+ENGINE_BACKENDS = ("numpy", "threaded", "quantized-int8", "float16")
+
 
 @_register("engine")
 @dataclass(frozen=True)
@@ -593,17 +602,25 @@ class EngineSpec(Spec):
     for static campaigns; ``epochs_chunk * REPLICA_BLOCK`` for chaos
     windows).  ``dtype='float32'`` selects the fast evaluation path;
     ``workers > 1`` fans chunks/blocks over the fork-once pool.
+    ``backend`` picks the evaluation engine from
+    :data:`ENGINE_BACKENDS` (stored specs predating the field load as
+    ``"numpy"``, the reference engine).
     """
 
     chunk_size: Optional[int] = None
     dtype: str = "float64"
     workers: int = 0
     reduction: str = "max"
+    backend: str = "numpy"
 
     def __post_init__(self):
         self._require(
             self.dtype in ("float32", "float64"),
             f"dtype must be float32/float64, got {self.dtype!r}",
+        )
+        self._require(
+            self.backend in ENGINE_BACKENDS,
+            f"backend must be one of {ENGINE_BACKENDS}, got {self.backend!r}",
         )
         self._require(
             self.chunk_size is None or self.chunk_size >= 1,

@@ -134,6 +134,44 @@ class TestCommands:
             assert code == 0, fault
             assert "CampaignResult(n=30" in capsys.readouterr().out
 
+    def test_campaign_backends(self, saved_net, capsys):
+        """Every engine tier runs from the CLI."""
+        for backend in ("numpy", "threaded", "quantized-int8", "float16"):
+            code = main(
+                [
+                    "campaign", saved_net, "--distribution", "1,1",
+                    "--n-scenarios", "60", "--batch", "4", "--seed", "5",
+                    "--backend", backend,
+                ]
+            )
+            assert code == 0, backend
+            assert "CampaignResult(n=60" in capsys.readouterr().out
+
+    def test_campaign_profile_prints_phase_table(self, saved_net, capsys):
+        code = main(
+            [
+                "campaign", saved_net, "--distribution", "1,1",
+                "--n-scenarios", "40", "--batch", "4", "--profile",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for phase in ("sampling", "compile", "gemm", "corrections",
+                      "reduction", "total"):
+            assert phase in out
+
+    def test_campaign_dump_spec_carries_backend(self, saved_net, capsys):
+        code = main(
+            [
+                "campaign", saved_net, "--distribution", "1,1",
+                "--n-scenarios", "40", "--backend", "float16",
+                "--dump-spec",
+            ]
+        )
+        assert code == 0
+        payload = __import__("json").loads(capsys.readouterr().out)
+        assert payload["engine"]["backend"] == "float16"
+
     def test_campaign_synapse_distribution_length_checked(
         self, saved_net, capsys
     ):

@@ -54,7 +54,7 @@ class TestRunner:
         assert format_table([]) == "(no rows)"
 
     def test_registry_is_complete(self):
-        assert len(ALL_EXPERIMENTS) == 20
+        assert len(ALL_EXPERIMENTS) == 21
 
 
 class TestFigures:
@@ -123,6 +123,11 @@ class TestApplications:
         run_chaos_rejuvenation(
             epochs=40, n_replicas=32, periods=(5, 10)
         ).assert_passed()
+
+    def test_quantized_probes(self):
+        from repro.experiments import run_quantized_probes
+
+        run_quantized_probes(n_scenarios=600).assert_passed()
 
     def test_pruning(self):
         from repro.experiments import run_pruning

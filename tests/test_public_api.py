@@ -90,6 +90,7 @@ class TestTopLevelPromises:
             "intro_pruning", "baseline_smr",
             "extension_reliability", "extension_fep_learning",
             "chaos_survival", "chaos_rejuvenation",
+            "quantized_probes",
         }
         assert set(ALL_EXPERIMENTS) == expected
 

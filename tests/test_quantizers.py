@@ -6,6 +6,7 @@ import pytest
 from repro.core.fep import network_precision_bound
 from repro.quantization.quantizers import (
     FixedPointQuantizer,
+    HalfPrecisionQuantizer,
     QuantizedNetwork,
     StochasticRoundingQuantizer,
     UniformQuantizer,
@@ -77,6 +78,27 @@ class TestStochasticRounding:
         q = StochasticRoundingQuantizer(bits=2, rng=np.random.default_rng(1))
         out = q(np.random.default_rng(2).random(100))
         np.testing.assert_allclose(out * 4, np.round(out * 4), atol=1e-12)
+
+
+class TestHalfPrecisionQuantizer:
+    def test_declared_error_bound_holds_on_unit_interval(self, rng):
+        q = HalfPrecisionQuantizer()
+        assert q.max_error == 2.0**-12 and q.bits == 16
+        x = rng.random(20000)
+        assert np.abs(q(x) - x).max() <= q.max_error + 1e-15
+
+    def test_idempotent(self, rng):
+        q = HalfPrecisionQuantizer()
+        x = rng.random(500)
+        np.testing.assert_array_equal(q(q(x)), q(x))
+
+    def test_exact_on_binary16_values(self):
+        q = HalfPrecisionQuantizer()
+        exact = np.array([0.0, 0.25, 0.5, 0.75, 1.0])
+        np.testing.assert_array_equal(q(exact), exact)
+
+    def test_returns_float64(self, rng):
+        assert HalfPrecisionQuantizer()(rng.random(8)).dtype == np.float64
 
 
 class TestQuantizedNetwork:

@@ -125,6 +125,7 @@ def test_experiment_fixtures_match_declared_specs():
     for exp_id, fixture in (
         ("chaos_survival", "chaos_survival_experiment.json"),
         ("chaos_rejuvenation", "chaos_rejuvenation_experiment.json"),
+        ("quantized_probes", "quantized_probes_experiment.json"),
     ):
         stored = load_spec(FIXTURE_DIR / fixture)
         declared = registry.get(exp_id).spec

@@ -291,6 +291,28 @@ class TestEagerValidation:
         with pytest.raises(SpecError):
             EngineSpec(chunk_size=0)
 
+    def test_engine_backend_validated_eagerly(self):
+        for name in ("numpy", "threaded", "quantized-int8", "float16"):
+            assert EngineSpec(backend=name).backend == name
+        with pytest.raises(SpecError, match="backend"):
+            EngineSpec(backend="cuda")
+        with pytest.raises(SpecError, match="backend"):
+            small_campaign(engine=EngineSpec(backend="gpu"))
+
+    def test_engine_backend_round_trips(self):
+        spec = small_campaign(engine=EngineSpec(backend="threaded"))
+        again = spec_from_dict(spec.to_dict())
+        assert again == spec and again.engine.backend == "threaded"
+        assert '"backend": "threaded"' in spec.to_json()
+
+    def test_payload_without_backend_loads_as_numpy(self):
+        """Specs stored before the backend field exist must still load
+        (the field defaults, like every optional engine knob)."""
+        payload = small_campaign().to_dict()
+        del payload["engine"]["backend"]
+        spec = spec_from_dict(payload)
+        assert spec.engine.backend == "numpy"
+
 
 class TestContentHash:
     def test_hash_is_stable_and_workload_sensitive(self):
