@@ -2,13 +2,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test fast-test docs-check spec-roundtrip experiments report bench bench-faults bench-chaos
+.PHONY: test fast-test test-stats docs-check spec-roundtrip experiments report bench bench-faults bench-chaos
 
 test:            ## tier-1: the full pytest suite
 	$(PYTHON) -m pytest -x -q
 
 fast-test:       ## skip the slow training-loop tests
 	$(PYTHON) -m pytest -x -q -m "not slow" tests
+
+test-stats:      ## nightly statistical-guarantee tier: seeded coverage replications
+	$(PYTHON) -m pytest -q -m slow_stats tests/test_adaptive.py
 
 docs-check:      ## registry <-> EXPERIMENTS.md <-> paper map <-> docs/api.md stay in sync
 	$(PYTHON) -m pytest -q -m docs tests/test_docs.py

@@ -21,6 +21,13 @@ trajectory:
   threaded tiling, quantized-int8 / float16 probe tiers), emitted as
   the ``backends`` section and schema-checked by
   ``benchmarks/test_bench_shapes.py``.
+* **adaptive stopping** — the confidence-sequence early-stop layer
+  (``repro.faults.adaptive``) on three taxonomy workloads at a
+  pilot-tuned rare-event threshold (~p99.9 of the error law): the
+  fixed-S Hoeffding reference at the target CI width vs the
+  empirical-Bernstein anytime stop, emitted as the ``adaptive``
+  section with scenarios-saved factors and a coverage check of the
+  stopped CI against the fixed-S rate.
 
 Run from the repo root::
 
@@ -44,6 +51,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.faults.adaptive import adaptive_campaign_errors, hoeffding_fixed_n
 from repro.faults.campaign import run_campaign
 from repro.faults.injector import FaultInjector
 from repro.faults.masks import (
@@ -80,6 +88,14 @@ FAULT_WORKLOADS = {
     "synapse-noise": (SynapseNoiseFault(sigma=0.1), True),
 }
 DEFAULT_WORKLOADS = ("noise", "synapse-byzantine")
+
+#: The adaptive-stopping section: three taxonomy workloads, a target
+#: CI width of 0.01 at delta=0.05 (fixed-S Hoeffding reference:
+#: n = 73,778), thresholds pilot-tuned to the rare-event regime.
+ADAPTIVE_WORKLOADS = ("noise", "sign-flip", "synapse-byzantine")
+ADAPTIVE_TARGET_CI = 0.01
+ADAPTIVE_DELTA = 0.05
+ADAPTIVE_PILOT = 4_096
 
 
 def bench_network():
@@ -148,12 +164,7 @@ def bench_fault_workload(injector, x, name, n_scenarios, seed=0):
     t_scalar_ref = time.perf_counter() - t0
     t_scalar_full = t_scalar_ref * (n_scenarios / n_ref)
 
-    if is_synapse:
-        sampler = FixedSynapseDistributionSampler(
-            net, SYNAPSE_DISTRIBUTION, fault=fault
-        )
-    else:
-        sampler = FixedDistributionSampler(net, DISTRIBUTION, fault=fault)
+    sampler = _workload_sampler(net, name)
     t0 = time.perf_counter()
     errors = sampled_campaign_errors(
         injector, x, sampler, n_scenarios, seed=seed
@@ -179,6 +190,71 @@ def bench_fault_workload(injector, x, name, n_scenarios, seed=0):
     }
 
 
+def _workload_sampler(net, name):
+    fault, is_synapse = FAULT_WORKLOADS[name]
+    if is_synapse:
+        return FixedSynapseDistributionSampler(
+            net, SYNAPSE_DISTRIBUTION, fault=fault
+        )
+    return FixedDistributionSampler(net, DISTRIBUTION, fault=fault)
+
+
+def bench_adaptive_workload(injector, x, name, seed=0):
+    """Fixed-S Hoeffding reference vs the empirical-Bernstein stop.
+
+    The threshold is pilot-tuned to ~p99.9 of the workload's error
+    law (on an independent pilot seed), so the audited violation rate
+    sits in the rare-event regime where a priori Hoeffding planning
+    is maximally wasteful.  Both runs share the evaluation seed, so
+    the stopped campaign is a bitwise prefix of the reference and the
+    anytime CI can be checked against the fixed-S rate directly.
+    """
+    sampler = _workload_sampler(injector.network, name)
+    pilot = sampled_campaign_errors(
+        injector, x, sampler, ADAPTIVE_PILOT, seed=seed + 1
+    )
+    threshold = float(np.quantile(pilot, 0.999))
+
+    n_ref = hoeffding_fixed_n(ADAPTIVE_TARGET_CI, ADAPTIVE_DELTA)
+    t0 = time.perf_counter()
+    ref_errors = sampled_campaign_errors(
+        injector, x, sampler, n_ref, seed=seed
+    )
+    t_ref = time.perf_counter() - t0
+    ref_rate = float(np.mean(ref_errors > threshold))
+
+    t0 = time.perf_counter()
+    _, rep = adaptive_campaign_errors(
+        injector, x, sampler, n_ref,
+        threshold=threshold,
+        method="empirical_bernstein",
+        target_ci=ADAPTIVE_TARGET_CI,
+        delta=ADAPTIVE_DELTA,
+        seed=seed,
+    )
+    t_adaptive = time.perf_counter() - t0
+
+    return {
+        "workload": name,
+        "threshold": threshold,
+        "target_ci": ADAPTIVE_TARGET_CI,
+        "delta": ADAPTIVE_DELTA,
+        "n_reference": n_ref,
+        "reference_rate": ref_rate,
+        "reference_s": round(t_ref, 4),
+        "n_adaptive": rep.n_scenarios,
+        "adaptive_s": round(t_adaptive, 4),
+        "stopped": rep.stopped,
+        "estimate": rep.estimate,
+        "ci_low": rep.ci_low,
+        "ci_high": rep.ci_high,
+        "ci_covers_reference": bool(
+            rep.ci_low <= ref_rate <= rep.ci_high
+        ),
+        "scenarios_saved_factor": round(n_ref / rep.n_scenarios, 2),
+    }
+
+
 def bench_backend_matrix(injector, x, workloads, n_scenarios, seed=0):
     """Every fault-taxonomy workload through every engine backend.
 
@@ -191,13 +267,7 @@ def bench_backend_matrix(injector, x, workloads, n_scenarios, seed=0):
     net = injector.network
     rows = []
     for name in workloads:
-        fault, is_synapse = FAULT_WORKLOADS[name]
-        if is_synapse:
-            sampler = FixedSynapseDistributionSampler(
-                net, SYNAPSE_DISTRIBUTION, fault=fault
-            )
-        else:
-            sampler = FixedDistributionSampler(net, DISTRIBUTION, fault=fault)
+        sampler = _workload_sampler(net, name)
         for backend in available_backends():
             engine = build_engine(backend, injector, x)
             # Warm the buffers/pool so the row times steady state.
@@ -290,6 +360,19 @@ def main(argv=None) -> int:
             f"({frow['speedup']:6.1f}x)"
         )
 
+    adaptive_rows = []
+    for name in ADAPTIVE_WORKLOADS:
+        arow = bench_adaptive_workload(injector, x, name)
+        adaptive_rows.append(arow)
+        print(
+            f"{name:>18} adaptive: stop @ {arow['n_adaptive']:>6} vs "
+            f"fixed-S {arow['n_reference']} "
+            f"({arow['scenarios_saved_factor']:5.1f}x saved) | rate "
+            f"{arow['reference_rate']:.2e} in "
+            f"[{arow['ci_low']:.2e}, {arow['ci_high']:.2e}]: "
+            f"{'covered' if arow['ci_covers_reference'] else 'MISSED'}"
+        )
+
     backend_rows = None
     if args.full_matrix:
         backend_rows = bench_backend_matrix(injector, x, workloads, big)
@@ -309,6 +392,15 @@ def main(argv=None) -> int:
         },
         "results": rows,
         "fault_workloads": fault_rows,
+        "adaptive": {
+            "method": "empirical_bernstein",
+            "target_ci": ADAPTIVE_TARGET_CI,
+            "delta": ADAPTIVE_DELTA,
+            "n_reference": hoeffding_fixed_n(
+                ADAPTIVE_TARGET_CI, ADAPTIVE_DELTA
+            ),
+            "workloads": adaptive_rows,
+        },
     }
     if backend_rows is not None:
         payload["backends"] = backend_rows
@@ -342,6 +434,20 @@ def main(argv=None) -> int:
             print(
                 f"WARNING: {frow['workload']} speedup at S={big} is "
                 f"{frow['speedup']}x (< 10x target)"
+            )
+            status = 1
+    for arow in adaptive_rows:
+        if arow["scenarios_saved_factor"] < 10:
+            print(
+                f"WARNING: adaptive {arow['workload']} saved only "
+                f"{arow['scenarios_saved_factor']}x scenarios "
+                "(< 10x target)"
+            )
+            status = 1
+        if not arow["ci_covers_reference"]:
+            print(
+                f"WARNING: adaptive {arow['workload']} stopped CI "
+                "does not cover the fixed-S reference rate"
             )
             status = 1
     return status

@@ -32,6 +32,18 @@ FAULT_ROW_KEYS = {
     "scenarios_per_s_mask",
     "max_error_mask",
 }
+ADAPTIVE_ROW_KEYS = {
+    "workload",
+    "threshold",
+    "n_reference",
+    "reference_rate",
+    "n_adaptive",
+    "stopped",
+    "ci_low",
+    "ci_high",
+    "ci_covers_reference",
+    "scenarios_saved_factor",
+}
 BACKEND_ROW_KEYS = {
     "workload",
     "backend",
@@ -62,7 +74,7 @@ def payload():
 
 def test_payload_has_all_sections(payload):
     for key in ("workload", "platform", "results", "fault_workloads",
-                "chaos", "backends"):
+                "chaos", "backends", "adaptive"):
         assert key in payload, f"BENCH_campaign.json lost section {key!r}"
 
 
@@ -99,3 +111,27 @@ def test_backend_matrix_throughput_recorded(payload):
         assert row["seconds"] > 0
         assert row["scenarios_per_s"] > 0
         assert row["max_error"] >= 0
+
+
+def test_adaptive_section_tracks_the_stopping_guarantee(payload):
+    """The adaptive section is the committed evidence for the
+    confidence-sequence acceptance targets: >= 3 taxonomy workloads
+    where the stopped run saves >= 10x scenarios at equal CI width
+    and the anytime CI covers the fixed-S reference rate."""
+    section = payload["adaptive"]
+    assert section["method"] in {"hoeffding", "empirical_bernstein"}
+    assert 0 < section["target_ci"] < 1
+    assert 0 < section["delta"] < 1
+    rows = section["workloads"]
+    assert len(rows) >= 3, "adaptive section must cover >= 3 workloads"
+    for row in rows:
+        assert ADAPTIVE_ROW_KEYS <= set(row)
+        assert row["stopped"], f"{row['workload']} hit the cap"
+        assert row["ci_covers_reference"], (
+            f"{row['workload']}: stopped CI misses the fixed-S rate"
+        )
+        assert row["scenarios_saved_factor"] >= 10, (
+            f"{row['workload']}: saved only "
+            f"{row['scenarios_saved_factor']}x (< 10x target)"
+        )
+        assert row["n_adaptive"] < row["n_reference"]

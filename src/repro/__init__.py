@@ -83,6 +83,7 @@ from .specs import (
     PolicySpec,
     ProcessSpec,
     SamplerSpec,
+    StoppingSpec,
     SpecError,
     SurvivalSpec,
     TrafficSpec,
@@ -136,6 +137,7 @@ __all__ = [
     "NetworkRef",
     "FaultSpec",
     "SamplerSpec",
+    "StoppingSpec",
     "EngineSpec",
     "CampaignSpec",
     "SurvivalSpec",

@@ -21,6 +21,7 @@ __all__ = [
     "loglog_slope",
     "is_monotone",
     "dominance_ratio",
+    "coverage_pvalue",
 ]
 
 
@@ -128,3 +129,21 @@ def dominance_ratio(bounds: Sequence[float], observations: Sequence[float]) -> f
     with np.errstate(divide="ignore", invalid="ignore"):
         ratios = np.where(b > 0, o / b, np.where(o > 0, np.inf, 0.0))
     return float(ratios.max())
+
+
+def coverage_pvalue(covered: int, trials: int, level: float) -> float:
+    """One-sided binomial p-value that an interval's empirical coverage
+    is consistent with its nominal ``level``.
+
+    ``P[Binomial(trials, level) <= covered]``: small values mean the
+    interval covered the truth significantly *less* often than
+    promised.  This is the audit gate of the adaptive-sampling test
+    tier — a ``1 - delta`` confidence sequence over many seeded
+    replications must keep this p-value above the test's significance
+    floor (over-coverage is fine; conservative intervals are sound).
+    """
+    if not 0 <= covered <= trials:
+        raise ValueError(f"need 0 <= covered <= trials, got {covered}/{trials}")
+    if not 0 < level < 1:
+        raise ValueError(f"level must be in (0,1), got {level}")
+    return float(sps.binom.cdf(covered, trials, level))

@@ -26,6 +26,14 @@ evaluation contract (``evaluate`` / ``outputs`` / ``nominal`` plus the
 ``network`` / ``injector`` / ``xb64`` / ``chunk_size`` / ``profile``
 attributes the campaign runners guard on) — so a backend engine drops
 straight into ``sampled_campaign_errors(engine=...)``.
+
+The adaptive layer (:mod:`repro.faults.adaptive`) rides the same
+contract: confidence-sequence stopping and the stratified estimator
+consume engines exclusively through ``evaluate`` on
+:data:`~repro.faults.masks.SAMPLE_BLOCK` boundaries, so every backend
+tier composes with early stopping unchanged — a ``StoppingSpec`` on a
+``quantized-int8`` campaign stops on exactly the blocks the numpy tier
+would, just cheaper per block.
 """
 
 from __future__ import annotations

@@ -57,9 +57,11 @@ from typing import Optional, Sequence
 __all__ = ["main", "build_parser"]
 
 
-def _bounded(cast, minimum, message):
+def _bounded(cast, minimum, message, *, maximum=None, exclusive=False):
     """An argparse type: ``cast`` the token, reject values < ``minimum``
-    with ``message`` (the shared shape of every numeric CLI guard)."""
+    (or ``<=``/``>=`` the bounds with ``exclusive=True``, and above
+    ``maximum`` when one is given) with ``message`` — the shared shape
+    of every numeric CLI guard."""
 
     kind = "an integer" if cast is int else "a number"
 
@@ -70,7 +72,11 @@ def _bounded(cast, minimum, message):
             raise argparse.ArgumentTypeError(
                 f"expected {kind}, got {text!r}"
             )
-        if value < minimum:
+        below = value <= minimum if exclusive else value < minimum
+        above = maximum is not None and (
+            value >= maximum if exclusive else value > maximum
+        )
+        if below or above:
             raise argparse.ArgumentTypeError(f"{message}, got {value}")
         return value
 
@@ -82,6 +88,15 @@ _nonneg_int = _bounded(int, 0, "expected a nonnegative integer")
 _nonneg_float = _bounded(float, 0, "expected a nonnegative number")
 #: Worker counts: 0 means in-process, negatives are an error.
 _workers_count = _bounded(int, 0, "worker count must be >= 0 (0 = in-process)")
+#: CI widths and confidence deltas live strictly inside (0, 1).
+_unit_open_float = _bounded(
+    float, 0, "expected a number strictly between 0 and 1",
+    maximum=1, exclusive=True,
+)
+#: Probabilities: the closed unit interval.
+_unit_float = _bounded(
+    float, 0, "expected a probability in [0, 1]", maximum=1,
+)
 
 
 def _engine_backends():
@@ -182,6 +197,50 @@ def build_parser() -> argparse.ArgumentParser:
                  "(the --spec input format; round-trips byte-identically)",
         )
 
+    def add_stopping(p):
+        """Adaptive-sampling flags shared by campaign and survival —
+        all default to None so ``--spec`` conflict detection sees only
+        explicitly-typed values."""
+        from .specs.model import ALLOCATION_KINDS, STOPPING_METHODS
+
+        p.add_argument(
+            "--target-ci", type=_unit_open_float, default=None, metavar="W",
+            help="adaptive early stop: halt at the first chunk boundary "
+                 "where the anytime-valid CI on the violation rate is "
+                 "narrower than W (strictly between 0 and 1)",
+        )
+        p.add_argument(
+            "--delta", type=_unit_open_float, default=None, metavar="D",
+            help="confidence budget of the adaptive CI, strictly between "
+                 "0 and 1 (default 0.05: the interval holds with "
+                 "probability >= 0.95 over all looks)",
+        )
+        p.add_argument(
+            "--stopping-method", choices=STOPPING_METHODS, default=None,
+            help="confidence-sequence family (default hoeffding; "
+                 "empirical_bernstein adapts to the observed variance — "
+                 "the rare-event choice)",
+        )
+        p.add_argument(
+            "--min-scenarios", type=_positive_int, default=None, metavar="N",
+            help="scenarios to draw before the first stop decision "
+                 "(default 1024)",
+        )
+        p.add_argument(
+            "--stratify", action="store_true", default=None,
+            help="stratified estimator over total-fault-count shells "
+                 "(Theorem-3-certified shells skipped) instead of the "
+                 "confidence sequence; needs Bernoulli sampling and a "
+                 "neuron fault",
+        )
+        p.add_argument(
+            "--allocation", choices=ALLOCATION_KINDS, default=None,
+            help="stratified budget split (default proportional = exactly "
+                 "unbiased; neyman pilots each shell; rare spreads "
+                 "uniformly over uncertified shells — the "
+                 "importance-weighted rare-event path)",
+        )
+
     p_cert = sub.add_parser("certify", help="certify a saved network")
     p_cert.add_argument("network", help="path to a save_network() .npz archive")
     add_eps(p_cert)
@@ -202,6 +261,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-neuron failure probability")
     p_sur.add_argument("--mode", choices=("crash", "byzantine"), default="crash")
     p_sur.add_argument("--capacity", type=float, default=None)
+    p_sur.add_argument(
+        "--method", choices=("certified", "monte_carlo"), default=None,
+        help="certified Theorem-3 lower bound (default) or Monte-Carlo "
+             "injection estimate; any adaptive flag implies monte_carlo",
+    )
+    p_sur.add_argument(
+        "--n-trials", type=_positive_int, default=None, metavar="N",
+        help="Monte-Carlo trial count — the hard cap when an adaptive "
+             "stop is set (default 500)",
+    )
+    add_stopping(p_sur)
     add_spec_io(p_sur)
 
     p_cam = sub.add_parser(
@@ -217,6 +287,12 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument(
         "--exhaustive", type=int, metavar="N_FAIL",
         help="evaluate every configuration of exactly N_FAIL crashes",
+    )
+    group.add_argument(
+        "--p-fail", type=_unit_float, default=None, metavar="P",
+        help="Bernoulli campaign: fail every component independently "
+             "with probability P (the survival workload's sampler; "
+             "required for --stratify)",
     )
     p_cam.add_argument("--n-scenarios", type=_positive_int, default=None,
                        help="Monte-Carlo sample count (default 10000; "
@@ -265,7 +341,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "in-process only)")
     p_cam.add_argument("--threshold", type=float, default=None,
                        help="also report the fraction of scenarios "
-                            "exceeding this error")
+                            "exceeding this error (the violation level "
+                            "for adaptive stopping)")
+    add_stopping(p_cam)
     add_spec_io(p_cam)
 
     p_chaos = sub.add_parser(
@@ -467,6 +545,32 @@ def _cmd_inspect(args) -> int:
     return 0
 
 
+def _stopping_spec_from_args(args):
+    """A StoppingSpec when any adaptive flag was typed, else None —
+    untyped flags keep the spec's (and old specs') defaults."""
+    from . import specs
+
+    opts = {}
+    if args.target_ci is not None:
+        opts["target_ci"] = args.target_ci
+    if args.delta is not None:
+        opts["delta"] = args.delta
+    if args.stopping_method is not None:
+        opts["method"] = args.stopping_method
+    if args.min_scenarios is not None:
+        opts["min_scenarios"] = args.min_scenarios
+    if args.stratify is not None:
+        opts["stratify"] = args.stratify
+    if args.allocation is not None:
+        opts["allocation"] = args.allocation
+        # --allocation neyman/rare only makes sense stratified; saying
+        # so implicitly beats rejecting the obvious intent.
+        opts.setdefault("stratify", True)
+    if not opts:
+        return None
+    return specs.StoppingSpec(**opts)
+
+
 def _campaign_spec_from_args(args):
     """Lower the ``campaign`` argparse namespace to a CampaignSpec."""
     from . import specs
@@ -490,6 +594,19 @@ def _campaign_spec_from_args(args):
             )
         sampler = specs.SamplerSpec(kind="exhaustive", n_fail=args.exhaustive)
         fault = specs.FaultSpec()
+    elif args.p_fail is not None:
+        sampler = specs.SamplerSpec(kind="bernoulli", p_fail=args.p_fail)
+        kind = (args.fault or "crash").replace("-", "_")
+        fault = specs.FaultSpec(
+            kind=kind,
+            value=(
+                args.value
+                if kind in ("byzantine", "stuck", "offset", "synapse_byzantine")
+                else None
+            ),
+            sigma=args.sigma,
+            p=args.p_transient,
+        )
     elif args.distribution is not None:
         try:
             distribution = tuple(
@@ -513,7 +630,7 @@ def _campaign_spec_from_args(args):
         )
     else:
         raise ValueError(
-            "one of --distribution or --exhaustive is required "
+            "one of --distribution, --p-fail or --exhaustive is required "
             "(or run from a stored --spec FILE)"
         )
     n_scenarios = args.n_scenarios if args.n_scenarios is not None else 10_000
@@ -526,6 +643,7 @@ def _campaign_spec_from_args(args):
         seed=args.seed,
         capacity=args.capacity,
         threshold=args.threshold,
+        stopping=_stopping_spec_from_args(args),
         engine=specs.EngineSpec(
             chunk_size=args.chunk_size,
             dtype=args.dtype,
@@ -553,6 +671,11 @@ def _survival_spec_from_args(args):
             f"{', '.join(missing)} required (or run from a stored "
             "--spec FILE)"
         )
+    stopping = _stopping_spec_from_args(args)
+    method = args.method
+    if method is None:
+        # An adaptive flag only makes sense for the injection estimate.
+        method = "monte_carlo" if stopping is not None else "certified"
     return specs.SurvivalSpec(
         network=specs.NetworkRef(path=args.network),
         p_fail=args.p_fail,
@@ -560,6 +683,9 @@ def _survival_spec_from_args(args):
         epsilon_prime=args.epsilon_prime,
         mode=args.mode,
         capacity=args.capacity,
+        method=method,
+        n_trials=args.n_trials if args.n_trials is not None else 500,
+        stopping=stopping,
     )
 
 
@@ -625,22 +751,37 @@ def _chaos_spec_from_args(args):
 #: Workload flags (all defaulting to None) that must not be combined
 #: with ``--spec`` — a stored spec is edited, not partially overridden,
 #: so an explicitly-typed flag silently losing to the file is a trap.
+#: Adaptive flags: shared by the campaign and survival conflict rows.
+_STOPPING_CONFLICTS = (
+    ("--target-ci", "target_ci"),
+    ("--delta", "delta"),
+    ("--stopping-method", "stopping_method"),
+    ("--min-scenarios", "min_scenarios"),
+    ("--stratify", "stratify"),
+    ("--allocation", "allocation"),
+)
+
 _SPEC_CONFLICTS = {
     "campaign": (
         ("--distribution", "distribution"),
         ("--exhaustive", "exhaustive"),
+        ("--p-fail", "p_fail"),
         ("--fault", "fault"),
         ("--value", "value"),
         ("--n-scenarios", "n_scenarios"),
         ("--threshold", "threshold"),
         ("--capacity", "capacity"),
-    ),
+    )
+    + _STOPPING_CONFLICTS,
     "survival": (
         ("--p-fail", "p_fail"),
         ("--epsilon", "epsilon"),
         ("--epsilon-prime", "epsilon_prime"),
         ("--capacity", "capacity"),
-    ),
+        ("--method", "method"),
+        ("--n-trials", "n_trials"),
+    )
+    + _STOPPING_CONFLICTS,
     "chaos": (
         ("--epsilon", "epsilon"),
         ("--epsilon-prime", "epsilon_prime"),
@@ -753,10 +894,30 @@ def _cmd_campaign(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(result.summary())
-    print(f"  p50={result.quantile(0.5):.6g}  p99={result.quantile(0.99):.6g}")
-    if spec.threshold is not None:
+    if result.errors.size:
+        print(
+            f"  p50={result.quantile(0.5):.6g}  "
+            f"p99={result.quantile(0.99):.6g}"
+        )
+    if spec.threshold is not None and result.errors.size:
         frac = result.fraction_exceeding(spec.threshold)
         print(f"  fraction exceeding {spec.threshold:g}: {frac:.4f}")
+    rep = result.adaptive
+    if rep is not None and hasattr(rep, "stopped"):
+        word = "stopped" if rep.stopped else "hit the cap"
+        print(
+            f"  adaptive ({rep.method}): {word} after "
+            f"{rep.n_scenarios}/{rep.n_cap} scenarios; violation rate "
+            f"{rep.estimate:.6g} in [{rep.ci_low:.6g}, {rep.ci_high:.6g}] "
+            f"at delta={rep.delta:g}"
+        )
+    elif rep is not None:
+        print(
+            f"  stratified ({rep.allocation}): violation rate "
+            f"{rep.estimate:.6g} in [{rep.ci_low:.6g}, {rep.ci_high:.6g}], "
+            f"n={rep.n_scenarios}, certified-zero mass "
+            f"{rep.certified_mass:.6g} over shells {list(rep.certified_shells)}"
+        )
     if profile is not None:
         print(profile.report())
     return 0

@@ -10,6 +10,7 @@ The artifact pipeline (:mod:`repro.artifacts`) and the ``run-all`` /
 """
 
 from . import registry
+from .exp_adaptive import run_adaptive_sampling
 from .exp_boosting import run_boosting
 from .exp_chaos_rejuvenation import run_chaos_rejuvenation
 from .exp_chaos_survival import run_chaos_survival
@@ -79,4 +80,5 @@ __all__ = [
     "run_smr_baseline",
     "run_pruning",
     "run_quantized_probes",
+    "run_adaptive_sampling",
 ]

@@ -1,0 +1,208 @@
+"""Extension — adaptive sampling audits Theorem 2 at rare-event rates.
+
+The paper validates its certified tolerance claims by Monte-Carlo
+injection; at deployment scale the interesting violation rates sit at
+``1e-3 .. 1e-6``, where a fixed-size campaign planned a priori
+(Hoeffding: ``n = log(2/delta) / (2 (w/2)^2)`` scenarios for a CI of
+width ``w``) wastes an order of magnitude more scenarios than the
+realised variance needs.  This experiment runs the same rare-event
+audit three ways and checks they agree:
+
+* **fixed-S reference** — the a-priori Hoeffding sample size at the
+  target width, the non-adaptive baseline every stopped run is
+  measured against;
+* **confidence-sequence stop** — the empirical-Bernstein anytime CI
+  (:func:`repro.faults.adaptive.adaptive_campaign_errors`) declared as
+  a ``StoppingSpec`` on the campaign spec, stopping at the first block
+  boundary whose CI width meets the target;
+* **stratified rare-event estimator** — binomial weights over
+  total-fault-count shells with Theorem-3-certified shells pruned and
+  the budget concentrated on the uncertified tail
+  (``allocation='rare'``, the importance-weighted path).
+
+Validation protocol:
+
+* the stopped run halts before the cap and its anytime CI contains
+  the fixed-S reference rate (the statistical-guarantee check);
+* scenarios saved vs the fixed-S reference at equal CI width are
+  >= 10x;
+* the stopped errors are a bitwise prefix of the fixed-size campaign
+  with the same seed, and the parallel run stops at the same epoch
+  with identical errors (deterministic stop epoch);
+* the stratified CI covers the reference rate too, and the Theorem-3
+  certificate prunes a positive probability mass without sampling it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..faults.adaptive import hoeffding_fixed_n
+from ..specs import (
+    CampaignSpec,
+    FaultSpec,
+    NetworkRef,
+    SamplerSpec,
+    StoppingSpec,
+    run as run_spec,
+)
+from .registry import experiment
+from .runner import ExperimentResult
+
+__all__ = ["run_adaptive_sampling", "adaptive_sampling_spec"]
+
+#: Same probe topology as the quantized-probes experiment: a builder
+#: ref hashes stably, so the declared spec replays with no file on
+#: disk.
+_NETWORK = NetworkRef(
+    builder="mlp",
+    params={
+        "input_dim": 3,
+        "hidden": [14, 10],
+        "activation": {"name": "sigmoid", "k": 1.0},
+        "init": {"name": "uniform", "scale": 0.4},
+        "output_scale": 0.3,
+        "seed": 13,
+    },
+)
+
+#: The audited violation level: around the p99.97 of the error
+#: distribution under this workload, so the true rate lives in the
+#: rare-event regime (~3e-4) a fixed-size campaign can barely resolve.
+_THRESHOLD = 0.5
+_TARGET_CI = 0.01
+_DELTA = 0.05
+
+
+def adaptive_sampling_spec(
+    *,
+    n_cap: int = 200_000,
+    seed: int = 23,
+) -> CampaignSpec:
+    """The rare-event audit with confidence-sequence stopping, as data."""
+    return CampaignSpec(
+        network=_NETWORK,
+        sampler=SamplerSpec(kind="bernoulli", p_fail=0.08),
+        fault=FaultSpec(kind="crash"),
+        n_scenarios=n_cap,
+        batch=16,
+        seed=seed,
+        threshold=_THRESHOLD,
+        stopping=StoppingSpec(
+            method="empirical_bernstein",
+            target_ci=_TARGET_CI,
+            delta=_DELTA,
+            min_scenarios=1024,
+        ),
+    )
+
+
+@experiment(
+    "adaptive_sampling",
+    title="Confidence-sequence stopping matches the fixed-S rare-event audit",
+    anchor="Extension (Theorem 2 audit, adaptive sampling)",
+    tags=("extension", "adaptive", "campaign", "statistics"),
+    runtime="fast",
+    order=170,
+    spec=adaptive_sampling_spec(),
+)
+def run_adaptive_sampling(
+    *,
+    n_cap: int = 200_000,
+    seed: int = 23,
+) -> ExperimentResult:
+    """Anytime CI + stratified estimator vs the fixed-S reference."""
+    spec = adaptive_sampling_spec(n_cap=n_cap, seed=seed)
+
+    # Fixed-S reference: the a-priori Hoeffding size at the target CI.
+    n_ref = hoeffding_fixed_n(_TARGET_CI, _DELTA)
+    reference = run_spec(spec.replace(stopping=None, n_scenarios=n_ref))
+    ref_rate = reference.fraction_exceeding(_THRESHOLD)
+
+    # Confidence-sequence stop (serial, parallel, and bitwise prefix).
+    adaptive = run_spec(spec)
+    rep = adaptive.adaptive
+    parallel = run_spec(spec, workers=2)
+    fixed_prefix = run_spec(
+        spec.replace(stopping=None, n_scenarios=rep.n_scenarios)
+    )
+    savings = n_ref / rep.n_scenarios
+
+    # Stratified rare-event estimator on a fraction of the reference
+    # budget, importance-weighted over the uncertified shells.
+    stratified = run_spec(
+        spec.replace(
+            n_scenarios=8192,
+            stopping=StoppingSpec(
+                method="empirical_bernstein",
+                stratify=True,
+                allocation="rare",
+                delta=_DELTA,
+            ),
+        )
+    )
+    srep = stratified.adaptive
+
+    rows = [
+        {
+            "estimator": "fixed_hoeffding_reference",
+            "n_scenarios": n_ref,
+            "violation_rate": ref_rate,
+            "ci_low": max(0.0, ref_rate - _TARGET_CI / 2),
+            "ci_high": min(1.0, ref_rate + _TARGET_CI / 2),
+        },
+        {
+            "estimator": "empirical_bernstein_stop",
+            "n_scenarios": rep.n_scenarios,
+            "violation_rate": rep.estimate,
+            "ci_low": rep.ci_low,
+            "ci_high": rep.ci_high,
+        },
+        {
+            "estimator": "stratified_rare",
+            "n_scenarios": srep.n_scenarios,
+            "violation_rate": srep.estimate,
+            "ci_low": srep.ci_low,
+            "ci_high": srep.ci_high,
+        },
+    ]
+    checks = {
+        "stopped_before_cap": bool(rep.stopped and rep.n_scenarios < n_cap),
+        "anytime_ci_covers_reference_rate": bool(
+            rep.ci_low <= ref_rate <= rep.ci_high
+        ),
+        "savings_at_equal_width_at_least_10x": bool(savings >= 10.0),
+        "stop_epoch_bitwise_prefix_of_fixed_run": bool(
+            np.array_equal(adaptive.errors, fixed_prefix.errors)
+        ),
+        "parallel_stop_deterministic": bool(
+            np.array_equal(adaptive.errors, parallel.errors)
+            and parallel.adaptive == rep
+        ),
+        "stratified_ci_covers_reference_rate": bool(
+            srep.ci_low <= ref_rate <= srep.ci_high
+        ),
+        "certificate_prunes_positive_mass": bool(srep.certified_mass > 0.0),
+    }
+    return ExperimentResult(
+        experiment_id="adaptive_sampling",
+        description=(
+            "Anytime-valid early stopping and stratified rare-event "
+            "estimation reproduce the fixed-S Monte-Carlo audit of the "
+            "certified-tolerance claims at a fraction of the scenarios."
+        ),
+        rows=rows,
+        shape_checks=checks,
+        metrics={
+            "reference_rate": float(ref_rate),
+            "n_reference": float(n_ref),
+            "n_adaptive": float(rep.n_scenarios),
+            "scenarios_saved_factor": float(savings),
+            "stratified_certified_mass": float(srep.certified_mass),
+        },
+        notes=[
+            "The fixed-S reference is the a-priori Hoeffding size "
+            f"n = log(2/delta)/(2 (w/2)^2) at w = {_TARGET_CI}, "
+            f"delta = {_DELTA}.",
+        ],
+    )

@@ -66,6 +66,11 @@ class CampaignResult:
     errors: np.ndarray
     scenario_names: List[str] = field(default_factory=list)
     reduction: str = "max"
+    #: Filled when the run used confidence-sequence early stopping or
+    #: the stratified estimator (an ``AdaptiveReport`` /
+    #: ``StratifiedReport`` from :mod:`repro.faults.adaptive`); None
+    #: for plain fixed-size campaigns.
+    adaptive: Optional[object] = None
 
     @property
     def num_scenarios(self) -> int:

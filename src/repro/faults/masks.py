@@ -69,6 +69,7 @@ __all__ = [
     "NeuronFaultSampler",
     "FixedDistributionSampler",
     "BernoulliSampler",
+    "TotalCountShellSampler",
     "SynapseFaultSampler",
     "FixedSynapseDistributionSampler",
     "SynapseBernoulliSampler",
@@ -391,6 +392,56 @@ class BernoulliSampler(NeuronFaultSampler):
     def sample(self, n_scenarios, rng):
         layer_masks = [
             rng.random((n_scenarios, n)) < self.p_fail for n in self.layer_sizes
+        ]
+        return self._batch_from_layer_masks(layer_masks)
+
+
+class TotalCountShellSampler(NeuronFaultSampler):
+    """Uniform scenarios with exactly ``count`` failures network-wide.
+
+    The conditional law of i.i.d. Bernoulli failures given their total:
+    conditioning ``F_j ~ Bernoulli(p)`` on ``sum F_j = count`` makes the
+    failed set a uniform ``count``-subset of all ``N`` neurons (every
+    layer split then follows the multivariate hypergeometric).  This is
+    the stratum sampler of the stratified/importance rare-event
+    estimator (:mod:`repro.faults.adaptive`): stratum ``k`` of the
+    total-fault-count lattice is sampled by drawing exact-``count``
+    masks over the flattened width and splitting them per layer —
+    one fixed-count draw, any neuron fault kind via the action-channel
+    routing.
+    """
+
+    def __init__(
+        self,
+        network_or_sizes: "FeedForwardNetwork | Sequence[int]",
+        count: int,
+        *,
+        fault: Optional[FaultModel] = None,
+    ):
+        sizes = (
+            network_or_sizes.layer_sizes
+            if isinstance(network_or_sizes, FeedForwardNetwork)
+            else network_or_sizes
+        )
+        super().__init__(sizes, fault)
+        self.count = int(count)
+        total = sum(self.layer_sizes)
+        if not 0 <= self.count <= total:
+            raise ValueError(
+                f"shell count {count} outside [0, {total}] for layer "
+                f"sizes {self.layer_sizes}"
+            )
+        self._offsets = np.concatenate(
+            [[0], np.cumsum(self.layer_sizes)]
+        ).astype(np.intp)
+
+    def sample(self, n_scenarios, rng):
+        flat = _sample_fixed_count_masks(
+            rng, n_scenarios, int(self._offsets[-1]), self.count
+        )
+        layer_masks = [
+            np.ascontiguousarray(flat[:, self._offsets[l0]:self._offsets[l0 + 1]])
+            for l0 in range(len(self.layer_sizes))
         ]
         return self._batch_from_layer_masks(layer_masks)
 

@@ -127,6 +127,10 @@ class ReliabilityEstimate:
     ci_high: float
     n_trials: int
     certified_lower_bound: Optional[float] = None
+    #: The ``AdaptiveReport`` / ``StratifiedReport`` when the run used
+    #: confidence-sequence stopping or the stratified estimator
+    #: (:mod:`repro.faults.adaptive`); None for plain fixed-``n`` runs.
+    adaptive: Optional[object] = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         certified = (
@@ -154,6 +158,7 @@ def monte_carlo_survival(
     seed: Optional[int] = 0,
     confidence: float = 0.95,
     engine: "MaskCampaignEngine | None" = None,
+    stopping=None,
 ) -> ReliabilityEstimate:
     """Estimate the *actual* survival probability by injection.
 
@@ -173,6 +178,21 @@ def monte_carlo_survival(
     and pass it as ``engine`` — the weight casts, nominal forward pass
     and buffers are then paid once for the whole sweep instead of once
     per grid point.
+
+    ``stopping`` (a :class:`repro.specs.StoppingSpec` or anything with
+    its fields) switches the trial loop to the adaptive layer
+    (:mod:`repro.faults.adaptive`): with ``stratify=False`` a
+    confidence sequence streams trial blocks and stops once the CI on
+    the violation rate ``P[error > budget]`` is inside ``target_ci``
+    (``n_trials`` becomes the cap, and the evaluated trials are a
+    bitwise prefix of the fixed-``n_trials`` run); with
+    ``stratify=True`` the budget is allocated over total-fault-count
+    shells with Theorem-3-certified shells skipped outright.  Either
+    way the reported interval is the adaptive one (anytime-valid /
+    recombined Hoeffding, at level ``1 - stopping.delta``) rather than
+    the Wilson interval, and the full report rides on
+    ``ReliabilityEstimate.adaptive``.  ``stopping.threshold`` defaults
+    to the budget ``epsilon - epsilon_prime``.
     """
     if not 0 <= p_fail <= 1:
         raise ValueError(f"p_fail must be in [0,1], got {p_fail}")
@@ -213,12 +233,68 @@ def monte_carlo_survival(
         )
     else:
         sampler = BernoulliSampler(network, p_fail, fault=fault)
-    errors = sampled_campaign_errors(
-        injector, x, sampler, n_trials, seed=seed, engine=engine,
-    )
-    survived = int(np.sum(errors <= budget + 1e-12))
-    estimate = survived / n_trials
-    lo, hi = _wilson_interval(survived, n_trials, confidence)
+    adaptive_report = None
+    if stopping is None:
+        errors = sampled_campaign_errors(
+            injector, x, sampler, n_trials, seed=seed, engine=engine,
+        )
+        survived = int(np.sum(errors <= budget + 1e-12))
+        estimate = survived / n_trials
+        n_used = n_trials
+        lo, hi = _wilson_interval(survived, n_trials, confidence)
+    else:
+        from .adaptive import (
+            adaptive_campaign_errors,
+            stratified_violation_estimate,
+        )
+
+        threshold = (
+            budget if stopping.threshold is None else stopping.threshold
+        )
+        if stopping.stratify:
+            if isinstance(fault, SynapseFault):
+                raise ValueError(
+                    "stratified stopping is count-shell based and does "
+                    "not apply to synapse faults"
+                )
+            mode = (
+                "crash" if isinstance(effective, CrashFault) else "byzantine"
+            )
+            adaptive_report = stratified_violation_estimate(
+                injector,
+                x,
+                p_fail,
+                n_trials,
+                threshold=threshold,
+                fault=fault,
+                tol=1e-12,
+                allocation=stopping.allocation,
+                pilot=stopping.pilot,
+                delta=stopping.delta,
+                prune_mode=mode,
+                seed=seed,
+                engine=engine,
+            )
+        else:
+            _, adaptive_report = adaptive_campaign_errors(
+                injector,
+                x,
+                sampler,
+                n_trials,
+                threshold=threshold,
+                method=stopping.method,
+                target_ci=stopping.target_ci,
+                delta=stopping.delta,
+                min_scenarios=stopping.min_scenarios,
+                tol=1e-12,
+                seed=seed,
+                engine=engine,
+            )
+        # Survival = 1 - violation rate; the CI flips accordingly.
+        estimate = 1.0 - adaptive_report.estimate
+        n_used = adaptive_report.n_scenarios
+        lo = 1.0 - adaptive_report.ci_high
+        hi = 1.0 - adaptive_report.ci_low
 
     certified = None
     grid_size = int(np.prod([n + 1 for n in network.layer_sizes]))
@@ -233,7 +309,9 @@ def monte_carlo_survival(
             )
         except ValueError:
             certified = None
-    return ReliabilityEstimate(estimate, lo, hi, n_trials, certified)
+    return ReliabilityEstimate(
+        estimate, lo, hi, n_used, certified, adaptive_report
+    )
 
 
 def _wilson_interval(k: int, n: int, confidence: float) -> tuple[float, float]:

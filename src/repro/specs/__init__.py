@@ -30,6 +30,8 @@ from .model import (
     PROCESS_KINDS,
     SAMPLER_KINDS,
     SPEC_VERSION,
+    STOPPING_METHODS,
+    ALLOCATION_KINDS,
     TRAFFIC_KINDS,
     CampaignSpec,
     ChaosSpec,
@@ -41,6 +43,7 @@ from .model import (
     ProcessSpec,
     SamplerSpec,
     Spec,
+    StoppingSpec,
     SpecError,
     SurvivalSpec,
     TrafficSpec,
@@ -55,6 +58,7 @@ __all__ = [
     "Spec",
     "NetworkRef",
     "FaultSpec",
+    "StoppingSpec",
     "SamplerSpec",
     "EngineSpec",
     "CampaignSpec",
@@ -73,6 +77,8 @@ __all__ = [
     "build_policy",
     "FAULT_KINDS",
     "SAMPLER_KINDS",
+    "STOPPING_METHODS",
+    "ALLOCATION_KINDS",
     "ENGINE_BACKENDS",
     "PROCESS_KINDS",
     "DETECTOR_KINDS",

@@ -248,6 +248,77 @@ def _run_campaign(spec: CampaignSpec, engine, workers, profile):
                 profile=profile,
             )
         sampler = build_sampler(spec.sampler, spec.fault, network)
+        stopping = spec.effective_stopping
+        if stopping is not None:
+            threshold = (
+                stopping.threshold
+                if stopping.threshold is not None
+                else spec.threshold
+            )
+            if stopping.stratify:
+                from ..faults.adaptive import stratified_violation_estimate
+
+                if n_workers and n_workers > 1:
+                    raise SpecError(
+                        "stratified stopping runs in-process (per-shell "
+                        "engine reuse); drop the workers fan-out"
+                    )
+                fault_spec = (
+                    spec.sampler.fault
+                    if spec.sampler.fault is not None
+                    else spec.fault
+                )
+                report = stratified_violation_estimate(
+                    injector,
+                    x,
+                    spec.sampler.p_fail,
+                    spec.n_scenarios,
+                    threshold=threshold,
+                    fault=(
+                        fault_spec.to_fault_model()
+                        if fault_spec is not None
+                        else None
+                    ),
+                    allocation=stopping.allocation,
+                    pilot=stopping.pilot,
+                    delta=stopping.delta,
+                    # The injector clips every faulty emission to its
+                    # capacity, so the Fep certificate at exactly that
+                    # capacity prunes shells soundly for the whole
+                    # neuron-fault taxonomy.
+                    prune_mode="byzantine",
+                    seed=spec.seed,
+                    chunk_size=chunk,
+                    reduction=spec.engine.reduction,
+                    dtype=spec.engine.dtype,
+                    engine=engine,
+                )
+                return CampaignResult(
+                    np.asarray([]), [], spec.engine.reduction, report
+                )
+            from ..faults.adaptive import adaptive_campaign_errors
+
+            errors, report = adaptive_campaign_errors(
+                injector,
+                x,
+                sampler,
+                spec.n_scenarios,
+                threshold=threshold,
+                method=stopping.method,
+                target_ci=stopping.target_ci,
+                delta=stopping.delta,
+                min_scenarios=stopping.min_scenarios,
+                seed=spec.seed,
+                chunk_size=chunk,
+                reduction=spec.engine.reduction,
+                dtype=spec.engine.dtype,
+                n_workers=n_workers,
+                engine=engine,
+                profile=profile,
+            )
+            return CampaignResult(
+                errors, [], spec.engine.reduction, report
+            )
         errors = sampled_campaign_errors(
             injector,
             x,
@@ -309,6 +380,7 @@ def _run_survival(spec: SurvivalSpec, engine, workers):
         n_trials=spec.n_trials,
         seed=spec.seed,
         engine=engine,
+        stopping=spec.stopping,
     )
 
 

@@ -41,6 +41,7 @@ __all__ = [
     "Spec",
     "NetworkRef",
     "FaultSpec",
+    "StoppingSpec",
     "SamplerSpec",
     "EngineSpec",
     "CampaignSpec",
@@ -55,6 +56,8 @@ __all__ = [
     "save_spec",
     "FAULT_KINDS",
     "SAMPLER_KINDS",
+    "STOPPING_METHODS",
+    "ALLOCATION_KINDS",
     "ENGINE_BACKENDS",
     "PROCESS_KINDS",
     "DETECTOR_KINDS",
@@ -116,6 +119,12 @@ class Spec:
     spec_tag: str = ""
     _nested: Dict[str, type] = {}
     _nested_tuples: Dict[str, type] = {}
+    #: Fields omitted from ``to_dict`` while ``None`` — the mechanism
+    #: for adding optional fields to an existing schema without
+    #: invalidating stored specs: an absent key deserializes to the
+    #: ``None`` default, so old payloads round-trip byte-identically
+    #: and keep their content hashes.
+    _omit_if_none: Tuple[str, ...] = ()
 
     # -- serialization -----------------------------------------------------
 
@@ -126,7 +135,10 @@ class Spec:
             "spec_version": SPEC_VERSION,
         }
         for f in dataclasses.fields(self):
-            out[f.name] = _jsonify(getattr(self, f.name))
+            value = getattr(self, f.name)
+            if value is None and f.name in self._omit_if_none:
+                continue
+            out[f.name] = _jsonify(value)
         return out
 
     @classmethod
@@ -476,6 +488,101 @@ FaultSpec._nested = {"inner": FaultSpec}
 
 
 # ---------------------------------------------------------------------------
+# Adaptive stopping
+# ---------------------------------------------------------------------------
+
+#: Anytime-valid confidence-sequence families the adaptive sampler can
+#: stop on (:mod:`repro.faults.adaptive`).
+STOPPING_METHODS = ("hoeffding", "empirical_bernstein")
+
+#: Per-stratum sample allocation rules for the stratified estimator.
+ALLOCATION_KINDS = ("proportional", "neyman", "rare")
+
+
+@_register("stopping")
+@dataclass(frozen=True)
+class StoppingSpec(Spec):
+    """Adaptive-sampling control for campaign and survival runs.
+
+    When present, the run streams scenario blocks through an
+    anytime-valid confidence sequence over the violation rate
+    (``errors > threshold``) and stops at the first block boundary
+    where the two-sided CI width is ``<= target_ci`` — valid at
+    confidence ``1 - delta`` simultaneously over every look (union
+    bound over block boundaries).  ``method`` picks the Hoeffding or
+    empirical-Bernstein half-width; the latter adapts to the observed
+    variance and stops far earlier in the rare-event regime.
+
+    ``threshold`` is the violation level; ``None`` defers to the
+    campaign's ``threshold`` (campaigns) or the epsilon budget
+    ``epsilon - epsilon_prime`` (survival runs).  ``min_scenarios``
+    floors the sample count before the first stop decision; the
+    campaign's ``n_scenarios`` / ``n_trials`` remains the hard cap, so
+    stopping never changes the block layout — an adaptive run is a
+    prefix of the fixed-size run.
+
+    ``stratify=True`` switches to the stratified estimator over
+    total-fault-count shells (Bernoulli samplers only): shell ``k``
+    carries binomial weight ``C(N, k) p^k (1-p)^(N-k)``, shells whose
+    every count distribution is Theorem-3 tolerated contribute exactly
+    zero without sampling, and ``allocation`` splits the scenario
+    budget (``proportional`` to the weights — exactly unbiased;
+    ``neyman`` ``∝ w_k * sigma_k`` from a ``pilot`` phase; ``rare``
+    uniform over the uncertified shells, the importance-weighted
+    rare-event path).
+    """
+
+    method: str = "hoeffding"
+    target_ci: float = 0.05
+    delta: float = 0.05
+    threshold: Optional[float] = None
+    min_scenarios: int = 1024
+    stratify: bool = False
+    allocation: str = "proportional"
+    pilot: int = 256
+
+    def __post_init__(self):
+        self._require(
+            self.method in STOPPING_METHODS,
+            f"stopping method must be one of {STOPPING_METHODS}, got "
+            f"{self.method!r}",
+        )
+        self._require(
+            0 < self.target_ci < 1,
+            f"target_ci is a CI width in (0,1), got {self.target_ci}",
+        )
+        self._require(
+            0 < self.delta < 1,
+            f"delta must be in (0,1), got {self.delta}",
+        )
+        if self.threshold is not None:
+            self._freeze("threshold", float(self.threshold))
+            self._require(
+                self.threshold >= 0,
+                f"threshold must be >= 0, got {self.threshold}",
+            )
+        self._require(
+            self.min_scenarios >= 1,
+            f"min_scenarios must be >= 1, got {self.min_scenarios}",
+        )
+        self._require(
+            self.allocation in ALLOCATION_KINDS,
+            f"allocation must be one of {ALLOCATION_KINDS}, got "
+            f"{self.allocation!r}",
+        )
+        self._require(
+            self.stratify or self.allocation == "proportional",
+            "allocation= only applies to the stratified estimator "
+            "(stratify=True)",
+        )
+        self._require(
+            self.pilot >= 2,
+            f"pilot must be >= 2 (a variance needs two draws), got "
+            f"{self.pilot}",
+        )
+
+
+# ---------------------------------------------------------------------------
 # Samplers
 # ---------------------------------------------------------------------------
 
@@ -505,9 +612,21 @@ class SamplerSpec(Spec):
     n_fail: Optional[int] = None
     fault: Optional[FaultSpec] = None
     components: Tuple["SamplerSpec", ...] = ()
+    stopping: Optional[StoppingSpec] = None
 
     def __post_init__(self):
         self._validate_nested()
+        if self.stopping is not None:
+            self._require(
+                self.kind in ("fixed", "bernoulli"),
+                "stopping= rides on sampled scenario streams "
+                f"(fixed/bernoulli), not {self.kind!r}",
+            )
+            self._require(
+                not self.stopping.stratify or self.kind == "bernoulli",
+                "the stratified estimator needs the i.i.d. regime "
+                "(kind='bernoulli') for its binomial shell weights",
+            )
         self._require(
             self.kind in SAMPLER_KINDS,
             f"sampler kind {self.kind!r} not in {SAMPLER_KINDS}",
@@ -568,6 +687,11 @@ class SamplerSpec(Spec):
                     comp.fault is not None,
                     "every mixed component carries its own fault=",
                 )
+                self._require(
+                    comp.stopping is None,
+                    "stopping= belongs to the top-level sampler (or the "
+                    "campaign), not to mixed components",
+                )
         else:
             self._require(
                 not self.components,
@@ -576,8 +700,9 @@ class SamplerSpec(Spec):
             )
 
 
-SamplerSpec._nested = {"fault": FaultSpec}
+SamplerSpec._nested = {"fault": FaultSpec, "stopping": StoppingSpec}
 SamplerSpec._nested_tuples = {"components": SamplerSpec}
+SamplerSpec._omit_if_none = ("stopping",)
 
 
 # ---------------------------------------------------------------------------
@@ -651,7 +776,9 @@ class CampaignSpec(Spec):
     inputs.  ``capacity=None`` defaults to ``sup phi`` at lowering.
     ``threshold`` optionally asks the report for the fraction of
     scenarios exceeding that error (the empirical guarantee-break
-    probability).
+    probability).  ``stopping`` turns the campaign adaptive
+    (:class:`StoppingSpec`; ``n_scenarios`` becomes the hard cap) —
+    it overrides a ``stopping`` nested in the sampler.
     """
 
     network: NetworkRef
@@ -664,6 +791,7 @@ class CampaignSpec(Spec):
     capacity: Optional[float] = None
     threshold: Optional[float] = None
     engine: EngineSpec = EngineSpec()
+    stopping: Optional[StoppingSpec] = None
 
     def __post_init__(self):
         self._validate_nested()
@@ -679,6 +807,44 @@ class CampaignSpec(Spec):
                 f"fault {self.fault.kind!r} only applies to sampled "
                 "campaigns",
             )
+        stopping = self.effective_stopping
+        if stopping is not None:
+            self._require(
+                self.sampler.kind in ("fixed", "bernoulli"),
+                "adaptive stopping rides on sampled scenario streams "
+                f"(fixed/bernoulli), not {self.sampler.kind!r}",
+            )
+            self._require(
+                stopping.threshold is not None or self.threshold is not None,
+                "an adaptive campaign needs a violation threshold: set "
+                "stopping.threshold or the campaign threshold",
+            )
+            if stopping.stratify:
+                self._require(
+                    self.sampler.kind == "bernoulli",
+                    "the stratified estimator needs the i.i.d. regime "
+                    "(sampler kind='bernoulli') for its binomial shell "
+                    "weights",
+                )
+                fault = (
+                    self.sampler.fault
+                    if self.sampler.fault is not None
+                    else self.fault
+                )
+                self._require(
+                    not fault.is_synapse,
+                    "the stratified shells are neuron-count shells "
+                    "(Theorem 3 certifies neuron counts); synapse faults "
+                    "run the unstratified confidence sequence",
+                )
+
+    @property
+    def effective_stopping(self) -> Optional[StoppingSpec]:
+        """The stopping rule this campaign runs under: the campaign's
+        own ``stopping``, else the sampler's, else ``None``."""
+        if self.stopping is not None:
+            return self.stopping
+        return self.sampler.stopping
 
 
 CampaignSpec._nested = {
@@ -686,7 +852,9 @@ CampaignSpec._nested = {
     "sampler": SamplerSpec,
     "fault": FaultSpec,
     "engine": EngineSpec,
+    "stopping": StoppingSpec,
 }
+CampaignSpec._omit_if_none = ("stopping",)
 
 
 # ---------------------------------------------------------------------------
@@ -720,8 +888,15 @@ class SurvivalSpec(Spec):
     batch: int = 32
     seed: int = 0
     probe_seed: Optional[int] = None
+    stopping: Optional[StoppingSpec] = None
 
     def __post_init__(self):
+        if self.stopping is not None:
+            self._require(
+                self.method == "monte_carlo",
+                "stopping= only applies to method='monte_carlo' (the "
+                "certified bound is exact, nothing to stop early)",
+            )
         self._validate_nested()
         self._require(
             0 <= self.p_fail <= 1, f"p_fail must be in [0,1], got {self.p_fail}"
@@ -749,9 +924,21 @@ class SurvivalSpec(Spec):
             self.n_trials >= 1, f"n_trials must be >= 1, got {self.n_trials}"
         )
         self._require(self.batch >= 1, f"batch must be >= 1, got {self.batch}")
+        if self.stopping is not None and self.stopping.stratify:
+            self._require(
+                self.fault is None or not self.fault.is_synapse,
+                "the stratified shells are neuron-count shells (Theorem "
+                "3 certifies neuron counts); synapse faults run the "
+                "unstratified confidence sequence",
+            )
 
 
-SurvivalSpec._nested = {"network": NetworkRef, "fault": FaultSpec}
+SurvivalSpec._nested = {
+    "network": NetworkRef,
+    "fault": FaultSpec,
+    "stopping": StoppingSpec,
+}
+SurvivalSpec._omit_if_none = ("stopping",)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,516 @@
+"""Statistical-guarantee tests for the adaptive-sampling layer.
+
+Three kinds of promise are audited here:
+
+* **bitwise** — adaptive runs are exact prefixes of fixed-size runs,
+  identical between serial and parallel paths, invariant to the worker
+  count, and ``stopping=None`` reproduces the pre-adaptive dispatch
+  output bit for bit;
+* **distributional** — the stopped confidence sequence covers the
+  brute-force ground-truth violation rate at its nominal frequency
+  (the ``slow_stats`` tier: hundreds of seeded replications judged by
+  a binomial test), and the stratified estimator is unbiased against
+  the exhaustive oracle;
+* **structural** — tighter CI targets never use fewer scenarios,
+  certified shells are exactly the Theorem-3 ones, CLI guards reject
+  out-of-range widths.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.analysis.stats import coverage_pvalue
+from repro.faults.adaptive import (
+    AdaptiveReport,
+    adaptive_campaign_errors,
+    certified_zero_shells,
+    confidence_sequence_interval,
+    hoeffding_fixed_n,
+    stratified_violation_estimate,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.masks import (
+    BernoulliSampler,
+    MaskCampaignEngine,
+    TotalCountShellSampler,
+    exhaustive_crash_errors,
+    sampled_campaign_errors,
+)
+from repro.faults.reliability import monte_carlo_survival
+from repro.faults.types import NoiseFault
+from repro.network import build_mlp
+
+FIXTURES = Path(__file__).parent / "fixtures" / "specs"
+
+
+@pytest.fixture(scope="module")
+def net():
+    # 7 neurons total: the exhaustive oracle over all C(7, k)
+    # configurations is trivial, so ground-truth violation rates are
+    # exact numbers, not estimates.
+    return build_mlp(
+        2,
+        [4, 3],
+        activation={"name": "sigmoid", "k": 0.6},
+        init={"name": "uniform", "scale": 0.35},
+        output_scale=0.3,
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="module")
+def injector(net):
+    return FaultInjector(net)
+
+
+@pytest.fixture(scope="module")
+def x(net):
+    return np.random.default_rng(5).random((4, net.input_dim))
+
+
+@pytest.fixture(scope="module")
+def oracle(injector, x, net):
+    """Exact violation-rate oracle under i.i.d. crash failures.
+
+    Conditioned on ``k`` total faults the failed set is uniform, so
+    ``P[error > t] = sum_k Binom(N, p).pmf(k) * mean_k(errors > t)``
+    with ``errors_k`` from the exhaustive sweep — an exact number.
+    """
+    total = sum(net.layer_sizes)
+    shell_errors = [
+        exhaustive_crash_errors(injector, x, k) for k in range(total + 1)
+    ]
+
+    def rate(p_fail, threshold):
+        pmf = sps.binom.pmf(np.arange(total + 1), total, p_fail)
+        return float(
+            sum(
+                w * np.mean(errs > threshold)
+                for w, errs in zip(pmf, shell_errors)
+            )
+        )
+
+    return rate
+
+
+P_FAIL = 0.3
+
+
+@pytest.fixture(scope="module")
+def threshold(injector, x):
+    # A mid-tail level so the true rate is neither ~0 nor ~1.
+    errs = exhaustive_crash_errors(injector, x, 2)
+    return float(np.quantile(errs, 0.7))
+
+
+class TestConfidenceSequence:
+    def test_interval_contains_phat_and_shrinks(self):
+        widths = []
+        for n in (100, 1000, 10_000):
+            lo, hi = confidence_sequence_interval(
+                "hoeffding", n, n // 10, 1, 0.05
+            )
+            assert lo <= 0.1 <= hi
+            widths.append(hi - lo)
+        assert widths[0] > widths[1] > widths[2]
+
+    def test_bernstein_tighter_at_low_variance(self):
+        # 1% violations, n=5000: the variance-adaptive bound wins.
+        h = confidence_sequence_interval("hoeffding", 5000, 50, 3, 0.05)
+        b = confidence_sequence_interval(
+            "empirical_bernstein", 5000, 50, 3, 0.05
+        )
+        assert (b[1] - b[0]) < (h[1] - h[0])
+
+    def test_later_looks_spend_less_delta(self):
+        first = confidence_sequence_interval("hoeffding", 1000, 100, 1, 0.05)
+        tenth = confidence_sequence_interval("hoeffding", 1000, 100, 10, 0.05)
+        assert (tenth[1] - tenth[0]) > (first[1] - first[0])
+
+    def test_clipped_to_unit_interval(self):
+        lo, hi = confidence_sequence_interval("hoeffding", 10, 0, 1, 0.05)
+        assert lo == 0.0 and hi <= 1.0
+
+    def test_bad_method_rejected(self):
+        with pytest.raises(ValueError, match="method"):
+            confidence_sequence_interval("wilson", 10, 1, 1, 0.05)
+
+    def test_fixed_n_reference(self):
+        n = hoeffding_fixed_n(0.02, 0.05)
+        # n = ln(2/delta) / (2 (w/2)^2); the half-width at that n meets
+        # the target.
+        assert np.sqrt(np.log(2 / 0.05) / (2 * n)) <= 0.01 + 1e-12
+        with pytest.raises(ValueError):
+            hoeffding_fixed_n(1.5, 0.05)
+        with pytest.raises(ValueError):
+            hoeffding_fixed_n(0.05, 0.0)
+
+
+class TestAdaptiveRunner:
+    def test_prefix_of_fixed_run_bitwise(self, injector, x, net, threshold):
+        sampler = BernoulliSampler(net, P_FAIL)
+        errs, rep = adaptive_campaign_errors(
+            injector, x, sampler, 50_000,
+            threshold=threshold, target_ci=0.08, delta=0.05,
+            min_scenarios=1024, seed=42,
+        )
+        assert rep.stopped and rep.n_scenarios < 50_000
+        fixed = sampled_campaign_errors(
+            injector, x, sampler, rep.n_scenarios, seed=42
+        )
+        np.testing.assert_array_equal(errs, fixed)
+
+    def test_serial_equals_parallel_and_worker_invariant(
+        self, injector, x, net, threshold
+    ):
+        sampler = BernoulliSampler(net, P_FAIL)
+        kwargs = dict(
+            threshold=threshold, target_ci=0.08, delta=0.05,
+            min_scenarios=1024, seed=42,
+        )
+        serial, rep0 = adaptive_campaign_errors(
+            injector, x, sampler, 50_000, **kwargs
+        )
+        for workers in (2, 3):
+            par, rep = adaptive_campaign_errors(
+                injector, x, sampler, 50_000, n_workers=workers, **kwargs
+            )
+            np.testing.assert_array_equal(serial, par)
+            assert rep == rep0
+
+    def test_stochastic_fault_parallel_determinism(self, injector, x, net):
+        # Noise faults draw inside evaluate(): the per-block RNG layout
+        # must make even these bitwise worker-invariant.
+        sampler = BernoulliSampler(net, P_FAIL, fault=NoiseFault(sigma=0.3))
+        kwargs = dict(
+            threshold=0.05, method="empirical_bernstein", target_ci=0.1,
+            delta=0.05, min_scenarios=1024, seed=9,
+        )
+        serial, rep0 = adaptive_campaign_errors(
+            injector, x, sampler, 20_000, **kwargs
+        )
+        par, rep = adaptive_campaign_errors(
+            injector, x, sampler, 20_000, n_workers=2, **kwargs
+        )
+        np.testing.assert_array_equal(serial, par)
+        assert rep == rep0
+
+    def test_tighter_target_never_fewer_scenarios(
+        self, injector, x, net, threshold
+    ):
+        sampler = BernoulliSampler(net, P_FAIL)
+        engine = MaskCampaignEngine(injector, x)
+        ns = []
+        for target in (0.3, 0.15, 0.08, 0.04):
+            _, rep = adaptive_campaign_errors(
+                injector, x, sampler, 100_000,
+                threshold=threshold, target_ci=target, delta=0.1,
+                min_scenarios=256, seed=7, engine=engine,
+            )
+            ns.append(rep.n_scenarios)
+        assert ns == sorted(ns)
+
+    def test_cap_and_floor_respected(self, injector, x, net, threshold):
+        sampler = BernoulliSampler(net, P_FAIL)
+        # Cap below what the target needs: runs to the cap, not stopped.
+        _, rep = adaptive_campaign_errors(
+            injector, x, sampler, 2048,
+            threshold=threshold, target_ci=0.001, delta=0.05, seed=1,
+        )
+        assert not rep.stopped and rep.n_scenarios == 2048
+        # A floor above the first natural stop delays stopping past it.
+        _, rep = adaptive_campaign_errors(
+            injector, x, sampler, 50_000,
+            threshold=threshold, target_ci=0.3, delta=0.05,
+            min_scenarios=3000, seed=1,
+        )
+        assert rep.n_scenarios >= 3000
+
+    def test_validation(self, injector, x, net, threshold):
+        sampler = BernoulliSampler(net, P_FAIL)
+        for bad in (
+            dict(target_ci=0.0),
+            dict(target_ci=1.0),
+            dict(delta=0.0),
+            dict(delta=1.0),
+            dict(method="wilson"),
+            dict(min_scenarios=0),
+        ):
+            with pytest.raises(ValueError):
+                adaptive_campaign_errors(
+                    injector, x, sampler, 1000, threshold=threshold, **bad
+                )
+
+
+@pytest.mark.slow_stats
+class TestCoverageGuarantee:
+    """The headline promise: over many seeded replications, the stopped
+    CI contains the exact ground-truth rate at >= 1 - delta frequency
+    (binomial-test tolerance, one-sided: over-coverage is sound)."""
+
+    N_SEEDS = 100  # per method; 200 spawned seeds total
+    DELTA = 0.1
+
+    def _coverage(self, injector, x, net, threshold, oracle, method):
+        p_true = oracle(P_FAIL, threshold)
+        assert 0.02 < p_true < 0.9  # the workload actually discriminates
+        sampler = BernoulliSampler(net, P_FAIL)
+        engine = MaskCampaignEngine(injector, x, chunk_size=1024)
+        seeds = np.random.SeedSequence(2024).spawn(2 * self.N_SEEDS)
+        offset = 0 if method == "hoeffding" else self.N_SEEDS
+        covered = 0
+        for ss in seeds[offset : offset + self.N_SEEDS]:
+            _, rep = adaptive_campaign_errors(
+                injector, x, sampler, 32_768,
+                threshold=threshold, method=method, target_ci=0.12,
+                delta=self.DELTA, min_scenarios=256, seed=ss, engine=engine,
+            )
+            assert rep.stopped
+            covered += rep.ci_low <= p_true <= rep.ci_high
+        return covered
+
+    @pytest.mark.parametrize("method", ["hoeffding", "empirical_bernstein"])
+    def test_stopped_ci_covers_truth(
+        self, injector, x, net, threshold, oracle, method
+    ):
+        covered = self._coverage(injector, x, net, threshold, oracle, method)
+        # H0: true coverage >= 1 - delta.  Reject (fail) only if the
+        # observed count is significantly below that promise.
+        assert coverage_pvalue(covered, self.N_SEEDS, 1 - self.DELTA) > 0.01
+
+
+class TestShellSampler:
+    def test_exact_count_everywhere(self, net):
+        for count in (0, 1, 3, 7):
+            sampler = TotalCountShellSampler(net, count)
+            batch = sampler.sample(64, np.random.default_rng(count))
+            totals = sum(m.sum(axis=1) for m in batch.zero_masks)
+            assert np.all(totals == count)
+
+    def test_count_out_of_range(self, net):
+        with pytest.raises(ValueError):
+            TotalCountShellSampler(net, 8)
+        with pytest.raises(ValueError):
+            TotalCountShellSampler(net, -1)
+
+
+class TestCertifiedShells:
+    def test_generous_budget_certifies_below_smallest_layer(self, net):
+        # Any shell reaching a full layer (f_l = N_l) contains an
+        # untolerated vector; with layer sizes (4, 3) that's k >= 3.
+        cz = certified_zero_shells(net, 1e9, mode="crash")
+        assert list(np.nonzero(cz)[0]) == [0, 1, 2]
+
+    def test_zero_budget_certifies_only_empty_shell(self, net):
+        cz = certified_zero_shells(net, 0.0, mode="crash")
+        assert list(np.nonzero(cz)[0]) == [0]
+
+    def test_oversized_grid_certifies_nothing(self, net):
+        assert not certified_zero_shells(net, 1e9, max_grid=2).any()
+
+
+class TestStratifiedEstimator:
+    def test_proportional_unbiased_against_oracle(
+        self, injector, x, net, threshold, oracle
+    ):
+        p_true = oracle(P_FAIL, threshold)
+        engine = MaskCampaignEngine(injector, x)
+        estimates, variances = [], []
+        for seed in range(30):
+            rep = stratified_violation_estimate(
+                injector, x, P_FAIL, 1024,
+                threshold=threshold, allocation="proportional",
+                seed=seed, engine=engine,
+            )
+            estimates.append(rep.estimate)
+            variances.append(rep.variance)
+        mean = np.mean(estimates)
+        se = np.sqrt(np.mean(variances) / len(estimates))
+        assert abs(mean - p_true) < 4.5 * se
+
+    @pytest.mark.parametrize("allocation", ["neyman", "rare"])
+    def test_rigorous_ci_covers_truth(
+        self, injector, x, net, threshold, oracle, allocation
+    ):
+        p_true = oracle(P_FAIL, threshold)
+        rep = stratified_violation_estimate(
+            injector, x, P_FAIL, 4096,
+            threshold=threshold, allocation=allocation, seed=3,
+        )
+        assert rep.ci_low <= p_true <= rep.ci_high
+        assert rep.n_scenarios == 4096
+
+    def test_certified_pruning_spends_nothing_on_safe_shells(
+        self, injector, x, net
+    ):
+        # A generous budget certifies every shell below the smallest
+        # layer (the Fep certificate, not the empirical maximum); the
+        # sampled shells must exclude them and their mass be credited.
+        big = 1e9
+        rep = stratified_violation_estimate(
+            injector, x, P_FAIL, 512,
+            threshold=big, allocation="rare", seed=0, prune_mode="crash",
+        )
+        assert set(rep.certified_shells) == {0, 1, 2}
+        assert all(k >= 3 for k in rep.shells)
+        pmf = sps.binom.pmf(np.arange(3), 7, P_FAIL)
+        assert rep.certified_mass == pytest.approx(float(pmf.sum()))
+
+    def test_weights_recombine_to_one(self, injector, x, net, threshold):
+        rep = stratified_violation_estimate(
+            injector, x, P_FAIL, 512, threshold=threshold, seed=0,
+        )
+        assert sum(rep.weights) + rep.certified_mass + rep.skipped_mass == (
+            pytest.approx(1.0)
+        )
+
+    def test_validation(self, injector, x, net, threshold):
+        for bad in (
+            dict(allocation="optimal"),
+            dict(pilot=1),
+            dict(delta=0.0),
+            dict(n_scenarios=0),
+        ):
+            kwargs = dict(threshold=threshold, seed=0)
+            kwargs.update(bad)
+            n = kwargs.pop("n_scenarios", 512)
+            with pytest.raises(ValueError):
+                stratified_violation_estimate(
+                    injector, x, P_FAIL, n, **kwargs
+                )
+
+
+class TestSurvivalStopping:
+    def test_adaptive_survival_matches_fixed_estimate(self, net, x):
+        plain = monte_carlo_survival(
+            net, 0.2, 0.08, 0.02, x, n_trials=4096, seed=5
+        )
+        adaptive = monte_carlo_survival(
+            net, 0.2, 0.08, 0.02, x, n_trials=100_000, seed=5,
+            stopping=type(
+                "S", (), {
+                    "method": "empirical_bernstein", "target_ci": 0.1,
+                    "delta": 0.05, "threshold": None,
+                    "min_scenarios": 1024, "stratify": False,
+                },
+            )(),
+        )
+        assert adaptive.adaptive is not None
+        assert adaptive.adaptive.stopped
+        assert adaptive.n_trials < 100_000
+        # Two consistent estimators of the same survival probability.
+        assert adaptive.ci_low - 0.05 <= plain.survival <= (
+            adaptive.ci_high + 0.05
+        )
+        assert plain.adaptive is None
+
+
+class TestBitwiseRegression:
+    """``stopping=None`` must reproduce the pre-adaptive outputs
+    exactly, and old spec payloads must neither carry nor gain a
+    ``stopping`` key."""
+
+    def test_dispatch_without_stopping_is_the_plain_campaign(
+        self, net, tmp_path
+    ):
+        from repro import specs
+        from repro.network.serialization import save_network
+
+        path = tmp_path / "net.npz"
+        save_network(net, str(path))
+        spec = specs.CampaignSpec(
+            network=specs.NetworkRef(path=str(path)),
+            sampler=specs.SamplerSpec(kind="bernoulli", p_fail=P_FAIL),
+            n_scenarios=2048,
+            batch=4,
+            seed=12,
+        )
+        result = specs.run(spec)
+        assert result.adaptive is None
+        # The exact pre-adaptive lowering, replayed by hand.
+        resolved = spec.network.resolve()
+        injector = FaultInjector(
+            resolved, capacity=resolved.output_bound
+        )
+        rng = np.random.default_rng(spec.seed)
+        probe = rng.random((spec.batch, resolved.input_dim))
+        expected = sampled_campaign_errors(
+            injector, probe,
+            BernoulliSampler(resolved, P_FAIL),
+            spec.n_scenarios, seed=spec.seed,
+        )
+        np.testing.assert_array_equal(result.errors, expected)
+
+    def test_adaptive_errors_are_a_prefix_of_the_plain_run(
+        self, net, tmp_path
+    ):
+        from repro import specs
+        from repro.network.serialization import save_network
+
+        path = tmp_path / "net.npz"
+        save_network(net, str(path))
+        base = specs.CampaignSpec(
+            network=specs.NetworkRef(path=str(path)),
+            sampler=specs.SamplerSpec(kind="bernoulli", p_fail=P_FAIL),
+            n_scenarios=50_000,
+            threshold=0.02,
+            batch=4,
+            seed=12,
+        )
+        adaptive = specs.run(
+            base.replace(
+                stopping=specs.StoppingSpec(target_ci=0.1, delta=0.1)
+            )
+        )
+        assert adaptive.adaptive is not None and adaptive.adaptive.stopped
+        full = specs.run(base.replace(n_scenarios=adaptive.num_scenarios))
+        np.testing.assert_array_equal(adaptive.errors, full.errors)
+
+    def test_golden_fixtures_stay_free_of_stopping(self):
+        new = {
+            "campaign_adaptive_hoeffding.json",
+            "survival_adaptive_bernstein.json",
+            "campaign_stratified_byzantine.json",
+            "adaptive_sampling_experiment.json",
+        }
+        old = [
+            p
+            for p in sorted(FIXTURES.glob("*.json"))
+            if p.name not in new
+        ]
+        assert old, "golden fixtures should exist"
+        for path in old:
+            payload = json.loads(path.read_text())
+            assert "stopping" not in payload, path.name
+            sampler = payload.get("sampler")
+            if isinstance(sampler, dict):
+                assert "stopping" not in sampler, path.name
+
+    def test_old_payload_loads_as_stopping_none_and_round_trips(self):
+        from repro import specs
+
+        for path in sorted(FIXTURES.glob("campaign_*.json")):
+            payload = json.loads(path.read_text())
+            spec = specs.spec_from_dict(payload)
+            if "stopping" not in payload:
+                assert spec.stopping is None
+                assert "stopping" not in spec.to_dict()
+
+
+class TestCLIGuards:
+    def test_unit_open_interval_type(self):
+        import argparse
+
+        from repro.cli import _unit_float, _unit_open_float
+
+        assert _unit_open_float("0.5") == 0.5
+        for bad in ("0", "1", "-0.2", "1.5", "abc"):
+            with pytest.raises(argparse.ArgumentTypeError):
+                _unit_open_float(bad)
+        assert _unit_float("0") == 0.0 and _unit_float("1") == 1.0
+        with pytest.raises(argparse.ArgumentTypeError):
+            _unit_float("1.01")

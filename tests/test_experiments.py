@@ -54,7 +54,7 @@ class TestRunner:
         assert format_table([]) == "(no rows)"
 
     def test_registry_is_complete(self):
-        assert len(ALL_EXPERIMENTS) == 21
+        assert len(ALL_EXPERIMENTS) == 22
 
 
 class TestFigures:
@@ -128,6 +128,11 @@ class TestApplications:
         from repro.experiments import run_quantized_probes
 
         run_quantized_probes(n_scenarios=600).assert_passed()
+
+    def test_adaptive_sampling(self):
+        from repro.experiments import run_adaptive_sampling
+
+        run_adaptive_sampling().assert_passed()
 
     def test_pruning(self):
         from repro.experiments import run_pruning

@@ -90,7 +90,7 @@ class TestTopLevelPromises:
             "intro_pruning", "baseline_smr",
             "extension_reliability", "extension_fep_learning",
             "chaos_survival", "chaos_rejuvenation",
-            "quantized_probes",
+            "quantized_probes", "adaptive_sampling",
         }
         assert set(ALL_EXPERIMENTS) == expected
 

@@ -77,8 +77,10 @@ class TestSelection:
         ids = [e.experiment_id for e in registry.select(["theorem"])]
         assert ids == [
             "theorem1", "theorem2", "theorem3", "theorem4", "theorem5",
-            # anchored at "Theorem 5 x Theorem 2" — anchor substrings match
+            # anchored at "Theorem 5 x Theorem 2" and "Theorem 2 audit"
+            # — anchor substrings match
             "quantized_probes",
+            "adaptive_sampling",
         ]
 
     def test_select_by_anchor_substring(self):

@@ -117,6 +117,21 @@ def test_corpus_covers_experiment_and_cli_chaos_combos():
     assert methods == {"certified", "monte_carlo"}
 
 
+def test_corpus_covers_adaptive_stopping():
+    """Both confidence-sequence families and the stratified rare-event
+    path keep committed golden specs — the adaptive schema cannot
+    drift silently."""
+    methods, stratified = set(), False
+    for spec in map(load_spec, FIXTURES):
+        stopping = getattr(spec, "stopping", None)
+        if stopping is None:
+            continue
+        methods.add(stopping.method)
+        stratified = stratified or stopping.stratify
+    assert methods == {"hoeffding", "empirical_bernstein"}
+    assert stratified, "no golden fixture exercises the stratified path"
+
+
 def test_experiment_fixtures_match_declared_specs():
     """The committed experiment fixtures ARE the registry's stored
     workloads: replaying the fixture replays the experiment."""
@@ -126,6 +141,7 @@ def test_experiment_fixtures_match_declared_specs():
         ("chaos_survival", "chaos_survival_experiment.json"),
         ("chaos_rejuvenation", "chaos_rejuvenation_experiment.json"),
         ("quantized_probes", "quantized_probes_experiment.json"),
+        ("adaptive_sampling", "adaptive_sampling_experiment.json"),
     ):
         stored = load_spec(FIXTURE_DIR / fixture)
         declared = registry.get(exp_id).spec
