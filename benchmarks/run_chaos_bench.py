@@ -19,6 +19,13 @@ Results land in ``BENCH_campaign.json`` under the ``"chaos"`` key.
 The acceptance target tracked here: the chaos engine must be >= 10x
 the scalar epoch loop at fleet x epochs >= 1e5.
 
+A second section, ``"telemetry"``, prices the telemetry-native
+refactor: the same campaign with full telemetry capture (ground-truth
+fault labels, per-process damage attribution) vs the plain run whose
+trace carries only what the report needs.  Tracked target: capture
+overhead < 10% of campaign wall time (recording is array slicing into
+preallocated channels, never RNG or per-scenario Python).
+
 Run from the repo root::
 
     PYTHONPATH=src python benchmarks/run_chaos_bench.py
@@ -59,15 +66,39 @@ def bench_network():
     )
 
 
-def time_chaos_engine(net, x, n_replicas, epochs, seed=0):
+def time_chaos_engine(net, x, n_replicas, epochs, seed=0, telemetry=None):
     t0 = time.perf_counter()
     report = _run_chaos_campaign(
         net, x, [ComponentLifetimeProcess(RATE)],
         epochs=epochs, n_replicas=n_replicas,
         epsilon=EPSILON, epsilon_prime=EPSILON_PRIME,
-        seed=seed, epochs_chunk=64,
+        seed=seed, epochs_chunk=64, telemetry=telemetry,
     )
     return time.perf_counter() - t0, report
+
+
+def time_telemetry_overhead(net, x, n_replicas, epochs, repeats=5):
+    """Best-of-N wall time, full telemetry capture vs plain run.
+
+    Both runs share the seed, so the fault schedule — and therefore
+    the report — is bitwise identical; only the recording differs.
+    The off/on measurements are interleaved (off, on, off, on, ...)
+    so transient machine load hits both variants alike instead of
+    biasing whichever phase it overlapped.
+    """
+    from types import SimpleNamespace
+
+    on_spec = SimpleNamespace(enabled=True, ground_truth=True)
+    t_off = float("inf")
+    t_on = float("inf")
+    report_on = None
+    for _ in range(repeats):
+        t_off = min(t_off, time_chaos_engine(net, x, n_replicas, epochs)[0])
+        t, report_on = time_chaos_engine(
+            net, x, n_replicas, epochs, telemetry=on_spec
+        )
+        t_on = min(t_on, t)
+    return t_off, t_on, report_on
 
 
 def time_scalar_epoch_loop(net, x, n_replicas, epochs, n_cells, seed=0):
@@ -175,10 +206,44 @@ def main(argv=None) -> int:
         if args.output
         else Path(__file__).resolve().parent.parent / "BENCH_campaign.json"
     )
+    t_off, t_on, report_on = time_telemetry_overhead(
+        net, x, args.replicas, args.epochs
+    )
+    overhead = (t_on - t_off) / t_off
+    trace = report_on.trace
+    print(
+        f"  telemetry capture: {t_off:8.3f}s off vs {t_on:8.3f}s on "
+        f"-> overhead {overhead * 100:.1f}%  (target < 10%)"
+    )
+    telemetry_payload = {
+        "workload": {
+            "network": "mlp 4->[16,12]->1 (throughput-bench, seed 21)",
+            "process": f"ComponentLifetimeProcess(rate={RATE})",
+            "n_replicas": args.replicas,
+            "epochs": args.epochs,
+            "cells": cells,
+            "ground_truth": True,
+        },
+        "telemetry_off_s": round(t_off, 4),
+        "telemetry_on_s": round(t_on, 4),
+        "overhead_fraction": round(overhead, 4),
+        "trace_channels": {
+            "grid": ["errors", "viol", "down"],
+            "ground_truth": [
+                "crash_counts", "transient_counts", "process_hits"
+            ],
+        },
+        "ground_truth_cells": int(
+            trace.crash_counts.size + trace.transient_counts.size
+            + trace.process_hits.size
+        ),
+    }
+
     existing = {}
     if out_path.exists():
         existing = json.loads(out_path.read_text(encoding="utf-8"))
     existing["chaos"] = payload
+    existing["telemetry"] = telemetry_payload
     out_path.write_text(
         json.dumps(existing, indent=2) + "\n", encoding="utf-8"
     )

@@ -74,7 +74,7 @@ def payload():
 
 def test_payload_has_all_sections(payload):
     for key in ("workload", "platform", "results", "fault_workloads",
-                "chaos", "backends", "adaptive"):
+                "chaos", "backends", "adaptive", "telemetry"):
         assert key in payload, f"BENCH_campaign.json lost section {key!r}"
 
 
@@ -111,6 +111,26 @@ def test_backend_matrix_throughput_recorded(payload):
         assert row["seconds"] > 0
         assert row["scenarios_per_s"] > 0
         assert row["max_error"] >= 0
+
+
+def test_telemetry_section_tracks_capture_overhead(payload):
+    """The telemetry section is the committed evidence for the
+    telemetry-native refactor's acceptance target: full trace capture
+    (ground-truth channels included) costs < 10% of campaign wall
+    time."""
+    section = payload["telemetry"]
+    for key in ("workload", "telemetry_off_s", "telemetry_on_s",
+                "overhead_fraction", "ground_truth_cells"):
+        assert key in section, f"telemetry section lost {key!r}"
+    assert section["telemetry_off_s"] > 0
+    assert section["telemetry_on_s"] > 0
+    assert section["workload"]["ground_truth"] is True
+    assert section["ground_truth_cells"] > 0
+    assert section["overhead_fraction"] < 0.10, (
+        f"telemetry capture overhead "
+        f"{section['overhead_fraction'] * 100:.1f}% breaches the "
+        "< 10% target"
+    )
 
 
 def test_adaptive_section_tracks_the_stopping_guarantee(payload):

@@ -86,6 +86,7 @@ from .specs import (
     StoppingSpec,
     SpecError,
     SurvivalSpec,
+    TelemetrySpec,
     TrafficSpec,
     load_spec,
     run,
@@ -145,6 +146,7 @@ __all__ = [
     "DetectorSpec",
     "PolicySpec",
     "TrafficSpec",
+    "TelemetrySpec",
     "ChaosSpec",
     "spec_from_dict",
     "load_spec",

@@ -161,6 +161,7 @@ class ArtifactStore:
     def __init__(self, root: "str | Path" = "results"):
         self.root = Path(root)
         self.artifact_dir = self.root / "artifacts"
+        self.trace_dir = self.root / "traces"
         self.manifest_path = self.root / MANIFEST_NAME
 
     # -- manifest ----------------------------------------------------------
@@ -202,6 +203,34 @@ class ArtifactStore:
             json.dump(result.to_dict(), fh, indent=2)
             fh.write("\n")
         return path
+
+    # -- telemetry traces --------------------------------------------------
+
+    def trace_path(self, name: str) -> Path:
+        """Base JSON path of a stored chaos telemetry trace.
+
+        ``name`` is whatever keys the trace — an experiment id, or a
+        spec content hash (``ChaosSpec.content_hash()``), so re-running
+        an identical workload overwrites rather than accumulates.  The
+        npz array payload sits next to it with the same stem.
+        """
+        return self.trace_dir / f"{name}.json"
+
+    def save_trace(self, name: str, trace) -> Path:
+        """Persist a :class:`~repro.chaos.telemetry.TelemetryTrace`
+        under ``<root>/traces/<name>.{json,npz}``; returns the JSON
+        path.  Retention is the caller's business — pass the trace
+        through :meth:`TelemetryTrace.retained` first if the spec asks
+        for trimming."""
+        from .chaos.telemetry import save_trace as _save
+
+        return _save(trace, self.trace_path(name))
+
+    def load_trace(self, name: str):
+        """Load a stored trace by name (schema-version checked)."""
+        from .chaos.telemetry import load_trace as _load
+
+        return _load(self.trace_path(name))
 
     # -- cache + execution -------------------------------------------------
 

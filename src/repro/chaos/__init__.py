@@ -21,12 +21,44 @@ story made executable:
   boosted rejuvenation, detector-triggered repair, spare activation);
 * :mod:`~repro.chaos.campaign` — :func:`run_chaos_campaign`, the
   orchestrator producing a :class:`ChaosReport` SLO summary with
-  fork-once parallelism across replica blocks.
+  fork-once parallelism across replica blocks;
+* :mod:`~repro.chaos.telemetry` — the typed columnar
+  :class:`TelemetryTrace` the epoch loop emits, and
+  :func:`report_from_trace`, the pure derivation every report now
+  goes through;
+* :mod:`~repro.chaos.replay` — deterministic incident replay of a
+  stored trace against any detector, no re-simulation;
+* :mod:`~repro.chaos.aiops` — detection / localization / RCA
+  benchmark tasks scored over telemetry alone.
 
-See DESIGN.md's fifth-subsystem section for the data flow.
+See DESIGN.md's fifth-subsystem section for the campaign data flow
+and the seventh-subsystem section for the telemetry stream.
 """
 
+from .aiops import (
+    Incident,
+    detection_scores,
+    incidents,
+    localization_truth,
+    rca_truth,
+    score_localization,
+    score_rca,
+    scorecard,
+)
 from .campaign import REPLICA_BLOCK, ChaosReport, run_chaos_campaign
+from .replay import replay_detectors, replay_report
+from .telemetry import (
+    ACTION_REPAIR,
+    ACTION_RESET,
+    TRACE_SCHEMA_VERSION,
+    TelemetryRecorder,
+    TelemetryTrace,
+    concat_traces,
+    episode_runs,
+    load_trace,
+    report_from_trace,
+    save_trace,
+)
 from .deployment import DeployedNetwork, EpochWindow, FleetState
 from .detectors import (
     CertifiedAlarmDetector,
@@ -82,4 +114,24 @@ __all__ = [
     "ConstantTraffic",
     "DiurnalTraffic",
     "ParetoBurstyTraffic",
+    "TRACE_SCHEMA_VERSION",
+    "ACTION_REPAIR",
+    "ACTION_RESET",
+    "TelemetryTrace",
+    "TelemetryRecorder",
+    "concat_traces",
+    "report_from_trace",
+    "episode_runs",
+    "save_trace",
+    "load_trace",
+    "replay_detectors",
+    "replay_report",
+    "Incident",
+    "incidents",
+    "detection_scores",
+    "localization_truth",
+    "score_localization",
+    "rca_truth",
+    "score_rca",
+    "scorecard",
 ]

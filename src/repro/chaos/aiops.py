@@ -1,0 +1,276 @@
+"""AIOps benchmark tasks scored over chaos telemetry alone.
+
+Following the static log-replayer methodology of AIOpsLab (see
+PAPERS.md), every stored :class:`~repro.chaos.telemetry.TelemetryTrace`
+becomes a reusable benchmark problem at near-zero compute.  Three
+tasks, each scored against the trace's ground-truth channels — no
+re-simulation, no network evaluation:
+
+* **Detection** (:func:`detection_scores`): given an ``(E, R)`` alarm
+  grid (a live detector's recorded firings, or a replayed one from
+  :mod:`repro.chaos.replay`), score time-to-detect against the
+  violation episodes the trace actually contains.
+* **Localization** (:func:`score_localization`): name the faulty
+  layers of each incident; scored as set precision/recall against the
+  layers with damaged components at onset, plus replica-set
+  precision/recall of the flagged fleet subset.
+* **Root-cause analysis** (:func:`score_rca`): classify which fault
+  process caused each incident; scored as accuracy against the
+  per-process damage-attribution channel.
+
+Incidents are the maximal violation runs of
+:func:`~repro.chaos.telemetry.episode_runs`; the truth extractors
+(:func:`localization_truth`, :func:`rca_truth`) are exposed so oracle
+baselines score 1.0 by construction — the calibration check the
+``incident_replay`` experiment asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .telemetry import TelemetryTrace, episode_runs
+
+__all__ = [
+    "Incident",
+    "incidents",
+    "detection_scores",
+    "localization_truth",
+    "score_localization",
+    "rca_truth",
+    "score_rca",
+    "scorecard",
+]
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One maximal violation episode: ``length`` consecutive violating
+    epochs of ``replica`` starting at ``onset``."""
+
+    replica: int
+    onset: int
+    length: int
+
+    @property
+    def end(self) -> int:
+        """One past the last violating epoch."""
+        return self.onset + self.length
+
+
+def incidents(trace: TelemetryTrace) -> List[Incident]:
+    """The trace's violation episodes, replica-major, onset-ascending."""
+    rep, onset, length = episode_runs(trace.viol)
+    return [
+        Incident(int(r), int(o), int(n))
+        for r, o, n in zip(rep, onset, length)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Detection
+# ---------------------------------------------------------------------------
+
+
+def detection_scores(
+    trace: TelemetryTrace, alarm_grid: np.ndarray
+) -> Dict[str, object]:
+    """Score one ``(E, R)`` boolean alarm grid against the trace.
+
+    An incident counts as *detected* if the grid fires on its replica
+    at any epoch within ``[onset, end)``; time-to-detect (TTD) is the
+    epoch gap from onset to the first in-episode firing.  Alarms in
+    healthy in-service cells are false-alarm cells.  The replica-level
+    precision/recall compare the set of replicas the grid ever flagged
+    against the set that ever violated.
+    """
+    grid = np.asarray(alarm_grid, dtype=bool)
+    if grid.shape != trace.viol.shape:
+        raise ValueError(
+            f"alarm grid shape {grid.shape} != trace grid "
+            f"{trace.viol.shape}"
+        )
+    eps = incidents(trace)
+    ttds: List[int] = []
+    detected = 0
+    for inc in eps:
+        window = grid[inc.onset : inc.end, inc.replica]
+        if window.any():
+            detected += 1
+            ttds.append(int(window.argmax()))
+    false_cells = int((grid & ~trace.viol & ~trace.down).sum())
+    flagged = set(np.nonzero(grid.any(axis=0))[0].tolist())
+    truth = set(np.nonzero(trace.viol.any(axis=0))[0].tolist())
+    tp = len(flagged & truth)
+    return {
+        "n_incidents": len(eps),
+        "detected": detected,
+        "detection_rate": detected / len(eps) if eps else float("nan"),
+        "mean_ttd": float(np.mean(ttds)) if ttds else float("nan"),
+        "median_ttd": float(np.median(ttds)) if ttds else float("nan"),
+        "false_alarm_cells": false_cells,
+        "replica_precision": tp / len(flagged) if flagged else 1.0,
+        "replica_recall": tp / len(truth) if truth else 1.0,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Localization
+# ---------------------------------------------------------------------------
+
+
+def localization_truth(trace: TelemetryTrace) -> List[Tuple[int, ...]]:
+    """Per incident, the layers holding damaged components at onset.
+
+    Requires ground-truth channels (``telemetry.ground_truth=True``
+    during the campaign).  A layer is faulty if it has any crashed or
+    intermittent component on the incident's replica at its onset
+    epoch.
+    """
+    if not trace.has_ground_truth:
+        raise ValueError(
+            "trace has no ground-truth channels; rerun the campaign "
+            "with telemetry ground_truth=True to score localization"
+        )
+    damage = trace.crash_counts + trace.transient_counts  # (E, R, L)
+    return [
+        tuple(np.nonzero(damage[inc.onset, inc.replica])[0].tolist())
+        for inc in incidents(trace)
+    ]
+
+
+def score_localization(
+    trace: TelemetryTrace,
+    predictions: Sequence[Sequence[int]],
+) -> Dict[str, float]:
+    """Set precision/recall of per-incident faulty-layer predictions.
+
+    ``predictions[i]`` is the layer-index set claimed for incident
+    ``i`` (same order as :func:`incidents`).  Per-incident precision
+    and recall are averaged over incidents; an empty truth set scores
+    an empty prediction as perfect.
+    """
+    truth = localization_truth(trace)
+    if len(predictions) != len(truth):
+        raise ValueError(
+            f"{len(predictions)} predictions for {len(truth)} incidents"
+        )
+    precisions: List[float] = []
+    recalls: List[float] = []
+    for pred, true in zip(predictions, truth):
+        p, t = set(int(x) for x in pred), set(true)
+        hit = len(p & t)
+        precisions.append(hit / len(p) if p else (1.0 if not t else 0.0))
+        recalls.append(hit / len(t) if t else 1.0)
+    return {
+        "n_incidents": len(truth),
+        "layer_precision": (
+            float(np.mean(precisions)) if precisions else float("nan")
+        ),
+        "layer_recall": float(np.mean(recalls)) if recalls else float("nan"),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Root-cause analysis
+# ---------------------------------------------------------------------------
+
+
+def rca_truth(trace: TelemetryTrace) -> List[int]:
+    """Per incident, the index of the fault process that contributed
+    the most damage to the replica up to and including onset (ties go
+    to the earliest-registered process, matching ``argmax``); ``-1``
+    when no recorded process damaged the replica by then (e.g. the
+    violation came from accumulated transients already repaired)."""
+    if trace.process_hits is None:
+        raise ValueError(
+            "trace has no process-attribution channel; rerun the "
+            "campaign with telemetry ground_truth=True to score RCA"
+        )
+    out: List[int] = []
+    for inc in incidents(trace):
+        hits = trace.process_hits[:, : inc.onset + 1, inc.replica].sum(
+            axis=1
+        )
+        out.append(int(hits.argmax()) if hits.any() else -1)
+    return out
+
+
+def score_rca(
+    trace: TelemetryTrace, predictions: Sequence[int]
+) -> Dict[str, object]:
+    """Classification accuracy of per-incident fault-process labels.
+
+    ``predictions[i]`` is the claimed process index for incident ``i``
+    (same order as :func:`incidents`); ``-1`` claims "no recorded
+    cause".  Also reports per-kind accuracy keyed by the trace's
+    process kinds.
+    """
+    truth = rca_truth(trace)
+    if len(predictions) != len(truth):
+        raise ValueError(
+            f"{len(predictions)} predictions for {len(truth)} incidents"
+        )
+    correct = sum(
+        1 for p, t in zip(predictions, truth) if int(p) == int(t)
+    )
+    by_kind: Dict[str, Dict[str, int]] = {}
+    for p, t in zip(predictions, truth):
+        kind = (
+            trace.process_kinds[t] if 0 <= t < len(trace.process_kinds)
+            else "none"
+        )
+        row = by_kind.setdefault(kind, {"n": 0, "correct": 0})
+        row["n"] += 1
+        row["correct"] += int(int(p) == int(t))
+    return {
+        "n_incidents": len(truth),
+        "accuracy": correct / len(truth) if truth else float("nan"),
+        "by_kind": {
+            kind: {
+                "n": row["n"],
+                "accuracy": row["correct"] / row["n"],
+            }
+            for kind, row in sorted(by_kind.items())
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# Scorecard
+# ---------------------------------------------------------------------------
+
+
+def scorecard(
+    trace: TelemetryTrace,
+    *,
+    alarm_grids: Optional[Dict[str, np.ndarray]] = None,
+) -> Dict[str, object]:
+    """The full AIOps benchmark sheet for one trace.
+
+    Detection is scored for every grid in ``alarm_grids`` (default:
+    the trace's own recorded detectors); localization and RCA are
+    scored for the oracle baselines built from the truth extractors —
+    by construction 1.0, which pins the scoring itself (skipped with a
+    note when the trace lacks ground-truth channels).
+    """
+    grids = trace.alarms if alarm_grids is None else alarm_grids
+    sheet: Dict[str, object] = {
+        "n_incidents": len(incidents(trace)),
+        "detection": {
+            name: detection_scores(trace, grid)
+            for name, grid in sorted(grids.items())
+        },
+    }
+    if trace.has_ground_truth:
+        truth_layers = localization_truth(trace)
+        sheet["localization_oracle"] = score_localization(
+            trace, truth_layers
+        )
+        sheet["rca_oracle"] = score_rca(trace, rca_truth(trace))
+    else:
+        sheet["ground_truth"] = "absent"
+    return sheet

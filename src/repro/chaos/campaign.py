@@ -1,4 +1,4 @@
-"""The chaos orchestrator: lifecycle simulation → streamed SLO report.
+"""The chaos orchestrator: lifecycle simulation → telemetry → SLO report.
 
 ``run_chaos_campaign`` is the fifth subsystem's entry point.  Per
 epoch it (1) applies due repairs, (2) steps every fault process over
@@ -8,10 +8,19 @@ buffers; per *window* of ``epochs_chunk`` epochs it compiles one
 scenario rows and streams it through a single
 :class:`~repro.faults.masks.MaskCampaignEngine` evaluation — the hot
 loop contains zero per-scenario Python.  Detectors consume the
-evaluated errors, policies schedule repairs from the firings, and the
-aggregate becomes a :class:`ChaosReport`: availability (plain and
-request-weighted), the time-to-first-violation distribution, MTBF /
-MTTR, and per-detector precision/recall against ground truth.
+evaluated errors and policies schedule repairs from the firings.
+
+The loop computes no summary statistics of its own: every evaluated
+window and every repair/rejuvenation action is *emitted* into a
+:class:`~repro.chaos.telemetry.TelemetryTrace` through a
+:class:`~repro.chaos.telemetry.TelemetryRecorder` (telemetry-native
+chaos; DESIGN.md seventh subsystem), and the :class:`ChaosReport` —
+availability (plain and request-weighted), the time-to-first-violation
+distribution, MTBF / MTTR, per-detector precision/recall against
+ground truth — is derived afterwards by the pure function
+:func:`~repro.chaos.telemetry.report_from_trace`.  The trace rides on
+the report (``report.trace``) for replay and AIOps scoring
+(:mod:`repro.chaos.replay`, :mod:`repro.chaos.aiops`).
 
 Determinism and parallelism follow the repo's campaign discipline
 (DESIGN.md): replicas are partitioned into fixed blocks of
@@ -27,7 +36,7 @@ firings and SLO report are bitwise identical, serial == parallel.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -40,6 +49,12 @@ from .deployment import DeployedNetwork
 from .detectors import DriftDetector
 from .policies import NoRepairPolicy, RepairPolicy
 from .processes import FaultProcess
+from .telemetry import (
+    TelemetryRecorder,
+    TelemetryTrace,
+    concat_traces,
+    report_from_trace,
+)
 from .traffic import TrafficModel
 
 __all__ = ["ChaosReport", "run_chaos_campaign", "REPLICA_BLOCK"]
@@ -62,6 +77,17 @@ class ChaosReport:
     violation *episodes* (maximal runs of consecutive violating
     epochs per replica).  ``detector_stats`` scores each detector's
     firings against ground truth (violating, in-service cells).
+
+    Degenerate fleets: with zero violation episodes — a fault-free
+    fleet, or one whose every cell sat in repair downtime — ``mtbf``
+    and ``mttr`` are both ``nan``.  The statistics are undefined
+    without an episode to average over; ``nan`` says so explicitly
+    where older revisions mixed an ``inf`` MTBF with a ``0.0`` MTTR.
+
+    ``trace`` is the campaign's full
+    :class:`~repro.chaos.telemetry.TelemetryTrace` — the event stream
+    this report was derived from (excluded from :meth:`to_dict`, like
+    ``errors``).
     """
 
     n_replicas: int
@@ -80,6 +106,7 @@ class ChaosReport:
     policy_stats: Dict[str, object] = field(default_factory=dict)
     requests: Optional[np.ndarray] = None
     errors: Optional[np.ndarray] = None
+    trace: Optional[TelemetryTrace] = None
 
     @property
     def budget(self) -> float:
@@ -105,7 +132,7 @@ class ChaosReport:
         payload = {
             k: jsonable(v)
             for k, v in self.__dict__.items()
-            if k != "errors"
+            if k not in ("errors", "trace")
         }
         payload["budget"] = self.budget
         return payload
@@ -145,19 +172,6 @@ class ChaosReport:
 # ---------------------------------------------------------------------------
 
 
-def _episode_stats(viol: np.ndarray) -> tuple:
-    """``(episodes, violating_epochs)`` over a ``(E, R)`` violation grid.
-
-    An episode is a maximal run of consecutive violating epochs of one
-    replica; onsets are cells violating with a healthy predecessor.
-    """
-    if viol.size == 0:
-        return 0, 0
-    onsets = viol.copy()
-    onsets[1:] &= ~viol[:-1]
-    return int(onsets.sum()), int(viol.sum())
-
-
 def _simulate_block(
     engine: MaskCampaignEngine,
     processes: Sequence[FaultProcess],
@@ -166,16 +180,21 @@ def _simulate_block(
     n_replicas: int,
     epochs: int,
     epochs_chunk: int,
-    budget: float,
+    epsilon: float,
+    epsilon_prime: float,
     probe_counts: Optional[np.ndarray],
     seed: np.random.SeedSequence,
-    keep_errors: bool,
-) -> dict:
-    """Full lifecycle of one replica block; returns aggregate arrays.
+    ground_truth: bool,
+) -> TelemetryTrace:
+    """Full lifecycle of one replica block; emits the block's trace.
 
     The process/detector/policy objects are reset here (the worker and
     the serial path reuse the same pickled objects across blocks), so
-    a block's trajectory depends only on its seed.
+    a block's trajectory depends only on its seed.  The recorder is
+    installed as the fleet state's telemetry seam, so repair and
+    rejuvenation-reset actions are captured where they happen; it
+    never touches the RNG, so the fault schedule is bitwise identical
+    with ground-truth recording on or off.
     """
     rng = np.random.default_rng(seed)
     network = engine.network
@@ -189,17 +208,20 @@ def _simulate_block(
         det.reset(n_replicas)
     policy.reset(network, n_replicas)
 
-    viol = np.zeros((epochs, n_replicas), dtype=bool)
-    down = np.zeros((epochs, n_replicas), dtype=bool)
-    fired = {
-        det.name: np.zeros((epochs, n_replicas), dtype=bool)
-        for det in detectors
-    }
-    errors_mat = (
-        np.zeros((epochs, n_replicas), dtype=np.float64)
-        if keep_errors
-        else None
+    recorder = TelemetryRecorder(
+        epochs=epochs,
+        n_replicas=n_replicas,
+        epsilon=epsilon,
+        epsilon_prime=epsilon_prime,
+        layer_sizes=network.layer_sizes,
+        process_kinds=tuple(type(p).__name__ for p in processes),
+        detector_names=tuple(d.name for d in detectors),
+        policy_name=policy.name,
+        epochs_chunk=epochs_chunk,
+        ground_truth=ground_truth,
     )
+    state.telemetry = recorder
+    budget = epsilon - epsilon_prime
 
     epoch = 0
     while epoch < epochs:
@@ -208,8 +230,20 @@ def _simulate_block(
         for k in range(w):
             state.begin_epoch(epoch + k)
             policy.apply(state, processes, detectors, rng)
-            for proc in processes:
-                proc.step(state, rng)
+            if ground_truth:
+                # Per-process damage attribution: the recorder buffers
+                # the epoch-end masks (plus mid-epoch totals when
+                # several processes share an epoch) and differences
+                # them in one vectorised pass at the window flush.
+                last = len(processes) - 1
+                for p_idx, proc in enumerate(processes):
+                    proc.step(state, rng)
+                    if p_idx < last:
+                        recorder.record_mid_damage(p_idx, k, state)
+                recorder.record_epoch_state(k, state)
+            else:
+                for proc in processes:
+                    proc.step(state, rng)
             fleet.window.snapshot(state)
             state.advance_ages()
         counts = (
@@ -227,44 +261,16 @@ def _simulate_block(
             det.name: det.update(observed, epoch) for det in detectors
         }
         policy.observe(state, errors, firings_w, epoch)
-        viol[epoch : epoch + w] = viol_w
-        down[epoch : epoch + w] = down_w
-        for name, grid in firings_w.items():
-            fired[name][epoch : epoch + w] = grid
-        if errors_mat is not None:
-            errors_mat[epoch : epoch + w] = errors
+        recorder.record_window(epoch, errors, down_w, viol_w, firings_w)
         epoch += w
 
-    any_viol = viol.any(axis=0)
-    first = np.where(any_viol, viol.argmax(axis=0), epochs)
-    episodes, violating = _episode_stats(viol)
-    confusion = {}
-    for name, grid in fired.items():
-        in_service = ~down
-        tp = int((grid & viol & in_service).sum())
-        fp = int((grid & ~viol & in_service).sum())
-        fn = int((~grid & viol & in_service).sum())
-        confusion[name] = {
-            "firings": int((grid & in_service).sum()),
-            "tp": tp, "fp": fp, "fn": fn,
-        }
-    return {
-        "n_replicas": n_replicas,
-        "viol_cells": int(viol.sum()),
-        "down_cells": int(down.sum()),
-        "good_by_epoch": (~viol & ~down).sum(axis=1),  # (E,)
-        "first_violation": first,
-        "episodes": episodes,
-        "violating_epochs": violating,
-        "confusion": confusion,
-        "policy_stats": policy.stats(),
-        "errors": errors_mat,
-    }
+    state.telemetry = None
+    return recorder.finish(policy.stats())
 
 
 def _build_chaos_state(  # pragma: no cover - subprocess body
     network, capacity, xb, chunk_size, dtype, processes, detectors, policy,
-    epochs, epochs_chunk, budget, probe_counts, keep_errors,
+    epochs, epochs_chunk, epsilon, epsilon_prime, probe_counts, ground_truth,
 ):
     injector = FaultInjector(network, capacity=capacity)
     engine = MaskCampaignEngine(
@@ -277,9 +283,10 @@ def _build_chaos_state(  # pragma: no cover - subprocess body
         "policy": policy,
         "epochs": epochs,
         "epochs_chunk": epochs_chunk,
-        "budget": budget,
+        "epsilon": epsilon,
+        "epsilon_prime": epsilon_prime,
         "probe_counts": probe_counts,
-        "keep_errors": keep_errors,
+        "ground_truth": ground_truth,
     }
 
 
@@ -289,8 +296,8 @@ def _worker_simulate_block(job):  # pragma: no cover - subprocess body
     s = worker_state()
     return _simulate_block(
         s["engine"], s["processes"], s["detectors"], s["policy"],
-        size, s["epochs"], s["epochs_chunk"], s["budget"],
-        s["probe_counts"], seed, s["keep_errors"],
+        size, s["epochs"], s["epochs_chunk"], s["epsilon"],
+        s["epsilon_prime"], s["probe_counts"], seed, s["ground_truth"],
     )
 
 
@@ -362,6 +369,8 @@ def _run_chaos_campaign(
     dtype: "str | np.dtype" = np.float64,
     n_workers: int = 0,
     keep_errors: bool = False,
+    telemetry=None,
+    spec_payload: Optional[dict] = None,
 ) -> ChaosReport:
     """Simulate a deployed fleet under temporal chaos; return the SLO report.
 
@@ -374,6 +383,18 @@ def _run_chaos_campaign(
     granularity (a real monitoring pipeline's aggregation interval).
     Larger windows amortise better; smaller windows tighten the
     repair feedback loop.
+
+    The simulation emits a :class:`~repro.chaos.telemetry.TelemetryTrace`
+    and the report is derived from it
+    (:func:`~repro.chaos.telemetry.report_from_trace`); the trace is
+    returned on ``report.trace``.  ``telemetry`` is an optional
+    :class:`~repro.specs.TelemetrySpec`-shaped object (``enabled`` /
+    ``ground_truth`` attributes): with both true, the trace also
+    carries the ground-truth channels (per-layer crash/transient
+    counts, per-process damage attribution) the AIOps tasks score
+    against.  ``spec_payload`` (the originating spec's ``to_dict``)
+    is embedded in the trace so a stored trace can rebuild its
+    detectors for replay.
     """
     if epochs < 1:
         raise ValueError(f"epochs must be >= 1, got {epochs}")
@@ -388,7 +409,6 @@ def _run_chaos_campaign(
     names = [d.name for d in detectors]
     if len(set(names)) != len(names):
         raise ValueError(f"detector names must be unique, got {names}")
-    budget = epsilon - epsilon_prime
     policy = policy if policy is not None else NoRepairPolicy()
     wanted = getattr(policy, "detector", None)
     if wanted is not None and wanted not in names:
@@ -430,6 +450,11 @@ def _run_chaos_campaign(
     if traffic is not None and traffic.modulate_probes:
         probe_counts = traffic.probe_counts(requests, xb.shape[0])
     chunk = chunk_size or max(epochs_chunk * REPLICA_BLOCK, 1)
+    ground_truth = bool(
+        telemetry is not None
+        and getattr(telemetry, "enabled", False)
+        and getattr(telemetry, "ground_truth", False)
+    )
 
     if n_workers and n_workers > 1:
         with fork_once_pool(
@@ -438,10 +463,11 @@ def _run_chaos_campaign(
             (
                 network, capacity, xb, chunk, np.dtype(dtype).name,
                 tuple(processes), tuple(detectors), policy,
-                epochs, epochs_chunk, budget, probe_counts, keep_errors,
+                epochs, epochs_chunk, float(epsilon), float(epsilon_prime),
+                probe_counts, ground_truth,
             ),
         ) as pool:
-            results = list(
+            blocks = list(
                 bounded_map(
                     pool, _worker_simulate_block, zip(sizes, children[1:])
                 )
@@ -451,85 +477,16 @@ def _run_chaos_campaign(
             FaultInjector(network, capacity=capacity), xb,
             chunk_size=chunk, dtype=dtype,
         )
-        results = [
+        blocks = [
             _simulate_block(
                 engine, tuple(processes), tuple(detectors), policy,
-                size, epochs, epochs_chunk, budget, probe_counts,
-                child, keep_errors,
+                size, epochs, epochs_chunk, float(epsilon),
+                float(epsilon_prime), probe_counts, child, ground_truth,
             )
             for size, child in zip(sizes, children[1:])
         ]
 
-    # -- aggregate (block order is fixed: serial == parallel) --------------
-    total_cells = epochs * n_replicas
-    viol_cells = sum(r["viol_cells"] for r in results)
-    down_cells = sum(r["down_cells"] for r in results)
-    good_by_epoch = np.sum([r["good_by_epoch"] for r in results], axis=0)
-    first = np.concatenate([r["first_violation"] for r in results])
-    episodes = sum(r["episodes"] for r in results)
-    violating = sum(r["violating_epochs"] for r in results)
-
-    availability = float(good_by_epoch.sum()) / total_cells
-    if requests is not None and requests.sum() > 0:
-        weighted = float(
-            (good_by_epoch / n_replicas * requests).sum() / requests.sum()
-        )
-    else:
-        weighted = availability
-
-    detector_stats = {}
-    for det in detectors:
-        tp = sum(r["confusion"][det.name]["tp"] for r in results)
-        fp = sum(r["confusion"][det.name]["fp"] for r in results)
-        fn = sum(r["confusion"][det.name]["fn"] for r in results)
-        firings = sum(r["confusion"][det.name]["firings"] for r in results)
-        detector_stats[det.name] = {
-            "firings": firings,
-            "tp": tp,
-            "fp": fp,
-            "fn": fn,
-            "precision": tp / (tp + fp) if tp + fp else 1.0,
-            "recall": tp / (tp + fn) if tp + fn else 1.0,
-        }
-
-    policy_stats: Dict[str, object] = {"name": policy.name}
-    for r in results:
-        for k, v in r["policy_stats"].items():
-            if isinstance(v, (int, np.integer)):
-                policy_stats[k] = int(policy_stats.get(k, 0)) + int(v)
-            elif isinstance(v, float):
-                acc = policy_stats.setdefault(k, [])
-                if isinstance(acc, list):
-                    acc.append(v)
-            elif v is not None:
-                policy_stats.setdefault(k, v)
-    for k, v in list(policy_stats.items()):
-        if isinstance(v, list):
-            policy_stats[k] = float(np.mean(v)) if v else None
-
-    errors = None
-    if keep_errors:
-        errors = np.concatenate([r["errors"] for r in results], axis=1)
-
-    return ChaosReport(
-        n_replicas=n_replicas,
-        epochs=epochs,
-        epsilon=float(epsilon),
-        epsilon_prime=float(epsilon_prime),
-        availability=availability,
-        weighted_availability=weighted,
-        violation_fraction=viol_cells / total_cells,
-        downtime_fraction=down_cells / total_cells,
-        time_to_first_violation=first,
-        n_violation_episodes=episodes,
-        mtbf=(
-            float((total_cells - violating - down_cells) / episodes)
-            if episodes
-            else float("inf")
-        ),
-        mttr=float(violating / episodes) if episodes else 0.0,
-        detector_stats=detector_stats,
-        policy_stats=policy_stats,
-        requests=requests,
-        errors=errors,
-    )
+    # Block order is fixed, so the assembled trace — and therefore the
+    # derived report — is bitwise identical, serial == parallel.
+    trace = concat_traces(blocks, requests=requests, spec_payload=spec_payload)
+    return report_from_trace(trace, keep_errors=keep_errors)

@@ -66,6 +66,12 @@ class FleetState:
     down_until:
         Replica ``r`` is out of service (repair downtime) while
         ``epoch < down_until[r]``.
+    telemetry:
+        The campaign's :class:`~repro.chaos.telemetry.TelemetryRecorder`
+        seam (``None`` outside a recording campaign): repairs and
+        rejuvenation resets are operationally meaningful state
+        transitions, so they emit action events from the one place
+        they happen rather than from every policy that triggers them.
     """
 
     def __init__(self, layer_sizes: Sequence[int], n_replicas: int):
@@ -90,6 +96,7 @@ class FleetState:
         self.epoch = 0
         self.has_transients = False
         self.has_resets = False
+        self.telemetry = None
 
     # -- epoch lifecycle ---------------------------------------------------
 
@@ -133,6 +140,8 @@ class FleetState:
         for l0, mask in enumerate(reset_masks):
             self.reset_zero[l0][replica] |= mask
         self.has_resets = True
+        if self.telemetry is not None:
+            self.telemetry.record_reset(self.epoch, replica)
 
     def repair(self, replicas: np.ndarray) -> None:
         """Fully repair ``replicas`` (boolean ``(R,)`` mask): all
@@ -142,6 +151,8 @@ class FleetState:
         for l0 in range(len(self.layer_sizes)):
             self.crash[l0][replicas] = False
             self.age[l0][replicas] = 0.0
+        if self.telemetry is not None:
+            self.telemetry.record_repair(self.epoch, replicas)
 
     @property
     def down_now(self) -> np.ndarray:

@@ -1,0 +1,112 @@
+"""Deterministic incident replay: re-serve a stored trace to detectors.
+
+A :class:`~repro.chaos.telemetry.TelemetryTrace` carries everything a
+detector ever saw during the live campaign: the observed error series
+(downtime cells reading 0), the window cadence (``epochs_chunk``), the
+replica partition (``block_sizes``) and the repair actions that re-arm
+stateful detectors.  :func:`replay_detectors` replays that stream —
+per block, window by window, repairs delivered before each window's
+update exactly as the live ``policy.apply`` → ``detector.update``
+ordering did — so any detector, including one that never ran in the
+original campaign, can be evaluated against a stored incident at
+near-zero compute: no network, no engine, no fault simulation.
+
+Determinism contract: replaying the campaign's own detectors (same
+construction parameters) reproduces the live alarm grids **exactly**
+— the ``incident_replay`` experiment's headline shape check.  The one
+structural difference from the live loop is that repairs landing at
+the same epoch are delivered as a single grouped ``on_repair`` call;
+every policy in :mod:`repro.chaos.policies` issues at most one repair
+per epoch, and all shipped detectors treat a grouped mask identically
+to consecutive same-epoch calls, so the grids are unchanged.
+
+:func:`replay_report` is the round-trip convenience: derive the SLO
+report of a stored trace with a *replayed* detector set swapped in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from .detectors import DriftDetector
+from .telemetry import ACTION_REPAIR, TelemetryTrace, report_from_trace
+
+__all__ = ["replay_detectors", "replay_report"]
+
+
+def replay_detectors(
+    trace: TelemetryTrace, detectors: Sequence[DriftDetector]
+) -> Dict[str, np.ndarray]:
+    """Alarm grids of ``detectors`` run against a stored trace.
+
+    Returns ``{detector name: (E, R) bool}``.  Requires the trace's
+    error channel (``retain_errors=True`` at persistence time); the
+    detectors are reset per replica block and stepped through the
+    trace's recorded window cadence, with the block's repair events
+    delivered in epoch order ahead of each window — the live loop's
+    ordering, bit for bit.
+    """
+    names = [d.name for d in detectors]
+    if len(set(names)) != len(names):
+        raise ValueError(f"detector names must be unique, got {names}")
+    observed = trace.observed()  # raises if the error channel was dropped
+    E = trace.epochs
+    chunk = max(int(trace.epochs_chunk), 1)
+    out = {
+        name: np.zeros((E, trace.n_replicas), dtype=bool) for name in names
+    }
+    repair_epochs, repair_replicas = trace.actions(ACTION_REPAIR)
+
+    start = 0
+    for size in trace.block_sizes:
+        lo, hi = start, start + size
+        start = hi
+        for det in detectors:
+            det.reset(size)
+        # This block's repairs, grouped into one (R,) mask per epoch —
+        # the shape of the live per-epoch policy.apply call.
+        sel = (repair_replicas >= lo) & (repair_replicas < hi)
+        by_epoch: Dict[int, np.ndarray] = {}
+        for e, r in zip(repair_epochs[sel], repair_replicas[sel] - lo):
+            mask = by_epoch.get(int(e))
+            if mask is None:
+                mask = by_epoch.setdefault(
+                    int(e), np.zeros(size, dtype=bool)
+                )
+            mask[int(r)] = True
+
+        epoch = 0
+        while epoch < E:
+            w = min(chunk, E - epoch)
+            for e in range(epoch, epoch + w):
+                mask = by_epoch.get(e)
+                if mask is not None:
+                    for det in detectors:
+                        det.on_repair(mask, e)
+            window = observed[epoch : epoch + w, lo:hi]
+            for det in detectors:
+                out[det.name][epoch : epoch + w, lo:hi] = det.update(
+                    window, epoch
+                )
+            epoch += w
+    return out
+
+
+def replay_report(
+    trace: TelemetryTrace, detectors: Sequence[DriftDetector]
+):
+    """The stored trace's :class:`~repro.chaos.campaign.ChaosReport`
+    with ``detectors``' replayed alarm grids scored in place of the
+    live ones (detector stats re-derived; every other statistic is
+    untouched — it only depends on the violation/downtime grids)."""
+    from dataclasses import replace
+
+    alarms = replay_detectors(trace, detectors)
+    swapped = replace(
+        trace,
+        detector_names=tuple(d.name for d in detectors),
+        alarms=alarms,
+    )
+    return report_from_trace(swapped)

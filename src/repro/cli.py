@@ -415,7 +415,24 @@ def build_parser() -> argparse.ArgumentParser:
                          help="evaluation precision (float32 = fast path)")
     p_chaos.add_argument("--capacity", type=float, default=None,
                          help="transmission capacity C (default: sup phi)")
+    p_chaos.add_argument("--telemetry", metavar="TRACE", default=None,
+                         help="record the campaign's telemetry trace "
+                              "(ground-truth fault labels included) and "
+                              "persist it to TRACE.json + TRACE.npz")
+    p_chaos.add_argument("--replay", metavar="TRACE", default=None,
+                         help="skip simulation: replay a stored trace "
+                              "against its spec's detectors and check "
+                              "alarm parity with the live run")
     add_spec_io(p_chaos)
+
+    p_aiops = sub.add_parser(
+        "aiops",
+        help="score AIOps tasks (detection / localization / RCA) over "
+             "a stored telemetry trace",
+    )
+    p_aiops.add_argument("trace",
+                         help="path to a trace saved by chaos --telemetry "
+                              "(.json/.npz stem)")
     return parser
 
 
@@ -923,11 +940,62 @@ def _cmd_campaign(args) -> int:
     return 0
 
 
+def _chaos_replay(path: str) -> int:
+    """``chaos --replay TRACE``: re-serve a stored trace to the
+    detectors its spec declares and report alarm parity with the live
+    run — no network, no simulation."""
+    import numpy as np
+
+    from . import specs
+    from .chaos.replay import replay_detectors
+    from .chaos.telemetry import load_trace
+    from .specs.dispatch import build_detector
+
+    try:
+        trace = load_trace(path)
+    except OSError as exc:
+        raise ValueError(f"cannot read trace: {exc}") from None
+    if trace.spec_payload is None:
+        raise ValueError(
+            "trace carries no spec payload (not produced by a spec "
+            "run); rebuild detectors in Python via "
+            "repro.chaos.replay_detectors instead"
+        )
+    spec = specs.spec_from_dict(trace.spec_payload)
+    network = None
+    if any(d.kind == "certified" for d in spec.detectors):
+        network = spec.network.resolve()  # certified alarm needs Fep
+    detectors = [build_detector(d, spec, network) for d in spec.detectors]
+    print(
+        f"replaying {trace.epochs} epochs x {trace.n_replicas} replicas "
+        f"({len(detectors)} detectors, no re-simulation)"
+    )
+    grids = replay_detectors(trace, detectors)
+    exact = True
+    for name in sorted(grids):
+        live = trace.alarms.get(name)
+        if live is None:
+            status = "no live grid stored"
+            exact = False
+        elif np.array_equal(grids[name], live):
+            status = "matches the live run exactly"
+        else:
+            status = "DIFFERS from the live run"
+            exact = False
+        print(f"  {name}: {int(grids[name].sum())} alarm cells; {status}")
+    print("replay parity:", "exact" if exact else "NOT exact")
+    return 0 if exact else 1
+
+
 def _cmd_chaos(args) -> int:
     from . import specs
 
     try:
+        if args.replay is not None:
+            return _chaos_replay(args.replay)
         spec = _resolve_spec(args, _chaos_spec_from_args, specs.ChaosSpec)
+        if args.telemetry is not None and spec.telemetry is None:
+            spec = spec.replace(telemetry=specs.TelemetrySpec())
         if args.dump_spec:
             print(spec.to_json(), end="")
             return 0
@@ -941,6 +1009,35 @@ def _cmd_chaos(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(report.summary())
+    if args.telemetry is not None:
+        from .chaos.telemetry import save_trace
+
+        t = spec.telemetry
+        trace = report.trace.retained(
+            retain_errors=t.retain_errors, retain_epochs=t.retain_epochs
+        )
+        json_path = save_trace(trace, args.telemetry)
+        print(
+            f"telemetry trace -> {json_path} "
+            f"(+ {json_path.with_suffix('.npz').name})"
+        )
+    return 0
+
+
+def _cmd_aiops(args) -> int:
+    import json as _json
+
+    from .chaos.aiops import scorecard
+    from .chaos.telemetry import load_trace
+    from .experiments.runner import jsonable
+
+    try:
+        trace = load_trace(args.trace)
+        sheet = scorecard(trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(_json.dumps(jsonable(sheet), indent=2, sort_keys=True))
     return 0
 
 
@@ -953,6 +1050,7 @@ _COMMANDS = {
     "survival": _cmd_survival,
     "campaign": _cmd_campaign,
     "chaos": _cmd_chaos,
+    "aiops": _cmd_aiops,
 }
 
 

@@ -16,6 +16,7 @@ from .exp_chaos_rejuvenation import run_chaos_rejuvenation
 from .exp_chaos_survival import run_chaos_survival
 from .exp_conv import run_conv
 from .exp_fep_learning import run_fep_learning
+from .exp_incident_replay import run_incident_replay
 from .exp_lemma1 import run_lemma1
 from .exp_overprovision import run_overprovision
 from .exp_pruning import run_pruning
@@ -81,4 +82,5 @@ __all__ = [
     "run_pruning",
     "run_quantized_probes",
     "run_adaptive_sampling",
+    "run_incident_replay",
 ]

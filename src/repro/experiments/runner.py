@@ -34,6 +34,12 @@ def jsonable(value: Any) -> Any:
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
     if isinstance(value, np.ndarray):
+        if value.ndim == 0:
+            # 0-d arrays: tolist() yields a bare scalar, which the
+            # list comprehension below would try to iterate.  Unwrap
+            # through the scalar path so non-finite values still get
+            # the string treatment instead of corrupting the payload.
+            return jsonable(value[()])
         return [jsonable(v) for v in value.tolist()]
     if isinstance(value, (list, tuple)):
         return [jsonable(v) for v in value]

@@ -46,6 +46,7 @@ from .model import (
     StoppingSpec,
     SpecError,
     SurvivalSpec,
+    TelemetrySpec,
     TrafficSpec,
     load_spec,
     save_spec,
@@ -67,6 +68,7 @@ __all__ = [
     "DetectorSpec",
     "PolicySpec",
     "TrafficSpec",
+    "TelemetrySpec",
     "ChaosSpec",
     "run",
     "spec_from_dict",

@@ -423,6 +423,8 @@ def _run_chaos(spec: ChaosSpec, engine, workers):
         dtype=spec.engine.dtype,
         n_workers=n_workers,
         keep_errors=spec.keep_errors,
+        telemetry=spec.telemetry,
+        spec_payload=spec.to_dict(),
     )
 
 

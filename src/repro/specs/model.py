@@ -50,6 +50,7 @@ __all__ = [
     "DetectorSpec",
     "PolicySpec",
     "TrafficSpec",
+    "TelemetrySpec",
     "ChaosSpec",
     "spec_from_dict",
     "load_spec",
@@ -1193,6 +1194,38 @@ class TrafficSpec(Spec):
         )
 
 
+@_register("telemetry")
+@dataclass(frozen=True)
+class TelemetrySpec(Spec):
+    """Telemetry capture and retention for a chaos campaign.
+
+    Nested (optionally) inside :class:`ChaosSpec`; its absence means
+    the campaign records only what the report needs and persists
+    nothing, which is also the pre-telemetry payload shape — old spec
+    payloads lower and hash unchanged.
+
+    ``enabled`` turns trace capture on; ``ground_truth`` additionally
+    records the fault-label channels (per-layer crash/transient
+    counts, per-process damage attribution) that the AIOps scoring
+    tasks need.  Retention trims what :meth:`~repro.chaos.telemetry.
+    TelemetryTrace.retained` persists: ``retain_errors=False`` drops
+    the dense float error grid (disabling replay of the stored copy),
+    ``retain_epochs=N`` keeps only the first ``N`` epochs.
+    """
+
+    enabled: bool = True
+    ground_truth: bool = True
+    retain_errors: bool = True
+    retain_epochs: Optional[int] = None
+
+    def __post_init__(self):
+        if self.retain_epochs is not None:
+            self._require(
+                self.retain_epochs >= 1,
+                f"retain_epochs must be >= 1, got {self.retain_epochs}",
+            )
+
+
 @_register("chaos")
 @dataclass(frozen=True)
 class ChaosSpec(Spec):
@@ -1203,7 +1236,10 @@ class ChaosSpec(Spec):
     while ``detectors`` watch the error series, ``policy`` heals, and
     ``traffic`` weights the SLO report.  ``seed`` drives the whole
     fault/traffic schedule; ``probe_seed`` (default: ``seed``) draws
-    the ``batch`` random probe inputs.
+    the ``batch`` random probe inputs.  ``telemetry`` (optional)
+    captures the campaign's :class:`~repro.chaos.telemetry.
+    TelemetryTrace` for replay and AIOps scoring; omitted, the
+    payload is byte-identical to pre-telemetry specs.
     """
 
     network: NetworkRef
@@ -1222,6 +1258,7 @@ class ChaosSpec(Spec):
     capacity: Optional[float] = None
     keep_errors: bool = False
     engine: EngineSpec = EngineSpec()
+    telemetry: Optional[TelemetrySpec] = None
 
     def __post_init__(self):
         self._validate_nested()
@@ -1268,8 +1305,10 @@ ChaosSpec._nested = {
     "policy": PolicySpec,
     "traffic": TrafficSpec,
     "engine": EngineSpec,
+    "telemetry": TelemetrySpec,
 }
 ChaosSpec._nested_tuples = {
     "processes": ProcessSpec,
     "detectors": DetectorSpec,
 }
+ChaosSpec._omit_if_none = ("telemetry",)

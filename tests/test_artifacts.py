@@ -77,6 +77,44 @@ class TestJsonable:
         assert back.metrics["m"] == 2.0
         assert back.notes == ["a note"]
 
+    def test_zero_dim_arrays_unwrap(self):
+        """0-d ndarrays lower through the scalar path instead of
+        crashing the list comprehension (np.mean and friends hand
+        these back routinely)."""
+        assert jsonable(np.array(1.5)) == 1.5
+        assert jsonable(np.array(3, dtype=np.int64)) == 3
+        assert jsonable(np.array(True)) is True
+        assert jsonable(np.array(float("inf"))) == "inf"
+        assert jsonable({"m": np.array(float("nan"))}) == {"m": "nan"}
+
+    def test_float64_values_survive_exactly(self):
+        """Full 53-bit mantissas survive the JSON round trip bit for
+        bit — no silent float64 truncation."""
+        vals = np.array([1.0 / 3.0, 0.1 + 0.2, np.nextafter(1.0, 2.0)])
+        back = json.loads(json.dumps(jsonable(vals)))
+        assert back == vals.tolist()
+        scalar = np.float64(np.nextafter(0.5, 1.0))
+        assert json.loads(json.dumps(jsonable(scalar))) == float(scalar)
+        zero_d = np.array(np.nextafter(2.0, 3.0))
+        assert json.loads(json.dumps(jsonable(zero_d))) == float(zero_d)
+
+    def test_nested_numpy_payload_round_trip(self):
+        """Telemetry-style payloads: nested dicts/tuples of numpy
+        scalars, nd-arrays and 0-d arrays all lower to plain JSON."""
+        payload = {
+            "grid": np.arange(6, dtype=np.int32).reshape(2, 3),
+            "scalars": (np.float32(0.5), np.int16(-2), np.bool_(True)),
+            "zero_d": np.array(2.5),
+            "mixed": [np.int8(1), {"deep": np.float64(0.75)}],
+        }
+        back = json.loads(json.dumps(jsonable(payload)))
+        assert back == {
+            "grid": [[0, 1, 2], [3, 4, 5]],
+            "scalars": [0.5, -2, True],
+            "zero_d": 2.5,
+            "mixed": [1, {"deep": 0.75}],
+        }
+
 
 class TestStore:
     def test_run_persists_artifact_and_manifest(self, store):
@@ -232,3 +270,38 @@ class TestCli:
         text = md.read_text(encoding="utf-8")
         # Nothing stored: every registered experiment is listed, not run.
         assert "`figure1`" in text and "✅" not in text
+
+
+class TestTraceStore:
+    """ArtifactStore's telemetry-trace shelf (``<root>/traces/``)."""
+
+    def _tiny_trace(self):
+        from repro.chaos.telemetry import TelemetryTrace
+
+        viol = np.zeros((4, 2), dtype=bool)
+        viol[1, 0] = viol[2, 0] = True
+        return TelemetryTrace(
+            epochs=4, n_replicas=2, epsilon=0.5, epsilon_prime=0.1,
+            layer_sizes=(3, 2), process_kinds=("Toy",),
+            detector_names=("threshold",), policy_name="none",
+            epochs_chunk=2, block_sizes=(2,),
+            viol=viol, down=np.zeros((4, 2), dtype=bool),
+            alarms={"threshold": viol.copy()},
+            errors=np.linspace(0.0, 0.7, 8).reshape(4, 2),
+            spec_payload={"spec": "chaos"},
+        )
+
+    def test_save_load_round_trip(self, store):
+        trace = self._tiny_trace()
+        path = store.save_trace("incident_replay", trace)
+        assert path == store.trace_path("incident_replay")
+        assert path.exists()
+        assert path.with_suffix(".npz").exists()
+        assert path.parent == store.trace_dir
+        loaded = store.load_trace("incident_replay")
+        assert trace.equals(loaded)
+        assert loaded.spec_payload == {"spec": "chaos"}
+
+    def test_missing_trace_raises(self, store):
+        with pytest.raises(FileNotFoundError):
+            store.load_trace("never_recorded")

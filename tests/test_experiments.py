@@ -54,7 +54,7 @@ class TestRunner:
         assert format_table([]) == "(no rows)"
 
     def test_registry_is_complete(self):
-        assert len(ALL_EXPERIMENTS) == 22
+        assert len(ALL_EXPERIMENTS) == 23
 
 
 class TestFigures:

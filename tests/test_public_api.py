@@ -31,6 +31,7 @@ SPEC_EXPORTS = [
     "DetectorSpec",
     "PolicySpec",
     "TrafficSpec",
+    "TelemetrySpec",
     "ChaosSpec",
 ]
 
@@ -91,6 +92,7 @@ class TestTopLevelPromises:
             "extension_reliability", "extension_fep_learning",
             "chaos_survival", "chaos_rejuvenation",
             "quantized_probes", "adaptive_sampling",
+            "incident_replay",
         }
         assert set(ALL_EXPERIMENTS) == expected
 

@@ -140,6 +140,7 @@ def test_experiment_fixtures_match_declared_specs():
     for exp_id, fixture in (
         ("chaos_survival", "chaos_survival_experiment.json"),
         ("chaos_rejuvenation", "chaos_rejuvenation_experiment.json"),
+        ("incident_replay", "incident_replay_experiment.json"),
         ("quantized_probes", "quantized_probes_experiment.json"),
         ("adaptive_sampling", "adaptive_sampling_experiment.json"),
     ):
