@@ -1,0 +1,150 @@
+"""Observability-overhead benchmark: the same campaign, obs off vs on.
+
+The observability layer (``repro.obs``) promises two things the repo
+gates on:
+
+* **determinism** — the observer draws no randomness, so the campaign
+  error vector is bitwise identical with observation on or off;
+* **overhead** — full capture (the ``run`` span tree, per-block spans,
+  the metrics registry, the phase profile folded into gauges) costs
+  < 5% of campaign wall time.
+
+This script measures both on the throughput-bench network: obs-off and
+obs-on runs are *interleaved* (off, on, off, on, ...) so transient
+machine load hits both variants alike, best-of-``--repeats`` is kept,
+and the result lands in ``BENCH_campaign.json`` under the
+``"observability"`` key, schema-checked by
+``benchmarks/test_bench_shapes.py``.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/run_obs_bench.py
+    PYTHONPATH=src python benchmarks/run_obs_bench.py --scenarios 200000
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.faults.injector import FaultInjector
+from repro.faults.masks import (
+    FixedDistributionSampler,
+    sampled_campaign_errors,
+)
+from repro.network import build_mlp
+from repro.obs import RunObserver
+
+DISTRIBUTION = (3, 2)
+N_PROBES = 16
+
+
+def bench_network():
+    """The throughput-bench network of benchmarks/test_bench_throughput.py."""
+    return build_mlp(
+        4, [16, 12],
+        activation={"name": "sigmoid", "k": 1.0},
+        init={"name": "uniform", "scale": 0.4},
+        output_scale=0.3,
+        seed=21,
+    )
+
+
+def run_once(injector, x, sampler, n_scenarios, observed):
+    """One timed campaign; returns (seconds, errors, observer|None)."""
+    obs = RunObserver() if observed else None
+    t0 = time.perf_counter()
+    errors = sampled_campaign_errors(
+        injector, x, sampler, n_scenarios, seed=7, obs=obs
+    )
+    dt = time.perf_counter() - t0
+    if obs is not None:
+        obs.finalize()
+    return dt, errors, obs
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scenarios", type=int, default=100_000,
+                        help="campaign size S (default 100000)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="interleaved repeats; best-of is kept "
+                             "(default 3)")
+    parser.add_argument("--output", default=None,
+                        help="output path (default: BENCH_campaign.json "
+                             "next to this script's repo root)")
+    args = parser.parse_args(argv)
+
+    net = bench_network()
+    x = np.random.default_rng(21).random((N_PROBES, net.input_dim))
+    injector = FaultInjector(net)
+    sampler = FixedDistributionSampler(net, DISTRIBUTION)
+    S = args.scenarios
+
+    print(f"obs bench: {S} crash scenarios, best of {args.repeats} "
+          "interleaved runs")
+    best_off = best_on = float("inf")
+    ref_errors = obs_errors = None
+    obs = None
+    for i in range(args.repeats):
+        t_off, errors_off, _ = run_once(injector, x, sampler, S, False)
+        t_on, errors_on, run_obs = run_once(injector, x, sampler, S, True)
+        print(f"  round {i}: off {t_off:7.3f}s   on {t_on:7.3f}s")
+        if t_off < best_off:
+            best_off, ref_errors = t_off, errors_off
+        if t_on < best_on:
+            best_on, obs_errors, obs = t_on, errors_on, run_obs
+
+    identical = bool(np.array_equal(ref_errors, obs_errors))
+    overhead = best_on / best_off - 1.0
+    n_spans = sum(1 for _ in obs.trace.walk())
+    n_series = sum(
+        len(series) for _, _, _, _, series in obs.metrics.families()
+    )
+    print(f"  best: off {best_off:.3f}s, on {best_on:.3f}s -> overhead "
+          f"{overhead * 100:.2f}% (target < 5%)")
+    print(f"  errors bitwise identical: {identical}")
+    print(f"  captured: {n_spans} spans, {n_series} metric series")
+
+    payload = {
+        "workload": {
+            "network": "mlp 4->[16,12]->1 (throughput-bench, seed 21)",
+            "sampler": f"fixed distribution {DISTRIBUTION}",
+            "fault": "crash",
+            "n_scenarios": S,
+        },
+        "obs_off_s": round(best_off, 4),
+        "obs_on_s": round(best_on, 4),
+        "overhead_fraction": round(max(overhead, 0.0), 4),
+        "bitwise_identical": identical,
+        "spans": n_spans,
+        "metric_series": n_series,
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+    }
+    out_path = (
+        Path(args.output)
+        if args.output
+        else Path(__file__).resolve().parent.parent / "BENCH_campaign.json"
+    )
+    existing = {}
+    if out_path.exists():
+        existing = json.loads(out_path.read_text(encoding="utf-8"))
+    existing["observability"] = payload
+    out_path.write_text(
+        json.dumps(existing, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {out_path}")
+    return 0 if identical and overhead < 0.05 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -74,7 +74,8 @@ def payload():
 
 def test_payload_has_all_sections(payload):
     for key in ("workload", "platform", "results", "fault_workloads",
-                "chaos", "backends", "adaptive", "telemetry"):
+                "chaos", "backends", "adaptive", "telemetry",
+                "observability"):
         assert key in payload, f"BENCH_campaign.json lost section {key!r}"
 
 
@@ -130,6 +131,31 @@ def test_telemetry_section_tracks_capture_overhead(payload):
         f"telemetry capture overhead "
         f"{section['overhead_fraction'] * 100:.1f}% breaches the "
         "< 10% target"
+    )
+
+
+def test_observability_section_tracks_capture_overhead(payload):
+    """The observability section is the committed evidence for the
+    run-wide observability layer's acceptance targets: full span +
+    metrics capture costs < 5% of campaign wall time and never
+    changes the error vector (``run_obs_bench.py``)."""
+    section = payload["observability"]
+    for key in ("workload", "obs_off_s", "obs_on_s", "overhead_fraction",
+                "bitwise_identical", "spans", "metric_series"):
+        assert key in section, f"observability section lost {key!r}"
+    assert section["obs_off_s"] > 0
+    assert section["obs_on_s"] > 0
+    assert section["workload"]["n_scenarios"] > 0
+    assert section["spans"] > 0
+    assert section["metric_series"] > 0
+    assert section["bitwise_identical"] is True, (
+        "observation changed campaign results — the determinism "
+        "contract is broken"
+    )
+    assert section["overhead_fraction"] < 0.05, (
+        f"observability capture overhead "
+        f"{section['overhead_fraction'] * 100:.1f}% breaches the "
+        "< 5% target"
     )
 
 

@@ -80,6 +80,7 @@ from .specs import (
     EngineSpec,
     FaultSpec,
     NetworkRef,
+    ObsSpec,
     PolicySpec,
     ProcessSpec,
     SamplerSpec,
@@ -140,6 +141,7 @@ __all__ = [
     "SamplerSpec",
     "StoppingSpec",
     "EngineSpec",
+    "ObsSpec",
     "CampaignSpec",
     "SurvivalSpec",
     "ProcessSpec",

@@ -8,7 +8,9 @@ this module makes every run durable and resumable:
   checks, metrics, notes — :meth:`ExperimentResult.to_dict`);
 * ``<root>/manifest.json`` records, per experiment, the provenance the
   report needs: content key, git SHA, seed, dtype, wall time, the
-  shape-check outcomes, and where the artifact lives;
+  shape-check outcomes, and where the artifact lives — plus running
+  store-wide cache hit/miss totals (``manifest["cache"]``), surfaced
+  by ``repro report``;
 * the **content key** is a hash of the experiment module's source plus
   the call parameters.  Re-running an experiment whose source and
   parameters are unchanged is a *cache hit*: the stored result is
@@ -173,7 +175,17 @@ class ArtifactStore:
             manifest = json.load(fh)
         manifest.setdefault("version", MANIFEST_VERSION)
         manifest.setdefault("entries", {})
+        manifest.setdefault("cache", {"hits": 0, "misses": 0})
         return manifest
+
+    @staticmethod
+    def _bump_cache(
+        manifest: Dict[str, Any], *, hits: int = 0, misses: int = 0
+    ) -> None:
+        """Add to the store-wide cache counters (in place)."""
+        cache = manifest.setdefault("cache", {"hits": 0, "misses": 0})
+        cache["hits"] = int(cache.get("hits", 0)) + hits
+        cache["misses"] = int(cache.get("misses", 0)) + misses
 
     def _write_manifest(self, manifest: Dict[str, Any]) -> None:
         self.root.mkdir(parents=True, exist_ok=True)
@@ -294,6 +306,7 @@ class ArtifactStore:
         manifest = self.load_manifest()
         manifest["version"] = MANIFEST_VERSION
         manifest["entries"][exp.experiment_id] = entry
+        self._bump_cache(manifest, misses=1)  # a recorded run is a miss
         self._write_manifest(manifest)
         return entry
 
@@ -303,12 +316,22 @@ class ArtifactStore:
         params: Optional[Mapping[str, Any]] = None,
         *,
         force: bool = False,
+        obs=None,
     ) -> RunOutcome:
-        """Run ``exp`` (or serve it from cache) and persist the outcome."""
+        """Run ``exp`` (or serve it from cache) and persist the outcome.
+
+        ``obs`` (a :class:`~repro.obs.RunObserver`) gets one
+        ``cache-hit``/``cache-miss`` event per lookup.
+        """
         key = content_key(exp, params)
         if not force:
             entry = self.cached_entry(exp, params, key=key)
             if entry is not None:
+                manifest = self.load_manifest()
+                self._bump_cache(manifest, hits=1)
+                self._write_manifest(manifest)
+                if obs is not None:
+                    obs.record_cache(exp.experiment_id, True)
                 return RunOutcome(
                     experiment_id=exp.experiment_id,
                     result=self.load_result(exp.experiment_id),
@@ -320,6 +343,8 @@ class ArtifactStore:
         result = exp.run(**dict(params or {}))
         wall = time.perf_counter() - start
         entry = self.record(exp, result, wall, params, key=key)
+        if obs is not None:
+            obs.record_cache(exp.experiment_id, False)
         return RunOutcome(
             experiment_id=exp.experiment_id,
             result=result,
@@ -335,21 +360,27 @@ class ArtifactStore:
         force: bool = False,
         n_workers: int = 0,
         log=None,
+        obs=None,
     ) -> List[RunOutcome]:
         """Run a batch, optionally fanning out over the fork-once pool.
 
         Workers only *execute* experiments (pure compute, results ship
         back as JSON-safe payloads); the parent process owns every
         artifact and manifest write, so there is no concurrent-write
-        hazard on the store.  Cache hits never reach the pool.
+        hazard on the store.  Cache hits never reach the pool; their
+        counter bump is batched into one manifest write parent-side.
         """
         outcomes: Dict[str, RunOutcome] = {}
         to_run: List[RegisteredExperiment] = []
+        hits = 0
         manifest_entries = self.entries()  # one read for the whole batch
         for exp in experiments:
             if not force:
                 entry = self.cached_entry(exp, entries=manifest_entries)
                 if entry is not None:
+                    hits += 1
+                    if obs is not None:
+                        obs.record_cache(exp.experiment_id, True)
                     outcomes[exp.experiment_id] = RunOutcome(
                         experiment_id=exp.experiment_id,
                         result=self.load_result(exp.experiment_id),
@@ -361,6 +392,10 @@ class ArtifactStore:
                         log(outcomes[exp.experiment_id].status_line())
                     continue
             to_run.append(exp)
+        if hits:
+            manifest = self.load_manifest()
+            self._bump_cache(manifest, hits=hits)
+            self._write_manifest(manifest)
 
         if to_run and n_workers and n_workers > 1:
             from .parallel import bounded_map, fork_once_pool
@@ -376,6 +411,8 @@ class ArtifactStore:
                     exp = by_id[exp_id]
                     result = ExperimentResult.from_dict(payload)
                     entry = self.record(exp, result, wall)
+                    if obs is not None:
+                        obs.record_cache(exp_id, False)
                     outcomes[exp_id] = RunOutcome(
                         experiment_id=exp_id,
                         result=result,
@@ -387,7 +424,9 @@ class ArtifactStore:
                         log(outcomes[exp_id].status_line())
         else:
             for exp in to_run:
-                outcomes[exp.experiment_id] = self.run(exp, force=force)
+                outcomes[exp.experiment_id] = self.run(
+                    exp, force=force, obs=obs
+                )
                 if log:
                     log(outcomes[exp.experiment_id].status_line())
 

@@ -24,12 +24,15 @@ from __future__ import annotations
 
 import os
 import queue
+import threading
 from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter as _perf_counter
 from typing import List, Optional
 
 import numpy as np
 
 from ..faults.masks import MaskCampaignEngine
+from ..profiling import PhaseProfile
 from . import register_backend
 
 __all__ = ["ThreadedMaskEngine"]
@@ -50,6 +53,12 @@ class ThreadedMaskEngine:
     When :attr:`profile` is set the tiles run serially on one member
     engine (phase timers are not thread-safe); the tile layout and
     draw streams are unchanged, so profiling never changes results.
+    When :attr:`obs` (a :class:`~repro.obs.RunObserver`) is *also*
+    set, the pool stays tile-parallel instead: each member engine
+    charges a private per-call profile folded into :attr:`profile`
+    afterwards, and every tile records its queue wait and per-worker
+    busy time into the observer's metrics (timing-valued, hence
+    scheduling-dependent — the numeric results stay deterministic).
     """
 
     def __init__(
@@ -86,6 +95,9 @@ class ThreadedMaskEngine:
         if self.tile < 1:
             raise ValueError(f"tile must be >= 1, got {self.tile}")
         self.profile = None
+        self.obs = None
+        self._obs_lock = threading.Lock()
+        self._engine_index = {id(e): i for i, e in enumerate(self._engines)}
         self._pool: Optional[ThreadPoolExecutor] = None
         # Engines are borrowed through this queue; the pool never runs
         # more than ``workers`` tasks at once, so a get() always finds
@@ -116,17 +128,47 @@ class ThreadedMaskEngine:
         return rng.spawn(n_tiles)
 
     def _eval_tile(self, batch, lo, hi, trng, want_outputs):
+        obs = self.obs
+        if obs is None:
+            eng = self._idle.get()
+            try:
+                return eng._evaluate_slice(batch, lo, hi, want_outputs, trng)
+            finally:
+                self._idle.put(eng)
+        t0 = _perf_counter()
         eng = self._idle.get()
+        wait = _perf_counter() - t0
+        t1 = _perf_counter()
         try:
             return eng._evaluate_slice(batch, lo, hi, want_outputs, trng)
         finally:
+            busy = _perf_counter() - t1
             self._idle.put(eng)
+            worker = self._engine_index[id(eng)]
+            with self._obs_lock:
+                obs.metrics.histogram(
+                    "repro_tile_queue_wait_seconds",
+                    help="Seconds each tile waited for a free member engine.",
+                ).observe(wait)
+                obs.metrics.counter(
+                    "repro_tiles",
+                    "Tiles evaluated, by pool member.",
+                    worker=worker,
+                ).inc()
+                obs.metrics.counter(
+                    "repro_tile_busy_seconds",
+                    "Evaluation seconds, by pool member (utilization).",
+                    worker=worker,
+                ).inc(busy)
 
     def _run(self, batch, want_outputs, rng):
         S = batch.num_scenarios
         tiles = self._tiles(S)
         rngs = self._tile_rngs(batch, rng, len(tiles))
-        if self.profile is not None or self.workers == 1 or len(tiles) == 1:
+        fold_profile = None
+        if (
+            self.profile is not None and self.obs is None
+        ) or self.workers == 1 or len(tiles) == 1:
             lead = self._engines[0]
             prev = lead.profile
             lead.profile = self.profile
@@ -137,12 +179,26 @@ class ThreadedMaskEngine:
                 ]
             finally:
                 lead.profile = prev
+        if self.profile is not None:
+            # Observed run: stay tile-parallel; each member engine
+            # charges a private profile, folded below in engine order.
+            fold_profile = self.profile
+            for eng in self._engines:
+                eng.profile = PhaseProfile()
         pool = self._ensure_pool()
-        futures = [
-            pool.submit(self._eval_tile, batch, lo, hi, trng, want_outputs)
-            for (lo, hi), trng in zip(tiles, rngs)
-        ]
-        return [f.result() for f in futures]
+        try:
+            futures = [
+                pool.submit(
+                    self._eval_tile, batch, lo, hi, trng, want_outputs
+                )
+                for (lo, hi), trng in zip(tiles, rngs)
+            ]
+            return [f.result() for f in futures]
+        finally:
+            if fold_profile is not None:
+                for eng in self._engines:
+                    fold_profile.add_dict(eng.profile.as_dict())
+                    eng.profile = None
 
     # -- public API --------------------------------------------------------
 

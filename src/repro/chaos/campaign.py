@@ -44,6 +44,7 @@ from ..deprecation import warn_spec_deprecation
 from ..faults.injector import FaultInjector
 from ..faults.masks import MaskCampaignEngine
 from ..network.model import FeedForwardNetwork
+from ..obs.recorder import RunObserver, block_span_if, fold_worker_payload
 from ..parallel import bounded_map, fork_once_pool, worker_state
 from .deployment import DeployedNetwork
 from .detectors import DriftDetector
@@ -271,6 +272,7 @@ def _simulate_block(
 def _build_chaos_state(  # pragma: no cover - subprocess body
     network, capacity, xb, chunk_size, dtype, processes, detectors, policy,
     epochs, epochs_chunk, epsilon, epsilon_prime, probe_counts, ground_truth,
+    instrument=False,
 ):
     injector = FaultInjector(network, capacity=capacity)
     engine = MaskCampaignEngine(
@@ -287,18 +289,41 @@ def _build_chaos_state(  # pragma: no cover - subprocess body
         "epsilon_prime": epsilon_prime,
         "probe_counts": probe_counts,
         "ground_truth": ground_truth,
+        "instrument": instrument,
     }
 
 
 def _worker_simulate_block(job):  # pragma: no cover - subprocess body
-    """Job payload: ``(block replica count, SeedSequence)`` — nothing else."""
-    size, seed = job
+    """Job payload: ``(block index, replica count, SeedSequence)``.
+
+    Returns ``(trace, payload)`` — the block's telemetry trace plus
+    its observation payload when the pool was built with
+    ``instrument=True`` (else None); recording draws no randomness, so
+    the fault schedule stays bitwise identical either way.
+    """
+    index, size, seed = job
     s = worker_state()
-    return _simulate_block(
-        s["engine"], s["processes"], s["detectors"], s["policy"],
-        size, s["epochs"], s["epochs_chunk"], s["epsilon"],
-        s["epsilon_prime"], s["probe_counts"], seed, s["ground_truth"],
-    )
+    engine = s["engine"]
+    if not s.get("instrument"):
+        trace = _simulate_block(
+            engine, s["processes"], s["detectors"], s["policy"],
+            size, s["epochs"], s["epochs_chunk"], s["epsilon"],
+            s["epsilon_prime"], s["probe_counts"], seed, s["ground_truth"],
+        )
+        return trace, None
+    ob = RunObserver()
+    engine.profile = ob.profile
+    try:
+        with ob.block_span(index, size):
+            trace = _simulate_block(
+                engine, s["processes"], s["detectors"], s["policy"],
+                size, s["epochs"], s["epochs_chunk"], s["epsilon"],
+                s["epsilon_prime"], s["probe_counts"], seed,
+                s["ground_truth"],
+            )
+    finally:
+        engine.profile = None
+    return trace, ob.worker_payload()
 
 
 def run_chaos_campaign(
@@ -371,6 +396,8 @@ def _run_chaos_campaign(
     keep_errors: bool = False,
     telemetry=None,
     spec_payload: Optional[dict] = None,
+    profile=None,
+    obs=None,
 ) -> ChaosReport:
     """Simulate a deployed fleet under temporal chaos; return the SLO report.
 
@@ -395,6 +422,12 @@ def _run_chaos_campaign(
     against.  ``spec_payload`` (the originating spec's ``to_dict``)
     is embedded in the trace so a stored trace can rebuild its
     detectors for replay.
+
+    ``profile`` accumulates per-phase engine wall time and ``obs``
+    records one ``block`` span per replica block, worker payloads
+    merged in block order exactly like the telemetry blocks — so the
+    observed trace, like the report, is structurally identical serial
+    vs parallel.
     """
     if epochs < 1:
         raise ValueError(f"epochs must be >= 1, got {epochs}")
@@ -450,6 +483,8 @@ def _run_chaos_campaign(
     if traffic is not None and traffic.modulate_probes:
         probe_counts = traffic.probe_counts(requests, xb.shape[0])
     chunk = chunk_size or max(epochs_chunk * REPLICA_BLOCK, 1)
+    if obs is not None and profile is None:
+        profile = obs.profile
     ground_truth = bool(
         telemetry is not None
         and getattr(telemetry, "enabled", False)
@@ -464,27 +499,41 @@ def _run_chaos_campaign(
                 network, capacity, xb, chunk, np.dtype(dtype).name,
                 tuple(processes), tuple(detectors), policy,
                 epochs, epochs_chunk, float(epsilon), float(epsilon_prime),
-                probe_counts, ground_truth,
+                probe_counts, ground_truth, profile is not None,
             ),
         ) as pool:
-            blocks = list(
-                bounded_map(
-                    pool, _worker_simulate_block, zip(sizes, children[1:])
-                )
-            )
+            blocks = []
+            for block_trace, payload in bounded_map(
+                pool,
+                _worker_simulate_block,
+                (
+                    (b, size, child)
+                    for b, (size, child) in enumerate(
+                        zip(sizes, children[1:])
+                    )
+                ),
+            ):
+                blocks.append(block_trace)
+                fold_worker_payload(payload, profile, obs)
     else:
         engine = MaskCampaignEngine(
             FaultInjector(network, capacity=capacity), xb,
             chunk_size=chunk, dtype=dtype,
         )
-        blocks = [
-            _simulate_block(
-                engine, tuple(processes), tuple(detectors), policy,
-                size, epochs, epochs_chunk, float(epsilon),
-                float(epsilon_prime), probe_counts, child, ground_truth,
-            )
-            for size, child in zip(sizes, children[1:])
-        ]
+        if profile is not None:
+            engine.profile = profile
+        blocks = []
+        for b, (size, child) in enumerate(zip(sizes, children[1:])):
+            with block_span_if(obs, b, size):
+                blocks.append(
+                    _simulate_block(
+                        engine, tuple(processes), tuple(detectors), policy,
+                        size, epochs, epochs_chunk, float(epsilon),
+                        float(epsilon_prime), probe_counts, child,
+                        ground_truth,
+                    )
+                )
+        engine.profile = None
 
     # Block order is fixed, so the assembled trace — and therefore the
     # derived report — is bitwise identical, serial == parallel.

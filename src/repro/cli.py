@@ -37,6 +37,11 @@ Commands
     processes degrade it, detectors watch the error series, and a
     repair policy heals it; prints the SLO report (availability,
     time-to-first-violation, MTBF/MTTR, detector precision/recall).
+``obs <record.json> [--openmetrics | --jsonl | --profile]``
+    Inspect a run's observability record (saved via ``--obs PATH`` on
+    campaign/survival/chaos, or ``ObsSpec(record=...)`` in a spec):
+    span tree + metrics table by default, or the OpenMetrics text
+    exposition, the JSONL event stream, or the per-phase profile view.
 
 The ``campaign``, ``survival`` and ``chaos`` commands are thin shells
 over the declarative run-spec layer (:mod:`repro.specs`): argparse
@@ -197,6 +202,22 @@ def build_parser() -> argparse.ArgumentParser:
                  "(the --spec input format; round-trips byte-identically)",
         )
 
+    def add_obs(p, with_profile=True):
+        """Observability flags every workload command carries."""
+        p.add_argument(
+            "--obs", metavar="RECORD", default=None,
+            help="observe the run — span trace + metrics registry — "
+                 "and persist the record to RECORD.json (inspect it "
+                 "with 'repro obs'); never changes results",
+        )
+        if with_profile:
+            p.add_argument(
+                "--profile", action="store_true",
+                help="report per-phase wall time (sampling / compile / "
+                     "gemm / corrections / reduction), serial or "
+                     "parallel",
+            )
+
     def add_stopping(p):
         """Adaptive-sampling flags shared by campaign and survival —
         all default to None so ``--spec`` conflict detection sees only
@@ -271,8 +292,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="Monte-Carlo trial count — the hard cap when an adaptive "
              "stop is set (default 500)",
     )
+    p_sur.add_argument("--workers", type=_workers_count, default=0,
+                       help="worker processes for the Monte-Carlo "
+                            "estimate (0 = in-process)")
     add_stopping(p_sur)
     add_spec_io(p_sur)
+    add_obs(p_sur)
 
     p_cam = sub.add_parser(
         "campaign", help="mask-native fault-injection campaign"
@@ -337,14 +362,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "(quantized-int8 / float16)")
     p_cam.add_argument("--profile", action="store_true",
                        help="report per-phase wall time (sampling / "
-                            "compile / gemm / corrections / reduction; "
-                            "in-process only)")
+                            "compile / gemm / corrections / reduction), "
+                            "serial or parallel")
     p_cam.add_argument("--threshold", type=float, default=None,
                        help="also report the fraction of scenarios "
                             "exceeding this error (the violation level "
                             "for adaptive stopping)")
     add_stopping(p_cam)
     add_spec_io(p_cam)
+    add_obs(p_cam, with_profile=False)
 
     p_chaos = sub.add_parser(
         "chaos",
@@ -424,6 +450,31 @@ def build_parser() -> argparse.ArgumentParser:
                               "against its spec's detectors and check "
                               "alarm parity with the live run")
     add_spec_io(p_chaos)
+    add_obs(p_chaos)
+
+    p_obs = sub.add_parser(
+        "obs",
+        help="inspect a stored observability record (trace + metrics)",
+    )
+    p_obs.add_argument(
+        "record",
+        help="path to a record saved by --obs RECORD (or "
+             "ObsSpec(record=...)); '.json' may be omitted",
+    )
+    obs_mode = p_obs.add_mutually_exclusive_group()
+    obs_mode.add_argument(
+        "--openmetrics", action="store_true",
+        help="print the metrics as an OpenMetrics text exposition",
+    )
+    obs_mode.add_argument(
+        "--jsonl", action="store_true",
+        help="print the span/event stream as JSON lines (walk order)",
+    )
+    obs_mode.add_argument(
+        "--profile", action="store_true",
+        help="print the per-phase wall-time table (the --profile view "
+             "rebuilt from the published metrics)",
+    )
 
     p_aiops = sub.add_parser(
         "aiops",
@@ -492,12 +543,18 @@ def _cmd_report(args) -> int:
 
     store = ArtifactStore(args.results_dir)
     experiments = registry.all_experiments()
-    entries = store.entries()
+    manifest = store.load_manifest()
+    entries = manifest["entries"]
     n_stored = sum(1 for e in experiments if e.experiment_id in entries)
     path = write_experiments_md(experiments, store, args.output)
     print(
         f"report written to {path} ({n_stored}/{len(experiments)} "
         "experiments have stored artifacts)"
+    )
+    cache = manifest.get("cache", {})
+    print(
+        f"artifact cache: {int(cache.get('hits', 0))} hits, "
+        f"{int(cache.get('misses', 0))} misses (lifetime)"
     )
     return 0
 
@@ -849,6 +906,24 @@ def _resolve_spec(args, build, spec_class):
     return build(args)
 
 
+def _observer_from_args(args):
+    """A fresh :class:`~repro.obs.RunObserver` when ``--obs`` was
+    typed, else None."""
+    if getattr(args, "obs", None) is None:
+        return None
+    from .obs import RunObserver
+
+    return RunObserver()
+
+
+def _save_obs(obs, spec, path) -> None:
+    """Persist the observer's run record next to the workload output."""
+    from .obs import save_run_record
+
+    out = save_run_record(obs.record(spec.to_dict()), path)
+    print(f"obs record -> {out} (inspect with 'repro obs {out}')")
+
+
 def _describe_sampler(spec) -> str:
     sampler = spec.sampler
     if sampler.kind == "fixed":
@@ -866,7 +941,18 @@ def _cmd_survival(args) -> int:
         if args.dump_spec:
             print(spec.to_json(), end="")
             return 0
-        outcome = specs.run(spec)
+        profile = None
+        if args.profile:
+            from .profiling import PhaseProfile
+
+            profile = PhaseProfile()
+        obs = _observer_from_args(args)
+        outcome = specs.run(
+            spec,
+            workers=args.workers or None,
+            profile=profile,
+            obs=obs,
+        )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -877,6 +963,10 @@ def _cmd_survival(args) -> int:
         )
     else:
         print(f"monte-carlo survival: {outcome!r}")
+    if profile is not None:
+        print(profile.report())
+    if obs is not None:
+        _save_obs(obs, spec, args.obs)
     return 0
 
 
@@ -906,7 +996,8 @@ def _cmd_campaign(args) -> int:
             from .profiling import PhaseProfile
 
             profile = PhaseProfile()
-        result = specs.run(spec, profile=profile)
+        obs = _observer_from_args(args)
+        result = specs.run(spec, profile=profile, obs=obs)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -937,6 +1028,8 @@ def _cmd_campaign(args) -> int:
         )
     if profile is not None:
         print(profile.report())
+    if obs is not None:
+        _save_obs(obs, spec, args.obs)
     return 0
 
 
@@ -1004,7 +1097,13 @@ def _cmd_chaos(args) -> int:
             f"epochs, processes {[p.kind for p in spec.processes]}, "
             f"policy {spec.policy.kind}"
         )
-        report = specs.run(spec)
+        profile = None
+        if args.profile:
+            from .profiling import PhaseProfile
+
+            profile = PhaseProfile()
+        obs = _observer_from_args(args)
+        report = specs.run(spec, profile=profile, obs=obs)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -1021,6 +1120,47 @@ def _cmd_chaos(args) -> int:
             f"telemetry trace -> {json_path} "
             f"(+ {json_path.with_suffix('.npz').name})"
         )
+    if profile is not None:
+        print(profile.report())
+    if obs is not None:
+        _save_obs(obs, spec, args.obs)
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    from .obs import (
+        MetricsRegistry,
+        RunTrace,
+        events_jsonl,
+        load_run_record,
+        profile_from_metrics,
+        render_metrics_table,
+        render_openmetrics,
+        render_span_tree,
+    )
+
+    try:
+        record = load_run_record(args.record)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    trace = RunTrace.from_dict(record["trace"])
+    metrics = MetricsRegistry.from_dict(record["metrics"])
+    if args.openmetrics:
+        print(render_openmetrics(metrics), end="")
+    elif args.jsonl:
+        print(events_jsonl(trace), end="")
+    elif args.profile:
+        print(profile_from_metrics(metrics).report())
+    else:
+        spec_payload = record.get("spec")
+        if spec_payload:
+            print(
+                f"spec: {spec_payload.get('spec', '?')} "
+                f"(version {spec_payload.get('spec_version', '?')})"
+            )
+        print(render_span_tree(trace))
+        print(render_metrics_table(metrics))
     return 0
 
 
@@ -1050,6 +1190,7 @@ _COMMANDS = {
     "survival": _cmd_survival,
     "campaign": _cmd_campaign,
     "chaos": _cmd_chaos,
+    "obs": _cmd_obs,
     "aiops": _cmd_aiops,
 }
 

@@ -48,6 +48,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..obs.recorder import block_span_if, fold_worker_payload, span_if
 from ..parallel import bounded_map, fork_once_pool
 from .injector import FaultInjector
 from .masks import (
@@ -57,6 +58,7 @@ from .masks import (
     TotalCountShellSampler,
     _build_campaign_state,
     _chunk_sizes,
+    _perf_counter,
     _worker_sample_and_evaluate,
     sampled_campaign_errors,
 )
@@ -183,6 +185,7 @@ def adaptive_campaign_errors(
     n_workers: int = 0,
     engine: "MaskCampaignEngine | None" = None,
     profile=None,
+    obs=None,
 ) -> Tuple[np.ndarray, AdaptiveReport]:
     """Stream scenario blocks until the violation-rate CI is tight.
 
@@ -200,6 +203,14 @@ def adaptive_campaign_errors(
     (``tol=1e-12`` matches the survival path's budget comparison).
     ``min_scenarios`` floors the sample count before the first stop
     decision; ``n_scenarios`` stays the hard cap.
+
+    ``profile`` and ``obs`` mirror :func:`sampled_campaign_errors` —
+    worker-safe, folded in block submission order.  The observer
+    additionally records one ``adaptive-look`` event per stop decision
+    (look number, scenarios seen, violations, CI bounds once past
+    ``min_scenarios``) and publishes the final report's stop epoch and
+    CI as gauges; every look happens in the *parent* process in both
+    paths, so the event stream is identical serial vs parallel.
     """
     if method not in STOPPING_METHODS:
         raise ValueError(
@@ -216,11 +227,8 @@ def adaptive_campaign_errors(
     sampler.check_network(injector.network)
     if chunk_size <= 0:
         raise ValueError(f"chunk_size must be positive, got {chunk_size}")
-    if profile is not None and n_workers and n_workers > 1:
-        raise ValueError(
-            "profiling is in-process only; drop the profile argument to "
-            "fan out over workers"
-        )
+    if obs is not None and profile is None:
+        profile = obs.profile
     if engine is not None:
         if engine.network is not injector.network:
             raise ValueError(
@@ -256,21 +264,31 @@ def adaptive_campaign_errors(
     stopped = False
 
     def consume(block_errors: np.ndarray) -> bool:
-        """Fold one block into the confidence sequence; True = stop."""
+        """Fold one block into the confidence sequence; True = stop.
+
+        Runs in the parent process on both paths, so the look events it
+        records (counts and count-derived CI bounds only — no wall
+        times) are identical serial vs parallel.
+        """
         nonlocal n_done, violations, looks, stopped
         pieces.append(block_errors)
         n_done += block_errors.size
         violations += int(np.sum(block_errors > threshold + tol))
         looks += 1
-        if n_done < min_scenarios:
-            return False
-        lo, hi = confidence_sequence_interval(
-            method, n_done, violations, looks, delta
-        )
-        if hi - lo <= target_ci:
-            stopped = True
-            return True
-        return False
+        done = False
+        attrs = {"look": looks, "n": n_done, "violations": violations}
+        if n_done >= min_scenarios:
+            lo, hi = confidence_sequence_interval(
+                method, n_done, violations, looks, delta
+            )
+            attrs["ci_low"] = lo
+            attrs["ci_high"] = hi
+            if hi - lo <= target_ci:
+                stopped = True
+                done = True
+        if obs is not None:
+            obs.event("adaptive-look", stopped=done, **attrs)
+        return done
 
     if n_workers and n_workers > 1:
         xb, _ = injector.network._as_batch(x)
@@ -285,14 +303,22 @@ def adaptive_campaign_errors(
                 reduction,
                 np.dtype(dtype).name,
                 sampler,
+                profile is not None,
             ),
         ) as pool:
             # bounded_map yields in submission (= spawn) order; breaking
-            # out discards the in-flight overshoot, so the consumed
-            # prefix — hence the stop epoch — matches the serial path.
-            for block_errors in bounded_map(
-                pool, _worker_sample_and_evaluate, zip(sizes, children)
+            # out discards the in-flight overshoot (payloads included),
+            # so the consumed prefix — hence the stop epoch and the
+            # trace — matches the serial path.
+            for block_errors, payload in bounded_map(
+                pool,
+                _worker_sample_and_evaluate,
+                (
+                    (c, size, child)
+                    for c, (size, child) in enumerate(zip(sizes, children))
+                ),
             ):
+                fold_worker_payload(payload, profile, obs)
                 if consume(np.asarray(block_errors)):
                     break
     else:
@@ -308,10 +334,17 @@ def adaptive_campaign_errors(
         if profile is not None:
             engine.profile = profile
         try:
-            for size, child in zip(sizes, children):
+            for c, (size, child) in enumerate(zip(sizes, children)):
                 rng = np.random.default_rng(child)
-                mask_batch = sampler.sample(size, rng)
-                if consume(engine.evaluate(mask_batch, rng=rng)):
+                with block_span_if(obs, c, size):
+                    if profile is not None:
+                        t0 = _perf_counter()
+                        mask_batch = sampler.sample(size, rng)
+                        profile.add("sampling", _perf_counter() - t0)
+                    else:
+                        mask_batch = sampler.sample(size, rng)
+                    block_errors = engine.evaluate(mask_batch, rng=rng)
+                if consume(block_errors):
                     break
         finally:
             engine.profile = prev_profile
@@ -334,6 +367,8 @@ def adaptive_campaign_errors(
         ci_low=lo,
         ci_high=hi,
     )
+    if obs is not None:
+        obs.record_adaptive(report)
     return errors, report
 
 
@@ -457,6 +492,8 @@ def stratified_violation_estimate(
     dtype: "str | np.dtype" = np.float64,
     engine: "MaskCampaignEngine | None" = None,
     max_grid: int = 200_000,
+    profile=None,
+    obs=None,
 ) -> StratifiedReport:
     """Estimate ``P[error > threshold]`` under i.i.d. ``p_fail`` failures
     by stratifying on the total fault count.
@@ -480,6 +517,10 @@ def stratified_violation_estimate(
     ``rare`` (uniform over uncertified shells — the importance-weighted
     rare-event path).  Shells whose binomial weight underflows to zero
     are dropped with their (zero) mass recorded in ``skipped_mass``.
+
+    ``profile`` / ``obs`` thread through the per-shell campaigns; the
+    observer wraps each sampled shell in a ``shell`` span (attrs: the
+    fault count ``k`` and draw count) around its block spans.
     """
     from scipy import stats as sps
 
@@ -499,6 +540,8 @@ def stratified_violation_estimate(
     sizes = network.layer_sizes
     total = int(sum(sizes))
     threshold = float(threshold)
+    if obs is not None and profile is None:
+        profile = obs.profile
 
     weights = sps.binom.pmf(np.arange(total + 1), total, p_fail)
     certified = np.zeros(total + 1, dtype=bool)
@@ -580,17 +623,20 @@ def stratified_violation_estimate(
         shell_sampler = TotalCountShellSampler(
             sizes, int(active[i]), fault=fault
         )
-        return sampled_campaign_errors(
-            injector,
-            x,
-            shell_sampler,
-            n,
-            seed=child,
-            chunk_size=engine.chunk_size,
-            reduction=reduction,
-            dtype=dtype,
-            engine=engine,
-        )
+        with span_if(obs, "shell", k=int(active[i]), n=int(n)):
+            return sampled_campaign_errors(
+                injector,
+                x,
+                shell_sampler,
+                n,
+                seed=child,
+                chunk_size=engine.chunk_size,
+                reduction=reduction,
+                dtype=dtype,
+                engine=engine,
+                profile=profile,
+                obs=obs,
+            )
 
     per_shell = [shell_errors(i, int(alloc[i]), children[2 * i]) for i in range(m)]
 

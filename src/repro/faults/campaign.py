@@ -372,6 +372,7 @@ def exhaustive_crash_campaign(
     dtype: "str | np.dtype" = np.float64,
     engine=None,
     profile=None,
+    obs=None,
 ) -> CampaignResult:
     """Every configuration of exactly ``n_fail`` crashed neurons.
 
@@ -382,8 +383,9 @@ def exhaustive_crash_campaign(
     objects) and streamed through the mask engine.
 
     ``engine`` reuses a prebuilt evaluation engine (any backend built
-    for this injector and probe batch) and ``profile`` accumulates
-    per-phase wall time — both in-process only, forwarded to
+    for this injector and probe batch, in-process only); ``profile``
+    accumulates per-phase wall time and ``obs`` records block spans —
+    both worker-safe, forwarded to
     :func:`~repro.faults.masks.exhaustive_crash_errors`.
     """
     total = count_crash_configurations(injector.network, n_fail)
@@ -404,5 +406,6 @@ def exhaustive_crash_campaign(
         max_configurations=max_configurations,
         engine=engine,
         profile=profile,
+        obs=obs,
     )
     return CampaignResult(errors, [], reduction)

@@ -42,6 +42,7 @@ from typing import Iterator, List, Optional, Sequence
 import numpy as np
 
 from ..network.model import FeedForwardNetwork
+from ..obs.recorder import RunObserver, block_span_if, fold_worker_payload
 from ..parallel import bounded_map, fork_once_pool, worker_state
 from . import injector as _injector_mod
 from .injector import (
@@ -1222,35 +1223,70 @@ class MaskCampaignEngine:
 # ---------------------------------------------------------------------------
 
 def _build_campaign_state(  # pragma: no cover - subprocess body
-    network, capacity, xb, chunk_size, reduction, dtype, sampler
+    network, capacity, xb, chunk_size, reduction, dtype, sampler,
+    instrument=False,
 ):
     """fork_once_pool builder: this worker's engine, built exactly once."""
     injector = FaultInjector(network, capacity=capacity)
     engine = MaskCampaignEngine(
         injector, xb, chunk_size=chunk_size, reduction=reduction, dtype=dtype
     )
-    return {"engine": engine, "sampler": sampler}
+    return {"engine": engine, "sampler": sampler, "instrument": instrument}
 
 
 def _worker_sample_and_evaluate(job):  # pragma: no cover - subprocess body
-    """Job payload: ``(n_scenarios, SeedSequence)`` — nothing else.
+    """Job payload: ``(block_index, n_scenarios, SeedSequence)``.
 
     The block's generator first drives the sampler, then (for
     stochastic fault models) the evaluation-time draws — the same
     stream discipline as the serial path, so serial == parallel.
+    Returns ``(errors, payload)`` where ``payload`` is the block's
+    observation payload (spans + metrics + per-phase seconds) when the
+    pool was built with ``instrument=True``, else None — recording
+    draws no randomness, so the errors are bitwise identical either
+    way.
     """
-    size, seed_seq = job
+    index, size, seed_seq = job
     state = worker_state()
+    engine = state["engine"]
     rng = np.random.default_rng(seed_seq)
-    batch = state["sampler"].sample(size, rng)
-    return state["engine"].evaluate(batch, rng=rng)
+    if not state.get("instrument"):
+        batch = state["sampler"].sample(size, rng)
+        return engine.evaluate(batch, rng=rng), None
+    ob = RunObserver()
+    engine.profile = ob.profile
+    try:
+        with ob.block_span(index, size):
+            t0 = _perf_counter()
+            batch = state["sampler"].sample(size, rng)
+            ob.profile.add("sampling", _perf_counter() - t0)
+            errors = engine.evaluate(batch, rng=rng)
+    finally:
+        engine.profile = None
+    return errors, ob.worker_payload()
 
 
-def _worker_evaluate_flat(flat):  # pragma: no cover - subprocess body
-    """Job payload: an ``(S, k)`` flat combination index block."""
-    engine = worker_state()["engine"]
-    batch = masks_from_flat_indices(engine.network.layer_sizes, flat)
-    return engine.evaluate(batch)
+def _worker_evaluate_flat(job):  # pragma: no cover - subprocess body
+    """Job payload: ``(block_index, flat)`` with ``flat`` an ``(S, k)``
+    flat combination index block.  Returns ``(errors, payload)`` like
+    :func:`_worker_sample_and_evaluate`."""
+    index, flat = job
+    state = worker_state()
+    engine = state["engine"]
+    if not state.get("instrument"):
+        batch = masks_from_flat_indices(engine.network.layer_sizes, flat)
+        return engine.evaluate(batch), None
+    ob = RunObserver()
+    engine.profile = ob.profile
+    try:
+        with ob.block_span(index, int(flat.shape[0])):
+            t0 = _perf_counter()
+            batch = masks_from_flat_indices(engine.network.layer_sizes, flat)
+            ob.profile.add("compile", _perf_counter() - t0)
+            errors = engine.evaluate(batch)
+    finally:
+        engine.profile = None
+    return errors, ob.worker_payload()
 
 
 def _chunk_sizes(total: int, chunk: int) -> List[int]:
@@ -1278,6 +1314,7 @@ def sampled_campaign_errors(
     n_workers: int = 0,
     engine: "MaskCampaignEngine | None" = None,
     profile=None,
+    obs=None,
 ) -> np.ndarray:
     """Sample-and-evaluate ``n_scenarios`` scenarios; returns ``(S,)`` errors.
 
@@ -1306,18 +1343,21 @@ def sampled_campaign_errors(
 
     ``profile`` (a :class:`~repro.profiling.PhaseProfile`) accumulates
     per-phase wall time — sampling here, the evaluation phases inside
-    the engine.  In-process only, like engine reuse.
+    the engine.  With ``n_workers > 1`` each worker charges a private
+    per-block profile that the parent folds home in block submission
+    order.  ``obs`` (a :class:`~repro.obs.RunObserver`) additionally
+    records one ``block`` span per scenario block — workers buffer
+    theirs and the parent grafts them in the same order, so the trace
+    structure matches the serial run and the errors stay bitwise
+    identical with observation on or off.
     """
     if n_scenarios < 0:
         raise ValueError(f"n_scenarios must be >= 0, got {n_scenarios}")
     sampler.check_network(injector.network)
     if chunk_size <= 0:
         raise ValueError(f"chunk_size must be positive, got {chunk_size}")
-    if profile is not None and n_workers and n_workers > 1:
-        raise ValueError(
-            "profiling is in-process only; drop the profile argument to "
-            "fan out over workers"
-        )
+    if obs is not None and profile is None:
+        profile = obs.profile
     if engine is not None:
         if engine.network is not injector.network:
             raise ValueError(
@@ -1361,13 +1401,20 @@ def sampled_campaign_errors(
                 reduction,
                 np.dtype(dtype).name,
                 sampler,
+                profile is not None,
             ),
         ) as pool:
-            pieces = list(
-                bounded_map(
-                    pool, _worker_sample_and_evaluate, zip(sizes, children)
-                )
-            )
+            pieces = []
+            for errors, payload in bounded_map(
+                pool,
+                _worker_sample_and_evaluate,
+                (
+                    (c, size, child)
+                    for c, (size, child) in enumerate(zip(sizes, children))
+                ),
+            ):
+                pieces.append(errors)
+                fold_worker_payload(payload, profile, obs)
         return np.concatenate(pieces)
 
     if engine is None:
@@ -1379,17 +1426,18 @@ def sampled_campaign_errors(
         engine.profile = profile
     try:
         pieces = []
-        for size, child in zip(sizes, children):
+        for c, (size, child) in enumerate(zip(sizes, children)):
             rng = np.random.default_rng(child)
             # One generator per block: sampling consumes it first, then
             # any stochastic evaluation draws — same as the worker path.
-            if profile is not None:
-                t0 = _perf_counter()
-                mask_batch = sampler.sample(size, rng)
-                profile.add("sampling", _perf_counter() - t0)
-            else:
-                mask_batch = sampler.sample(size, rng)
-            pieces.append(engine.evaluate(mask_batch, rng=rng))
+            with block_span_if(obs, c, size):
+                if profile is not None:
+                    t0 = _perf_counter()
+                    mask_batch = sampler.sample(size, rng)
+                    profile.add("sampling", _perf_counter() - t0)
+                else:
+                    mask_batch = sampler.sample(size, rng)
+                pieces.append(engine.evaluate(mask_batch, rng=rng))
         return np.concatenate(pieces)
     finally:
         engine.profile = prev_profile
@@ -1407,6 +1455,7 @@ def exhaustive_crash_errors(
     max_configurations: int = 2_000_000,
     engine: "MaskCampaignEngine | None" = None,
     profile=None,
+    obs=None,
 ) -> np.ndarray:
     """Errors for every configuration of exactly ``n_fail`` crashes.
 
@@ -1419,7 +1468,9 @@ def exhaustive_crash_errors(
     for this injector), in-process only — mirroring
     :func:`sampled_campaign_errors`; its chunk size then bounds the
     mask blocks.  ``profile`` accumulates per-phase wall time (the
-    combination-table scatter counts as ``compile``).
+    combination-table scatter counts as ``compile``) and ``obs``
+    records per-block spans — both work across workers, merged in
+    block submission order like :func:`sampled_campaign_errors`.
 
     Refuses beyond ``max_configurations`` — the table is materialised
     up front, so an unguarded call on a large network would try to
@@ -1447,11 +1498,8 @@ def exhaustive_crash_errors(
                 "to fan out over workers"
             )
         chunk_size = int(engine.chunk_size)
-    if profile is not None and n_workers and n_workers > 1:
-        raise ValueError(
-            "profiling is in-process only; drop the profile argument to "
-            "fan out over workers"
-        )
+    if obs is not None and profile is None:
+        profile = obs.profile
     total = math.comb(net.num_neurons, int(n_fail))
     cells = total * max(1, int(n_fail))
     if total > max_configurations or cells > 8 * max_configurations:
@@ -1481,9 +1529,15 @@ def exhaustive_crash_errors(
                 reduction,
                 np.dtype(dtype).name,
                 None,
+                profile is not None,
             ),
         ) as pool:
-            pieces = list(bounded_map(pool, _worker_evaluate_flat, blocks))
+            pieces = []
+            for errors, payload in bounded_map(
+                pool, _worker_evaluate_flat, enumerate(blocks)
+            ):
+                pieces.append(errors)
+                fold_worker_payload(payload, profile, obs)
         return np.concatenate(pieces)
 
     if engine is None:
@@ -1495,14 +1549,19 @@ def exhaustive_crash_errors(
         engine.profile = profile
     try:
         pieces = []
-        for block in blocks:
-            if profile is not None:
-                t0 = _perf_counter()
-                mask_batch = masks_from_flat_indices(net.layer_sizes, block)
-                profile.add("compile", _perf_counter() - t0)
-            else:
-                mask_batch = masks_from_flat_indices(net.layer_sizes, block)
-            pieces.append(engine.evaluate(mask_batch))
+        for c, block in enumerate(blocks):
+            with block_span_if(obs, c, int(block.shape[0])):
+                if profile is not None:
+                    t0 = _perf_counter()
+                    mask_batch = masks_from_flat_indices(
+                        net.layer_sizes, block
+                    )
+                    profile.add("compile", _perf_counter() - t0)
+                else:
+                    mask_batch = masks_from_flat_indices(
+                        net.layer_sizes, block
+                    )
+                pieces.append(engine.evaluate(mask_batch))
         return np.concatenate(pieces)
     finally:
         engine.profile = prev_profile

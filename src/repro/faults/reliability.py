@@ -159,6 +159,8 @@ def monte_carlo_survival(
     confidence: float = 0.95,
     engine: "MaskCampaignEngine | None" = None,
     stopping=None,
+    profile=None,
+    obs=None,
 ) -> ReliabilityEstimate:
     """Estimate the *actual* survival probability by injection.
 
@@ -193,6 +195,10 @@ def monte_carlo_survival(
     the Wilson interval, and the full report rides on
     ``ReliabilityEstimate.adaptive``.  ``stopping.threshold`` defaults
     to the budget ``epsilon - epsilon_prime``.
+
+    ``profile`` (per-phase wall time) and ``obs`` (span trace +
+    metrics) thread straight through to the campaign engines — see
+    :func:`~repro.faults.masks.sampled_campaign_errors`.
     """
     if not 0 <= p_fail <= 1:
         raise ValueError(f"p_fail must be in [0,1], got {p_fail}")
@@ -237,6 +243,7 @@ def monte_carlo_survival(
     if stopping is None:
         errors = sampled_campaign_errors(
             injector, x, sampler, n_trials, seed=seed, engine=engine,
+            profile=profile, obs=obs,
         )
         survived = int(np.sum(errors <= budget + 1e-12))
         estimate = survived / n_trials
@@ -274,6 +281,8 @@ def monte_carlo_survival(
                 prune_mode=mode,
                 seed=seed,
                 engine=engine,
+                profile=profile,
+                obs=obs,
             )
         else:
             _, adaptive_report = adaptive_campaign_errors(
@@ -289,6 +298,8 @@ def monte_carlo_survival(
                 tol=1e-12,
                 seed=seed,
                 engine=engine,
+                profile=profile,
+                obs=obs,
             )
         # Survival = 1 - violation rate; the CI flips accordingly.
         estimate = 1.0 - adaptive_report.estimate

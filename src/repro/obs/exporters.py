@@ -1,0 +1,184 @@
+"""Exporters: OpenMetrics exposition, JSONL event stream, text tables.
+
+Three read-only views over one observed run:
+
+* :func:`render_openmetrics` — the Prometheus/OpenMetrics text
+  exposition of a :class:`~repro.obs.registry.MetricsRegistry`
+  (``# HELP`` / ``# TYPE`` metadata, ``_total``-suffixed counters,
+  cumulative ``le`` histogram buckets, terminated by ``# EOF``) —
+  what a scrape endpoint or a pushed textfile would serve;
+* :func:`events_jsonl` — the flat JSONL event stream of a
+  :class:`~repro.obs.trace.RunTrace`: one object per span and per
+  event, depth-first in recording order, for log pipelines;
+* :func:`render_span_tree` / :func:`render_metrics_table` — the human
+  views the ``repro obs`` CLI command prints.
+
+All functions are pure: rendering a registry or trace twice yields
+identical bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from .registry import Histogram, MetricsRegistry, format_value
+from .trace import RunTrace
+
+__all__ = [
+    "render_openmetrics",
+    "events_jsonl",
+    "render_span_tree",
+    "render_metrics_table",
+]
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _labels_text(labels, extra=()) -> str:
+    pairs = list(labels) + list(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(str(v))}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def render_openmetrics(metrics: MetricsRegistry) -> str:
+    """The OpenMetrics text exposition, ``# EOF``-terminated."""
+    lines: List[str] = []
+    for name, kind, help_text, _buckets, series in metrics.families():
+        if help_text:
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {name} {kind}")
+        for labels, s in series:
+            if kind == "counter":
+                lines.append(
+                    f"{name}_total{_labels_text(labels)} "
+                    f"{format_value(s.value)}"
+                )
+            elif kind == "gauge":
+                lines.append(
+                    f"{name}{_labels_text(labels)} {format_value(s.value)}"
+                )
+            else:
+                assert isinstance(s, Histogram)
+                for le, cumulative in s.cumulative():
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_labels_text(labels, [('le', le)])} {cumulative}"
+                    )
+                lines.append(
+                    f"{name}_count{_labels_text(labels)} {s.count}"
+                )
+                lines.append(
+                    f"{name}_sum{_labels_text(labels)} {format_value(s.sum)}"
+                )
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def events_jsonl(trace: RunTrace) -> str:
+    """One JSON object per line: spans (depth-first, recording order)
+    interleaved with their events — the log-pipeline export."""
+    lines: List[str] = []
+    for depth, span in trace.walk():
+        lines.append(
+            json.dumps(
+                {
+                    "type": "span",
+                    "name": span.name,
+                    "depth": depth,
+                    "t0": span.t0,
+                    "dt": span.dt,
+                    "attrs": span.attrs,
+                },
+                sort_keys=True,
+            )
+        )
+        for name, t, attrs in span.events:
+            lines.append(
+                json.dumps(
+                    {
+                        "type": "event",
+                        "name": name,
+                        "span": span.name,
+                        "t": t,
+                        "attrs": attrs,
+                    },
+                    sort_keys=True,
+                )
+            )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _attr_text(attrs: dict) -> str:
+    if not attrs:
+        return ""
+    inner = ", ".join(f"{k}={v}" for k, v in attrs.items())
+    return f"  [{inner}]"
+
+
+def render_span_tree(trace: RunTrace, *, max_children: int = 32) -> str:
+    """The indented span tree with durations — ``repro obs`` output.
+
+    Sibling runs longer than ``max_children`` elide the middle (a
+    million-block campaign should not print a million lines).
+    """
+    lines: List[str] = []
+
+    def visit(span, depth: int):
+        lines.append(
+            f"{'  ' * depth}{span.name:<{max(1, 24 - 2 * depth)}} "
+            f"{span.dt * 1e3:>10.3f} ms{_attr_text(span.attrs)}"
+        )
+        for name, _t, attrs in span.events:
+            lines.append(f"{'  ' * (depth + 1)}* {name}{_attr_text(attrs)}")
+        kids = span.children
+        if len(kids) > max_children:
+            head = kids[: max_children // 2]
+            tail = kids[-(max_children // 2) :]
+            for child in head:
+                visit(child, depth + 1)
+            lines.append(
+                f"{'  ' * (depth + 1)}... {len(kids) - len(head) - len(tail)} "
+                "more spans ..."
+            )
+            for child in tail:
+                visit(child, depth + 1)
+        else:
+            for child in kids:
+                visit(child, depth + 1)
+
+    for root in trace.spans:
+        visit(root, 0)
+    return "\n".join(lines)
+
+
+def render_metrics_table(metrics: MetricsRegistry) -> str:
+    """``metric  value`` rows in registration order; histograms render
+    their count/sum plus per-bucket cumulative counts."""
+    rows: List[str] = []
+    for name, kind, _help, _buckets, series in metrics.families():
+        for labels, s in series:
+            label_text = _labels_text(labels)
+            if kind == "histogram":
+                rows.append(
+                    f"{name}{label_text} count={s.count} "
+                    f"sum={format_value(s.sum)}"
+                )
+                for le, cumulative in s.cumulative():
+                    rows.append(f"  le={le:<12} {cumulative}")
+            else:
+                shown = f"{name}_total" if kind == "counter" else name
+                rows.append(
+                    f"{shown}{label_text} {format_value(s.value)}"
+                )
+    return "\n".join(rows)

@@ -1,0 +1,317 @@
+"""A zero-dependency metrics registry: counters, gauges, histograms.
+
+The observability subsystem needs Prometheus-style metrics without a
+Prometheus client library (the repo bakes in nothing beyond the
+scientific stack), so this module implements the minimal surface the
+exporters and tests rely on:
+
+* **counters** — monotone accumulators (``inc``);
+* **gauges** — last-write-wins values (``set``);
+* **histograms** — fixed upper-bound buckets chosen at creation
+  (``observe``), cumulative in the exposition exactly like
+  Prometheus ``_bucket{le=...}`` samples.
+
+Metrics live in *families* (one name, one type, one help string) with
+optional label sets; a ``(name, labels)`` pair addresses one series.
+Everything is plain Python data, picklable, and **deterministically
+mergeable**: :meth:`MetricsRegistry.merge` folds a worker registry (or
+its ``as_dict`` payload) into the parent — counters and histograms
+add, gauges take the incoming value — so folding per-block worker
+payloads in block order yields the same registry as the serial run
+(count-valued series exactly; time-valued series up to wall-clock
+noise, which is inherent to timing).
+
+The registry makes **zero RNG draws** and never touches numeric run
+state: enabling it cannot change campaign results.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_TIME_BUCKETS",
+]
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_LABEL_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+
+#: Log-spaced wall-time buckets (seconds) for latency histograms:
+#: 1 microsecond to 10 seconds, one decade per bucket.
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0
+)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, str]) -> LabelKey:
+    for name in labels:
+        if not _LABEL_RE.match(name):
+            raise ValueError(f"bad label name {name!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """One monotone series; produced by :meth:`MetricsRegistry.counter`."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got inc({amount})")
+        self.value += amount
+
+
+class Gauge:
+    """One last-write-wins series."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Fixed-bucket histogram; ``le`` buckets are *cumulative* on render.
+
+    ``observe(v)`` increments the first bucket whose upper bound is
+    ``>= v`` (Prometheus ``le`` semantics: a value equal to an edge
+    lands in that edge's bucket); values above every bound land only
+    in the implicit ``+Inf`` bucket.
+    """
+
+    __slots__ = ("buckets", "counts", "inf_count", "sum")
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(
+                f"bucket bounds must be strictly increasing, got {bounds}"
+            )
+        if any(math.isinf(b) for b in bounds):
+            raise ValueError("+Inf bucket is implicit; pass finite bounds")
+        self.buckets = bounds
+        self.counts = [0] * len(bounds)
+        self.inf_count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.sum += value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.inf_count += 1
+
+    @property
+    def count(self) -> int:
+        return sum(self.counts) + self.inf_count
+
+    def cumulative(self) -> List[Tuple[str, int]]:
+        """``(le, cumulative count)`` rows ending with ``+Inf``."""
+        rows: List[Tuple[str, int]] = []
+        running = 0
+        for bound, n in zip(self.buckets, self.counts):
+            running += n
+            rows.append((format_value(bound), running))
+        rows.append(("+Inf", running + self.inf_count))
+        return rows
+
+
+def format_value(value: float) -> str:
+    """Canonical sample formatting: integers bare, floats via repr."""
+    f = float(value)
+    if f.is_integer() and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+class _Family:
+    __slots__ = ("name", "kind", "help", "buckets", "series")
+
+    def __init__(self, name, kind, help_text, buckets=None):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.buckets = buckets
+        self.series: Dict[LabelKey, object] = {}
+
+    def _new_series(self):
+        if self.kind == "counter":
+            return Counter()
+        if self.kind == "gauge":
+            return Gauge()
+        return Histogram(self.buckets)
+
+
+class MetricsRegistry:
+    """Insertion-ordered metric families; the run's metrics plane."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+
+    # -- creation ----------------------------------------------------------
+
+    def _family(self, name, kind, help_text, buckets=None) -> _Family:
+        if not _NAME_RE.match(name or ""):
+            raise ValueError(f"bad metric name {name!r}")
+        if kind == "counter" and name.endswith("_total"):
+            raise ValueError(
+                f"counter {name!r} must not end in '_total' — the "
+                "OpenMetrics exposition appends the suffix"
+            )
+        fam = self._families.get(name)
+        if fam is None:
+            fam = _Family(name, kind, help_text, buckets)
+            self._families[name] = fam
+            return fam
+        if fam.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as a {fam.kind}, "
+                f"not a {kind}"
+            )
+        if kind == "histogram" and fam.buckets != tuple(
+            float(b) for b in buckets
+        ):
+            raise ValueError(
+                f"histogram {name!r} already registered with buckets "
+                f"{fam.buckets}"
+            )
+        if help_text and not fam.help:
+            fam.help = help_text
+        return fam
+
+    def _series(self, name, kind, help_text, labels, buckets=None):
+        fam = self._family(name, kind, help_text, buckets)
+        key = _label_key(labels)
+        series = fam.series.get(key)
+        if series is None:
+            series = fam._new_series()
+            fam.series[key] = series
+        return series
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._series(name, "counter", help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        return self._series(name, "gauge", help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+        help: str = "",
+        **labels,
+    ) -> Histogram:
+        return self._series(name, "histogram", help, labels, buckets)
+
+    # -- introspection -----------------------------------------------------
+
+    def families(self):
+        """``(name, kind, help, buckets, [(labels, series), ...])`` in
+        registration order, series in sorted-label order."""
+        for fam in self._families.values():
+            yield (
+                fam.name,
+                fam.kind,
+                fam.help,
+                fam.buckets,
+                sorted(fam.series.items()),
+            )
+
+    def __len__(self) -> int:
+        return sum(len(f.series) for f in self._families.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def value(self, name: str, **labels) -> Optional[float]:
+        """The scalar value of one counter/gauge series, or None."""
+        fam = self._families.get(name)
+        if fam is None:
+            return None
+        series = fam.series.get(_label_key(labels))
+        if series is None or isinstance(series, Histogram):
+            return None
+        return series.value
+
+    # -- serialization + merge ---------------------------------------------
+
+    def as_dict(self) -> dict:
+        """JSON/pickle-safe payload; the merge and persistence format."""
+        out = {}
+        for fam in self._families.values():
+            entry: Dict[str, object] = {"kind": fam.kind, "help": fam.help}
+            if fam.kind == "histogram":
+                entry["buckets"] = list(fam.buckets)
+                entry["series"] = [
+                    {
+                        "labels": [list(kv) for kv in key],
+                        "counts": list(s.counts),
+                        "inf_count": s.inf_count,
+                        "sum": s.sum,
+                    }
+                    for key, s in sorted(fam.series.items())
+                ]
+            else:
+                entry["series"] = [
+                    {"labels": [list(kv) for kv in key], "value": s.value}
+                    for key, s in sorted(fam.series.items())
+                ]
+            out[fam.name] = entry
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "MetricsRegistry":
+        reg = cls()
+        reg.merge(payload)
+        return reg
+
+    def merge(self, other: "MetricsRegistry | Mapping") -> None:
+        """Fold ``other`` in: counters/histograms add, gauges overwrite.
+
+        Deterministic given the merge order — the parallel paths merge
+        worker payloads in block submission order, so count-valued
+        series match the serial run exactly.
+        """
+        payload = other.as_dict() if isinstance(other, MetricsRegistry) else other
+        for name, entry in payload.items():
+            kind = entry["kind"]
+            buckets = entry.get("buckets")
+            for row in entry["series"]:
+                labels = {k: v for k, v in row["labels"]}
+                if kind == "histogram":
+                    series = self.histogram(
+                        name, buckets, entry.get("help", ""), **labels
+                    )
+                    for i, n in enumerate(row["counts"]):
+                        series.counts[i] += int(n)
+                    series.inf_count += int(row["inf_count"])
+                    series.sum += float(row["sum"])
+                elif kind == "counter":
+                    self.counter(name, entry.get("help", ""), **labels).inc(
+                        float(row["value"])
+                    )
+                else:
+                    self.gauge(name, entry.get("help", ""), **labels).set(
+                        float(row["value"])
+                    )

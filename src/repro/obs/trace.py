@@ -1,0 +1,174 @@
+"""Hierarchical run traces: timed spans, span events, worker grafting.
+
+A :class:`RunTrace` is the span plane of the observability subsystem:
+a tree of named, wall-timed :class:`Span` nodes covering one
+``repro.run()`` — dispatch, network load, per-block sampling and
+evaluation — with point-in-time **events** (adaptive-stopping looks,
+artifact-cache hits) attached to the span that was open when they
+happened.
+
+Determinism contract (the span-plane analogue of the engines' own
+serial == parallel guarantee):
+
+* recording makes **zero RNG draws**, so numeric run results are
+  bitwise identical with tracing on or off;
+* parallel workers record their block spans into private buffers and
+  ship them back as plain payloads; the parent grafts them in block
+  **submission order** — the same order the serial loop would have
+  created them — mirroring how ``concat_traces`` assembles chaos
+  telemetry blocks.  The resulting tree *structure* (names, nesting,
+  order, attrs, events) is therefore identical serial vs parallel;
+  only the recorded wall times differ, which is inherent to timing.
+
+:meth:`RunTrace.fingerprint` captures exactly that structural view —
+the tests' equality oracle.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+__all__ = ["Span", "RunTrace"]
+
+
+class Span:
+    """One timed node: relative start, duration, attrs, events, children.
+
+    ``t0`` is seconds since the owning trace's epoch (workers keep
+    their own epoch — absolute alignment across processes is not part
+    of the contract); ``dt`` is the span's wall duration.  ``events``
+    are ``(name, t, attrs)`` triples recorded while the span was open.
+    """
+
+    __slots__ = ("name", "t0", "dt", "attrs", "events", "children")
+
+    def __init__(self, name: str, t0: float, attrs: Dict[str, Any]):
+        self.name = name
+        self.t0 = t0
+        self.dt = 0.0
+        self.attrs = attrs
+        self.events: List[Tuple[str, float, Dict[str, Any]]] = []
+        self.children: List["Span"] = []
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "t0": round(self.t0, 9),
+            "dt": round(self.dt, 9),
+            "attrs": dict(self.attrs),
+            "events": [
+                {"name": n, "t": round(t, 9), "attrs": dict(a)}
+                for n, t, a in self.events
+            ],
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Span":
+        span = cls(payload["name"], float(payload["t0"]), dict(payload["attrs"]))
+        span.dt = float(payload["dt"])
+        span.events = [
+            (e["name"], float(e["t"]), dict(e["attrs"]))
+            for e in payload["events"]
+        ]
+        span.children = [cls.from_dict(c) for c in payload["children"]]
+        return span
+
+
+class RunTrace:
+    """The span tree of one run; records via a context-manager stack."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+        self._epoch = time.perf_counter()
+
+    # -- recording ---------------------------------------------------------
+
+    @property
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Open a child span of the current span (or a root span)."""
+        node = Span(name, time.perf_counter() - self._epoch, attrs)
+        parent = self.current
+        (parent.children if parent else self.spans).append(node)
+        self._stack.append(node)
+        start = time.perf_counter()
+        try:
+            yield node
+        finally:
+            node.dt = time.perf_counter() - start
+            self._stack.pop()
+
+    def event(self, name: str, **attrs) -> None:
+        """Attach a point event to the current span.
+
+        With no span open the event opens-and-closes a zero-duration
+        root span of the same name, so nothing is silently dropped.
+        """
+        t = time.perf_counter() - self._epoch
+        parent = self.current
+        if parent is None:
+            node = Span(name, t, {})
+            node.events.append((name, t, attrs))
+            self.spans.append(node)
+        else:
+            parent.events.append((name, t, attrs))
+
+    def graft(self, span_payloads) -> None:
+        """Attach worker span payloads (``Span.to_dict`` dicts) as
+        children of the current span, in the given order — the
+        deterministic block/submission-order merge."""
+        parent = self.current
+        target = parent.children if parent else self.spans
+        for payload in span_payloads:
+            target.append(Span.from_dict(payload))
+
+    # -- introspection -----------------------------------------------------
+
+    def walk(self) -> Iterator[Tuple[int, Span]]:
+        """Depth-first ``(depth, span)`` pairs in recording order."""
+
+        def visit(span: Span, depth: int):
+            yield depth, span
+            for child in span.children:
+                yield from visit(child, depth + 1)
+
+        for root in self.spans:
+            yield from visit(root, 0)
+
+    def find(self, name: str) -> List[Span]:
+        return [s for _, s in self.walk() if s.name == name]
+
+    def fingerprint(self) -> tuple:
+        """The structural view: names, nesting, attrs and events with
+        every wall-time coordinate removed.  Serial and parallel runs
+        of the same workload must produce equal fingerprints."""
+
+        def node(span: Span):
+            return (
+                span.name,
+                tuple(sorted(span.attrs.items())),
+                tuple(
+                    (n, tuple(sorted(a.items()))) for n, _, a in span.events
+                ),
+                tuple(node(c) for c in span.children),
+            )
+
+        return tuple(node(s) for s in self.spans)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {"spans": [s.to_dict() for s in self.spans]}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "RunTrace":
+        trace = cls()
+        trace.spans = [Span.from_dict(s) for s in payload["spans"]]
+        return trace

@@ -21,6 +21,16 @@ This module fixes both patterns once, for every caller:
   in-flight futures: the job iterable is consumed lazily, so a
   million-scenario campaign keeps O(window x chunk) state instead of
   O(total).
+
+Observability rides on the same discipline: instrumented pools
+(``instrument=True`` in their builder state) return ``(result,
+payload)`` pairs, where the payload is a per-block
+:meth:`~repro.obs.RunObserver.worker_payload` — spans, metrics and
+per-phase seconds recorded privately in the worker.  Because
+:func:`bounded_map` yields strictly in submission order, the parent
+folds payloads (:func:`~repro.obs.fold_worker_payload`) in exactly the
+order the serial loop would have recorded them, which is what makes
+the observed trace structure identical serial vs parallel.
 """
 
 from __future__ import annotations

@@ -10,14 +10,18 @@ those buckets as chunks stream through; the campaign CLI's
 ``--profile`` flag prints the resulting table so a future slow path is
 diagnosable without external profilers.
 
-Profiling is in-process only: the fork/thread fan-out paths refuse a
-profile rather than silently reporting one worker's slice of the work.
+Profiling works across the fan-out paths too: each fork-once worker
+charges a private per-block profile and ships its seconds home with
+the block result; the parent folds them with :meth:`PhaseProfile.
+add_dict` in block submission order, so ``--profile --workers N``
+reports the whole run's phase costs (summed across workers, hence
+exceeding wall time under real parallelism) instead of refusing.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 __all__ = ["PHASES", "PhaseProfile"]
 
@@ -58,6 +62,18 @@ class PhaseProfile:
             last = now
 
         return tick
+
+    def add_dict(self, payload: Mapping) -> None:
+        """Fold an :meth:`as_dict` payload in — the worker-merge path.
+
+        Called in block submission order by the fan-out loops, so the
+        folded totals are deterministic for a fixed block layout (the
+        per-phase values themselves are wall-time measurements).
+        """
+        for phase in PHASES:
+            if phase in payload:
+                self.add(phase, float(payload[phase]))
+        self.scenarios += int(payload.get("scenarios", 0))
 
     @property
     def total(self) -> float:

@@ -39,6 +39,7 @@ from .model import (
     EngineSpec,
     FaultSpec,
     NetworkRef,
+    ObsSpec,
     PolicySpec,
     ProcessSpec,
     SamplerSpec,
@@ -62,6 +63,7 @@ __all__ = [
     "StoppingSpec",
     "SamplerSpec",
     "EngineSpec",
+    "ObsSpec",
     "CampaignSpec",
     "SurvivalSpec",
     "ProcessSpec",

@@ -183,10 +183,11 @@ def build_policy(spec: PolicySpec, chaos: ChaosSpec, network):
     return NoRepairPolicy()
 
 
-def _run_campaign(spec: CampaignSpec, engine, workers, profile):
+def _run_campaign(spec: CampaignSpec, engine, workers, profile, obs=None):
     from ..faults.campaign import CampaignResult, exhaustive_crash_campaign
     from ..faults.injector import FaultInjector
     from ..faults.masks import sampled_campaign_errors
+    from ..obs.recorder import span_if
 
     if engine is not None:
         # Engine reuse: the engine owns the network/injector instance
@@ -204,7 +205,8 @@ def _run_campaign(spec: CampaignSpec, engine, workers, profile):
                 f"{spec.capacity}"
             )
     else:
-        network = spec.network.resolve()
+        with span_if(obs, "network-load"):
+            network = spec.network.resolve()
         capacity = (
             spec.capacity
             if spec.capacity is not None
@@ -234,6 +236,8 @@ def _run_campaign(spec: CampaignSpec, engine, workers, profile):
             workers=n_workers,
         )
         n_workers = 0
+        if obs is not None and hasattr(owned_engine, "obs"):
+            owned_engine.obs = obs
     try:
         if spec.sampler.kind == "exhaustive":
             return exhaustive_crash_campaign(
@@ -246,6 +250,7 @@ def _run_campaign(spec: CampaignSpec, engine, workers, profile):
                 dtype=spec.engine.dtype,
                 engine=engine,
                 profile=profile,
+                obs=obs,
             )
         sampler = build_sampler(spec.sampler, spec.fault, network)
         stopping = spec.effective_stopping
@@ -292,6 +297,8 @@ def _run_campaign(spec: CampaignSpec, engine, workers, profile):
                     reduction=spec.engine.reduction,
                     dtype=spec.engine.dtype,
                     engine=engine,
+                    profile=profile,
+                    obs=obs,
                 )
                 return CampaignResult(
                     np.asarray([]), [], spec.engine.reduction, report
@@ -315,6 +322,7 @@ def _run_campaign(spec: CampaignSpec, engine, workers, profile):
                 n_workers=n_workers,
                 engine=engine,
                 profile=profile,
+                obs=obs,
             )
             return CampaignResult(
                 errors, [], spec.engine.reduction, report
@@ -331,6 +339,7 @@ def _run_campaign(spec: CampaignSpec, engine, workers, profile):
             n_workers=n_workers,
             engine=engine,
             profile=profile,
+            obs=obs,
         )
         return CampaignResult(errors, [], spec.engine.reduction)
     finally:
@@ -338,11 +347,12 @@ def _run_campaign(spec: CampaignSpec, engine, workers, profile):
             owned_engine.close()
 
 
-def _run_survival(spec: SurvivalSpec, engine, workers):
+def _run_survival(spec: SurvivalSpec, engine, workers, profile=None, obs=None):
     from ..faults.reliability import (
         certified_survival_probability,
         monte_carlo_survival,
     )
+    from ..obs.recorder import span_if
 
     if workers is not None and workers > 1:
         # monte_carlo_survival has no pool fan-out; silently running
@@ -352,21 +362,26 @@ def _run_survival(spec: SurvivalSpec, engine, workers):
             "certified bound is exact and the Monte-Carlo estimate "
             "runs in-process)"
         )
-    network = spec.network.resolve()
+    with span_if(obs, "network-load"):
+        network = spec.network.resolve()
     if spec.method == "certified":
         if engine is not None:
             raise SpecError(
                 "engine= reuse only applies to sampled workloads, not "
                 "the certified bound"
             )
-        return certified_survival_probability(
-            network,
-            spec.p_fail,
-            spec.epsilon,
-            spec.epsilon_prime,
-            mode=spec.mode,
-            capacity=spec.capacity,
-        )
+        # The certified bound is a closed-form count-grid evaluation —
+        # no engine runs, so a profile stays at zero; the span still
+        # times it.
+        with span_if(obs, "certified-bound"):
+            return certified_survival_probability(
+                network,
+                spec.p_fail,
+                spec.epsilon,
+                spec.epsilon_prime,
+                mode=spec.mode,
+                capacity=spec.capacity,
+            )
     x = _probe_batch(spec, network)
     fault = spec.fault.to_fault_model() if spec.fault is not None else None
     return monte_carlo_survival(
@@ -381,11 +396,14 @@ def _run_survival(spec: SurvivalSpec, engine, workers):
         seed=spec.seed,
         engine=engine,
         stopping=spec.stopping,
+        profile=profile,
+        obs=obs,
     )
 
 
-def _run_chaos(spec: ChaosSpec, engine, workers):
+def _run_chaos(spec: ChaosSpec, engine, workers, profile=None, obs=None):
     from ..chaos.campaign import _run_chaos_campaign
+    from ..obs.recorder import span_if
 
     if engine is not None:
         raise SpecError(
@@ -398,7 +416,8 @@ def _run_chaos(spec: ChaosSpec, engine, workers):
             "orchestrator owns its engines per replica block (got "
             f"backend={spec.engine.backend!r})"
         )
-    network = spec.network.resolve()
+    with span_if(obs, "network-load"):
+        network = spec.network.resolve()
     x = _probe_batch(spec, network)
     processes = [p.build() for p in spec.processes]
     detectors = [build_detector(d, spec, network) for d in spec.detectors]
@@ -425,6 +444,8 @@ def _run_chaos(spec: ChaosSpec, engine, workers):
         keep_errors=spec.keep_errors,
         telemetry=spec.telemetry,
         spec_payload=spec.to_dict(),
+        profile=profile,
+        obs=obs,
     )
 
 
@@ -434,6 +455,7 @@ def run(
     engine=None,
     workers: Optional[int] = None,
     profile=None,
+    obs=None,
 ):
     """Execute any run spec on the engines; THE entry point.
 
@@ -452,9 +474,18 @@ def run(
     specs sharing a network and probe batch (a survival curve over a
     p-grid pays weight casts once) — it takes precedence over the
     spec's ``backend``.  ``workers`` overrides the spec's
-    ``engine.workers`` without rewriting the spec.  ``profile`` (a
-    :class:`~repro.profiling.PhaseProfile`) accumulates per-phase wall
-    time for campaign specs — the CLI's ``--profile`` flag.
+    ``engine.workers`` without rewriting the spec.
+
+    ``profile`` (a :class:`~repro.profiling.PhaseProfile`) accumulates
+    per-phase wall time for any spec kind, serial or fan-out — the
+    CLI's ``--profile`` flag.  ``obs`` (a
+    :class:`~repro.obs.RunObserver`) records the run's span trace and
+    metrics; observation never touches a random stream, so results are
+    bitwise identical with it on or off.  When both are given the
+    observer publishes the caller's profile; when only ``obs`` is
+    given its embedded profile is used.  A spec whose ``obs`` field is
+    enabled with a ``record`` path self-observes: the dispatcher
+    builds an observer and persists the run record there.
     """
     if isinstance(spec, (str, Path)):
         spec = load_spec(spec)
@@ -462,18 +493,42 @@ def run(
         spec = spec_from_dict(spec)
     if workers is not None and workers < 0:
         raise SpecError(f"workers must be >= 0, got {workers}")
-    if profile is not None and not isinstance(spec, CampaignSpec):
+
+    owned_obs = None
+    obs_spec = getattr(spec, "obs", None)
+    if obs is None and obs_spec is not None and obs_spec.enabled \
+            and obs_spec.record:
+        from ..obs import RunObserver
+
+        obs = owned_obs = RunObserver(events=obs_spec.events)
+    if obs is not None and profile is None:
+        profile = obs.profile
+
+    def dispatch():
+        if isinstance(spec, CampaignSpec):
+            return _run_campaign(spec, engine, workers, profile, obs)
+        if isinstance(spec, SurvivalSpec):
+            return _run_survival(spec, engine, workers, profile, obs)
+        if isinstance(spec, ChaosSpec):
+            return _run_chaos(spec, engine, workers, profile, obs)
         raise SpecError(
-            "profile= only applies to campaign specs (per-phase timing "
-            "instruments the mask campaign engine)"
+            f"{type(spec).__name__} is not a runnable spec (expected "
+            "CampaignSpec, SurvivalSpec or ChaosSpec)"
         )
-    if isinstance(spec, CampaignSpec):
-        return _run_campaign(spec, engine, workers, profile)
-    if isinstance(spec, SurvivalSpec):
-        return _run_survival(spec, engine, workers)
-    if isinstance(spec, ChaosSpec):
-        return _run_chaos(spec, engine, workers)
-    raise SpecError(
-        f"{type(spec).__name__} is not a runnable spec (expected "
-        "CampaignSpec, SurvivalSpec or ChaosSpec)"
-    )
+
+    if obs is None:
+        return dispatch()
+    eff_workers = workers
+    if eff_workers is None:
+        eff_workers = getattr(getattr(spec, "engine", None), "workers", 0)
+    with obs.span(
+        "run", kind=spec.spec_tag, spec=spec.content_hash(),
+        workers=eff_workers,
+    ):
+        result = dispatch()
+    obs.finalize(profile)
+    if owned_obs is not None:
+        from ..obs import save_run_record
+
+        save_run_record(obs.record(spec.to_dict()), obs_spec.record)
+    return result

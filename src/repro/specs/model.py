@@ -44,6 +44,7 @@ __all__ = [
     "StoppingSpec",
     "SamplerSpec",
     "EngineSpec",
+    "ObsSpec",
     "CampaignSpec",
     "SurvivalSpec",
     "ProcessSpec",
@@ -763,6 +764,42 @@ class EngineSpec(Spec):
 
 
 # ---------------------------------------------------------------------------
+# Observability
+# ---------------------------------------------------------------------------
+
+
+@_register("obs")
+@dataclass(frozen=True)
+class ObsSpec(Spec):
+    """Run observability (span trace + metrics) for any runnable spec.
+
+    Nested (optionally) inside :class:`CampaignSpec`,
+    :class:`SurvivalSpec` and :class:`ChaosSpec`; its absence means no
+    observation, which is also the pre-observability payload shape —
+    old spec payloads lower and hash unchanged.
+
+    ``enabled`` switches the whole subsystem; ``events`` keeps or
+    drops point events (adaptive-stopping looks, artifact-cache
+    hits/misses) within the span trace; ``record`` names a path where
+    ``repro.run`` persists the finished run record
+    (:func:`~repro.obs.save_run_record` — the file the ``repro obs``
+    command renders).  Observation draws no randomness: results are
+    bitwise identical with it on or off.
+    """
+
+    enabled: bool = True
+    events: bool = True
+    record: Optional[str] = None
+
+    def __post_init__(self):
+        if self.record is not None:
+            self._require(
+                bool(str(self.record).strip()),
+                "record must be a non-empty path (or null)",
+            )
+
+
+# ---------------------------------------------------------------------------
 # Static campaigns
 # ---------------------------------------------------------------------------
 
@@ -779,7 +816,9 @@ class CampaignSpec(Spec):
     scenarios exceeding that error (the empirical guarantee-break
     probability).  ``stopping`` turns the campaign adaptive
     (:class:`StoppingSpec`; ``n_scenarios`` becomes the hard cap) —
-    it overrides a ``stopping`` nested in the sampler.
+    it overrides a ``stopping`` nested in the sampler.  ``obs``
+    (optional, :class:`ObsSpec`) observes the run; omitted, the
+    payload is byte-identical to pre-observability specs.
     """
 
     network: NetworkRef
@@ -793,6 +832,7 @@ class CampaignSpec(Spec):
     threshold: Optional[float] = None
     engine: EngineSpec = EngineSpec()
     stopping: Optional[StoppingSpec] = None
+    obs: Optional[ObsSpec] = None
 
     def __post_init__(self):
         self._validate_nested()
@@ -854,8 +894,9 @@ CampaignSpec._nested = {
     "fault": FaultSpec,
     "engine": EngineSpec,
     "stopping": StoppingSpec,
+    "obs": ObsSpec,
 }
-CampaignSpec._omit_if_none = ("stopping",)
+CampaignSpec._omit_if_none = ("stopping", "obs")
 
 
 # ---------------------------------------------------------------------------
@@ -890,6 +931,7 @@ class SurvivalSpec(Spec):
     seed: int = 0
     probe_seed: Optional[int] = None
     stopping: Optional[StoppingSpec] = None
+    obs: Optional[ObsSpec] = None
 
     def __post_init__(self):
         if self.stopping is not None:
@@ -938,8 +980,9 @@ SurvivalSpec._nested = {
     "network": NetworkRef,
     "fault": FaultSpec,
     "stopping": StoppingSpec,
+    "obs": ObsSpec,
 }
-SurvivalSpec._omit_if_none = ("stopping",)
+SurvivalSpec._omit_if_none = ("stopping", "obs")
 
 
 # ---------------------------------------------------------------------------
@@ -1259,6 +1302,7 @@ class ChaosSpec(Spec):
     keep_errors: bool = False
     engine: EngineSpec = EngineSpec()
     telemetry: Optional[TelemetrySpec] = None
+    obs: Optional[ObsSpec] = None
 
     def __post_init__(self):
         self._validate_nested()
@@ -1306,9 +1350,10 @@ ChaosSpec._nested = {
     "traffic": TrafficSpec,
     "engine": EngineSpec,
     "telemetry": TelemetrySpec,
+    "obs": ObsSpec,
 }
 ChaosSpec._nested_tuples = {
     "processes": ProcessSpec,
     "detectors": DetectorSpec,
 }
-ChaosSpec._omit_if_none = ("telemetry",)
+ChaosSpec._omit_if_none = ("telemetry", "obs")

@@ -46,8 +46,13 @@ class TestExamples:
         assert proc.returncode == 0, proc.stderr
         assert "smallest replication" in proc.stdout
 
-    def test_reproduce_paper_single(self):
-        proc = run_example("reproduce_paper.py", "figure2")
+    def test_reproduce_paper_single(self, tmp_path):
+        # A throwaway store: the run must not touch the committed
+        # results/ manifest (cache hits now update its counters).
+        proc = run_example(
+            "reproduce_paper.py", "figure2",
+            "--results-dir", str(tmp_path / "results"),
+        )
         assert proc.returncode == 0, proc.stderr
         assert "1 experiments reproduced" in proc.stdout
 
