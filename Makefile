@@ -2,7 +2,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test fast-test test-stats docs-check spec-roundtrip experiments report bench bench-faults bench-chaos
+.PHONY: test fast-test test-stats docs-check spec-roundtrip experiments report bench bench-faults bench-chaos bench-service serve-smoke
 
 test:            ## tier-1: the full pytest suite
 	$(PYTHON) -m pytest -x -q
@@ -33,3 +33,9 @@ bench-faults:    ## the extended fault-taxonomy benchmark matrix
 
 bench-chaos:     ## the temporal chaos campaign vs a scalar epoch loop
 	$(PYTHON) benchmarks/run_chaos_bench.py
+
+bench-service:   ## refresh BENCH_service.json (daemon under closed-loop traffic)
+	$(PYTHON) benchmarks/run_service_bench.py
+
+serve-smoke:     ## start the daemon, stream one campaign + a cached repeat, drain
+	$(PYTHON) benchmarks/serve_smoke.py

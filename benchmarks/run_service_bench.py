@@ -1,0 +1,392 @@
+"""Service benchmark: the resident daemon under closed-loop traffic.
+
+The service subsystem's claim is that a resident daemon turns the
+spec layer into a *workload API*: N clients submitting the same
+``content_hash`` cost one engine run (coalescing), repeat submissions
+cost zero (spec-hash-keyed cache), and overload degrades into typed
+``rejected`` responses instead of a hung socket.  This benchmark
+prices that claim with the chaos subsystem's own traffic models as
+the load generator:
+
+* **sustained phase** — a :class:`DiurnalTraffic` curve modulates the
+  number of concurrent closed-loop clients tick by tick (each client
+  submits one job drawn from a Pareto-popularity spec pool, waits for
+  the terminal response, and retires);
+* **burst phase** — a :class:`ParetoBurstyTraffic` draw scaled to
+  >= 1000 simultaneous clients slams the daemon at once, deliberately
+  overflowing the bounded admission queue so load shedding engages.
+
+Every client speaks the real JSONL protocol over the real unix
+socket — no in-process shortcuts — so the numbers include framing,
+admission, coalescing, cache lookups, and result streaming.  Results
+land in ``BENCH_service.json``: sustained jobs/s, p50/p99 submit-to-
+terminal latency, coalesce ratio, cache ratio, shed rate, and the
+engine-run count that proves the daemon did far less work than it
+served.  ``benchmarks/test_bench_shapes.py`` gates the schema.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/run_service_bench.py
+    PYTHONPATH=src python benchmarks/run_service_bench.py --burst-clients 1500
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.chaos.traffic import DiurnalTraffic, ParetoBurstyTraffic
+from repro.service.daemon import ServiceThread
+from repro.service.protocol import TERMINAL_TYPES, encode
+from repro.specs import CampaignSpec, FaultSpec, NetworkRef, SamplerSpec, ServiceSpec
+
+#: One readline() must hold a full campaign result (errors vector).
+CLIENT_LIMIT = 1 << 22
+
+NET = NetworkRef(builder="mlp", params={"input_dim": 4, "hidden": [12, 8], "seed": 1})
+
+
+def build_spec_pool(
+    n_specs: int, n_scenarios: int, seed_base: int = 0
+) -> list[bytes]:
+    """Distinct campaign specs, pre-encoded as submit request lines."""
+    lines = []
+    for seed in range(seed_base, seed_base + n_specs):
+        spec = CampaignSpec(
+            network=NET,
+            sampler=SamplerSpec(kind="fixed", distribution=(2, 1)),
+            fault=FaultSpec(kind="stuck", value=0.0),
+            n_scenarios=n_scenarios,
+            seed=seed,
+        )
+        lines.append(encode({"op": "submit", "spec": spec.to_dict()}))
+    return lines
+
+
+def popularity_weights(n_specs: int, alpha: float = 1.2) -> np.ndarray:
+    """Zipf-ish popularity over the pool: a few hot specs, a long tail.
+
+    Hot specs are what makes coalescing and caching *measurable* —
+    uniform popularity would under-count both relative to any real
+    spec-keyed workload.
+    """
+    ranks = np.arange(1, n_specs + 1, dtype=np.float64)
+    weights = ranks ** -alpha
+    return weights / weights.sum()
+
+
+async def run_one_client(
+    socket_path: str, request_line: bytes, latencies: list, counts: dict
+) -> None:
+    """One closed-loop client: connect, submit, wait for the terminal."""
+    t0 = time.perf_counter()
+    reader = writer = None
+    for attempt in range(40):
+        try:
+            reader, writer = await asyncio.open_unix_connection(
+                socket_path, limit=CLIENT_LIMIT
+            )
+            break
+        except OSError:
+            await asyncio.sleep(0.005 * (attempt + 1))
+    if writer is None:
+        counts["connect_failed"] += 1
+        return
+    terminal = None
+    try:
+        writer.write(request_line)
+        await writer.drain()
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            event = json.loads(line)
+            if event.get("type") in TERMINAL_TYPES:
+                terminal = event
+                break
+    except (OSError, ValueError):
+        pass
+    finally:
+        writer.close()
+        with contextlib.suppress(Exception):
+            await writer.wait_closed()
+    elapsed = time.perf_counter() - t0
+    if terminal is None:
+        counts["dropped"] += 1
+    elif terminal["type"] == "result":
+        counts["completed"] += 1
+        if terminal.get("cached"):
+            counts["served_cached"] += 1
+        elif terminal.get("coalesced"):
+            counts["served_coalesced"] += 1
+        latencies.append(elapsed)
+    elif terminal["type"] == "rejected":
+        counts["rejected"] += 1
+    elif terminal["type"] == "timeout":
+        counts["timed_out"] += 1
+    else:
+        counts["errored"] += 1
+
+
+def fresh_counts() -> dict:
+    return {
+        "completed": 0,
+        "served_cached": 0,
+        "served_coalesced": 0,
+        "rejected": 0,
+        "timed_out": 0,
+        "errored": 0,
+        "dropped": 0,
+        "connect_failed": 0,
+    }
+
+
+async def sustained_phase(
+    socket_path: str,
+    pool: list[bytes],
+    weights: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    ticks: int,
+    peak_clients: int,
+    tick_seconds: float,
+):
+    """Diurnal closed-loop load: the concurrency target per tick tracks
+    the day/night request curve; finished clients are replaced up to
+    the tick's target."""
+    traffic = DiurnalTraffic(base=peak_clients / 1.5, amplitude=0.5, period=ticks)
+    targets = np.maximum(1, traffic.requests(ticks, rng).astype(int))
+    latencies: list[float] = []
+    counts = fresh_counts()
+    inflight: set[asyncio.Task] = set()
+    t0 = time.perf_counter()
+    for target in targets:
+        inflight = {t for t in inflight if not t.done()}
+        for _ in range(max(0, int(target) - len(inflight))):
+            line = pool[int(rng.choice(len(pool), p=weights))]
+            inflight.add(
+                asyncio.ensure_future(
+                    run_one_client(socket_path, line, latencies, counts)
+                )
+            )
+        await asyncio.sleep(tick_seconds)
+    if inflight:
+        await asyncio.gather(*inflight)
+    wall = time.perf_counter() - t0
+    return {"wall_s": wall, "latencies": latencies, "counts": counts,
+            "peak_target": int(targets.max())}
+
+
+async def burst_phase(
+    socket_path: str,
+    pool: list[bytes],
+    weights: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    clients: int,
+):
+    """Pareto-burst overload: every client connects at once.  The
+    admission queue is far smaller than the burst, so the daemon must
+    shed with typed rejections rather than hang or grow without
+    bound."""
+    bursty = ParetoBurstyTraffic(base=clients, alpha=2.5)
+    n_clients = max(clients, int(bursty.requests(8, rng).max()))
+    weights = np.asarray(weights) / np.asarray(weights).sum()
+    latencies: list[float] = []
+    counts = fresh_counts()
+    picks = rng.choice(len(pool), size=n_clients, p=weights)
+    t0 = time.perf_counter()
+    tasks = [
+        asyncio.ensure_future(
+            run_one_client(socket_path, pool[int(i)], latencies, counts)
+        )
+        for i in picks
+    ]
+    await asyncio.gather(*tasks)
+    wall = time.perf_counter() - t0
+    return {"wall_s": wall, "latencies": latencies, "counts": counts,
+            "clients": n_clients}
+
+
+def percentile_ms(latencies: list, q: float) -> float:
+    if not latencies:
+        return 0.0
+    return float(np.percentile(np.asarray(latencies), q) * 1000.0)
+
+
+def raise_nofile_limit(target: int) -> None:
+    """1000+ sockets on each side of the unix socket needs headroom."""
+    import resource
+
+    soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    want = min(hard, max(soft, target))
+    if want > soft:
+        resource.setrlimit(resource.RLIMIT_NOFILE, (want, hard))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--spec-pool", type=int, default=32,
+                        help="distinct campaign specs in the pool")
+    parser.add_argument("--n-scenarios", type=int, default=2048,
+                        help="scenarios per campaign job")
+    parser.add_argument("--ticks", type=int, default=48,
+                        help="sustained-phase traffic ticks")
+    parser.add_argument("--peak-clients", type=int, default=192,
+                        help="diurnal peak concurrency in the sustained phase")
+    parser.add_argument("--tick-seconds", type=float, default=0.05)
+    parser.add_argument("--burst-clients", type=int, default=1200,
+                        help="simultaneous clients in the overload burst")
+    parser.add_argument("--cold-specs", type=int, default=256,
+                        help="distinct never-seen specs mixed into the "
+                        "burst — what actually overflows the queue")
+    parser.add_argument("--cold-fraction", type=float, default=0.3,
+                        help="burst traffic share drawn from cold specs")
+    parser.add_argument("--max-inflight", type=int, default=4)
+    parser.add_argument("--queue-depth", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=20170529)
+    parser.add_argument("--output", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_service.json")
+    args = parser.parse_args()
+
+    raise_nofile_limit(4 * args.burst_clients)
+    rng = np.random.default_rng(args.seed)
+    pool = build_spec_pool(args.spec_pool, args.n_scenarios)
+    weights = popularity_weights(args.spec_pool)
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro-service-bench-") as tmp:
+        svc_spec = ServiceSpec(
+            socket=str(Path(tmp) / "bench.sock"),
+            max_inflight=args.max_inflight,
+            queue_depth=args.queue_depth,
+            job_timeout=120.0,
+            results_dir=str(Path(tmp) / "results"),
+            cache_entries=args.spec_pool,
+        )
+        with ServiceThread(svc_spec) as service:
+            socket_path = svc_spec.socket
+            print(f"daemon up on {socket_path} "
+                  f"(max_inflight={args.max_inflight}, "
+                  f"queue_depth={args.queue_depth})")
+            sustained = asyncio.run(
+                sustained_phase(
+                    socket_path, pool, weights, rng,
+                    ticks=args.ticks, peak_clients=args.peak_clients,
+                    tick_seconds=args.tick_seconds,
+                )
+            )
+            print(f"sustained: {sustained['counts']['completed']} jobs in "
+                  f"{sustained['wall_s']:.2f}s")
+            # The burst mixes hot (cached/coalescable) specs with a
+            # cold long tail of never-seen hashes: the cold jobs are
+            # what actually overflows the bounded queue and proves the
+            # daemon sheds instead of hanging.
+            cold_pool = build_spec_pool(
+                args.cold_specs, args.n_scenarios, seed_base=10_000
+            )
+            burst_pool = pool + cold_pool
+            burst_weights = np.concatenate([
+                (1.0 - args.cold_fraction) * weights,
+                np.full(len(cold_pool), args.cold_fraction / len(cold_pool)),
+            ])
+            burst = asyncio.run(
+                burst_phase(
+                    socket_path, burst_pool, burst_weights, rng,
+                    clients=args.burst_clients,
+                )
+            )
+            print(f"burst: {burst['clients']} clients, "
+                  f"{burst['counts']['completed']} served, "
+                  f"{burst['counts']['rejected']} shed in "
+                  f"{burst['wall_s']:.2f}s")
+
+            metric = service.metrics.value
+            engine_runs = int(metric("repro_service_engine_runs") or 0)
+            coalesce_hits = int(metric("repro_service_coalesce_hits") or 0)
+            cache_hits = int(
+                (metric("repro_service_cache_hits", tier="memory") or 0)
+                + (metric("repro_service_cache_hits", tier="store") or 0)
+            )
+            shed = int(metric("repro_service_shed") or 0)
+            submits = int(metric("repro_service_submits") or 0)
+
+    all_latencies = sustained["latencies"] + burst["latencies"]
+    completed = (sustained["counts"]["completed"]
+                 + burst["counts"]["completed"])
+    rejected = (sustained["counts"]["rejected"]
+                + burst["counts"]["rejected"])
+    wall = sustained["wall_s"] + burst["wall_s"]
+
+    payload = {
+        "workload": {
+            "spec_pool": args.spec_pool,
+            "cold_specs": args.cold_specs,
+            "cold_fraction": args.cold_fraction,
+            "n_scenarios": args.n_scenarios,
+            "popularity": "zipf(alpha=1.2)",
+            "traffic": ["diurnal", "pareto-burst"],
+            "seed": args.seed,
+        },
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "service": {
+            "max_inflight": args.max_inflight,
+            "queue_depth": args.queue_depth,
+            "cache_entries": args.spec_pool,
+            "transport": "unix-jsonl",
+        },
+        "clients": burst["clients"],
+        "jobs_submitted": submits,
+        "jobs_completed": completed,
+        "sustained_jobs_per_s": completed / wall if wall > 0 else 0.0,
+        "latency_p50_ms": percentile_ms(all_latencies, 50),
+        "latency_p99_ms": percentile_ms(all_latencies, 99),
+        "engine_runs": engine_runs,
+        "coalesce_hits": coalesce_hits,
+        "coalesce_ratio": coalesce_hits / submits if submits else 0.0,
+        "cache_hits": cache_hits,
+        "cache_ratio": cache_hits / submits if submits else 0.0,
+        "shed_jobs": shed,
+        "shed_rate": shed / submits if submits else 0.0,
+        "rejected": rejected,
+        "sustained": {
+            "wall_s": sustained["wall_s"],
+            "peak_concurrency_target": sustained["peak_target"],
+            "latency_p50_ms": percentile_ms(sustained["latencies"], 50),
+            "latency_p99_ms": percentile_ms(sustained["latencies"], 99),
+            "counts": sustained["counts"],
+        },
+        "burst": {
+            "wall_s": burst["wall_s"],
+            "clients": burst["clients"],
+            "latency_p50_ms": percentile_ms(burst["latencies"], 50),
+            "latency_p99_ms": percentile_ms(burst["latencies"], 99),
+            "counts": burst["counts"],
+        },
+    }
+    args.output.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {args.output}")
+    print(f"  jobs/s        {payload['sustained_jobs_per_s']:.1f}")
+    print(f"  p50 / p99     {payload['latency_p50_ms']:.1f} ms / "
+          f"{payload['latency_p99_ms']:.1f} ms")
+    print(f"  engine runs   {engine_runs} for {completed} served "
+          f"(coalesce {coalesce_hits}, cache {cache_hits}, shed {shed})")
+
+
+if __name__ == "__main__":
+    main()

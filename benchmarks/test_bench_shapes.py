@@ -1,11 +1,13 @@
-"""CI shape-check for the committed ``BENCH_campaign.json``.
+"""CI shape-check for the committed benchmark payloads.
 
 The benchmark scripts (``run_campaign_bench.py`` / ``run_chaos_bench.
-py``) own the numbers; this gate owns the *schema* — a PR that renames
-or drops a section silently breaks the perf trajectory the repo
-tracks, so the committed payload must always carry the headline
-results, the full fault-taxonomy matrix, the chaos section, and the
-engine-backend matrix with one row per (workload, backend) pair.
+py`` / ``run_service_bench.py``) own the numbers; this gate owns the
+*schema* — a PR that renames or drops a section silently breaks the
+perf trajectory the repo tracks, so the committed payloads must
+always carry the headline results, the full fault-taxonomy matrix,
+the chaos section, the engine-backend matrix with one row per
+(workload, backend) pair, and the service daemon's load-test
+evidence.
 """
 
 import json
@@ -14,6 +16,9 @@ from pathlib import Path
 import pytest
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_campaign.json"
+SERVICE_BENCH_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_service.json"
+)
 
 RESULT_KEYS = {
     "n_scenarios",
@@ -181,3 +186,77 @@ def test_adaptive_section_tracks_the_stopping_guarantee(payload):
             f"{row['scenarios_saved_factor']}x (< 10x target)"
         )
         assert row["n_adaptive"] < row["n_reference"]
+
+
+SERVICE_KEYS = {
+    "workload",
+    "platform",
+    "service",
+    "clients",
+    "jobs_submitted",
+    "jobs_completed",
+    "sustained_jobs_per_s",
+    "latency_p50_ms",
+    "latency_p99_ms",
+    "engine_runs",
+    "coalesce_hits",
+    "coalesce_ratio",
+    "cache_hits",
+    "cache_ratio",
+    "shed_jobs",
+    "shed_rate",
+    "rejected",
+    "sustained",
+    "burst",
+}
+
+
+@pytest.fixture(scope="module")
+def service_payload():
+    assert SERVICE_BENCH_PATH.exists(), (
+        "BENCH_service.json is missing — regenerate with "
+        "`make bench-service`"
+    )
+    return json.loads(SERVICE_BENCH_PATH.read_text(encoding="utf-8"))
+
+
+def test_service_payload_has_all_keys(service_payload):
+    missing = SERVICE_KEYS - set(service_payload)
+    assert not missing, f"BENCH_service.json lost keys {sorted(missing)}"
+
+
+def test_service_bench_scale_and_throughput(service_payload):
+    """The committed evidence for the daemon's acceptance target:
+    >= 1000 simultaneous clients served without deadlock, at a real
+    sustained rate."""
+    assert service_payload["clients"] >= 1000
+    assert service_payload["jobs_completed"] > 0
+    assert service_payload["sustained_jobs_per_s"] > 0
+    assert service_payload["latency_p50_ms"] > 0
+    assert service_payload["latency_p99_ms"] >= service_payload["latency_p50_ms"]
+
+
+def test_service_bench_exercised_every_admission_path(service_payload):
+    """Coalescing, both cache tiers, and load shedding all fired —
+    a run where any of these is zero measured a different daemon."""
+    assert service_payload["engine_runs"] > 0
+    assert service_payload["coalesce_hits"] > 0
+    assert service_payload["cache_hits"] > 0
+    assert service_payload["shed_jobs"] > 0
+    assert service_payload["rejected"] > 0
+    for ratio in ("coalesce_ratio", "cache_ratio", "shed_rate"):
+        assert 0 <= service_payload[ratio] <= 1
+    # The whole point: far fewer engine runs than jobs served.
+    assert (service_payload["engine_runs"]
+            < service_payload["jobs_completed"])
+
+
+def test_service_bench_accounts_for_every_client(service_payload):
+    """No silently dropped connections: every burst client got a typed
+    terminal answer."""
+    counts = service_payload["burst"]["counts"]
+    assert counts["dropped"] == 0
+    assert counts["connect_failed"] == 0
+    answered = (counts["completed"] + counts["rejected"]
+                + counts["timed_out"] + counts["errored"])
+    assert answered == service_payload["burst"]["clients"]

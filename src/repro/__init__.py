@@ -76,6 +76,7 @@ from .specs import (
     SPEC_VERSION,
     CampaignSpec,
     ChaosSpec,
+    ServiceSpec,
     DetectorSpec,
     EngineSpec,
     FaultSpec,
@@ -150,6 +151,7 @@ __all__ = [
     "TrafficSpec",
     "TelemetrySpec",
     "ChaosSpec",
+    "ServiceSpec",
     "spec_from_dict",
     "load_spec",
     "save_spec",

@@ -28,12 +28,14 @@ from __future__ import annotations
 import hashlib
 import inspect
 import json
+import os
 import subprocess
 import sys
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .experiments.registry import RegisteredExperiment
 from .experiments.runner import ExperimentResult, jsonable
@@ -45,10 +47,60 @@ __all__ = [
     "current_git_sha",
     "MANIFEST_NAME",
     "MANIFEST_VERSION",
+    "LOCK_NAME",
 ]
 
 MANIFEST_NAME = "manifest.json"
 MANIFEST_VERSION = 1
+
+#: Cross-process mutex guarding manifest read-modify-write sequences.
+LOCK_NAME = ".manifest.lock"
+
+
+@contextmanager
+def _file_lock(path: Path, *, timeout: float = 30.0, stale_after: float = 60.0):
+    """A cross-process mutex: ``O_CREAT | O_EXCL`` on a lockfile.
+
+    Creation is atomic on every POSIX filesystem, so whichever process
+    wins the ``os.open`` owns the critical section; everyone else polls.
+    A lockfile older than ``stale_after`` seconds is presumed abandoned
+    (its owner crashed between create and unlink) and is stolen.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            try:
+                age = time.time() - path.stat().st_mtime
+            except OSError:  # holder released between open and stat
+                continue
+            if age > stale_after:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                continue
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"gave up waiting for manifest lock {path} "
+                    f"after {timeout}s"
+                )
+            time.sleep(0.002)
+            continue
+        try:
+            os.write(fd, f"{os.getpid()}\n".encode())
+        finally:
+            os.close(fd)
+        break
+    try:
+        yield
+    finally:
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - stolen as stale
+            pass
 
 
 def content_key(
@@ -189,11 +241,30 @@ class ArtifactStore:
 
     def _write_manifest(self, manifest: Dict[str, Any]) -> None:
         self.root.mkdir(parents=True, exist_ok=True)
-        tmp = self.manifest_path.with_suffix(".json.tmp")
+        # Unique temp name per process: two writers renaming the same
+        # temp path can publish a torn manifest even when each write
+        # is individually atomic.
+        tmp = self.manifest_path.with_suffix(f".json.{os.getpid()}.tmp")
         with open(tmp, "w", encoding="utf-8") as fh:
             json.dump(manifest, fh, indent=2, sort_keys=True)
             fh.write("\n")
         tmp.replace(self.manifest_path)
+
+    def update_manifest(
+        self, mutate: Callable[[Dict[str, Any]], None]
+    ) -> Dict[str, Any]:
+        """Locked read-modify-write: apply ``mutate`` to the manifest.
+
+        Every manifest mutation in the store routes through here, so
+        concurrent clients (parallel ``run()`` calls, multiple service
+        daemons, the CLI) serialize on the lockfile instead of losing
+        each other's updates.  Returns the manifest as written.
+        """
+        with _file_lock(self.root / LOCK_NAME):
+            manifest = self.load_manifest()
+            mutate(manifest)
+            self._write_manifest(manifest)
+        return manifest
 
     def entries(self) -> Dict[str, Dict[str, Any]]:
         return self.load_manifest()["entries"]
@@ -243,6 +314,50 @@ class ArtifactStore:
         from .chaos.telemetry import load_trace as _load
 
         return _load(self.trace_path(name))
+
+    # -- spec-keyed run results (the service cache) ------------------------
+
+    def run_result_path(self, spec_hash: str) -> Path:
+        """Where a spec-hash-keyed run result lives."""
+        return self.root / "runs" / f"{spec_hash}.json"
+
+    def save_run_result(
+        self, spec_hash: str, record: Mapping[str, Any]
+    ) -> Path:
+        """Persist one run result keyed by its spec's ``content_hash``.
+
+        The artifact is written to a process-unique temp file and
+        renamed (atomic — a concurrent reader sees the old file or the
+        new one, never a torn write), then the manifest's ``runs``
+        index is updated under the lockfile.  Safe for any number of
+        concurrent writers; identical specs overwrite in place.
+        """
+        path = self.run_result_path(spec_hash)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(dict(record), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        tmp.replace(path)
+
+        def _mutate(manifest: Dict[str, Any]) -> None:
+            runs = manifest.setdefault("runs", {})
+            runs[spec_hash] = {
+                "artifact": str(path.relative_to(self.root)),
+                "kind": record.get("kind"),
+                "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            }
+
+        self.update_manifest(_mutate)
+        return path
+
+    def load_run_result(self, spec_hash: str) -> Optional[Dict[str, Any]]:
+        """The stored run result for ``spec_hash``, or None."""
+        path = self.run_result_path(spec_hash)
+        if not path.exists():
+            return None
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
 
     # -- cache + execution -------------------------------------------------
 
@@ -303,11 +418,12 @@ class ArtifactStore:
             "runtime": exp.runtime,
             "tags": list(exp.tags),
         }
-        manifest = self.load_manifest()
-        manifest["version"] = MANIFEST_VERSION
-        manifest["entries"][exp.experiment_id] = entry
-        self._bump_cache(manifest, misses=1)  # a recorded run is a miss
-        self._write_manifest(manifest)
+        def _mutate(manifest: Dict[str, Any]) -> None:
+            manifest["version"] = MANIFEST_VERSION
+            manifest["entries"][exp.experiment_id] = entry
+            self._bump_cache(manifest, misses=1)  # a recorded run is a miss
+
+        self.update_manifest(_mutate)
         return entry
 
     def run(
@@ -327,9 +443,7 @@ class ArtifactStore:
         if not force:
             entry = self.cached_entry(exp, params, key=key)
             if entry is not None:
-                manifest = self.load_manifest()
-                self._bump_cache(manifest, hits=1)
-                self._write_manifest(manifest)
+                self.update_manifest(lambda m: self._bump_cache(m, hits=1))
                 if obs is not None:
                     obs.record_cache(exp.experiment_id, True)
                 return RunOutcome(
@@ -393,9 +507,7 @@ class ArtifactStore:
                     continue
             to_run.append(exp)
         if hits:
-            manifest = self.load_manifest()
-            self._bump_cache(manifest, hits=hits)
-            self._write_manifest(manifest)
+            self.update_manifest(lambda m: self._bump_cache(m, hits=hits))
 
         if to_run and n_workers and n_workers > 1:
             from .parallel import bounded_map, fork_once_pool

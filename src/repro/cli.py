@@ -42,6 +42,18 @@ Commands
     campaign/survival/chaos, or ``ObsSpec(record=...)`` in a spec):
     span tree + metrics table by default, or the OpenMetrics text
     exposition, the JSONL event stream, or the per-phase profile view.
+``serve [--socket PATH | --port N] [--max-inflight N] [--queue-depth N]``
+    Run the resident campaign service: an asyncio daemon that accepts
+    spec jobs over JSONL, coalesces identical submissions by content
+    hash, answers repeats from the artifact store, streams per-chunk
+    progress, and sheds load with typed responses (see
+    :mod:`repro.service`).
+``submit <spec.json> [--stream] [--timeout S] [--json]``
+    Send one campaign/survival/chaos spec to a running service and
+    print the result (exit 1 on a typed rejected/timeout/error
+    terminal, exit 2 when no daemon answers or the spec is malformed).
+``shutdown [--no-drain]``
+    Stop a running service, draining in-flight jobs by default.
 
 The ``campaign``, ``survival`` and ``chaos`` commands are thin shells
 over the declarative run-spec layer (:mod:`repro.specs`): argparse
@@ -484,6 +496,92 @@ def build_parser() -> argparse.ArgumentParser:
     p_aiops.add_argument("trace",
                          help="path to a trace saved by chaos --telemetry "
                               "(.json/.npz stem)")
+
+    def add_endpoint(p):
+        """--socket / --host / --port, shared by the service commands."""
+        p.add_argument(
+            "--socket", metavar="PATH", default=None,
+            help="unix socket path (default: repro-service.sock)",
+        )
+        p.add_argument(
+            "--host", default=None,
+            help="loopback TCP host (with --port; default 127.0.0.1)",
+        )
+        p.add_argument(
+            "--port", type=_positive_int, default=None,
+            help="loopback TCP port (instead of --socket)",
+        )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the resident campaign service (spec jobs over JSONL)",
+    )
+    add_endpoint(p_serve)
+    p_serve.add_argument(
+        "--spec", metavar="FILE", default=None,
+        help="run from a stored ServiceSpec JSON (conflicts with the "
+             "endpoint/limit flags)",
+    )
+    p_serve.add_argument(
+        "--dump-spec", action="store_true",
+        help="print the ServiceSpec JSON instead of serving",
+    )
+    p_serve.add_argument(
+        "--max-inflight", type=_positive_int, default=None,
+        help="engine evaluations running concurrently (default 2)",
+    )
+    p_serve.add_argument(
+        "--queue-depth", type=_nonneg_int, default=None,
+        help="admitted jobs waiting for a runner before shedding "
+             "(default 64; 0 = unbounded)",
+    )
+    p_serve.add_argument(
+        "--job-timeout", type=_bounded(
+            float, 0, "job timeout must be > 0", exclusive=True,
+        ), default=None, metavar="SECONDS",
+        help="per-job evaluation timeout (default: none)",
+    )
+    p_serve.add_argument(
+        "--results-dir", metavar="DIR", default=None,
+        help="ArtifactStore root for the spec-hash result cache",
+    )
+    p_serve.add_argument(
+        "--cache-entries", type=_nonneg_int, default=None,
+        help="in-memory result-cache entries (default 256; 0 disables)",
+    )
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="submit a campaign/survival/chaos spec to a running service",
+    )
+    p_submit.add_argument(
+        "spec", metavar="SPEC",
+        help="path to a workload spec JSON (campaign/survival/chaos)",
+    )
+    add_endpoint(p_submit)
+    p_submit.add_argument(
+        "--stream", action="store_true",
+        help="print per-chunk progress as the engines evaluate",
+    )
+    p_submit.add_argument(
+        "--timeout", type=_bounded(
+            float, 0, "timeout must be > 0", exclusive=True,
+        ), default=None, metavar="SECONDS",
+        help="override the service's job timeout for this submission",
+    )
+    p_submit.add_argument(
+        "--json", action="store_true",
+        help="print the full result payload as JSON instead of a summary",
+    )
+
+    p_down = sub.add_parser(
+        "shutdown", help="stop a running campaign service"
+    )
+    add_endpoint(p_down)
+    p_down.add_argument(
+        "--no-drain", action="store_true",
+        help="stop immediately instead of draining in-flight jobs",
+    )
     return parser
 
 
@@ -1181,6 +1279,161 @@ def _cmd_aiops(args) -> int:
     return 0
 
 
+def _make_client(args):
+    """A ServiceClient for the parsed endpoint flags (submit/shutdown)."""
+    from .service import DEFAULT_SOCKET, ServiceClient
+
+    if args.port is not None:
+        return ServiceClient(host=args.host or "127.0.0.1", port=args.port)
+    if args.host is not None:
+        raise ValueError("--host needs --port")
+    return ServiceClient(args.socket or DEFAULT_SOCKET)
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .service import CampaignService
+    from .specs import ServiceSpec, SpecError, load_spec
+
+    try:
+        if args.spec is not None:
+            conflicts = [
+                flag
+                for flag, value in (
+                    ("--socket", args.socket),
+                    ("--host", args.host),
+                    ("--port", args.port),
+                    ("--max-inflight", args.max_inflight),
+                    ("--queue-depth", args.queue_depth),
+                    ("--job-timeout", args.job_timeout),
+                    ("--results-dir", args.results_dir),
+                    ("--cache-entries", args.cache_entries),
+                )
+                if value is not None
+            ]
+            if conflicts:
+                raise SpecError(
+                    f"--spec conflicts with {', '.join(conflicts)}; the "
+                    "stored spec already fixes those"
+                )
+            spec = load_spec(args.spec)
+            if not isinstance(spec, ServiceSpec):
+                raise SpecError(
+                    f"{args.spec} holds a {type(spec).__name__}, "
+                    "serve needs a ServiceSpec"
+                )
+        else:
+            kwargs = {}
+            if args.port is not None:
+                kwargs["host"] = args.host or "127.0.0.1"
+                kwargs["port"] = args.port
+            elif args.host is not None:
+                raise SpecError("--host needs --port")
+            elif args.socket is not None:
+                kwargs["socket"] = args.socket
+            for name in (
+                "max_inflight", "queue_depth", "job_timeout",
+                "results_dir", "cache_entries",
+            ):
+                value = getattr(args, name)
+                if value is not None:
+                    kwargs[name] = value
+            spec = ServiceSpec(**kwargs)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.dump_spec:
+        print(spec.to_json(), end="")
+        return 0
+    service = CampaignService(spec)
+    print(f"repro service listening on {service.endpoint}", file=sys.stderr)
+    try:
+        asyncio.run(service.serve())
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    import json as _json
+
+    from .service import ServiceUnavailable, summarize_result
+    from .specs import load_spec
+
+    try:
+        spec = load_spec(args.spec)
+        client = _make_client(args)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def on_event(message):
+        mtype = message.get("type")
+        if mtype == "chunk" and args.stream:
+            print(
+                f"chunk {message.get('index')}: "
+                f"{message.get('scenarios')} scenarios "
+                f"({message.get('evaluated')} evaluated)",
+                file=sys.stderr,
+            )
+        elif mtype == "adaptive" and args.stream:
+            print(
+                f"adaptive stop: n={message.get('n_scenarios')} "
+                f"estimate={message.get('estimate'):.6g} "
+                f"CI [{message.get('ci_low'):.6g}, "
+                f"{message.get('ci_high'):.6g}]",
+                file=sys.stderr,
+            )
+
+    try:
+        terminal = client.submit(
+            spec, stream=args.stream, timeout=args.timeout,
+            on_event=on_event,
+        )
+    except ServiceUnavailable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        client.close()
+    ttype = terminal.get("type")
+    if ttype == "result":
+        payload = terminal["result"]
+        if args.json:
+            print(_json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            provenance = (
+                "cached" if terminal.get("cached")
+                else "coalesced" if terminal.get("coalesced")
+                else "evaluated"
+            )
+            print(f"[{provenance}] {summarize_result(payload)}")
+        return 0
+    if ttype == "rejected":
+        print(f"error: job rejected: {terminal.get('reason')}",
+              file=sys.stderr)
+    elif ttype == "timeout":
+        print(f"error: job timed out after {terminal.get('timeout_s')}s",
+              file=sys.stderr)
+    else:
+        print(f"error: {terminal.get('kind')}: {terminal.get('detail')}",
+              file=sys.stderr)
+    return 1
+
+
+def _cmd_shutdown(args) -> int:
+    from .service import ServiceUnavailable
+
+    try:
+        client = _make_client(args)
+        ack = client.shutdown(drain=not args.no_drain)
+    except (ValueError, ServiceUnavailable) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"service stopped (drained {ack.get('drained', 0)} jobs)")
+    return 0
+
+
 _COMMANDS = {
     "run-all": _cmd_run_all,
     "report": _cmd_report,
@@ -1192,6 +1445,9 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "obs": _cmd_obs,
     "aiops": _cmd_aiops,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "shutdown": _cmd_shutdown,
 }
 
 

@@ -1,0 +1,56 @@
+"""Campaign-as-a-service: a resident daemon serving spec-keyed jobs.
+
+The ninth subsystem — the serving layer over ``repro.run``.  Every
+workload in this repo is already a frozen, content-hashed job
+description (:class:`~repro.specs.CampaignSpec` /
+:class:`~repro.specs.SurvivalSpec` / :class:`~repro.specs.ChaosSpec`);
+this package adds the process that *stays up* and serves them:
+
+* :mod:`~repro.service.daemon` — :class:`CampaignService`, the asyncio
+  daemon: strict spec validation, content-hash request coalescing,
+  cache-first answering from the :class:`~repro.artifacts.
+  ArtifactStore`, a bounded off-loop worker pool, admission control
+  with typed load shedding, and chunk-level result streaming;
+* :mod:`~repro.service.protocol` — the JSONL wire protocol and the
+  deterministic result codec (daemon answers are bitwise identical to
+  a direct ``repro.run``);
+* :mod:`~repro.service.client` — :class:`ServiceClient`, the blocking
+  client behind ``repro submit`` / ``repro shutdown``.
+
+Configured by :class:`~repro.specs.ServiceSpec`; driven from the CLI
+via ``repro serve``.
+"""
+
+from .client import (
+    JobFailed,
+    JobRejected,
+    JobTimeout,
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailable,
+)
+from .daemon import DEFAULT_SOCKET, CampaignService, ServiceThread
+from .protocol import (
+    PROTOCOL_VERSION,
+    TERMINAL_TYPES,
+    ProtocolError,
+    result_payload,
+    summarize_result,
+)
+
+__all__ = [
+    "CampaignService",
+    "ServiceThread",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceUnavailable",
+    "JobRejected",
+    "JobTimeout",
+    "JobFailed",
+    "ProtocolError",
+    "PROTOCOL_VERSION",
+    "TERMINAL_TYPES",
+    "DEFAULT_SOCKET",
+    "result_payload",
+    "summarize_result",
+]

@@ -35,6 +35,7 @@ from .model import (
     TRAFFIC_KINDS,
     CampaignSpec,
     ChaosSpec,
+    ServiceSpec,
     DetectorSpec,
     EngineSpec,
     FaultSpec,
@@ -72,6 +73,7 @@ __all__ = [
     "TrafficSpec",
     "TelemetrySpec",
     "ChaosSpec",
+    "ServiceSpec",
     "run",
     "spec_from_dict",
     "load_spec",

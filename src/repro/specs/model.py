@@ -53,6 +53,7 @@ __all__ = [
     "TrafficSpec",
     "TelemetrySpec",
     "ChaosSpec",
+    "ServiceSpec",
     "spec_from_dict",
     "load_spec",
     "save_spec",
@@ -1357,3 +1358,85 @@ ChaosSpec._nested_tuples = {
     "detectors": DetectorSpec,
 }
 ChaosSpec._omit_if_none = ("telemetry", "obs")
+
+
+@_register("service")
+@dataclass(frozen=True)
+class ServiceSpec(Spec):
+    """The resident campaign service: endpoint + admission control.
+
+    Configures :class:`repro.service.CampaignService` — the asyncio
+    daemon behind ``repro serve``.  Exactly one endpoint: a filesystem
+    ``socket`` path (the default transport) *or* a loopback ``host`` +
+    ``port`` pair.  ``max_inflight`` bounds the worker pool running
+    engine evaluations off the event loop, ``queue_depth`` bounds the
+    admission queue (a full queue sheds with a typed REJECTED), and
+    ``job_timeout`` (seconds, optional) turns stuck evaluations into
+    typed TIMEOUT responses instead of hung sockets.  ``results_dir``
+    (optional) roots an :class:`~repro.artifacts.ArtifactStore` whose
+    spec-hash-keyed run cache answers repeats without re-evaluation;
+    ``cache_entries`` bounds the in-memory result cache.  Optional
+    fields ride ``_omit_if_none``, so pre-service payloads stay
+    byte-identical.
+    """
+
+    socket: Optional[str] = None
+    host: Optional[str] = None
+    port: Optional[int] = None
+    max_inflight: int = 2
+    queue_depth: int = 64
+    job_timeout: Optional[float] = None
+    results_dir: Optional[str] = None
+    cache_entries: int = 256
+
+    def __post_init__(self):
+        self._validate_nested()
+        if self.socket is not None:
+            self._require(
+                self.host is None and self.port is None,
+                "socket and host/port endpoints are mutually exclusive",
+            )
+            self._require(
+                isinstance(self.socket, str) and len(self.socket) > 0,
+                f"socket must be a non-empty path, got {self.socket!r}",
+            )
+        if (self.host is None) != (self.port is None):
+            raise SpecError(
+                "host and port must be set together, got "
+                f"host={self.host!r}, port={self.port!r}"
+            )
+        if self.port is not None:
+            self._require(
+                1 <= self.port <= 65535,
+                f"port must be in 1..65535, got {self.port}",
+            )
+            self._require(
+                self.host in ("127.0.0.1", "localhost", "::1"),
+                f"host must be a loopback address, got {self.host!r}",
+            )
+        self._require(
+            self.max_inflight >= 1,
+            f"max_inflight must be >= 1, got {self.max_inflight}",
+        )
+        self._require(
+            self.queue_depth >= 0,
+            f"queue_depth must be >= 0, got {self.queue_depth}",
+        )
+        if self.job_timeout is not None:
+            self._require(
+                self.job_timeout > 0,
+                f"job_timeout must be > 0, got {self.job_timeout}",
+            )
+        self._require(
+            self.cache_entries >= 0,
+            f"cache_entries must be >= 0, got {self.cache_entries}",
+        )
+
+
+ServiceSpec._omit_if_none = (
+    "socket",
+    "host",
+    "port",
+    "job_timeout",
+    "results_dir",
+)

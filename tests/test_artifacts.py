@@ -305,3 +305,72 @@ class TestTraceStore:
     def test_missing_trace_raises(self, store):
         with pytest.raises(FileNotFoundError):
             store.load_trace("never_recorded")
+
+
+def _hammer_store(args):
+    """Subprocess body: interleave run-result writes and cache bumps."""
+    root, worker_id, n_updates = args
+    store = ArtifactStore(root)
+    for i in range(n_updates):
+        store.save_run_result(
+            f"w{worker_id}-{i:02d}", {"kind": "campaign", "i": i}
+        )
+        store.update_manifest(
+            lambda m: ArtifactStore._bump_cache(m, hits=1)
+        )
+    return worker_id
+
+
+class TestConcurrentManifestWrites:
+    """Multi-client safety: parallel writers never corrupt or lose
+    manifest updates (the service daemon's store is shared by design)."""
+
+    N_WORKERS = 4
+    N_UPDATES = 8
+
+    def test_parallel_writers_lose_no_updates(self, tmp_path):
+        from concurrent.futures import ProcessPoolExecutor
+
+        root = str(tmp_path / "results")
+        jobs = [
+            (root, w, self.N_UPDATES) for w in range(self.N_WORKERS)
+        ]
+        with ProcessPoolExecutor(max_workers=self.N_WORKERS) as pool:
+            done = list(pool.map(_hammer_store, jobs))
+        assert sorted(done) == list(range(self.N_WORKERS))
+
+        store = ArtifactStore(root)
+        # The manifest is valid JSON (atomic rename: never torn) ...
+        manifest = json.loads(store.manifest_path.read_text())
+        # ... indexes every run from every worker (no lost updates) ...
+        expected = self.N_WORKERS * self.N_UPDATES
+        assert len(manifest["runs"]) == expected
+        # ... and the read-modify-write counters add up exactly.
+        assert manifest["cache"]["hits"] == expected
+        for worker in range(self.N_WORKERS):
+            for i in range(self.N_UPDATES):
+                assert store.load_run_result(f"w{worker}-{i:02d}") == {
+                    "kind": "campaign", "i": i,
+                }
+
+    def test_lock_times_out_instead_of_hanging(self, tmp_path):
+        from repro.artifacts import LOCK_NAME, _file_lock
+
+        lock = tmp_path / LOCK_NAME
+        lock.write_text("held\n")
+        with pytest.raises(TimeoutError, match="manifest lock"):
+            with _file_lock(lock, timeout=0.05):
+                pass  # pragma: no cover - lock is held
+
+    def test_stale_lock_is_stolen(self, tmp_path):
+        import os
+
+        from repro.artifacts import LOCK_NAME, _file_lock
+
+        lock = tmp_path / LOCK_NAME
+        lock.write_text("crashed\n")
+        old = lock.stat().st_mtime - 120
+        os.utime(lock, (old, old))
+        with _file_lock(lock, timeout=1.0, stale_after=60.0):
+            assert lock.exists()  # we own the recreated lock
+        assert not lock.exists()

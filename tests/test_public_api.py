@@ -16,6 +16,7 @@ SUBPACKAGES = [
     "repro.analysis",
     "repro.experiments",
     "repro.specs",
+    "repro.service",
     "repro.cli",
 ]
 
@@ -33,6 +34,7 @@ SPEC_EXPORTS = [
     "TrafficSpec",
     "TelemetrySpec",
     "ChaosSpec",
+    "ServiceSpec",
 ]
 
 

@@ -21,6 +21,7 @@ from repro.specs import (
     SPEC_VERSION,
     CampaignSpec,
     ChaosSpec,
+    ServiceSpec,
     SurvivalSpec,
     load_spec,
     spec_from_dict,
@@ -130,6 +131,18 @@ def test_corpus_covers_adaptive_stopping():
         stratified = stratified or stopping.stratify
     assert methods == {"hoeffding", "empirical_bernstein"}
     assert stratified, "no golden fixture exercises the stratified path"
+
+
+def test_corpus_covers_the_service_spec():
+    """The serving layer's config is golden too: one committed
+    ServiceSpec with the admission-control fields populated."""
+    services = [s for s in map(load_spec, FIXTURES)
+                if isinstance(s, ServiceSpec)]
+    assert services, "no golden ServiceSpec fixture"
+    assert any(
+        s.socket is not None and s.job_timeout is not None
+        for s in services
+    )
 
 
 def test_experiment_fixtures_match_declared_specs():
